@@ -1,0 +1,46 @@
+"""Ridge-fraction ablation for the AutoRegression benchmark.
+
+The AR-on-prices problem is severely ill-conditioned (DESIGN.md §7);
+the reproduction bounds the effective condition with a ridge at 1/50 of
+the Gram spectral radius.  This ablation sweeps that choice and pins
+the trade-off it controls: smaller ridges mean better fidelity to the
+unregularized problem but more iterations (and ultimately ``MAX_ITER``),
+larger ridges converge fast but bias the coefficients.
+"""
+
+import numpy as np
+
+from repro.apps.autoregression import AutoRegression
+from repro.core.framework import ApproxIt
+from repro.data.timeseries import make_index_series
+
+
+def test_ablation_ridge_fraction(benchmark):
+    dataset = make_index_series(
+        "ridge-abl", length=2000, seed=41, max_iter=1000, tolerance=1e-13
+    )
+
+    def sweep():
+        outcomes = {}
+        for fraction in (0.002, 0.02, 0.2):
+            method = AutoRegression(dataset, ridge_fraction=fraction)
+            fw = ApproxIt(method)
+            truth = fw.run_truth()
+            outcomes[fraction] = (truth, method)
+        return outcomes
+
+    outcomes = benchmark(sweep)
+
+    iterations = {f: t.iterations for f, (t, _) in outcomes.items()}
+    # More regularization -> better conditioning -> fewer iterations.
+    assert iterations[0.002] >= iterations[0.02] >= iterations[0.2]
+
+    # Fidelity: the lightly regularized fit stays closer to the
+    # unregularized normal-equations solution than the heavy one.
+    reference_method = AutoRegression(dataset, ridge_fraction=0.0)
+    w_free = np.linalg.lstsq(
+        reference_method.design, reference_method.targets, rcond=None
+    )[0]
+    dist_light = np.linalg.norm(outcomes[0.002][0].x - w_free)
+    dist_heavy = np.linalg.norm(outcomes[0.2][0].x - w_free)
+    assert dist_light < dist_heavy

@@ -1,0 +1,76 @@
+"""Table 3 regeneration benchmarks (GMM single-mode + reconfiguration).
+
+Paper reference (DAC'14, Table 3):
+
+* (a) lower accuracy levels consume less energy per run but degrade the
+  Hamming-distance QEM, with ``level1`` failing catastrophically
+  (false convergence to a collapsed clustering or a ``MAX_ITER`` blowup
+  whose energy exceeds the accurate run);
+* (b) both online strategies finish with **zero** error while using a
+  mix of modes.
+"""
+
+from repro.experiments.runner import GMM_DATASETS, SINGLE_MODES
+from repro.experiments.table3 import table3a, table3b
+
+
+def test_table3a(benchmark, gmm_results):
+    report = benchmark(table3a)
+    assert "Table 3(a)" in report
+
+    for key in GMM_DATASETS:
+        result = gmm_results[key]
+        # Per-iteration energy monotone increasing with accuracy (total
+        # run energy also depends on how many iterations a mode needs,
+        # so the paper-guaranteed ordering is per iteration).
+        energies = [
+            result.energy_of(m) / max(result.single_mode[m].iterations, 1)
+            for m in SINGLE_MODES
+        ]
+        assert all(a < b for a, b in zip(energies, energies[1:])), key
+        # QEM monotone non-increasing with accuracy.
+        qems = [result.qem[m] for m in SINGLE_MODES]
+        assert all(a >= b for a, b in zip(qems, qems[1:])), key
+        # level1 is catastrophic: either a large fraction of samples
+        # misclustered or the iteration budget exhausted.
+        n = result.framework.method.points.shape[0]
+        assert (
+            result.qem["level1"] > 0.25 * n
+            or result.single_mode["level1"].hit_max_iter
+        ), key
+        # The most accurate approximate mode matches Truth's clustering.
+        assert result.qem["level4"] == 0, key
+
+
+def test_table3a_level1_blowup(benchmark, gmm_results):
+    """The paper's headline anecdote: on one dataset level1 burns more
+    energy than the fully accurate run by failing to converge."""
+
+    def find_blowups():
+        return [
+            r
+            for r in gmm_results.values()
+            if r.single_mode["level1"].hit_max_iter
+            and r.energy_of("level1") > 1.0
+        ]
+
+    blowups = benchmark(find_blowups)
+    assert blowups, "no dataset reproduces the level1 energy blowup"
+
+
+def test_table3b(benchmark, gmm_results):
+    report = benchmark(table3b)
+    assert "Incremental" in report and "Adaptive" in report
+
+    for key in GMM_DATASETS:
+        result = gmm_results[key]
+        for strategy in ("incremental", "adaptive"):
+            run = result.online[strategy]
+            # Zero final error (the paper's central claim).
+            assert result.qem[strategy] == 0, (key, strategy)
+            assert run.converged, (key, strategy)
+            # The run actually mixes modes (it is not Truth in disguise).
+            used = [m for m, c in run.steps_by_mode.items() if c > 0]
+            assert len(used) >= 2, (key, strategy)
+            # Energy savings versus Truth.
+            assert result.energy_of(strategy) < 1.0, (key, strategy)

@@ -1,0 +1,52 @@
+"""Table 4 regeneration benchmarks (AutoRegression).
+
+Paper reference (DAC'14, Table 4): same structure as Table 3 with the
+coefficient-space l2 error as QEM; aggressive modes falsely stop after
+a handful of iterations, high-accuracy modes approach the Truth fit,
+and both online strategies reach (numerically) zero error with a mode
+mix whose accurate-step share is comparable to the paper's.
+"""
+
+from repro.experiments.runner import AR_DATASETS, SINGLE_MODES
+from repro.experiments.table4 import table4a, table4b
+
+
+def test_table4a(benchmark, ar_results):
+    report = benchmark(table4a)
+    assert "Table 4(a)" in report
+
+    for key in AR_DATASETS:
+        result = ar_results[key]
+        qems = [result.qem[m] for m in SINGLE_MODES]
+        # QEM strictly improves with accuracy level.
+        assert all(a >= b for a, b in zip(qems, qems[1:])), key
+        assert qems[0] > 100 * qems[-1], key
+        # Aggressive modes falsely stop almost immediately.
+        assert result.single_mode["level1"].iterations <= 10, key
+        # Energy monotone among converged runs.
+        energies = [
+            result.energy_of(m)
+            for m in SINGLE_MODES
+            if not result.single_mode[m].hit_max_iter
+        ]
+        assert all(a < b for a, b in zip(energies, energies[1:])), key
+
+
+def test_table4b(benchmark, ar_results):
+    report = benchmark(table4b)
+    assert "Incremental" in report and "Adaptive" in report
+
+    for key in AR_DATASETS:
+        result = ar_results[key]
+        truth_iters = result.truth.iterations
+        for strategy in ("incremental", "adaptive"):
+            run = result.online[strategy]
+            # Final coefficients match Truth's to datapath resolution.
+            # (The paper's own Table 4(b) errors are 0.0011-0.0402, so
+            # anything below 1e-2 beats the reference reproduction.)
+            assert result.qem[strategy] < 1e-2, (key, strategy)
+            assert run.converged, (key, strategy)
+            # Totals land near the Truth run length, as in the paper.
+            assert run.iterations < 1.3 * truth_iters, (key, strategy)
+            # Energy savings versus Truth.
+            assert result.energy_of(strategy) < 1.0, (key, strategy)

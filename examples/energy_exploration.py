@@ -1,0 +1,94 @@
+"""Exploring the approximate-hardware substrate.
+
+Characterizes every adder family's error metrics (WCE / ER / ME / MED /
+MRED) and energy at width 16, builds alternative accuracy ladders, and
+shows how the framework's behaviour changes with the hardware —
+the paper's remark that ApproxIt "is also applicable to other
+approximate component designs" made concrete.
+
+Run with::
+
+    python examples/energy_exploration.py
+"""
+
+from repro.arith.modes import family_mode_bank
+from repro.core.framework import ApproxIt
+from repro.apps import GaussianMixtureEM, cluster_assignment_hamming
+from repro.data import make_three_clusters
+from repro.experiments.render import format_table
+from repro.hardware import EnergyModel, build_adder, characterize_adder
+
+
+def characterize_families() -> None:
+    energy_model = EnergyModel()
+    exact = build_adder("exact", 16)
+    exact_cost = energy_model.energy_per_add(exact)
+    cases = [
+        ("exact", {}),
+        ("loa", {"approx_bits": 8}),
+        ("loa", {"approx_bits": 4}),
+        ("etaii", {"segment_bits": 4}),
+        ("aca", {"lookback_bits": 4}),
+        ("gear", {"result_bits": 4, "previous_bits": 2}),
+        ("truncated", {"approx_bits": 6}),
+    ]
+    rows = []
+    for family, params in cases:
+        adder = build_adder(family, 16, **params)
+        profile = characterize_adder(adder, samples=50_000, seed=1)
+        rel = energy_model.energy_per_add(adder) / exact_cost
+        rows.append(
+            [
+                adder.describe(),
+                f"{profile.error_rate:.3f}",
+                f"{profile.mean_error:.2f}",
+                f"{profile.mean_error_distance:.2f}",
+                f"{profile.mean_relative_error_distance:.2e}",
+                profile.worst_case_error,
+                f"{rel:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Adder", "ER", "ME", "MED", "MRED", "WCE", "Energy (exact=1)"],
+            rows,
+            title="Adder-family characterization at width 16",
+        )
+    )
+
+
+def compare_ladders() -> None:
+    dataset = make_three_clusters()
+    method = GaussianMixtureEM.from_dataset(dataset)
+    rows = []
+    for family in ("loa", "truncated", "etaii"):
+        bank = family_mode_bank(family, 32)
+        framework = ApproxIt(method, bank)
+        truth = framework.run_truth()
+        run = framework.run(strategy="incremental")
+        qem = cluster_assignment_hamming(
+            method.assignments(run.x),
+            method.assignments(truth.x),
+            method.n_clusters,
+        )
+        rows.append(
+            [
+                family,
+                run.iterations,
+                qem,
+                f"{run.energy_relative_to(truth):.3f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Ladder family", "Iterations", "QEM", "Energy (Truth=1)"],
+            rows,
+            title="Incremental ApproxIt on 3cluster across adder families",
+        )
+    )
+
+
+if __name__ == "__main__":
+    characterize_families()
+    compare_ladders()

@@ -1,0 +1,74 @@
+"""GMM clustering under approximation — the paper's first benchmark.
+
+Reproduces the Table 3 / Figure 3 story on the ``3cluster`` dataset:
+
+* single-mode runs show the energy/quality trade-off, with ``level1``
+  collapsing the mixture;
+* the incremental and adaptive strategies recover the exact clustering
+  (Hamming distance 0) at a fraction of the accurate run's energy.
+
+Run with::
+
+    python examples/gmm_clustering.py [dataset]
+
+where ``dataset`` is one of ``3cluster`` (default), ``3d3cluster``,
+``4cluster``.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ApproxIt
+from repro.apps import GaussianMixtureEM, cluster_assignment_hamming
+from repro.data import load_dataset
+from repro.experiments.render import ascii_scatter
+
+
+def main(dataset_key: str = "3cluster") -> None:
+    dataset = load_dataset(dataset_key)
+    method = GaussianMixtureEM.from_dataset(dataset)
+    framework = ApproxIt(method)
+
+    truth = framework.run_truth()
+    truth_labels = method.assignments(truth.x)
+    print(f"Truth on {dataset.name}: {truth.summary()}\n")
+
+    print("Single-mode configurations:")
+    for mode in ("level1", "level2", "level3", "level4"):
+        run = framework.run(strategy=f"static:{mode}")
+        qem = cluster_assignment_hamming(
+            method.assignments(run.x), truth_labels, method.n_clusters
+        )
+        status = "MAX_ITER" if run.hit_max_iter else f"{run.iterations} iters"
+        print(
+            f"  {mode}: {status:>9s}, QEM = {qem:5d}, "
+            f"energy = {run.energy_relative_to(truth):.3f} x Truth"
+        )
+
+    print("\nOnline reconfiguration:")
+    for strategy in ("incremental", "adaptive"):
+        run = framework.run(strategy=strategy)
+        qem = cluster_assignment_hamming(
+            method.assignments(run.x), truth_labels, method.n_clusters
+        )
+        steps = {k: v for k, v in run.steps_by_mode.items() if v}
+        print(
+            f"  {strategy}: QEM = {qem}, "
+            f"energy = {run.energy_relative_to(truth):.3f} x Truth, steps {steps}"
+        )
+
+    if dataset.dim == 2:
+        level1 = framework.run(strategy="static:level1")
+        print("\nTruth clustering:")
+        print(ascii_scatter(method.points, truth_labels, width=64, height=20))
+        print("\nlevel1 clustering (over-approximated):")
+        print(
+            ascii_scatter(
+                method.points, method.assignments(level1.x), width=64, height=20
+            )
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "3cluster")

@@ -1,0 +1,62 @@
+"""Offline resilience identification — the first step of Section 3.1.
+
+Before pointing approximate hardware at an application, ApproxIt's
+offline stage must know *which computations tolerate error*.  This
+example runs the block-noise analysis on the GMM benchmark at several
+noise magnitudes, printing the resilient/sensitive verdict per state
+block — the computational version of Table 2's "Adder Impact" column.
+
+Run with::
+
+    python examples/resilience_analysis.py
+"""
+
+from repro.apps import GaussianMixtureEM
+from repro.core.resilience import analyze_resilience, gmm_blocks
+from repro.data import make_three_clusters
+from repro.experiments.render import format_table
+
+
+def main() -> None:
+    method = GaussianMixtureEM.from_dataset(make_three_clusters())
+    blocks = gmm_blocks(method)
+    print(
+        f"GMM state: {method.initial_state().size} parameters in "
+        f"{len(blocks)} blocks: "
+        + ", ".join(f"{k} ({v.size})" for k, v in blocks.items())
+    )
+    print()
+
+    rows = []
+    for scale in (1e-3, 1e-2, 5e-2, 2e-1):
+        results = analyze_resilience(
+            method, blocks, noise_scale=scale, trials=2, threshold=0.01
+        )
+        for name, impact in results.items():
+            rows.append(
+                [
+                    f"{scale:g}",
+                    name,
+                    f"{impact.mean_quality_error:.3g}",
+                    impact.crashed,
+                    "resilient" if impact.resilient else "SENSITIVE",
+                ]
+            )
+    print(
+        format_table(
+            ["Noise scale", "Block", "Quality error", "Crashes", "Verdict"],
+            rows,
+            title="Per-block resilience under injected relative noise",
+        )
+    )
+    print(
+        "\nReading: every block absorbs per-mille noise (EM's E-step and\n"
+        "the simplex/variance re-projection are self-correcting), and the\n"
+        "mean block is the first to turn sensitive as noise grows — the\n"
+        "approximate adders are therefore pointed at the mean-value sums\n"
+        "with the schemes guarding the residual risk."
+    )
+
+
+if __name__ == "__main__":
+    main()

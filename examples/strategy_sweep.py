@@ -1,0 +1,83 @@
+"""Sweeping strategies across problem instances.
+
+A platform team deciding which reconfiguration policy to deploy runs a
+grid: every strategy on every representative workload, normalized per
+workload against its own Truth run.  This example sweeps the three GMM
+datasets and a quadratic stress case across four policies and prints
+the comparison table plus the per-instance winner.
+
+Run with::
+
+    python examples/strategy_sweep.py
+"""
+
+import numpy as np
+
+from repro.apps import GaussianMixtureEM, cluster_assignment_hamming
+from repro.core.sweep import sweep
+from repro.data import load_dataset
+from repro.solvers import GradientDescent, QuadraticFunction
+
+
+def gmm_factory(dataset_key):
+    def factory():
+        return GaussianMixtureEM.from_dataset(load_dataset(dataset_key))
+
+    return factory
+
+
+def quadratic_factory():
+    fn = QuadraticFunction.random_spd(dim=8, seed=99, condition=60.0)
+    return GradientDescent(
+        fn,
+        x0=np.full(8, 2.0),
+        learning_rate=1.0 / 60.0,
+        max_iter=5000,
+        tolerance=1e-11,
+        convergence_kind="abs",
+    )
+
+
+def quality(method, run, truth):
+    if isinstance(method, GaussianMixtureEM):
+        return float(
+            cluster_assignment_hamming(
+                method.assignments(run.x),
+                method.assignments(truth.x),
+                method.n_clusters,
+            )
+        )
+    return float(np.linalg.norm(run.x - truth.x))
+
+
+def main() -> None:
+    result = sweep(
+        instances={
+            "3cluster": gmm_factory("3cluster"),
+            "3d3cluster": gmm_factory("3d3cluster"),
+            "4cluster": gmm_factory("4cluster"),
+            "quadratic-c60": quadratic_factory,
+        },
+        strategies=("incremental", "adaptive", "adaptive:f=5", "static:level3"),
+        quality_fn=quality,
+    )
+    print(result.table())
+    print()
+    for instance in ("3cluster", "3d3cluster", "4cluster", "quadratic-c60"):
+        cheapest = result.best_strategy(instance)
+        guaranteed = result.best_strategy(instance, max_quality=0.0)
+        print(
+            f"{instance}: cheapest = {cheapest.strategy} "
+            f"({cheapest.savings_percent:+.1f} %, QEM {cheapest.quality:g}) | "
+            f"cheapest with exact quality = {guaranteed.strategy} "
+            f"({guaranteed.savings_percent:+.1f} %)"
+        )
+    print(
+        "\nNote: the raw minimum often lands on an unverified single-mode "
+        "run; filtering to QEM 0 shows why the online strategies are the "
+        "deployable choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""ApproxIt: an approximate computing framework for iterative methods.
+
+This package is a from-scratch reproduction of
+
+    Q. Zhang, F. Yuan, R. Ye and Q. Xu,
+    "ApproxIt: An Approximate Computing Framework for Iterative Methods",
+    Proc. IEEE/ACM Design Automation Conference (DAC), 2014.
+
+It contains every layer the paper builds on:
+
+``repro.hardware``
+    Bit-accurate software models of approximate adders (LOA, ETA-II, ACA,
+    GeAr, truncation) and multipliers, an energy model, and error-metric
+    characterization (WCE / ER / ME / MED / MRED).
+
+``repro.arith``
+    A Q-format fixed-point datapath (:class:`~repro.arith.FixedPointFormat`)
+    and the :class:`~repro.arith.ApproxEngine` that routes additions through
+    a chosen adder model while accounting energy per operation.
+
+``repro.solvers``
+    A library of iterative methods exposing the paper's direction / update
+    split: gradient descent, Newton, conjugate gradient, Jacobi,
+    Gauss-Seidel, SOR and iterative least squares.
+
+``repro.apps``
+    The paper's benchmark applications: Gaussian mixture models fitted by
+    EM, autoregression fitted by gradient-descent least squares, and
+    K-means (used by the PID baseline from the motivation section).
+
+``repro.data``
+    Seeded synthetic datasets matching Table 2 of the paper (cluster
+    mixtures and financial-index time series).
+
+``repro.core``
+    The ApproxIt contribution itself: the Definition-1 quality-error
+    estimator, offline characterization, the incremental and adaptive
+    angle-based reconfiguration strategies, convergence criteria, and the
+    Chippa-style PID dynamic-effort-scaling baseline.
+
+``repro.experiments``
+    Regenerators for every table and figure in the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import ApproxIt, default_mode_bank
+>>> from repro.apps import GaussianMixtureEM
+>>> from repro.data import make_three_clusters
+>>> dataset = make_three_clusters(seed=7)
+>>> method = GaussianMixtureEM.from_dataset(dataset)
+>>> framework = ApproxIt(method, default_mode_bank())
+>>> result = framework.run(strategy="adaptive")
+>>> result.quality_error  # doctest: +SKIP
+0.0
+"""
+
+from repro._version import __version__
+from repro.arith import ApproxEngine, FixedPointFormat
+from repro.arith.modes import ApproxMode, ModeBank, default_mode_bank
+from repro.core.framework import ApproxIt, RunResult
+
+__all__ = [
+    "__version__",
+    "ApproxEngine",
+    "ApproxIt",
+    "ApproxMode",
+    "FixedPointFormat",
+    "ModeBank",
+    "RunResult",
+    "default_mode_bank",
+]

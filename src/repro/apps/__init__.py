@@ -1,0 +1,42 @@
+"""The paper's benchmark applications (Table 1).
+
+=========================  ====================================  =====================================
+Application                Representative field                  Quality evaluation metric (QEM)
+=========================  ====================================  =====================================
+:class:`GaussianMixtureEM` nonlinear clustering/classification,  Hamming distance between cluster
+                           convex optimization                   assignments (permutation-matched)
+:class:`AutoRegression`    time series, regression               least-square error with ℓ2 norm
+:class:`KMeans`            motivation baseline (Chippa et al.)   Hamming distance; MCD sensor
+=========================  ====================================  =====================================
+
+Each application subclasses :class:`~repro.solvers.IterativeMethod` so
+the ApproxIt framework can drive it, and restricts the approximate
+datapath to the error-resilient kernel Table 2 names in its "Adder
+Impact" column (mean-value updates for the clustering apps, the
+regression reductions for AR) — the offline resilience-identification
+step of Section 3.1.
+"""
+
+from repro.apps.autoregression import AutoRegression
+from repro.apps.gmm import GaussianMixtureEM, GmmParams
+from repro.apps.gmm_full import FullCovarianceGMM, FullGmmParams
+from repro.apps.kmeans import KMeans
+from repro.apps.pagerank import PageRank
+from repro.apps.qem import (
+    cluster_assignment_hamming,
+    confusion_matrix,
+    weight_l2_error,
+)
+
+__all__ = [
+    "AutoRegression",
+    "FullCovarianceGMM",
+    "FullGmmParams",
+    "GaussianMixtureEM",
+    "GmmParams",
+    "KMeans",
+    "PageRank",
+    "cluster_assignment_hamming",
+    "confusion_matrix",
+    "weight_l2_error",
+]

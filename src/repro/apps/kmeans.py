@@ -1,0 +1,159 @@
+"""K-means clustering — the motivation baseline's application.
+
+Section 2.3 of the paper discusses Chippa et al.'s dynamic-effort-scaling
+approach on K-means: a *mean centroid distance* (MCD) sensor feeds a PID
+controller that tunes the approximation mode.  This class provides
+Lloyd's algorithm in the direction/update form so that (a) the PID
+baseline of :mod:`repro.core.baseline_pid` can drive it through its
+sensor, and (b) ApproxIt can drive the *same* solver, enabling the
+apples-to-apples comparison the motivation argues for.
+
+The centroid-update sums (the "mean value" kernel) run on the
+approximate adder; assignment (the control-flow-like part) is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine
+from repro.data.clusters import ClusterDataset
+from repro.solvers.base import IterativeMethod
+
+
+class KMeans(IterativeMethod):
+    """Lloyd's algorithm as an iterative method.
+
+    The state vector is the flattened ``(k, d)`` centroid matrix; the
+    objective is the mean squared distance of samples to their assigned
+    centroid (the normalized within-cluster sum of squares, which Lloyd
+    monotonically decreases in exact arithmetic).
+
+    Args:
+        points: ``(n, d)`` data.
+        n_clusters: number of centroids.
+        seed: deterministic initialization seed (centroids start on
+            distinct random samples).
+        max_iter / tolerance: budget; tolerance is absolute on the
+            objective change.
+    """
+
+    name = "kmeans"
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_clusters: int,
+        seed: int = 0,
+        max_iter: int = 300,
+        tolerance: float = 1e-9,
+    ):
+        super().__init__(
+            max_iter=max_iter, tolerance=tolerance, convergence_kind="abs"
+        )
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got {points.shape}")
+        if not 1 <= n_clusters <= points.shape[0]:
+            raise ValueError(
+                f"n_clusters {n_clusters} invalid for {points.shape[0]} samples"
+            )
+        self.points = points
+        self.n_clusters = int(n_clusters)
+        self.seed = int(seed)
+        self._n, self._d = points.shape
+
+    @classmethod
+    def from_dataset(cls, dataset: ClusterDataset, seed: int = 0) -> "KMeans":
+        """Build the solver for a Table-2 cluster dataset."""
+        return cls(
+            dataset.points,
+            dataset.n_clusters,
+            seed=seed,
+            max_iter=dataset.max_iter,
+            tolerance=dataset.tolerance,
+        )
+
+    # ------------------------------------------------------------------
+    # State and exact kernels
+    # ------------------------------------------------------------------
+    def initial_state(self) -> np.ndarray:
+        """Deterministic k-means++ seeding.
+
+        The first centroid is a random sample; each further centroid is
+        drawn with probability proportional to the squared distance from
+        the nearest centroid chosen so far, which avoids the classic
+        failure of two seeds landing in one true cluster.
+        """
+        rng = np.random.default_rng(self.seed)
+        chosen = [int(rng.integers(self._n))]
+        d2 = ((self.points - self.points[chosen[0]]) ** 2).sum(axis=1)
+        for _ in range(1, self.n_clusters):
+            total = d2.sum()
+            if total <= 0:
+                candidate = int(rng.integers(self._n))
+            else:
+                candidate = int(rng.choice(self._n, p=d2 / total))
+            chosen.append(candidate)
+            cand_d2 = ((self.points - self.points[candidate]) ** 2).sum(axis=1)
+            d2 = np.minimum(d2, cand_d2)
+        return self.points[chosen].ravel().copy()
+
+    def centroids(self, x: np.ndarray) -> np.ndarray:
+        """``(k, d)`` view of the flat state vector."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        expected = self.n_clusters * self._d
+        if x.shape[0] != expected:
+            raise ValueError(f"state has {x.shape[0]} entries, expected {expected}")
+        return x.reshape(self.n_clusters, self._d)
+
+    def assignments(self, x: np.ndarray) -> np.ndarray:
+        """Nearest-centroid label of every sample (exact)."""
+        c = self.centroids(x)
+        d2 = ((self.points[:, None, :] - c[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d2, axis=1)
+
+    def objective(self, x: np.ndarray) -> float:
+        """Mean squared distance to the assigned centroid."""
+        c = self.centroids(x)
+        d2 = ((self.points[:, None, :] - c[None, :, :]) ** 2).sum(axis=2)
+        return float(d2.min(axis=1).mean())
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """Gradient of the objective w.r.t. the centroids (exact)."""
+        c = self.centroids(x)
+        labels = self.assignments(x)
+        grad = np.zeros_like(c)
+        for k in range(self.n_clusters):
+            members = self.points[labels == k]
+            if members.size:
+                grad[k] = 2.0 * (c[k] * members.shape[0] - members.sum(axis=0)) / self._n
+        return grad.ravel()
+
+    def mean_centroid_distance(self, x: np.ndarray) -> float:
+        """The MCD sensor of Chippa et al.: average distance of a point
+        from its assigned centroid."""
+        c = self.centroids(x)
+        d2 = ((self.points[:, None, :] - c[None, :, :]) ** 2).sum(axis=2)
+        return float(np.sqrt(d2.min(axis=1)).mean())
+
+    # ------------------------------------------------------------------
+    # Lloyd step through the approximate datapath
+    # ------------------------------------------------------------------
+    def lloyd_step(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        """Recompute centroids; the coordinate sums are approximate."""
+        labels = self.assignments(x)
+        old = self.centroids(x)
+        new = np.empty_like(old)
+        for k in range(self.n_clusters):
+            mask = (labels == k).astype(np.float64)
+            count = mask.sum()
+            if count == 0:
+                # Empty cluster: keep the old centroid (standard fix).
+                new[k] = old[k]
+                continue
+            new[k] = engine.weighted_sum(mask, self.points) / count
+        return new
+
+    def direction(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        return self.lloyd_step(x, engine).ravel() - np.asarray(x, dtype=np.float64)

@@ -1,0 +1,69 @@
+"""Application-level quality evaluation metrics (QEM).
+
+The paper grades each benchmark against the *Truth* (the fully accurate
+run) with an application-specific metric: Hamming distance between
+cluster assignments for GMM, and an ℓ2 least-square error for
+AutoRegression.  Cluster labels are only identifiable up to permutation,
+so the Hamming distance is computed after optimally matching labels with
+the Hungarian algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+
+def confusion_matrix(
+    labels_a: np.ndarray, labels_b: np.ndarray, n_clusters: int
+) -> np.ndarray:
+    """Count matrix ``C[i, j] = #{samples with a=i and b=j}``."""
+    labels_a = np.asarray(labels_a, dtype=np.int64).reshape(-1)
+    labels_b = np.asarray(labels_b, dtype=np.int64).reshape(-1)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError(
+            f"label shapes differ: {labels_a.shape} vs {labels_b.shape}"
+        )
+    if labels_a.size and (
+        labels_a.min() < 0
+        or labels_b.min() < 0
+        or labels_a.max() >= n_clusters
+        or labels_b.max() >= n_clusters
+    ):
+        raise ValueError(f"labels out of range for {n_clusters} clusters")
+    counts = np.zeros((n_clusters, n_clusters), dtype=np.int64)
+    np.add.at(counts, (labels_a, labels_b), 1)
+    return counts
+
+
+def cluster_assignment_hamming(
+    assignments: np.ndarray, reference: np.ndarray, n_clusters: int
+) -> int:
+    """Permutation-matched Hamming distance between assignments.
+
+    The best one-to-one relabelling of ``assignments`` onto
+    ``reference`` is found with the Hungarian algorithm; the returned
+    value is the number of samples still assigned differently — the
+    paper's GMM QEM (0 means the clusterings are identical up to label
+    names).
+    """
+    counts = confusion_matrix(assignments, reference, n_clusters)
+    rows, cols = linear_sum_assignment(counts, maximize=True)
+    agreement = int(counts[rows, cols].sum())
+    return int(np.asarray(assignments).size - agreement)
+
+
+def weight_l2_error(weights: np.ndarray, reference: np.ndarray) -> float:
+    """ℓ2 distance between fitted and reference parameter vectors.
+
+    The paper's AutoRegression QEM ("least square error with ℓ2
+    norm"): how far the approximate fit's coefficients land from the
+    Truth fit's coefficients.
+    """
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    reference = np.asarray(reference, dtype=np.float64).reshape(-1)
+    if weights.shape != reference.shape:
+        raise ValueError(
+            f"weight shapes differ: {weights.shape} vs {reference.shape}"
+        )
+    return float(np.linalg.norm(weights - reference))

@@ -1,0 +1,28 @@
+"""Fixed-point datapath and the approximate execution engine.
+
+This package is the bridge between the bit-level hardware models of
+:mod:`repro.hardware` and the floating-point world of the iterative
+methods in :mod:`repro.solvers` / :mod:`repro.apps`:
+
+* :class:`FixedPointFormat` — a Q-format two's-complement encoding that
+  converts float tensors to machine words and back;
+* :class:`ApproxEngine` — executes additions, reductions, dot products
+  and matrix-vector products *through* a chosen adder model, charging
+  every elementary addition to an :class:`EnergyLedger`;
+* :mod:`repro.arith.modes` — the quality-configurable mode registry
+  (``level1`` .. ``level4`` + ``accurate``) mirroring the paper's
+  experimental platform.
+"""
+
+from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import ApproxMode, ModeBank, default_mode_bank
+
+__all__ = [
+    "ApproxEngine",
+    "ApproxMode",
+    "EnergyLedger",
+    "FixedPointFormat",
+    "ModeBank",
+    "default_mode_bank",
+]

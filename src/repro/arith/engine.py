@@ -1,0 +1,288 @@
+"""The approximate execution engine.
+
+An :class:`ApproxEngine` executes the additive kernels of an iterative
+method *through* a bit-level adder model: float operands are quantized to
+a :class:`~repro.arith.fixed.FixedPointFormat`, every elementary addition
+is performed by the configured adder (vectorized), and the result is
+decoded back to floats.  Every elementary addition is charged to an
+:class:`EnergyLedger`, which is how the experiments obtain the paper's
+"energy consumption on total approximate parts".
+
+Multiplications are performed exactly in floating point: the paper's
+platform approximates the adders only (Table 2, "Adder Impact"), and the
+dot-product / matrix-vector kernels below therefore approximate the
+*accumulation*, which is where approximate adders bite in practice.
+
+Reductions use a balanced binary tree, mirroring a hardware adder-tree
+reduction unit; ``n`` summands cost exactly ``n - 1`` elementary
+additions per output lane regardless of tree shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import ApproxMode
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates elementary-addition counts and energy, per mode.
+
+    Attributes:
+        adds: total elementary additions executed.
+        energy: total energy units charged.
+        adds_by_mode: per-mode addition counts.
+        energy_by_mode: per-mode energy totals.
+    """
+
+    adds: int = 0
+    energy: float = 0.0
+    adds_by_mode: dict[str, int] = field(default_factory=dict)
+    energy_by_mode: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, mode_name: str, n_adds: int, energy_per_add: float) -> None:
+        """Record ``n_adds`` elementary additions on mode ``mode_name``."""
+        if n_adds < 0:
+            raise ValueError(f"n_adds must be >= 0, got {n_adds}")
+        cost = n_adds * energy_per_add
+        self.adds += n_adds
+        self.energy += cost
+        self.adds_by_mode[mode_name] = self.adds_by_mode.get(mode_name, 0) + n_adds
+        self.energy_by_mode[mode_name] = (
+            self.energy_by_mode.get(mode_name, 0.0) + cost
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.adds = 0
+        self.energy = 0.0
+        self.adds_by_mode.clear()
+        self.energy_by_mode.clear()
+
+    def snapshot(self) -> "EnergyLedger":
+        """An independent copy (for before/after deltas)."""
+        return EnergyLedger(
+            adds=self.adds,
+            energy=self.energy,
+            adds_by_mode=dict(self.adds_by_mode),
+            energy_by_mode=dict(self.energy_by_mode),
+        )
+
+    def delta_energy(self, earlier: "EnergyLedger") -> float:
+        """Energy charged since ``earlier`` was snapshotted."""
+        return self.energy - earlier.energy
+
+
+class ApproxEngine:
+    """Executes additive kernels through one approximation mode.
+
+    Args:
+        mode: the :class:`~repro.arith.modes.ApproxMode` to execute on.
+        fmt: fixed-point format of the datapath.
+        ledger: energy ledger to charge; a private one is created when
+            omitted.  Several engines (one per mode) typically share a
+            single ledger so a run's total energy lands in one place.
+        approximate_multiplier: when ``True``, :meth:`mul` runs on an
+            array multiplier *composed from the mode's adder* (so adder
+            approximation propagates into products, as in silicon)
+            instead of exact float multiplication.  Off by default —
+            the paper's platform approximates adders only.
+    """
+
+    def __init__(
+        self,
+        mode: ApproxMode,
+        fmt: FixedPointFormat,
+        ledger: EnergyLedger | None = None,
+        approximate_multiplier: bool = False,
+    ):
+        if mode.adder.width != fmt.width:
+            raise ValueError(
+                f"mode width {mode.adder.width} != format width {fmt.width}"
+            )
+        self.mode = mode
+        self.fmt = fmt
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.approximate_multiplier = bool(approximate_multiplier)
+        self._multiplier = None
+        self._mul_energy = None
+
+    # ------------------------------------------------------------------
+    # Elementary fixed-point plumbing
+    # ------------------------------------------------------------------
+    def _add_words(self, qa: np.ndarray, qb: np.ndarray) -> np.ndarray:
+        """Add fixed-point words through the mode's adder, with overflow
+        handling and energy charging."""
+        out = self.mode.adder.add_signed(qa, qb)
+        if self.fmt.overflow == "saturate":
+            # A saturating output stage: when the *true* sum leaves the
+            # representable range, clamp instead of trusting the wrapped
+            # (sign-flipped) approximate word.
+            true = qa.astype(np.int64) + qb.astype(np.int64)
+            lo = -(1 << (self.fmt.width - 1))
+            hi = (1 << (self.fmt.width - 1)) - 1
+            overflowed = (true < lo) | (true > hi)
+            if np.any(overflowed):
+                out = np.where(overflowed, np.clip(true, lo, hi), out)
+        n = int(np.broadcast(qa, qb).size)
+        self.ledger.charge(self.mode.name, n, self.mode.energy_per_add)
+        return out
+
+    def _reduce_words(self, q: np.ndarray) -> np.ndarray:
+        """Balanced-tree reduction of axis 0 down to a single slice."""
+        while q.shape[0] > 1:
+            n = q.shape[0]
+            half = n // 2
+            folded = self._add_words(q[:half], q[half : 2 * half])
+            if n % 2:
+                q = np.concatenate([folded, q[2 * half :]], axis=0)
+            else:
+                q = folded
+        return q[0]
+
+    # ------------------------------------------------------------------
+    # Public float-in / float-out kernels
+    # ------------------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``a + b`` through the approximate datapath."""
+        qa = self.fmt.encode(np.asarray(a, dtype=np.float64))
+        qb = self.fmt.encode(np.asarray(b, dtype=np.float64))
+        qa, qb = np.broadcast_arrays(qa, qb)
+        return self.fmt.decode(self._add_words(qa, qb))
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``a - b`` (negation is free in two's complement)."""
+        return self.add(a, -np.asarray(b, dtype=np.float64))
+
+    def scale_add(self, x: np.ndarray, alpha: float, d: np.ndarray) -> np.ndarray:
+        """The iterative-method update rule ``x + alpha * d`` (Eq. 2).
+
+        The scaling multiply is exact (float); the update addition runs
+        on the approximate adder — precisely the paper's "update error"
+        injection point.
+        """
+        return self.add(x, alpha * np.asarray(d, dtype=np.float64))
+
+    def sum(self, x: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+        """Tree-reduce ``x`` along ``axis`` (flattened when ``None``)."""
+        arr = np.asarray(x, dtype=np.float64)
+        scalar = axis is None
+        if scalar:
+            arr = arr.reshape(-1)
+            axis = 0
+        if arr.shape[axis] == 0:
+            out = np.zeros(np.delete(arr.shape, axis))
+            return float(out) if scalar else out
+        moved = np.moveaxis(arr, axis, 0)
+        q = self.fmt.encode(moved)
+        reduced = self.fmt.decode(self._reduce_words(q))
+        return float(reduced) if scalar else reduced
+
+    def mean(self, x: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+        """Approximate-sum mean (the division is exact float)."""
+        arr = np.asarray(x, dtype=np.float64)
+        count = arr.size if axis is None else arr.shape[axis]
+        if count == 0:
+            raise ValueError("mean of an empty axis")
+        return self.sum(arr, axis=axis) / count
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Inner product: exact elementwise products, approximate
+        accumulation."""
+        a = np.asarray(a, dtype=np.float64).reshape(-1)
+        b = np.asarray(b, dtype=np.float64).reshape(-1)
+        if a.shape != b.shape:
+            raise ValueError(f"dot shape mismatch: {a.shape} vs {b.shape}")
+        return float(self.sum(a * b))
+
+    def matvec(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        """``matrix @ vector`` with approximate row accumulation."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if matrix.ndim != 2 or matrix.shape[1] != vector.shape[0]:
+            raise ValueError(
+                f"matvec shape mismatch: {matrix.shape} vs {vector.shape}"
+            )
+        return self.sum(matrix * vector[np.newaxis, :], axis=1)
+
+    def weighted_sum(self, weights: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """``sum_i weights[i] * points[i]`` over rows of ``points``.
+
+        This is the M-step kernel of GMM/K-means mean updates — the
+        computation the paper marks as the adder-impact site ("Mean
+        Value" in Table 2).
+        """
+        weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+        points = np.asarray(points, dtype=np.float64)
+        if points.shape[0] != weights.shape[0]:
+            raise ValueError(
+                f"weighted_sum shape mismatch: {weights.shape} vs {points.shape}"
+            )
+        return self.sum(weights[:, np.newaxis] * points, axis=0)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise product.
+
+        Exact float by default (adders-only approximation, as in the
+        paper); with ``approximate_multiplier=True`` the product runs on
+        a fixed-point array multiplier whose partial products accumulate
+        through the mode's adder, and the multiplier's energy is charged
+        to the ledger under ``"<mode>:mul"``.
+
+        Fixed-point caveat: a ``width``-bit multiplier cannot hold the
+        ``2*width``-bit full product, so — as real narrow datapaths do —
+        operands are re-encoded with ``frac_bits // 2`` fractional bits
+        each (the product then carries ``frac_bits`` and fits the word
+        whenever ``|a*b| <= max_value``), and products that would
+        overflow saturate at the output stage.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if not self.approximate_multiplier:
+            return a * b
+        if self._multiplier is None:
+            from repro.hardware.energy import EnergyModel
+            from repro.hardware.multipliers import ApproxArrayMultiplier
+
+            self._multiplier = ApproxArrayMultiplier(self.mode.adder)
+            model = EnergyModel()
+            exact_add = model.cost_of_cells({"fa": self.fmt.width})
+            self._mul_energy = (
+                model.cost_of_cells(self._multiplier.cell_inventory()) / exact_add
+            )
+            self._half_fmt = FixedPointFormat(
+                self.fmt.width, self.fmt.frac_bits // 2, overflow=self.fmt.overflow
+            )
+        qa = self._half_fmt.encode(a)
+        qb = self._half_fmt.encode(b)
+        qa, qb = np.broadcast_arrays(qa, qb)
+        raw = self._multiplier.multiply_signed(qa, qb)
+        n = int(np.broadcast(qa, qb).size)
+        self.ledger.charge(f"{self.mode.name}:mul", n, self._mul_energy)
+        product = np.asarray(raw, dtype=np.float64) / self._half_fmt.scale**2
+        # Saturating output stage: the masked multiplier wraps when the
+        # true product leaves the word; clamp those lanes instead.
+        true = a * b
+        overflow = np.abs(true) > self.fmt.max_value
+        if np.any(overflow):
+            product = np.where(
+                overflow,
+                np.clip(true, self.fmt.min_value, self.fmt.max_value),
+                product,
+            )
+        return self.fmt.quantize(product)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip values through the datapath format (no energy)."""
+        return self.fmt.quantize(np.asarray(x, dtype=np.float64))
+
+    def describe(self) -> str:
+        """One-line description of the engine configuration."""
+        return (
+            f"ApproxEngine(mode={self.mode.name}, adder={self.mode.adder.describe()}, "
+            f"fmt={self.fmt.describe()})"
+        )

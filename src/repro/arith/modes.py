@@ -1,0 +1,301 @@
+"""Quality-configurable approximation modes.
+
+The paper's experimental platform is a quality-configurable system (QCS)
+with four approximate-adder accuracy levels plus a fully accurate mode:
+``Level = {level1, ..., level4}`` where a *larger* index means *higher*
+accuracy, and ``acc`` denotes the exact design.  A :class:`ModeBank`
+holds that ordered ladder together with each mode's energy per addition,
+and is the single object strategies consult when escalating or selecting
+modes.
+
+:func:`default_mode_bank` builds the ladder the experiments use —
+lower-part-OR adders with a shrinking approximate region — but any adder
+family from :mod:`repro.hardware.adders` can be substituted
+(:func:`family_mode_bank`), reproducing the paper's remark that the
+framework "is also applicable to other approximate component designs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.hardware.adders import AdderModel, ExactAdder, build_adder
+from repro.hardware.energy import EnergyModel
+
+#: Canonical mode names, least accurate first, matching the paper.
+LEVEL_NAMES = ("level1", "level2", "level3", "level4")
+ACCURATE_NAME = "acc"
+
+
+@dataclass(frozen=True)
+class ApproxMode:
+    """One rung of the accuracy ladder.
+
+    Attributes:
+        name: display name (``level1`` .. ``level4`` or ``acc``).
+        index: position in the ladder, 0 = least accurate.
+        adder: the bit-level adder model implementing this mode.
+        energy_per_add: energy units charged per elementary addition,
+            normalized so the accurate mode costs 1.0.
+    """
+
+    name: str
+    index: int
+    adder: AdderModel
+    energy_per_add: float
+
+    @property
+    def is_accurate(self) -> bool:
+        return self.adder.is_exact
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class ModeBank:
+    """An ordered ladder of approximation modes, least accurate first.
+
+    The last mode must be exact (the ``acc`` mode); strategies rely on
+    the invariant that escalating far enough always reaches it.
+    """
+
+    def __init__(self, modes: Sequence[ApproxMode]):
+        if not modes:
+            raise ValueError("a ModeBank needs at least one mode")
+        if not modes[-1].is_accurate:
+            raise ValueError("the last (highest) mode must be exact")
+        for i, mode in enumerate(modes):
+            if mode.index != i:
+                raise ValueError(
+                    f"mode {mode.name!r} has index {mode.index}, expected {i}"
+                )
+        names = [m.name for m in modes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate mode names: {names}")
+        widths = {m.adder.width for m in modes}
+        if len(widths) != 1:
+            raise ValueError(f"all modes must share one width, got {widths}")
+        self._modes = tuple(modes)
+        self._by_name = {m.name: m for m in modes}
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._modes)
+
+    def __iter__(self) -> Iterator[ApproxMode]:
+        return iter(self._modes)
+
+    def __getitem__(self, index: int) -> ApproxMode:
+        return self._modes[index]
+
+    def by_name(self, name: str) -> ApproxMode:
+        """Look a mode up by name.
+
+        Raises:
+            KeyError: with the known names listed, if absent.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            known = ", ".join(m.name for m in self._modes)
+            raise KeyError(f"unknown mode {name!r}; known: {known}") from None
+
+    @property
+    def lowest(self) -> ApproxMode:
+        """The least accurate (cheapest) mode."""
+        return self._modes[0]
+
+    @property
+    def accurate(self) -> ApproxMode:
+        """The exact mode (always the last rung)."""
+        return self._modes[-1]
+
+    @property
+    def approximate_modes(self) -> tuple[ApproxMode, ...]:
+        """All modes except the exact one."""
+        return self._modes[:-1]
+
+    @property
+    def width(self) -> int:
+        """Shared datapath word width."""
+        return self._modes[0].adder.width
+
+    # ------------------------------------------------------------------
+    # Ladder navigation
+    # ------------------------------------------------------------------
+    def escalate(self, mode: ApproxMode) -> ApproxMode:
+        """The adjacent mode with higher accuracy (identity at the top)."""
+        return self._modes[min(mode.index + 1, len(self._modes) - 1)]
+
+    def deescalate(self, mode: ApproxMode) -> ApproxMode:
+        """The adjacent mode with lower accuracy (identity at the bottom)."""
+        return self._modes[max(mode.index - 1, 0)]
+
+    def energy_vector(self) -> list[float]:
+        """Energy per add of every mode, ladder order."""
+        return [m.energy_per_add for m in self._modes]
+
+    def names(self) -> list[str]:
+        """Mode names in ladder order."""
+        return [m.name for m in self._modes]
+
+    # ------------------------------------------------------------------
+    # Config serialization: platform descriptions live in config files
+    # in a real deployment, not in code.
+    # ------------------------------------------------------------------
+    def to_config(self) -> dict:
+        """Plain-data (JSON-ready) description of the ladder.
+
+        Only the constructor-level facts are stored (family + params);
+        energies are re-derived on load, so a config written by one
+        energy-model version stays consistent under another.
+        """
+        entries = []
+        for mode in self._modes:
+            adder = mode.adder
+            params = {
+                key: getattr(adder, key)
+                for key in (
+                    "approx_bits",
+                    "segment_bits",
+                    "lookback_bits",
+                    "result_bits",
+                    "previous_bits",
+                    "fill",
+                )
+                if hasattr(adder, key)
+            }
+            entries.append(
+                {"name": mode.name, "family": adder.family, "params": params}
+            )
+        return {"width": self.width, "modes": entries}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "ModeBank":
+        """Rebuild a bank from :meth:`to_config` output.
+
+        Raises:
+            ValueError / KeyError: on malformed configs or unknown
+                adder families.
+        """
+        from repro.hardware.adders import build_adder
+        from repro.hardware.energy import EnergyModel
+
+        try:
+            width = int(config["width"])
+            entries = config["modes"]
+        except KeyError as missing:
+            raise ValueError(f"bank config is missing field {missing}") from None
+        if not entries:
+            raise ValueError("bank config lists no modes")
+        adders = [
+            build_adder(entry["family"], width, **entry.get("params", {}))
+            for entry in entries
+        ]
+        names = [entry["name"] for entry in entries]
+        model = EnergyModel()
+        exact_cost = model.energy_per_add(adders[-1])
+        modes = [
+            ApproxMode(
+                name=name,
+                index=i,
+                adder=adder,
+                energy_per_add=model.energy_per_add(adder) / exact_cost,
+            )
+            for i, (name, adder) in enumerate(zip(names, adders))
+        ]
+        return cls(modes)
+
+
+def _bank_from_adders(adders: Sequence[AdderModel], names: Sequence[str]) -> ModeBank:
+    energy_model = EnergyModel()
+    exact_cost = energy_model.energy_per_add(adders[-1])
+    modes = [
+        ApproxMode(
+            name=name,
+            index=i,
+            adder=adder,
+            energy_per_add=energy_model.energy_per_add(adder) / exact_cost,
+        )
+        for i, (name, adder) in enumerate(zip(names, adders))
+    ]
+    return ModeBank(modes)
+
+
+def default_mode_bank(width: int = 32) -> ModeBank:
+    """The paper-shaped ladder: four LOA levels plus the exact mode.
+
+    The approximate lower-part widths shrink from ``level1`` to
+    ``level4`` so that accuracy rises and energy rises with the level
+    index, matching the paper's platform.
+    """
+    approx_bits = _default_approx_bits(width)
+    adders: list[AdderModel] = [
+        build_adder("loa", width, approx_bits=k) for k in approx_bits
+    ]
+    adders.append(ExactAdder(width))
+    return _bank_from_adders(adders, list(LEVEL_NAMES) + [ACCURATE_NAME])
+
+
+def _default_approx_bits(width: int) -> list[int]:
+    """Approximate lower-part widths for the four levels at ``width``."""
+    # At width 32: 20 / 14 / 8 / 4 approximate bits for levels 1..4.
+    fractions = (0.625, 0.4375, 0.25, 0.125)
+    bits = [max(1, min(width - 2, round(width * f))) for f in fractions]
+    # Guarantee strict monotonicity even at tiny widths.
+    for i in range(1, len(bits)):
+        bits[i] = min(bits[i], bits[i - 1] - 1)
+        if bits[i] < 0:
+            raise ValueError(f"width {width} too small for a four-level ladder")
+    return bits
+
+
+def family_mode_bank(family: str, width: int = 32) -> ModeBank:
+    """A four-level ladder built from an alternative adder family.
+
+    Supported families: ``loa``, ``truncated`` (parameterized by
+    approximate lower bits), ``etaii`` (segment size), ``aca`` (look-back
+    window), ``gear`` (previous bits at fixed result bits).  Used by the
+    adder-family ablation benchmark.
+    """
+    if family == "loa":
+        return default_mode_bank(width)
+    if family == "truncated":
+        adders: list[AdderModel] = [
+            build_adder("truncated", width, approx_bits=k)
+            for k in _default_approx_bits(width)
+        ]
+    elif family == "etaii":
+        segments = [
+            max(2, width // 11),
+            max(3, width // 8),
+            max(4, width // 5),
+            max(5, width // 4),
+        ]
+        adders = [build_adder("etaii", width, segment_bits=s) for s in segments]
+    elif family == "aca":
+        windows = [
+            max(2, width // 16),
+            max(3, width // 11),
+            max(4, width // 8),
+            max(5, width // 5),
+        ]
+        adders = [build_adder("aca", width, lookback_bits=w) for w in windows]
+    elif family == "gear":
+        previous = [
+            max(1, width // 11),
+            max(2, width // 6),
+            max(3, width // 4),
+            max(4, (3 * width) // 8),
+        ]
+        adders = [
+            build_adder("gear", width, result_bits=max(2, width // 8), previous_bits=p)
+            for p in previous
+        ]
+    else:
+        raise KeyError(f"no ladder recipe for adder family {family!r}")
+    adders.append(ExactAdder(width))
+    return _bank_from_adders(adders, list(LEVEL_NAMES) + [ACCURATE_NAME])

@@ -1,0 +1,109 @@
+"""First-order error propagation from adder statistics to reductions.
+
+Section 3.1 argues that low-level metrics "cannot be directly used to
+characterize the quality degradation at the application-level because of
+the error masking and/or error accumulation effects".  This module
+quantifies the accumulation half of that argument: given an adder's
+characterized per-operation error statistics, it predicts the error of
+an ``n``-summand tree reduction analytically, and provides the paired
+measurement routine so the prediction can be validated (and its
+breakdown demonstrated — the residual gap *is* the masking effect the
+paper refers to).
+
+Model: a balanced tree performs ``n - 1`` additions; treating per-add
+errors as i.i.d. with mean ``ME`` and second moment ``E[D²] ≈ MED²+Var``
+(both measured in LSBs by
+:func:`~repro.hardware.characterization.characterize_adder`), the total
+error in real units is
+
+* mean:  ``(n - 1) * ME * resolution``
+* std:   ``sqrt(n - 1) * MED * resolution``  (MED upper-bounds the
+  per-add std for the bounded error distributions of lower-part adders)
+
+This is deliberately first-order: operand-distribution effects (the
+masking) make it an envelope rather than an exact law, which the tests
+pin by checking containment rather than equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import ApproxMode
+from repro.hardware.characterization import AdderErrorProfile
+
+
+@dataclass(frozen=True)
+class PropagationEstimate:
+    """Predicted error of a tree reduction.
+
+    Attributes:
+        n_summands: number of values reduced.
+        mean_error: predicted systematic (signed) error, real units.
+        std_error: predicted random spread, real units.
+        envelope: a conservative magnitude bound,
+            ``|mean| + 4 * std``.
+    """
+
+    n_summands: int
+    mean_error: float
+    std_error: float
+
+    @property
+    def envelope(self) -> float:
+        return abs(self.mean_error) + 4.0 * self.std_error
+
+
+def predict_sum_error(
+    profile: AdderErrorProfile, n_summands: int, fmt: FixedPointFormat
+) -> PropagationEstimate:
+    """First-order prediction of a tree-sum's error.
+
+    Args:
+        profile: the adder's characterized statistics (LSB units).
+        n_summands: reduction size (>= 1).
+        fmt: datapath format supplying the LSB resolution.
+    """
+    if n_summands < 1:
+        raise ValueError(f"n_summands must be >= 1, got {n_summands}")
+    ops = n_summands - 1
+    mean = ops * profile.mean_error * fmt.resolution
+    std = math.sqrt(ops) * profile.mean_error_distance * fmt.resolution
+    return PropagationEstimate(
+        n_summands=n_summands, mean_error=mean, std_error=std
+    )
+
+
+def measure_sum_error(
+    mode: ApproxMode,
+    fmt: FixedPointFormat,
+    data: np.ndarray,
+    trials: int = 32,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Measured mean and std of tree-sum error over shuffled trials.
+
+    Each trial shuffles ``data`` (changing the pairing inside the tree,
+    hence the realized per-add errors) and compares the approximate sum
+    against the float64 sum.
+
+    Returns:
+        ``(mean_error, std_error)`` in real units.
+    """
+    if trials < 2:
+        raise ValueError(f"trials must be >= 2, got {trials}")
+    data = np.asarray(data, dtype=np.float64).reshape(-1)
+    rng = np.random.default_rng(seed)
+    reference = float(data.sum())
+    errors = []
+    for _ in range(trials):
+        shuffled = rng.permutation(data)
+        engine = ApproxEngine(mode, fmt, EnergyLedger())
+        errors.append(engine.sum(shuffled) - reference)
+    arr = np.array(errors)
+    return float(arr.mean()), float(arr.std())

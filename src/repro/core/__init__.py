@@ -1,0 +1,71 @@
+"""The ApproxIt framework — the paper's contribution.
+
+Two stages (Figure 1):
+
+* **Offline characterization** (:mod:`repro.core.characterize`): probe
+  each approximation mode on a few representative iterations, recording
+  the Definition-1 *quality error* and the energy per iteration.
+* **Online reconfiguration** (:mod:`repro.core.strategies`): per
+  iteration, choose the next mode from runtime observations — either
+  the *incremental* strategy (three schemes, §4.1) or the *adaptive
+  angle-based* strategy (LUT over manifold steepness, §4.2).
+
+:class:`~repro.core.framework.ApproxIt` wires an
+:class:`~repro.solvers.IterativeMethod` to a
+:class:`~repro.arith.ModeBank` and a strategy, runs to convergence and
+returns a :class:`~repro.core.framework.RunResult` with per-mode step
+counts and energy — the raw material of every table in the paper.
+
+:mod:`repro.core.baseline_pid` implements the sensor + PID
+dynamic-effort-scaling baseline of Chippa et al. that Section 2.3 argues
+against.
+"""
+
+from repro.core.characterize import CharacterizationTable, ModeImpact, characterize
+from repro.core.convergence import direction_ok, update_error_ok
+from repro.core.framework import ApproxIt, RunResult
+from repro.core.quality import quality_error
+from repro.core.reporting import comparison_report, load_run, save_run
+from repro.core.resilience import analyze_resilience
+from repro.core.schemes import (
+    function_scheme_violated,
+    gradient_scheme_violated,
+    quality_scheme_violated,
+    windowed_quality_violated,
+)
+from repro.core.sweep import SweepResult, sweep
+from repro.core.strategies import (
+    AdaptiveAngleStrategy,
+    Decision,
+    IncrementalStrategy,
+    Observation,
+    ReconfigurationStrategy,
+    StaticModeStrategy,
+)
+
+__all__ = [
+    "AdaptiveAngleStrategy",
+    "ApproxIt",
+    "CharacterizationTable",
+    "Decision",
+    "IncrementalStrategy",
+    "ModeImpact",
+    "Observation",
+    "ReconfigurationStrategy",
+    "RunResult",
+    "StaticModeStrategy",
+    "SweepResult",
+    "analyze_resilience",
+    "characterize",
+    "comparison_report",
+    "direction_ok",
+    "function_scheme_violated",
+    "gradient_scheme_violated",
+    "load_run",
+    "quality_error",
+    "quality_scheme_violated",
+    "save_run",
+    "sweep",
+    "update_error_ok",
+    "windowed_quality_violated",
+]

@@ -1,0 +1,136 @@
+"""Sensor + PID dynamic-effort-scaling baseline (Chippa et al. [3]).
+
+Section 2.3 of the paper motivates ApproxIt by the shortcomings of the
+only prior general framework: embed algorithm-level sensors, and let a
+proportional-integral-derivative controller regulate the effort knob so
+the sensed quality tracks a target.  This module implements that design
+faithfully as a :class:`~repro.core.strategies.ReconfigurationStrategy`
+so it can be compared head-to-head with ApproxIt's strategies:
+
+* the sensed signal is normalized against its first reading;
+* the PID error is ``target − normalized_reading`` (positive once the
+  sensor beats the target, pushing effort *down*);
+* the control output moves the mode index continuously and is clamped
+  onto the ladder.
+
+Crucially — and this is the paper's criticism — the controller stops
+whenever the method's tolerance test passes, with **no verification on
+accurate hardware**, so final quality is not guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.modes import ApproxMode, ModeBank
+from repro.core.characterize import CharacterizationTable
+from repro.core.sensors import QualitySensor, RelativeDecreaseSensor
+from repro.core.strategies.base import Decision, Observation, ReconfigurationStrategy
+from repro.solvers.base import IterativeMethod
+
+
+@dataclass
+class PidController:
+    """Textbook discrete PID controller.
+
+    Attributes:
+        kp / ki / kd: proportional, integral, derivative gains.
+        integral_limit: anti-windup clamp on the accumulated integral.
+    """
+
+    kp: float = 1.0
+    ki: float = 0.1
+    kd: float = 0.0
+    integral_limit: float = 10.0
+
+    def __post_init__(self):
+        self._integral = 0.0
+        self._previous_error: float | None = None
+
+    def reset(self) -> None:
+        """Clear the accumulated state (call between runs)."""
+        self._integral = 0.0
+        self._previous_error = None
+
+    def step(self, error: float) -> float:
+        """One control update; returns the actuation signal."""
+        self._integral += error
+        self._integral = float(
+            np.clip(self._integral, -self.integral_limit, self.integral_limit)
+        )
+        derivative = (
+            0.0 if self._previous_error is None else error - self._previous_error
+        )
+        self._previous_error = error
+        return self.kp * error + self.ki * self._integral + self.kd * derivative
+
+
+class PidEffortStrategy(ReconfigurationStrategy):
+    """Chippa-style sensor-driven dynamic effort scaling.
+
+    Args:
+        method: the iterative method (sensors read through it).
+        sensor: quality sensor; defaults to the relative-decrease
+            sensor, the closest generic analogue of the MCD sensor.
+        target: sensed-quality target as a fraction of the first
+            reading (e.g. 0.05: "sensor should fall to 5 % of its
+            initial value").
+        controller: PID gains; modest defaults when omitted.
+    """
+
+    name = "pid-des"
+    #: The defining weakness: tolerance passes are accepted unverified.
+    verify_convergence = False
+
+    def __init__(
+        self,
+        method: IterativeMethod,
+        sensor: QualitySensor | None = None,
+        target: float = 0.05,
+        controller: PidController | None = None,
+    ):
+        if not 0 < target < 1:
+            raise ValueError(f"target must be in (0, 1), got {target}")
+        self.method = method
+        self.sensor = sensor if sensor is not None else RelativeDecreaseSensor()
+        self.target = float(target)
+        self.controller = controller if controller is not None else PidController()
+
+    def start(
+        self, bank: ModeBank, characterization: CharacterizationTable
+    ) -> ApproxMode:
+        self._bind(bank, characterization)
+        self.controller.reset()
+        reset = getattr(self.sensor, "reset", None)
+        if reset is not None:
+            reset()
+        self._baseline: float | None = None
+        self._level = 0.0  # continuous mode index
+        self._mode = bank.lowest
+        return self._mode
+
+    def decide(self, obs: Observation) -> Decision:
+        reading = self.sensor.read(self.method, obs.x_new)
+        if self._baseline is None:
+            self._baseline = max(abs(reading), 1e-12)
+        normalized = reading / self._baseline
+
+        # error > 0 once quality beats the target -> lower effort;
+        # error < 0 while quality lags -> raise effort.
+        error = self.target - normalized
+        actuation = self.controller.step(error)
+
+        top = len(self._bank) - 1
+        self._level = float(np.clip(self._level - actuation, 0.0, top))
+        mode = self._bank[int(round(self._level))]
+        self._mode = mode
+        return Decision(mode=mode, rollback=False, reason=f"pid:{normalized:.3f}")
+
+    def describe(self) -> str:
+        return (
+            f"PidEffortStrategy(sensor={self.sensor.name}, target={self.target}, "
+            f"kp={self.controller.kp}, ki={self.controller.ki}, "
+            f"kd={self.controller.kd})"
+        )

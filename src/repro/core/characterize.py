@@ -1,0 +1,187 @@
+"""Offline characterization stage (Section 3.1).
+
+"The quality errors of different approximate hardwares ... are
+pre-characterized at offline stage by simulating several iterations on
+representative workloads."  For each mode this runs ``probe_iterations``
+iterations twice from the same iterates — once exactly, once through the
+mode — and records:
+
+* the Definition-1 quality error ``epsilon_i`` (worst over probes, so
+  the online schemes hold a conservative bound), and
+* the measured energy per iteration ``j_i`` (the mode's cost vector for
+  the adaptive strategy's LP).
+
+The probe trajectory follows the *exact* iterates so every probe
+compares one isolated approximate iteration against its golden twin,
+which is precisely what Definition 1 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import ModeBank
+from repro.core.quality import quality_error
+from repro.solvers.base import IterativeMethod
+
+
+@dataclass(frozen=True)
+class ModeImpact:
+    """Offline-characterized impact of one approximation mode.
+
+    Attributes:
+        mode_name: which mode.
+        quality_error: Definition-1 epsilon (worst over the probes).
+        energy_per_iteration: measured energy units per iteration.
+        probes: number of probe iterations used.
+    """
+
+    mode_name: str
+    quality_error: float
+    energy_per_iteration: float
+    probes: int
+
+
+@dataclass(frozen=True)
+class CharacterizationTable:
+    """The offline stage's output: per-mode impacts plus the initial
+    objective trajectory used to seed the adaptive LP's error budget.
+
+    Attributes:
+        impacts: mode name → :class:`ModeImpact`.
+        f_x0: exact objective at the initial iterate.
+        f_x1: exact objective after one exact iteration (so the paper's
+            initialization ``E = f(x^1) − f(x^0)`` is available).
+    """
+
+    impacts: dict[str, ModeImpact]
+    f_x0: float
+    f_x1: float
+
+    def epsilons(self) -> dict[str, float]:
+        """Mode name → characterized quality error."""
+        return {name: imp.quality_error for name, imp in self.impacts.items()}
+
+    def energies(self) -> dict[str, float]:
+        """Mode name → energy per iteration."""
+        return {name: imp.energy_per_iteration for name, imp in self.impacts.items()}
+
+    def initial_error_budget(self) -> float:
+        """``|f(x^1) − f(x^0)|`` — the paper's LP budget at startup."""
+        return abs(self.f_x1 - self.f_x0)
+
+    # ------------------------------------------------------------------
+    # Persistence: a deployment characterizes offline, once, and ships
+    # the table with the application image.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-ready) view."""
+        return {
+            "f_x0": self.f_x0,
+            "f_x1": self.f_x1,
+            "impacts": {
+                name: {
+                    "quality_error": imp.quality_error,
+                    "energy_per_iteration": imp.energy_per_iteration,
+                    "probes": imp.probes,
+                }
+                for name, imp in self.impacts.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CharacterizationTable":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: on missing fields.
+        """
+        try:
+            impacts = {
+                name: ModeImpact(
+                    mode_name=name,
+                    quality_error=float(entry["quality_error"]),
+                    energy_per_iteration=float(entry["energy_per_iteration"]),
+                    probes=int(entry["probes"]),
+                )
+                for name, entry in payload["impacts"].items()
+            }
+            return cls(
+                impacts=impacts,
+                f_x0=float(payload["f_x0"]),
+                f_x1=float(payload["f_x1"]),
+            )
+        except KeyError as missing:
+            raise ValueError(
+                f"serialized characterization is missing field {missing}"
+            ) from None
+
+
+def _one_iteration(
+    method: IterativeMethod, x: np.ndarray, engine: ApproxEngine, iteration: int
+) -> np.ndarray:
+    """A single direction + update through ``engine``."""
+    d = method.direction(x, engine)
+    alpha = method.step_size(x, d, iteration)
+    return method.postprocess(method.update(x, alpha, d, engine))
+
+
+def characterize(
+    method: IterativeMethod,
+    bank: ModeBank,
+    fmt: FixedPointFormat,
+    probe_iterations: int = 3,
+) -> CharacterizationTable:
+    """Run the offline characterization stage for one application.
+
+    Args:
+        method: the iterative method (its own data is the representative
+            workload, mirroring the paper's per-application offline
+            stage).
+        bank: the mode ladder to characterize.
+        fmt: datapath fixed-point format.
+        probe_iterations: how many early iterations to probe.
+
+    Returns:
+        A :class:`CharacterizationTable` covering every mode in ``bank``.
+    """
+    if probe_iterations < 1:
+        raise ValueError(f"probe_iterations must be >= 1, got {probe_iterations}")
+
+    exact_engine = ApproxEngine(bank.accurate, fmt, EnergyLedger())
+    x0 = method.postprocess(method.initial_state())
+    f_x0 = method.objective(x0)
+
+    # Golden probe trajectory (shared across modes).
+    exact_states = [x0]
+    for k in range(probe_iterations):
+        exact_states.append(
+            _one_iteration(method, exact_states[-1], exact_engine, k)
+        )
+    exact_objectives = [method.objective(x) for x in exact_states]
+
+    impacts: dict[str, ModeImpact] = {}
+    for mode in bank:
+        ledger = EnergyLedger()
+        engine = ApproxEngine(mode, fmt, ledger)
+        worst_eps = 0.0
+        for k in range(probe_iterations):
+            approx_next = _one_iteration(method, exact_states[k], engine, k)
+            eps = quality_error(
+                exact_objectives[k + 1], method.objective(approx_next)
+            )
+            worst_eps = max(worst_eps, eps)
+        impacts[mode.name] = ModeImpact(
+            mode_name=mode.name,
+            quality_error=worst_eps,
+            energy_per_iteration=ledger.energy / probe_iterations,
+            probes=probe_iterations,
+        )
+
+    return CharacterizationTable(
+        impacts=impacts, f_x0=f_x0, f_x1=exact_objectives[1]
+    )

@@ -1,0 +1,71 @@
+"""Theoretical convergence criteria of Section 3.2.
+
+Two conditions guarantee that an approximate iterative method still
+converges to a local minimum:
+
+* **Direction criterion** (Proposition 1 / Boyd & Vandenberghe): the
+  step must be a descent direction, ``∇f(x^k)ᵀ d^k < 0``.  When it holds
+  there exists a step size making ``f`` decrease, so a move that passes
+  it cannot be an artifact of direction error.
+* **Update-error criterion** (Luo & Tseng): the injected update error
+  must be dominated by the realized movement, ``‖eps^k‖ ≤ ‖x^k −
+  x^{k+1}‖``, keeping the perturbed iteration a feasible descent method.
+
+These are the predicates behind the gradient and quality schemes; they
+are exposed separately so tests can pin the theory and so other
+strategies can reuse them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def direction_ok(gradient: np.ndarray, direction: np.ndarray) -> bool:
+    """Proposition 1: is ``direction`` a descent direction at this point?
+
+    Args:
+        gradient: exact ``∇f(x^k)``.
+        direction: the (possibly error-laden) step ``d^k`` — or the
+            realized displacement ``x^{k+1} − x^k``, which is how the
+            gradient scheme applies it.
+
+    Returns:
+        ``True`` iff ``∇fᵀ d < 0``.  A zero displacement is not a
+        descent direction (no progress), so it returns ``False`` only
+        for non-negative dot products; exact zero gradient counts as
+        acceptable (already stationary).
+    """
+    gradient = np.asarray(gradient, dtype=np.float64).reshape(-1)
+    direction = np.asarray(direction, dtype=np.float64).reshape(-1)
+    if gradient.shape != direction.shape:
+        raise ValueError(
+            f"shape mismatch: gradient {gradient.shape} vs direction "
+            f"{direction.shape}"
+        )
+    if not np.any(gradient):
+        return True
+    return float(gradient @ direction) < 0.0
+
+
+def update_error_ok(
+    error_estimate: float, x_prev: np.ndarray, x_new: np.ndarray
+) -> bool:
+    """Luo–Tseng feasibility: error dominated by realized movement.
+
+    Args:
+        error_estimate: an upper bound on ``‖eps^k‖`` (ApproxIt uses the
+            characterized mode epsilon scaled by ``‖x^k‖``).
+        x_prev / x_new: consecutive iterates.
+
+    Returns:
+        ``True`` iff ``error_estimate <= ‖x_new − x_prev‖``.
+    """
+    if error_estimate < 0:
+        raise ValueError(f"error_estimate must be >= 0, got {error_estimate}")
+    step = float(
+        np.linalg.norm(
+            np.asarray(x_new, dtype=np.float64) - np.asarray(x_prev, dtype=np.float64)
+        )
+    )
+    return error_estimate <= step

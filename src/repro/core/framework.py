@@ -1,0 +1,368 @@
+"""The ApproxIt orchestrator.
+
+:class:`ApproxIt` wires together an
+:class:`~repro.solvers.IterativeMethod`, a
+:class:`~repro.arith.ModeBank` and a reconfiguration strategy, runs the
+offline characterization stage once (cached), then drives the online
+loop:
+
+1. run one iteration (direction + update) on the engine of the current
+   mode;
+2. build the :class:`~repro.core.strategies.Observation` from exact
+   runtime quantities;
+3. ask the strategy for a :class:`~repro.core.strategies.Decision`
+   (next mode, optional rollback);
+4. stop when the method's tolerance test passes — immediately for
+   non-verifying strategies (single-mode), or only after the strategy's
+   convergence-verification handover for quality-guaranteed strategies.
+
+A second, cheaper stop condition handles the quantized datapath: when an
+iteration reproduces the previous iterate bit-for-bit the method has
+reached a fixed point of the (quantized) map and cannot move again, so
+the run ends regardless of tolerance.
+
+The returned :class:`RunResult` carries everything the paper's tables
+report: per-mode step counts, total iterations, rollbacks, energy by
+mode, the final state and traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import ModeBank, default_mode_bank
+from repro.core.characterize import CharacterizationTable, characterize
+from repro.core.strategies.adaptive import AdaptiveAngleStrategy
+from repro.core.strategies.base import (
+    Decision,
+    Observation,
+    ReconfigurationStrategy,
+)
+from repro.core.strategies.incremental import IncrementalStrategy
+from repro.core.strategies.static_mode import StaticModeStrategy
+from repro.solvers.base import IterationState, IterativeMethod
+
+
+@dataclass
+class RunResult:
+    """Outcome of one framework run.
+
+    Attributes:
+        x: final iterate.
+        objective: exact objective at ``x``.
+        iterations: accepted iterations (rollbacks excluded, matching
+            the paper's per-level step counts whose total equals the
+            run length).
+        rollbacks: function-scheme rollbacks performed.
+        converged: whether the run stopped on the tolerance test (or a
+            datapath fixed point) rather than on ``MAX_ITER``.
+        hit_max_iter: budget exhausted before convergence.
+        steps_by_mode: accepted iterations per mode name.
+        energy: total energy units charged to the approximate parts.
+        energy_by_mode: energy split per mode name.
+        strategy_name: which policy produced the run.
+        mode_trace: mode name of every executed iteration (including
+            rolled-back ones), for plots and tests.
+        objective_trace: exact objective after every executed iteration.
+        history: full per-accepted-iteration snapshots (iterate,
+            objective, mode); only populated when the run was invoked
+            with ``collect_history=True`` — states are O(dim) each, so
+            this is opt-in.
+    """
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+    rollbacks: int
+    converged: bool
+    hit_max_iter: bool
+    steps_by_mode: dict[str, int]
+    energy: float
+    energy_by_mode: dict[str, float]
+    strategy_name: str
+    mode_trace: list[str] = field(default_factory=list)
+    objective_trace: list[float] = field(default_factory=list)
+    history: list[IterationState] = field(default_factory=list)
+
+    @property
+    def executed_iterations(self) -> int:
+        """Iterations actually run, including rolled-back ones."""
+        return self.iterations + self.rollbacks
+
+    @property
+    def mode_switches(self) -> int:
+        """Number of reconfigurations (mode changes along the trace)."""
+        return sum(
+            1 for a, b in zip(self.mode_trace, self.mode_trace[1:]) if a != b
+        )
+
+    def energy_relative_to(self, reference: "RunResult") -> float:
+        """This run's energy normalized by a reference run's (the
+        paper's Energy/Power columns, Truth = 1)."""
+        if reference.energy <= 0:
+            raise ValueError("reference run has non-positive energy")
+        return self.energy / reference.energy
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        status = "converged" if self.converged else "MAX_ITER"
+        steps = ", ".join(
+            f"{name}:{count}" for name, count in self.steps_by_mode.items() if count
+        )
+        return (
+            f"{self.strategy_name}: {self.iterations} iters ({status}), "
+            f"f={self.objective:.6g}, energy={self.energy:.4g}, steps [{steps}]"
+        )
+
+
+#: Default number of offline probe iterations (the paper simulates
+#: "several iterations on representative workloads").
+DEFAULT_PROBES = 3
+
+
+class ApproxIt:
+    """End-to-end approximate computing framework for iterative methods.
+
+    Args:
+        method: the iterative method to accelerate.
+        bank: approximation-mode ladder; the paper's default four-level
+            LOA bank when omitted.
+        fmt: datapath fixed-point format; defaults to a Q15.16 word
+            matching the bank width (or the method's
+            ``preferred_frac_bits``).
+        probe_iterations: offline characterization probes.
+        switch_energy: energy units charged per mode reconfiguration
+            (the configuration-latch reload of a reconfigurable adder).
+            The paper argues this is negligible; leaving the default 0
+            reproduces that assumption, and the reconfiguration-cost
+            ablation sweeps it.
+
+    Example:
+        >>> framework = ApproxIt(method)                   # doctest: +SKIP
+        >>> truth = framework.run(strategy="static:acc")   # doctest: +SKIP
+        >>> run = framework.run(strategy="adaptive")       # doctest: +SKIP
+        >>> run.energy_relative_to(truth)                  # doctest: +SKIP
+        0.45
+    """
+
+    def __init__(
+        self,
+        method: IterativeMethod,
+        bank: ModeBank | None = None,
+        fmt: FixedPointFormat | None = None,
+        probe_iterations: int = DEFAULT_PROBES,
+        switch_energy: float = 0.0,
+    ):
+        if switch_energy < 0:
+            raise ValueError(f"switch_energy must be >= 0, got {switch_energy}")
+        self.switch_energy = float(switch_energy)
+        self.method = method
+        self.bank = bank if bank is not None else default_mode_bank()
+        if fmt is None:
+            frac = method.preferred_frac_bits
+            if frac is None:
+                frac = min(16, self.bank.width - 2)
+            frac = min(frac, self.bank.width - 2)
+            fmt = FixedPointFormat(width=self.bank.width, frac_bits=frac)
+        if fmt.width != self.bank.width:
+            raise ValueError(
+                f"format width {fmt.width} != bank width {self.bank.width}"
+            )
+        self.fmt = fmt
+        self.probe_iterations = probe_iterations
+        self._characterization: CharacterizationTable | None = None
+
+    # ------------------------------------------------------------------
+    # Offline stage
+    # ------------------------------------------------------------------
+    def characterization(self) -> CharacterizationTable:
+        """Run (or return the cached) offline characterization."""
+        if self._characterization is None:
+            self._characterization = characterize(
+                self.method, self.bank, self.fmt, self.probe_iterations
+            )
+        return self._characterization
+
+    # ------------------------------------------------------------------
+    # Strategy resolution
+    # ------------------------------------------------------------------
+    def resolve_strategy(
+        self, strategy: str | ReconfigurationStrategy
+    ) -> ReconfigurationStrategy:
+        """Accept a strategy instance or a spec string.
+
+        Spec strings: ``"incremental"``, ``"adaptive"`` (f=1),
+        ``"adaptive:f=<n>"``, ``"static:<mode>"``, ``"truth"``
+        (= ``static:acc``).
+        """
+        if isinstance(strategy, ReconfigurationStrategy):
+            return strategy
+        if strategy == "incremental":
+            return IncrementalStrategy()
+        if strategy == "adaptive":
+            return AdaptiveAngleStrategy()
+        if strategy.startswith("adaptive:f="):
+            return AdaptiveAngleStrategy(update_period=int(strategy.split("=", 1)[1]))
+        if strategy == "truth":
+            return StaticModeStrategy(self.bank.accurate.name)
+        if strategy.startswith("static:"):
+            return StaticModeStrategy(strategy.split(":", 1)[1])
+        raise ValueError(
+            f"unknown strategy spec {strategy!r}; expected 'incremental', "
+            f"'adaptive', 'adaptive:f=<n>', 'static:<mode>' or 'truth'"
+        )
+
+    # ------------------------------------------------------------------
+    # Online stage
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        strategy: str | ReconfigurationStrategy = "incremental",
+        max_iter: int | None = None,
+        collect_traces: bool = True,
+        collect_history: bool = False,
+    ) -> RunResult:
+        """Drive the method to convergence under a strategy.
+
+        Args:
+            strategy: policy instance or spec string (see
+                :meth:`resolve_strategy`).
+            max_iter: budget override; the method's own ``max_iter``
+                when omitted.
+            collect_traces: record per-iteration mode/objective traces
+                (tiny; disable only for huge sweeps).
+            collect_history: additionally record full
+                :class:`~repro.solvers.IterationState` snapshots of
+                every accepted iteration (O(dim) each).
+
+        Returns:
+            A :class:`RunResult`.
+        """
+        policy = self.resolve_strategy(strategy)
+        budget = self.method.max_iter if max_iter is None else int(max_iter)
+        characterization = self.characterization()
+        epsilons = characterization.epsilons()
+
+        ledger = EnergyLedger()
+        engines = {
+            mode.name: ApproxEngine(mode, self.fmt, ledger) for mode in self.bank
+        }
+
+        mode = policy.start(self.bank, characterization)
+        x = self.method.postprocess(self.method.initial_state())
+        f_prev = self.method.objective(x)
+        grad_prev = self.method.gradient(x)
+
+        steps_by_mode = {m.name: 0 for m in self.bank}
+        mode_trace: list[str] = []
+        objective_trace: list[float] = []
+        history: list[IterationState] = []
+        rollbacks = 0
+        iterations = 0
+        converged = False
+        executed = 0
+
+        last_mode_name: str | None = None
+        while executed < budget:
+            if (
+                self.switch_energy
+                and last_mode_name is not None
+                and mode.name != last_mode_name
+            ):
+                # The reconfigurable device reloads its configuration
+                # latches whenever the selected level actually changes.
+                ledger.charge("reconfig", 1, self.switch_energy)
+            last_mode_name = mode.name
+            engine = engines[mode.name]
+            d = self.method.direction(x, engine)
+            alpha = self.method.step_size(x, d, iterations)
+            x_new = self.method.postprocess(
+                self.method.update(x, alpha, d, engine)
+            )
+            f_new = self.method.objective(x_new)
+            grad_new = self.method.gradient(x_new)
+            executed += 1
+
+            tolerance_pass = self.method.converged(f_prev, f_new)
+            fixed_point = bool(np.array_equal(x_new, x))
+
+            obs = Observation(
+                iteration=executed - 1,
+                x_prev=x,
+                x_new=x_new,
+                f_prev=f_prev,
+                f_new=f_new,
+                grad_prev=grad_prev,
+                grad_new=grad_new,
+                mode=mode,
+                epsilon=epsilons[mode.name],
+                converged=tolerance_pass,
+            )
+            decision: Decision = policy.decide(obs)
+
+            if collect_traces:
+                mode_trace.append(mode.name)
+                objective_trace.append(f_new)
+
+            if decision.rollback and not fixed_point:
+                if mode.is_accurate and decision.mode.is_accurate:
+                    # Retrying the exact mode from the same state would
+                    # reproduce the same objective uptick forever: the
+                    # method sits at its numerical floor, which is as
+                    # converged as this datapath can get.
+                    converged = True
+                    break
+                rollbacks += 1
+                mode = decision.mode
+                continue
+
+            # Iteration accepted.
+            iterations += 1
+            steps_by_mode[mode.name] += 1
+            if collect_history:
+                history.append(
+                    IterationState(
+                        iteration=iterations - 1,
+                        x=np.asarray(x_new, dtype=np.float64).copy(),
+                        objective=f_new,
+                        mode_name=mode.name,
+                    )
+                )
+            x, f_prev, grad_prev = x_new, f_new, grad_new
+
+            if tolerance_pass or fixed_point:
+                if policy.verify_convergence and not mode.is_accurate:
+                    # Quality guarantee: a tolerance pass — or a datapath
+                    # fixed point the approximate mode cannot escape —
+                    # hands over to higher accuracy instead of being
+                    # accepted as an unverified stop.
+                    mode = policy.on_premature_convergence(mode)
+                    continue
+                converged = True
+                break
+
+            mode = decision.mode
+
+        return RunResult(
+            x=x,
+            objective=f_prev,
+            iterations=iterations,
+            rollbacks=rollbacks,
+            converged=converged,
+            hit_max_iter=not converged,
+            steps_by_mode=steps_by_mode,
+            energy=ledger.energy,
+            energy_by_mode=dict(ledger.energy_by_mode),
+            strategy_name=policy.name,
+            mode_trace=mode_trace,
+            objective_trace=objective_trace,
+            history=history,
+        )
+
+    def run_truth(self, max_iter: int | None = None) -> RunResult:
+        """The fully accurate reference run (the paper's *Truth*)."""
+        return self.run(strategy="truth", max_iter=max_iter)

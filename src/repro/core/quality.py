@@ -1,0 +1,117 @@
+"""The paper's application-level quality metric (Definition 1).
+
+Low-level metrics (WCE, ER, ME — see
+:mod:`repro.hardware.characterization`) cannot be lifted to the
+application because of error masking and accumulation; the paper instead
+measures the *quality error* of one whole iteration:
+
+    epsilon = |f(x) - f'(x)| / f(x)
+
+where ``f`` and ``f'`` are the exact and approximate results of the same
+iteration.  :func:`quality_error` implements exactly that;
+:class:`QualityEstimator` is the lightweight online estimator built on
+the offline-characterized per-mode epsilons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Denominator guard: |f(x)| below this is treated as 1 to keep the
+#: relative error finite near perfectly converged objectives.
+_TINY = 1e-300
+
+
+def quality_error(exact_value: float, approx_value: float) -> float:
+    """Definition 1: relative deviation of one iteration's result.
+
+    Args:
+        exact_value: ``f(x)`` from the accurate datapath.
+        approx_value: ``f'(x)`` from the approximate datapath.
+
+    Returns:
+        ``|f(x) − f'(x)| / |f(x)|`` (absolute value in the denominator so
+        objectives that are legitimately negative — log-likelihoods —
+        still yield a meaningful relative error).
+    """
+    if not np.isfinite(exact_value) or not np.isfinite(approx_value):
+        raise ValueError(
+            f"quality_error needs finite values, got {exact_value}, {approx_value}"
+        )
+    denom = max(abs(exact_value), _TINY)
+    return abs(exact_value - approx_value) / denom
+
+
+@dataclass
+class QualityEstimate:
+    """One iteration's quality snapshot.
+
+    Attributes:
+        decrease: realized objective decrease ``f(x^{k-1}) − f(x^k)``
+            (positive when descending).
+        error_bound: the estimator's predicted error magnitude for the
+            active mode, ``epsilon_i * ‖x^k‖``.
+        step_norm: ``‖x^k − x^{k-1}‖``, the realized movement.
+        trustworthy: whether the predicted error is dominated by the
+            realized movement (the update-error criterion of [19]).
+    """
+
+    decrease: float
+    error_bound: float
+    step_norm: float
+    trustworthy: bool
+
+
+class QualityEstimator:
+    """Lightweight per-iteration quality estimation.
+
+    All inputs are quantities the iterative method computes anyway
+    (objective values and iterates), plus the offline-characterized
+    epsilon of the active mode — matching the paper's claim that the
+    estimator's overhead is negligible.
+
+    Args:
+        epsilons: mode name → characterized Definition-1 quality error.
+    """
+
+    def __init__(self, epsilons: dict[str, float]):
+        for name, eps in epsilons.items():
+            if eps < 0:
+                raise ValueError(f"epsilon for {name!r} must be >= 0, got {eps}")
+        self._epsilons = dict(epsilons)
+
+    def epsilon(self, mode_name: str) -> float:
+        """Characterized quality error of a mode.
+
+        Raises:
+            KeyError: if the mode was never characterized.
+        """
+        try:
+            return self._epsilons[mode_name]
+        except KeyError:
+            known = ", ".join(sorted(self._epsilons))
+            raise KeyError(
+                f"mode {mode_name!r} not characterized; known: {known}"
+            ) from None
+
+    def estimate(
+        self,
+        mode_name: str,
+        f_prev: float,
+        f_new: float,
+        x_prev: np.ndarray,
+        x_new: np.ndarray,
+    ) -> QualityEstimate:
+        """Assess the iteration that moved ``x_prev -> x_new``."""
+        x_prev = np.asarray(x_prev, dtype=np.float64)
+        x_new = np.asarray(x_new, dtype=np.float64)
+        step_norm = float(np.linalg.norm(x_new - x_prev))
+        error_bound = self.epsilon(mode_name) * float(np.linalg.norm(x_new))
+        return QualityEstimate(
+            decrease=f_prev - f_new,
+            error_bound=error_bound,
+            step_norm=step_norm,
+            trustworthy=error_bound <= step_norm,
+        )

@@ -1,0 +1,132 @@
+"""Persistence and comparison reporting for framework runs.
+
+Production users sweep strategies, seeds and ladders, and need run
+outcomes that survive the process: this module serializes
+:class:`~repro.core.framework.RunResult` to plain JSON (everything but
+the state vector is scalar/dict data; the state is stored as a list),
+loads it back, and renders side-by-side comparisons against a reference
+run — the "Truth = 1" normalization used throughout the paper's tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.framework import RunResult
+from repro.experiments.render import format_number, format_table
+
+#: Schema tag written into every serialized run.
+SCHEMA_VERSION = 1
+
+
+def run_to_dict(result: RunResult) -> dict:
+    """Lossless plain-data view of a run (JSON-ready)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "strategy": result.strategy_name,
+        "x": np.asarray(result.x, dtype=float).tolist(),
+        "objective": float(result.objective),
+        "iterations": int(result.iterations),
+        "rollbacks": int(result.rollbacks),
+        "converged": bool(result.converged),
+        "hit_max_iter": bool(result.hit_max_iter),
+        "steps_by_mode": {k: int(v) for k, v in result.steps_by_mode.items()},
+        "energy": float(result.energy),
+        "energy_by_mode": {k: float(v) for k, v in result.energy_by_mode.items()},
+        "mode_trace": list(result.mode_trace),
+        "objective_trace": [float(v) for v in result.objective_trace],
+    }
+
+
+def run_from_dict(payload: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`run_to_dict` output.
+
+    Raises:
+        ValueError: on schema mismatch or missing fields.
+    """
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported run schema {schema!r}; expected {SCHEMA_VERSION}"
+        )
+    try:
+        return RunResult(
+            x=np.asarray(payload["x"], dtype=np.float64),
+            objective=float(payload["objective"]),
+            iterations=int(payload["iterations"]),
+            rollbacks=int(payload["rollbacks"]),
+            converged=bool(payload["converged"]),
+            hit_max_iter=bool(payload["hit_max_iter"]),
+            steps_by_mode=dict(payload["steps_by_mode"]),
+            energy=float(payload["energy"]),
+            energy_by_mode=dict(payload["energy_by_mode"]),
+            strategy_name=str(payload["strategy"]),
+            mode_trace=list(payload["mode_trace"]),
+            objective_trace=list(payload["objective_trace"]),
+        )
+    except KeyError as missing:
+        raise ValueError(f"serialized run is missing field {missing}") from None
+
+
+def save_run(result: RunResult, path: str | Path) -> Path:
+    """Write a run to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(run_to_dict(result), indent=2))
+    return path
+
+
+def load_run(path: str | Path) -> RunResult:
+    """Read a run previously written by :func:`save_run`."""
+    return run_from_dict(json.loads(Path(path).read_text()))
+
+
+def comparison_report(
+    runs: dict[str, RunResult], reference: str = "truth"
+) -> str:
+    """Side-by-side table of runs normalized against a reference.
+
+    Args:
+        runs: label → run; must contain ``reference``.
+        reference: label of the Truth-like run (energy normalizer).
+
+    Returns:
+        A rendered table: iterations, convergence, final objective,
+        normalized energy, savings, rollbacks, switches.
+    """
+    if reference not in runs:
+        raise KeyError(
+            f"reference {reference!r} not among runs: {sorted(runs)}"
+        )
+    ref = runs[reference]
+    rows = []
+    for label, run in runs.items():
+        rel = run.energy_relative_to(ref)
+        rows.append(
+            [
+                label,
+                "MAX_ITER" if run.hit_max_iter else run.iterations,
+                "yes" if run.converged else "no",
+                format_number(run.objective, 6),
+                format_number(rel),
+                f"{(1 - rel) * 100:+.1f} %",
+                run.rollbacks,
+                run.mode_switches,
+            ]
+        )
+    return format_table(
+        [
+            "Run",
+            "Iterations",
+            "Converged",
+            "Objective",
+            f"Energy ({reference}=1)",
+            "Savings",
+            "Rollbacks",
+            "Switches",
+        ],
+        rows,
+        title="Run comparison",
+    )

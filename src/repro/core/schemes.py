@@ -1,0 +1,133 @@
+"""The three reconfiguration schemes of Section 4.1.
+
+Each scheme is a pure predicate over runtime quantities "already
+available along with conducting IMs" — gradients, iterates, objective
+values and the offline-characterized mode epsilon — so their overhead is
+negligible, as the paper argues.
+
+* **Gradient scheme** (error prevention): fire when the realized move
+  and the previous gradient make an acute angle, i.e.
+  ``∇f(x^{k-1})ᵀ (x^k − x^{k-1}) > 0`` — the momentum is heading uphill.
+* **Quality scheme** (error prevention): fire when the characterized
+  error magnitude of the active mode dominates the realized movement,
+  ``epsilon_i ‖x^k‖ > ‖x^k − x^{k-1}‖`` — the update-error criterion of
+  Luo & Tseng read as a trigger.  (The paper prints the trigger as
+  ``f(x^k) − f(x^{k-1}) < ‖x^k‖ epsilon_i``, but its prose — "the
+  estimated error is bigger than the distance (ℓ2 norm) of two
+  iterations" — and the cited theory both describe the step-norm
+  comparison implemented here; the printed inequality would fire on
+  every descending step since its left side is negative.)
+* **Function scheme** (error recovery): fire when the objective
+  *increased*, ``f(x^k) > f(x^{k-1})`` — reconfigure and roll the
+  iteration back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convergence import direction_ok, update_error_ok
+
+
+def gradient_scheme_violated(
+    grad_prev: np.ndarray, x_prev: np.ndarray, x_new: np.ndarray
+) -> bool:
+    """Did the iteration move against the previous gradient's descent
+    half-space?
+
+    Args:
+        grad_prev: exact ``∇f(x^{k-1})``.
+        x_prev / x_new: the iterates before and after the update.
+
+    Returns:
+        ``True`` when ``∇f(x^{k-1})ᵀ(x^k − x^{k-1}) > 0`` — reconfigure.
+    """
+    displacement = np.asarray(x_new, dtype=np.float64) - np.asarray(
+        x_prev, dtype=np.float64
+    )
+    return not direction_ok(grad_prev, displacement)
+
+
+def quality_scheme_violated(
+    epsilon: float,
+    x_prev: np.ndarray,
+    x_new: np.ndarray,
+    f_prev: float | None = None,
+    f_new: float | None = None,
+) -> bool:
+    """Does the characterized mode error dominate the realized progress?
+
+    Two readings of the paper's trigger are checked (either fires):
+
+    * **state space** (the prose: "estimated error is bigger than the
+      distance (ℓ2 norm) of two iterations"):
+      ``epsilon ‖x^k‖ > ‖x^k − x^{k-1}‖`` — the Luo–Tseng update-error
+      criterion read as a trigger;
+    * **objective space** (the printed formula
+      ``f(x^k) − f(x^{k-1}) < ‖x^k‖ epsilon_i``, whose left side is an
+      objective decrease): the realized decrease has fallen below the
+      mode's error floor, ``|f(x^k) − f(x^{k-1})| < epsilon |f(x^k)|``
+      — further iterations on this mode make progress smaller than the
+      noise it injects.
+
+    Args:
+        epsilon: the active mode's offline-characterized quality error.
+        x_prev / x_new: the iterates before and after the update.
+        f_prev / f_new: exact objectives at those iterates (the
+            objective-space check is skipped when omitted).
+
+    Returns:
+        ``True`` — reconfigure — when either reading fires.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    error_bound = epsilon * float(np.linalg.norm(np.asarray(x_new, dtype=np.float64)))
+    if not update_error_ok(error_bound, x_prev, x_new):
+        return True
+    if f_prev is not None and f_new is not None:
+        return abs(f_new - f_prev) < epsilon * abs(f_new)
+    return False
+
+
+def windowed_quality_violated(
+    epsilon: float, recent_objectives: list[float], f_new: float
+) -> bool:
+    """Windowed reading of the quality scheme: sustained stagnation.
+
+    A mode's error can *inflate* the single-step decrease (noise kicks
+    register as apparent progress), silencing the per-step trigger while
+    true progress stalls.  The windowed check fires when the **net**
+    decrease across the recorded window is smaller than a single
+    iteration's error floor ``epsilon |f|`` — after that many
+    iterations, anything below one step's noise is indistinguishable
+    from spinning in place.
+
+    Args:
+        epsilon: the active mode's characterized quality error.
+        recent_objectives: objective values of recent accepted
+            iterations, oldest first (the caller decides the window
+            size; an empty or short window never fires).
+        f_new: the newest objective value.
+
+    Returns:
+        ``True`` — reconfigure — when the window is full of stagnation.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    if not recent_objectives:
+        return False
+    net_decrease = recent_objectives[0] - f_new
+    return net_decrease < epsilon * abs(f_new)
+
+
+def function_scheme_violated(f_prev: float, f_new: float) -> bool:
+    """Did the objective increase?  (Recovery: reconfigure + roll back.)
+
+    Args:
+        f_prev: ``f(x^{k-1})``.
+        f_new: ``f(x^k)``.
+
+    Returns:
+        ``True`` when ``f(x^k) > f(x^{k-1})``.
+    """
+    return f_new > f_prev

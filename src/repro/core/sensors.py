@@ -1,0 +1,92 @@
+"""Algorithm-level quality sensors (the baseline's instrumentation).
+
+Chippa et al. estimate output quality from "internal variables of the
+computation" used as algorithm-level sensors.  Section 2.3 of the paper
+discusses their K-means instance: the *mean centroid distance* (MCD).
+These sensor classes expose such signals uniformly so the PID baseline
+can regulate effort from them — and so the paper's criticism (the
+sensors are ad hoc and dataset-dependent, and say nothing about final
+quality) can be demonstrated empirically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.solvers.base import IterativeMethod
+
+
+class QualitySensor(ABC):
+    """Maps the current iterate to a scalar quality proxy.
+
+    Lower readings mean "better quality" for every provided sensor, so
+    the PID loop's sign conventions are uniform.
+    """
+
+    name: str = "sensor"
+
+    @abstractmethod
+    def read(self, method: IterativeMethod, x: np.ndarray) -> float:
+        """The sensor value at iterate ``x``."""
+
+
+class MeanCentroidDistanceSensor(QualitySensor):
+    """Chippa et al.'s MCD sensor for clustering methods.
+
+    Requires the method to expose ``mean_centroid_distance`` (the
+    K-means application does).
+    """
+
+    name = "mcd"
+
+    def read(self, method: IterativeMethod, x: np.ndarray) -> float:
+        reader = getattr(method, "mean_centroid_distance", None)
+        if reader is None:
+            raise TypeError(
+                f"{type(method).__name__} exposes no mean_centroid_distance; "
+                "the MCD sensor only applies to clustering methods"
+            )
+        return float(reader(x))
+
+
+class ObjectiveSensor(QualitySensor):
+    """Generic sensor: the (exact) objective value itself.
+
+    The most information a sensor-based scheme could hope for; even with
+    it, the PID baseline provides no final-quality guarantee — which is
+    the point of the comparison.
+    """
+
+    name = "objective"
+
+    def read(self, method: IterativeMethod, x: np.ndarray) -> float:
+        return float(method.objective(x))
+
+
+class RelativeDecreaseSensor(QualitySensor):
+    """Relative objective decrease between consecutive readings.
+
+    Stateful: the first reading returns 1.0 (maximal "badness"), later
+    readings return ``|Δf| / max(1, |f_prev|)``, decaying toward 0 as
+    the method converges.
+    """
+
+    name = "relative-decrease"
+
+    def __init__(self):
+        self._previous: float | None = None
+
+    def reset(self) -> None:
+        """Forget the previous reading (call between runs)."""
+        self._previous = None
+
+    def read(self, method: IterativeMethod, x: np.ndarray) -> float:
+        value = float(method.objective(x))
+        if self._previous is None:
+            self._previous = value
+            return 1.0
+        decrease = abs(self._previous - value) / max(1.0, abs(self._previous))
+        self._previous = value
+        return decrease

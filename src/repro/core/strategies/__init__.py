@@ -1,0 +1,30 @@
+"""Online reconfiguration strategies (Section 4).
+
+* :class:`StaticModeStrategy` — a degenerate strategy pinning one mode
+  for the whole run; produces the single-mode rows of Tables 3(a)/4(a).
+* :class:`IncrementalStrategy` — §4.1: start at the lowest accuracy,
+  escalate one level whenever the gradient/quality schemes fire,
+  escalate *and roll back* when the function scheme fires.
+* :class:`AdaptiveAngleStrategy` — §4.2: a lookup table over the
+  manifold steepness angle, initialized by the Eq.-5 optimization and
+  refreshed online every ``f`` steps.
+"""
+
+from repro.core.strategies.adaptive import AdaptiveAngleStrategy, AngleLookupTable
+from repro.core.strategies.base import (
+    Decision,
+    Observation,
+    ReconfigurationStrategy,
+)
+from repro.core.strategies.incremental import IncrementalStrategy
+from repro.core.strategies.static_mode import StaticModeStrategy
+
+__all__ = [
+    "AdaptiveAngleStrategy",
+    "AngleLookupTable",
+    "Decision",
+    "IncrementalStrategy",
+    "Observation",
+    "ReconfigurationStrategy",
+    "StaticModeStrategy",
+]

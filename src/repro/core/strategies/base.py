@@ -1,0 +1,117 @@
+"""Strategy interface shared by all reconfiguration policies.
+
+The framework calls :meth:`ReconfigurationStrategy.start` once, then
+after every iteration builds an :class:`Observation` (all quantities the
+paper's schemes consume) and asks :meth:`decide` for a
+:class:`Decision`: the mode for the next iteration and whether to roll
+the iteration back.  A strategy is stateful across one run and must be
+restartable via :meth:`start`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.modes import ApproxMode, ModeBank
+from repro.core.characterize import CharacterizationTable
+
+
+@dataclass
+class Observation:
+    """Everything a strategy may inspect after one iteration.
+
+    Attributes:
+        iteration: 0-based index of the iteration just executed.
+        x_prev / x_new: iterates before and after the update.
+        f_prev / f_new: exact objective at those iterates.
+        grad_prev: exact gradient at ``x_prev``.
+        grad_new: exact gradient at ``x_new`` (the framework computes it
+            once and reuses it as the next iteration's ``grad_prev``, so
+            angle-based policies get it for free).
+        mode: the mode the iteration ran on.
+        epsilon: that mode's offline-characterized quality error.
+        converged: whether the method's tolerance test passed on
+            ``(f_prev, f_new)``.
+    """
+
+    iteration: int
+    x_prev: np.ndarray
+    x_new: np.ndarray
+    f_prev: float
+    f_new: float
+    grad_prev: np.ndarray
+    grad_new: np.ndarray
+    mode: ApproxMode
+    epsilon: float
+    converged: bool
+
+
+@dataclass
+class Decision:
+    """A strategy's verdict for the next iteration.
+
+    Attributes:
+        mode: the mode to run the next iteration on.
+        rollback: discard the iteration just executed (the function
+            scheme's recovery) and retry from ``x_prev``.
+        reason: short label of which rule fired, for traces and tests.
+    """
+
+    mode: ApproxMode
+    rollback: bool = False
+    reason: str = "steady"
+
+
+class ReconfigurationStrategy(ABC):
+    """Base class of all online reconfiguration policies.
+
+    Attributes:
+        name: identifier used in reports.
+        verify_convergence: when ``True`` the framework refuses to stop
+            on a tolerance pass in an approximate mode and instead asks
+            :meth:`on_premature_convergence` — this is what turns the
+            convergence guarantee of Section 3.2 into behaviour.  The
+            static strategy sets it ``False``, reproducing the paper's
+            falsely-converging single-mode runs.
+    """
+
+    name: str = "strategy"
+    verify_convergence: bool = True
+
+    @abstractmethod
+    def start(
+        self, bank: ModeBank, characterization: CharacterizationTable
+    ) -> ApproxMode:
+        """Reset internal state and return the initial mode."""
+
+    @abstractmethod
+    def decide(self, obs: Observation) -> Decision:
+        """Choose the next mode after an iteration."""
+
+    def on_premature_convergence(self, mode: ApproxMode) -> ApproxMode:
+        """Mode to continue with when the tolerance test passed in an
+        approximate mode.  Default: jump straight to the exact mode so
+        the final convergence is always verified on accurate hardware.
+        """
+        return self._bank.accurate
+
+    # Subclasses populate these in start().
+    _bank: ModeBank
+    _characterization: CharacterizationTable
+
+    def _bind(
+        self, bank: ModeBank, characterization: CharacterizationTable
+    ) -> None:
+        """Store the run context (call from :meth:`start`)."""
+        self._bank = bank
+        self._characterization = characterization
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return f"{type(self).__name__}()"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,43 @@
+"""Single-mode (non-reconfiguring) strategy.
+
+Pins one approximation mode for the whole run — the configuration of the
+paper's first experiment (Tables 3(a) and 4(a)).  ``verify_convergence``
+is off: the run stops the moment the tolerance test passes, which is how
+over-approximated runs "falsely stop" (3cluster under level1 converging
+after 4 iterations to a 2-cluster answer) or burn the whole ``MAX_ITER``
+budget (4cluster under level1).
+"""
+
+from __future__ import annotations
+
+from repro.arith.modes import ApproxMode, ModeBank
+from repro.core.characterize import CharacterizationTable
+from repro.core.strategies.base import Decision, Observation, ReconfigurationStrategy
+
+
+class StaticModeStrategy(ReconfigurationStrategy):
+    """Run everything on one fixed mode.
+
+    Args:
+        mode_name: name of the mode to pin (e.g. ``"level2"`` or
+            ``"acc"``).
+    """
+
+    verify_convergence = False
+
+    def __init__(self, mode_name: str):
+        self.mode_name = mode_name
+        self.name = f"static:{mode_name}"
+
+    def start(
+        self, bank: ModeBank, characterization: CharacterizationTable
+    ) -> ApproxMode:
+        self._bind(bank, characterization)
+        self._mode = bank.by_name(self.mode_name)
+        return self._mode
+
+    def decide(self, obs: Observation) -> Decision:
+        return Decision(mode=self._mode, rollback=False, reason="static")
+
+    def describe(self) -> str:
+        return f"StaticModeStrategy(mode={self.mode_name!r})"

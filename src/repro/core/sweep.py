@@ -1,0 +1,170 @@
+"""Batch sweeps over strategies, seeds and ladders.
+
+Users of a quality-configurable platform rarely run one configuration —
+they compare.  :func:`sweep` runs a cartesian grid of (method factory x
+strategy) cells, normalizes every cell against its own Truth run, and
+returns a :class:`SweepResult` that renders as a table or exports rows
+for further analysis.  Used by the extension experiments and handy for
+new applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.arith.modes import ModeBank
+from repro.core.framework import ApproxIt, RunResult
+from repro.core.strategies.base import ReconfigurationStrategy
+from repro.experiments.render import format_number, format_table
+from repro.solvers.base import IterativeMethod
+
+#: A method factory: label -> fresh IterativeMethod instance.
+MethodFactory = Callable[[], IterativeMethod]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (instance, strategy) outcome.
+
+    Attributes:
+        instance: label of the method instance.
+        strategy: strategy spec that produced the run.
+        run: the strategy's run.
+        truth: the instance's Truth run.
+        quality: optional application QEM vs Truth (``None`` when no
+            ``quality_fn`` was supplied).
+    """
+
+    instance: str
+    strategy: str
+    run: RunResult
+    truth: RunResult
+    quality: float | None
+
+    @property
+    def energy(self) -> float:
+        """Normalized energy (Truth = 1)."""
+        return self.run.energy_relative_to(self.truth)
+
+    @property
+    def savings_percent(self) -> float:
+        return (1.0 - self.energy) * 100.0
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep."""
+
+    cells: list[SweepCell]
+
+    def table(self) -> str:
+        """Render the sweep as a comparison table."""
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                [
+                    cell.instance,
+                    cell.strategy,
+                    "MAX_ITER" if cell.run.hit_max_iter else cell.run.iterations,
+                    "-" if cell.quality is None else format_number(cell.quality),
+                    format_number(cell.energy),
+                    f"{cell.savings_percent:+.1f} %",
+                ]
+            )
+        return format_table(
+            ["Instance", "Strategy", "Iterations", "QEM", "Energy", "Savings"],
+            rows,
+            title="Strategy sweep (energy normalized per-instance to Truth)",
+        )
+
+    def best_strategy(
+        self, instance: str, max_quality: float | None = None
+    ) -> SweepCell:
+        """The cheapest converged cell of one instance.
+
+        Args:
+            instance: instance label.
+            max_quality: when given, only cells whose recorded QEM is at
+                most this value qualify — pass ``0.0`` to pick among
+                quality-preserving policies only (a raw energy minimum
+                would happily crown an unverified single-mode run that
+                produced the wrong answer cheaply).
+
+        Raises:
+            KeyError: if no cell qualifies.
+        """
+        candidates = [
+            c
+            for c in self.cells
+            if c.instance == instance
+            and c.run.converged
+            and (
+                max_quality is None
+                or (c.quality is not None and c.quality <= max_quality)
+            )
+        ]
+        if not candidates:
+            raise KeyError(f"no converged runs for instance {instance!r}")
+        return min(candidates, key=lambda c: c.energy)
+
+    def rows(self) -> list[dict]:
+        """Plain-data rows (for CSV/JSON export)."""
+        return [
+            {
+                "instance": c.instance,
+                "strategy": c.strategy,
+                "iterations": c.run.iterations,
+                "converged": c.run.converged,
+                "quality": c.quality,
+                "energy": c.energy,
+                "savings_percent": c.savings_percent,
+            }
+            for c in self.cells
+        ]
+
+
+def sweep(
+    instances: dict[str, MethodFactory],
+    strategies: Sequence[str | ReconfigurationStrategy] = ("incremental", "adaptive"),
+    bank: ModeBank | None = None,
+    quality_fn: Callable[[IterativeMethod, RunResult, RunResult], float] | None = None,
+    **framework_kwargs,
+) -> SweepResult:
+    """Run every strategy on every instance.
+
+    Args:
+        instances: label → factory building a *fresh* method (factories
+            are called once per instance; the same object is reused
+            across strategies so trajectories share data).
+        strategies: strategy specs or instances.
+        bank: shared mode ladder (the default platform when omitted).
+        quality_fn: optional ``(method, run, truth) -> QEM``.
+        **framework_kwargs: forwarded to :class:`ApproxIt`.
+
+    Returns:
+        A :class:`SweepResult` with one cell per (instance, strategy).
+    """
+    if not instances:
+        raise ValueError("sweep needs at least one instance")
+    cells: list[SweepCell] = []
+    for label, factory in instances.items():
+        method = factory()
+        framework = ApproxIt(method, bank, **framework_kwargs)
+        truth = framework.run_truth()
+        for strategy in strategies:
+            run = framework.run(strategy=strategy)
+            quality = (
+                quality_fn(method, run, truth) if quality_fn is not None else None
+            )
+            spec = strategy if isinstance(strategy, str) else strategy.name
+            cells.append(
+                SweepCell(
+                    instance=label,
+                    strategy=spec,
+                    run=run,
+                    truth=truth,
+                    quality=quality,
+                )
+            )
+    return SweepResult(cells=cells)

@@ -1,0 +1,44 @@
+"""Synthetic datasets matching Table 2 of the paper.
+
+The paper evaluates on Matlab demo cluster sets and Yahoo! finance
+indices.  Neither is redistributable (and this build is offline), so
+this package generates *seeded synthetic equivalents with identical
+shapes*: the same sample counts, dimensionalities, cluster counts,
+lag orders, iteration budgets and convergence tolerances.  ApproxIt's
+dynamics depend on the convergence trajectory of the iterative method
+on a realistic instance — cluster overlap and autocorrelation structure
+— not on the literal bytes of the originals, so the substitution
+preserves the behaviour the evaluation measures (see DESIGN.md §7).
+"""
+
+from repro.data.clusters import (
+    ClusterDataset,
+    make_cluster_dataset,
+    make_four_clusters,
+    make_three_clusters,
+    make_three_clusters_3d,
+)
+from repro.data.registry import DATASETS, DatasetSpec, load_dataset
+from repro.data.timeseries import (
+    TimeSeriesDataset,
+    make_index_series,
+    make_hangseng,
+    make_nasdaq,
+    make_sp500,
+)
+
+__all__ = [
+    "DATASETS",
+    "ClusterDataset",
+    "DatasetSpec",
+    "TimeSeriesDataset",
+    "load_dataset",
+    "make_cluster_dataset",
+    "make_four_clusters",
+    "make_hangseng",
+    "make_index_series",
+    "make_nasdaq",
+    "make_sp500",
+    "make_three_clusters",
+    "make_three_clusters_3d",
+]

@@ -1,0 +1,144 @@
+"""Dataset import/export.
+
+The synthetic Table-2 stand-ins are generated in-process, but a
+downstream user will want to run ApproxIt on *their* data: these
+helpers round-trip both dataset kinds through plain CSV so external
+points/series drop straight into the benchmark applications, and
+so generated instances can be archived next to experiment reports.
+
+Formats (all UTF-8 CSV with a one-line header):
+
+* cluster data — ``label,x0,x1,...`` rows; metadata (name, cluster
+  count, budgets, generating means) travels in ``# key=value`` comment
+  lines before the header;
+* time series — ``price`` rows with the same comment convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.clusters import ClusterDataset
+from repro.data.timeseries import TimeSeriesDataset
+
+
+def _write_meta(handle, meta: dict) -> None:
+    for key, value in meta.items():
+        handle.write(f"# {key}={value}\n")
+
+
+def _read_meta_and_body(path: Path) -> tuple[dict, list[str]]:
+    meta: dict[str, str] = {}
+    body: list[str] = []
+    for line in path.read_text().splitlines():
+        if line.startswith("#"):
+            key, _, value = line[1:].strip().partition("=")
+            meta[key.strip()] = value.strip()
+        elif line.strip():
+            body.append(line)
+    if not body:
+        raise ValueError(f"{path} contains no data rows")
+    return meta, body
+
+
+# ----------------------------------------------------------------------
+# Cluster datasets
+# ----------------------------------------------------------------------
+def save_cluster_dataset(dataset: ClusterDataset, path: str | Path) -> Path:
+    """Write a cluster dataset (points + labels + metadata) as CSV."""
+    path = Path(path)
+    dim = dataset.dim
+    with path.open("w") as handle:
+        _write_meta(
+            handle,
+            {
+                "kind": "cluster",
+                "name": dataset.name,
+                "n_clusters": dataset.n_clusters,
+                "max_iter": dataset.max_iter,
+                "tolerance": repr(dataset.tolerance),
+                "true_means": ";".join(
+                    ",".join(repr(float(v)) for v in row)
+                    for row in dataset.true_means
+                ),
+            },
+        )
+        handle.write("label," + ",".join(f"x{i}" for i in range(dim)) + "\n")
+        for label, point in zip(dataset.labels, dataset.points):
+            handle.write(
+                f"{int(label)}," + ",".join(repr(float(v)) for v in point) + "\n"
+            )
+    return path
+
+
+def load_cluster_dataset(path: str | Path) -> ClusterDataset:
+    """Read a cluster dataset written by :func:`save_cluster_dataset`.
+
+    Raises:
+        ValueError: on a wrong ``kind`` tag or malformed rows.
+    """
+    path = Path(path)
+    meta, body = _read_meta_and_body(path)
+    if meta.get("kind") != "cluster":
+        raise ValueError(f"{path} is not a cluster dataset (kind={meta.get('kind')!r})")
+    rows = [line.split(",") for line in body[1:]]  # body[0] is the header
+    labels = np.array([int(r[0]) for r in rows], dtype=np.int64)
+    points = np.array([[float(v) for v in r[1:]] for r in rows])
+    true_means = np.array(
+        [
+            [float(v) for v in row.split(",")]
+            for row in meta["true_means"].split(";")
+        ]
+    )
+    return ClusterDataset(
+        name=meta["name"],
+        points=points,
+        labels=labels,
+        n_clusters=int(meta["n_clusters"]),
+        true_means=true_means,
+        max_iter=int(meta["max_iter"]),
+        tolerance=float(meta["tolerance"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Time series
+# ----------------------------------------------------------------------
+def save_timeseries(dataset: TimeSeriesDataset, path: str | Path) -> Path:
+    """Write a time series (prices + metadata) as CSV."""
+    path = Path(path)
+    with path.open("w") as handle:
+        _write_meta(
+            handle,
+            {
+                "kind": "timeseries",
+                "name": dataset.name,
+                "order": dataset.order,
+                "max_iter": dataset.max_iter,
+                "tolerance": repr(dataset.tolerance),
+            },
+        )
+        handle.write("price\n")
+        for price in dataset.prices:
+            handle.write(f"{float(price)!r}\n")
+    return path
+
+
+def load_timeseries(path: str | Path) -> TimeSeriesDataset:
+    """Read a series written by :func:`save_timeseries`."""
+    path = Path(path)
+    meta, body = _read_meta_and_body(path)
+    if meta.get("kind") != "timeseries":
+        raise ValueError(
+            f"{path} is not a time series (kind={meta.get('kind')!r})"
+        )
+    prices = np.array([float(line) for line in body[1:]])
+    return TimeSeriesDataset(
+        name=meta["name"],
+        prices=prices,
+        order=int(meta["order"]),
+        max_iter=int(meta["max_iter"]),
+        tolerance=float(meta["tolerance"]),
+    )

@@ -1,0 +1,138 @@
+"""Dataset registry mirroring Table 2 of the paper.
+
+Each entry records the application, shape, iteration budget and
+convergence tolerance exactly as Table 2 lists them, plus the factory
+that builds the seeded synthetic stand-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.data.clusters import (
+    ClusterDataset,
+    make_four_clusters,
+    make_three_clusters,
+    make_three_clusters_3d,
+)
+from repro.data.timeseries import (
+    TimeSeriesDataset,
+    make_hangseng,
+    make_nasdaq,
+    make_sp500,
+)
+
+Dataset = Union[ClusterDataset, TimeSeriesDataset]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 2.
+
+    Attributes:
+        key: registry key.
+        display_name: name as printed in the paper.
+        application: ``"gmm"`` or ``"autoregression"``.
+        shape: the paper's "Samples" column, e.g. ``"1000*2"``.
+        source: the paper's data source (what we substitute).
+        max_iter: the paper's ``MAX_ITER``.
+        tolerance: the paper's convergence threshold.
+        adder_impact: the paper's "Adder Impact" column — where the
+            approximate adders act.
+        factory: zero-argument builder of the synthetic stand-in.
+    """
+
+    key: str
+    display_name: str
+    application: str
+    shape: str
+    source: str
+    max_iter: int
+    tolerance: float
+    adder_impact: str
+    factory: Callable[[], Dataset]
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "3cluster": DatasetSpec(
+        key="3cluster",
+        display_name="3cluster",
+        application="gmm",
+        shape="1000*2",
+        source="Matlab (synthetic stand-in)",
+        max_iter=500,
+        tolerance=1e-10,
+        adder_impact="Mean Value",
+        factory=make_three_clusters,
+    ),
+    "3d3cluster": DatasetSpec(
+        key="3d3cluster",
+        display_name="3d3cluster",
+        application="gmm",
+        shape="1900*3",
+        source="Matlab (synthetic stand-in)",
+        max_iter=500,
+        tolerance=1e-6,
+        adder_impact="Mean Value",
+        factory=make_three_clusters_3d,
+    ),
+    "4cluster": DatasetSpec(
+        key="4cluster",
+        display_name="4cluster",
+        application="gmm",
+        shape="2350*2",
+        source="Matlab (synthetic stand-in)",
+        max_iter=500,
+        tolerance=1e-6,
+        adder_impact="Mean Value",
+        factory=make_four_clusters,
+    ),
+    "hangseng": DatasetSpec(
+        key="hangseng",
+        display_name="HangSeng INDEX",
+        application="autoregression",
+        shape="6694*10",
+        source="Yahoo! (synthetic stand-in)",
+        max_iter=1000,
+        tolerance=1e-13,
+        adder_impact="80% Confidence Space",
+        factory=make_hangseng,
+    ),
+    "nasdaq": DatasetSpec(
+        key="nasdaq",
+        display_name="NASDAQ Composite",
+        application="autoregression",
+        shape="10799*10",
+        source="Yahoo! (synthetic stand-in)",
+        max_iter=1000,
+        tolerance=1e-13,
+        adder_impact="80% Confidence Space",
+        factory=make_nasdaq,
+    ),
+    "sp500": DatasetSpec(
+        key="sp500",
+        display_name="S&P 500",
+        application="autoregression",
+        shape="16080*10",
+        source="Yahoo! (synthetic stand-in)",
+        max_iter=1000,
+        tolerance=1e-13,
+        adder_impact="80% Confidence Space",
+        factory=make_sp500,
+    ),
+}
+
+
+def load_dataset(key: str) -> Dataset:
+    """Build the synthetic dataset registered under ``key``.
+
+    Raises:
+        KeyError: listing the known keys, if absent.
+    """
+    try:
+        spec = DATASETS[key]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(f"unknown dataset {key!r}; known: {known}") from None
+    return spec.factory()

@@ -1,0 +1,154 @@
+"""Synthetic financial index series for the AutoRegression benchmark.
+
+The paper fits AR models to daily closes of the Hang Seng index, the
+NASDAQ Composite and the S&P 500 pulled from Yahoo! (Table 2: 6694, 10799
+and 16080 samples, 10 lags).  Offline, we generate regime-switching
+geometric-Brownian-motion price paths of the same lengths: a two-state
+Markov chain toggles between a calm regime (small drift, low volatility)
+and a stressed regime (negative drift, high volatility), which reproduces
+the volatility clustering that makes real index returns autocorrelated
+in magnitude — the property that gives the AR fit non-trivial structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimeSeriesDataset:
+    """A univariate price series prepared for AR(p) fitting.
+
+    Attributes:
+        name: dataset identifier.
+        prices: ``(T,)`` synthetic daily closes.
+        order: AR order ``p`` (the paper uses 10).
+        max_iter: the paper's ``MAX_ITER`` budget.
+        tolerance: the paper's convergence threshold.
+    """
+
+    name: str
+    prices: np.ndarray
+    order: int = 10
+    max_iter: int = 1000
+    tolerance: float = 1e-13
+
+    def __post_init__(self):
+        if self.prices.ndim != 1:
+            raise ValueError(f"prices must be 1-D, got shape {self.prices.shape}")
+        if not 1 <= self.order < self.prices.shape[0]:
+            raise ValueError(
+                f"order {self.order} invalid for series of length "
+                f"{self.prices.shape[0]}"
+            )
+        if np.any(self.prices <= 0):
+            raise ValueError("prices must be strictly positive")
+
+    @property
+    def n_samples(self) -> int:
+        return self.prices.shape[0]
+
+    def returns(self) -> np.ndarray:
+        """Daily log returns (length ``T - 1``)."""
+        return np.diff(np.log(self.prices))
+
+    def design(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lag-window regression problem on standardized prices.
+
+        Returns:
+            ``(X, y)`` where row ``t`` of ``X`` holds closes
+            ``p_{t} .. p_{t+p-1}`` and ``y_t = p_{t+p}``.  Prices are
+            standardized (zero mean, unit variance) so the fixed-point
+            datapath sees well-scaled operands regardless of the index's
+            level.
+
+        Fitting *prices* rather than returns is what makes this
+        benchmark a stress test: consecutive closes are almost
+        collinear, the Gram matrix is severely ill-conditioned, and
+        gradient descent needs hundreds of iterations — the regime the
+        paper's Table 4 reports (387-802 Truth iterations).
+        """
+        z = self.prices.astype(np.float64)
+        std = z.std()
+        if std == 0:
+            raise ValueError("degenerate series: zero price variance")
+        z = (z - z.mean()) / std
+        p = self.order
+        n = z.shape[0] - p
+        windows = np.lib.stride_tricks.sliding_window_view(z, p)[:n]
+        return windows.copy(), z[p:].copy()
+
+
+def make_index_series(
+    name: str,
+    length: int,
+    seed: int,
+    start_price: float = 100.0,
+    calm: tuple[float, float] = (3e-4, 0.008),
+    stressed: tuple[float, float] = (-8e-4, 0.025),
+    switch_prob: tuple[float, float] = (0.02, 0.08),
+    ar_coeffs: tuple[float, ...] = (0.12, -0.06, 0.03),
+    order: int = 10,
+    max_iter: int = 1000,
+    tolerance: float = 1e-13,
+) -> TimeSeriesDataset:
+    """Generate a regime-switching GBM index with AR structure.
+
+    Args:
+        name: dataset identifier.
+        length: number of daily closes.
+        seed: RNG seed.
+        start_price: initial price level.
+        calm / stressed: ``(drift, volatility)`` of each regime.
+        switch_prob: probability of leaving (calm, stressed) per day.
+        ar_coeffs: autoregressive coefficients injected into the return
+            process so the AR(p) fit has genuine signal to recover.
+        order / max_iter / tolerance: fitting budget recorded with the
+            data.
+
+    Returns:
+        A :class:`TimeSeriesDataset` of exactly ``length`` samples.
+    """
+    if length < order + 2:
+        raise ValueError(f"length {length} too short for order {order}")
+    rng = np.random.default_rng(seed)
+    regimes = np.zeros(length - 1, dtype=np.int64)
+    state = 0
+    for t in range(length - 1):
+        regimes[t] = state
+        leave = switch_prob[state]
+        if rng.random() < leave:
+            state = 1 - state
+    drift = np.where(regimes == 0, calm[0], stressed[0])
+    vol = np.where(regimes == 0, calm[1], stressed[1])
+    shocks = rng.normal(size=length - 1)
+    returns = drift + vol * shocks
+    # Inject autoregressive structure on top of the regime noise.
+    for t in range(len(ar_coeffs), length - 1):
+        for lag, coeff in enumerate(ar_coeffs, start=1):
+            returns[t] += coeff * returns[t - lag]
+    prices = start_price * np.exp(np.concatenate([[0.0], np.cumsum(returns)]))
+    return TimeSeriesDataset(
+        name=name,
+        prices=prices,
+        order=order,
+        max_iter=max_iter,
+        tolerance=tolerance,
+    )
+
+
+def make_hangseng(seed: int = 21) -> TimeSeriesDataset:
+    """``HangSeng INDEX`` stand-in: 6694 closes, AR(10), tol 1e-13."""
+    return make_index_series("HangSeng INDEX", length=6694, seed=seed)
+
+
+def make_nasdaq(seed: int = 23) -> TimeSeriesDataset:
+    """``NASDAQ Composite`` stand-in: 10799 closes, AR(10), tol 1e-13."""
+    return make_index_series("NASDAQ Composite", length=10799, seed=seed)
+
+
+def make_sp500(seed: int = 29) -> TimeSeriesDataset:
+    """``S&P 500`` stand-in: 16080 closes, AR(10), tol 1e-13."""
+    return make_index_series("S&P 500", length=16080, seed=seed)

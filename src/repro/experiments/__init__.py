@@ -1,0 +1,34 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+=============  =======================================================
+Artifact       Regenerator
+=============  =======================================================
+Table 1 & 2    :func:`repro.experiments.suite.describe_benchmarks`,
+               :func:`repro.experiments.suite.describe_datasets`
+Table 3(a)     :func:`repro.experiments.table3.table3a`
+Table 3(b)     :func:`repro.experiments.table3.table3b`
+Table 4(a)     :func:`repro.experiments.table4.table4a`
+Table 4(b)     :func:`repro.experiments.table4.table4b`
+Figure 2       :func:`repro.experiments.figure2.figure2`
+Figure 3       :func:`repro.experiments.figure3.figure3`
+Figure 4       :func:`repro.experiments.figure4.figure4`
+=============  =======================================================
+
+All regenerators are plain functions returning formatted text (figures
+render as ASCII/CSV since the build environment has no plotting
+stack); the ``approxit`` CLI (``repro.experiments.cli``) exposes them
+from the command line, and ``benchmarks/`` wraps them in
+pytest-benchmark harnesses.
+"""
+
+from repro.experiments.runner import (
+    ApplicationResult,
+    run_ar_experiment,
+    run_gmm_experiment,
+)
+
+__all__ = [
+    "ApplicationResult",
+    "run_ar_experiment",
+    "run_gmm_experiment",
+]

@@ -1,0 +1,232 @@
+"""``approxit`` command-line interface.
+
+Regenerate any table or figure of the paper from the shell::
+
+    approxit suite       # Tables 1 and 2
+    approxit table3      # Table 3(a) + 3(b)
+    approxit table4      # Table 4(a) + 4(b)
+    approxit figure2     # manifold-angle trace
+    approxit figure3     # clustering scatter panel
+    approxit figure4     # energy comparison
+    approxit all         # everything, in paper order
+
+Beyond the paper's artifacts::
+
+    approxit characterize --dataset 3cluster   # offline mode impacts
+    approxit resilience --dataset 3cluster     # §3.1 block analysis
+
+``--out PATH`` writes the report to a file instead of stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="approxit",
+        description="Regenerate the tables and figures of the ApproxIt paper.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=[
+            "suite",
+            "table3",
+            "table4",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "all",
+            "characterize",
+            "resilience",
+            "extensions",
+            "motivation",
+            "run",
+        ],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="3cluster",
+        help="dataset key for figure3/characterize/resilience/run "
+        "(default: 3cluster)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="incremental",
+        help="strategy spec for the run artifact (default: incremental)",
+    )
+    parser.add_argument(
+        "--save",
+        default=None,
+        help="for run: also persist the run as JSON to this path",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the report to this file instead of stdout"
+    )
+    return parser
+
+
+def _generate(
+    artifact: str,
+    dataset: str,
+    strategy: str = "incremental",
+    save: str | None = None,
+) -> str:
+    # Imports are local so `approxit --help` stays fast.
+    from repro.experiments.figure1 import figure1
+    from repro.experiments.figure2 import figure2
+    from repro.experiments.figure3 import figure3
+    from repro.experiments.figure4 import figure4
+    from repro.experiments.suite import describe_benchmarks, describe_datasets
+    from repro.experiments.table3 import table3a, table3b
+    from repro.experiments.table4 import table4a, table4b
+
+    if artifact == "figure1":
+        return figure1()
+    if artifact == "run":
+        return _run_report(dataset, strategy, save)
+    if artifact == "suite":
+        return describe_benchmarks() + "\n\n" + describe_datasets()
+    if artifact == "table3":
+        return table3a() + "\n\n" + table3b()
+    if artifact == "table4":
+        return table4a() + "\n\n" + table4b()
+    if artifact == "figure2":
+        return figure2()
+    if artifact == "figure3":
+        return figure3(dataset)
+    if artifact == "figure4":
+        return figure4()
+    if artifact == "characterize":
+        return _characterization_report(dataset)
+    if artifact == "resilience":
+        return _resilience_report(dataset)
+    if artifact == "motivation":
+        from repro.experiments.motivation import motivation_table
+
+        return motivation_table(dataset)
+    if artifact == "extensions":
+        from repro.experiments.extensions import (
+            pagerank_table,
+            reconfiguration_cost_table,
+            seed_robustness_table,
+        )
+
+        return "\n\n".join(
+            [
+                pagerank_table(),
+                reconfiguration_cost_table(),
+                seed_robustness_table(),
+            ]
+        )
+    parts = [
+        describe_benchmarks(),
+        describe_datasets(),
+        figure1(),
+        table3a(),
+        table3b(),
+        figure3(dataset),
+        table4a(),
+        table4b(),
+        figure2(),
+        figure4(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _build_method(dataset_key: str):
+    from repro.apps.autoregression import AutoRegression
+    from repro.apps.gmm import GaussianMixtureEM
+    from repro.data.registry import DATASETS, load_dataset
+
+    spec = DATASETS[dataset_key]
+    dataset = load_dataset(dataset_key)
+    if spec.application == "gmm":
+        return GaussianMixtureEM.from_dataset(dataset)
+    return AutoRegression.from_dataset(dataset)
+
+
+def _characterization_report(dataset_key: str) -> str:
+    from repro.core.framework import ApproxIt
+    from repro.experiments.render import format_number, format_table
+
+    framework = ApproxIt(_build_method(dataset_key))
+    table = framework.characterization()
+    rows = [
+        [
+            name,
+            format_number(impact.quality_error),
+            format_number(impact.energy_per_iteration),
+            impact.probes,
+        ]
+        for name, impact in table.impacts.items()
+    ]
+    return format_table(
+        ["Mode", "Quality error (Def. 1)", "Energy / iteration", "Probes"],
+        rows,
+        title=f"Offline characterization on {dataset_key}",
+    )
+
+
+def _resilience_report(dataset_key: str) -> str:
+    from repro.apps.gmm import GaussianMixtureEM
+    from repro.core.resilience import analyze_resilience, gmm_blocks
+    from repro.experiments.render import format_number, format_table
+
+    method = _build_method(dataset_key)
+    if isinstance(method, GaussianMixtureEM):
+        blocks = gmm_blocks(method)
+    else:
+        import numpy as np
+
+        blocks = {"coefficients": np.arange(method.initial_state().size)}
+    rows = []
+    for scale in (1e-3, 1e-2, 1e-1):
+        results = analyze_resilience(method, blocks, noise_scale=scale, trials=2)
+        for name, impact in results.items():
+            rows.append(
+                [
+                    name,
+                    f"{scale:g}",
+                    format_number(impact.mean_quality_error),
+                    impact.crashed,
+                    "resilient" if impact.resilient else "SENSITIVE",
+                ]
+            )
+    return format_table(
+        ["Block", "Noise scale", "Quality error", "Crashes", "Verdict"],
+        rows,
+        title=f"Section-3.1 resilience analysis on {dataset_key}",
+    )
+
+
+def _run_report(dataset_key: str, strategy: str, save: str | None) -> str:
+    from repro.core.framework import ApproxIt
+    from repro.core.reporting import comparison_report, save_run
+
+    framework = ApproxIt(_build_method(dataset_key))
+    truth = framework.run_truth()
+    run = framework.run(strategy=strategy)
+    if save:
+        save_run(run, save)
+    return comparison_report({"truth": truth, strategy: run}, reference="truth")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    report = _generate(args.artifact, args.dataset, args.strategy, args.save)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+    else:
+        sys.stdout.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

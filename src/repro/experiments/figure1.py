@@ -1,0 +1,44 @@
+"""Figure 1: the ApproxIt framework block diagram.
+
+The paper's Figure 1 is architectural — the offline characterization
+stage feeding the online reconfiguration loop.  The reproduction's
+version annotates each block with the module that implements it, so the
+diagram doubles as a code map; rendering it live (rather than pasting a
+bitmap) keeps it honest against the codebase.
+"""
+
+from __future__ import annotations
+
+_DIAGRAM = r"""
+Figure 1: the ApproxIt framework (annotated with implementing modules)
+
+  OFFLINE CHARACTERIZATION                    ONLINE RECONFIGURATION
+ +--------------------------------+     +----------------------------------+
+ |  application                   |     |  iterative method                |
+ |  (repro.apps / repro.solvers)  |     |  x^{k+1} = x^k + a^k d^k         |
+ |        |                       |     |  (IterativeMethod.direction/     |
+ |        v                       |     |   update, on the selected mode)  |
+ |  resilience identification     |     |        |                         |
+ |  (core.resilience)             |     |        v                         |
+ |        |                       |     |  quality estimator               |
+ |        v                       |     |  f, grad, ||dx||  (exact side)   |
+ |  probe iterations per mode     |     |        |                         |
+ |  vs golden twin                |     |        v                         |
+ |  (core.characterize)           |     |  reconfiguration strategy        |
+ |        |                       |     |  schemes / angle-LUT             |
+ |        v                       |     |  (core.strategies.*)             |
+ |  quality error eps_i (Def. 1)  |---->|        |                         |
+ |  energy j_i per iteration      |     |        v                         |
+ +--------------------------------+     |  mode select -> ApproxEngine     |
+                                        |  (arith.engine, hardware.adders) |
+          quality guarantee:            |        |                         |
+   tolerance passes in approximate      |        v                         |
+   modes are never accepted — the       |  energy ledger / run result      |
+   run is handed to the exact mode      |  (arith.EnergyLedger, RunResult) |
+   (core.framework.ApproxIt.run)        +----------------------------------+
+"""
+
+
+def figure1() -> str:
+    """Render the annotated framework diagram."""
+    return _DIAGRAM.strip("\n")

@@ -1,0 +1,96 @@
+"""Figure 2: the parameter-manifold steepness intuition.
+
+The paper's Figure 2 shows a non-convex parameter manifold in 3-D to
+argue that error tolerance is *not* monotone along a trajectory, which
+motivates the bidirectional angle-based strategy.  This regenerator
+traces the manifold angle alpha along a gradient-descent run on the
+Rosenbrock valley (the canonical non-convex surface) and shows that the
+angle both falls and *rises* along the way — exactly the phenomenon the
+figure illustrates — then renders the trace as an ASCII sparkline plus
+a CSV block for external plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import default_mode_bank
+from repro.core.strategies.adaptive import AdaptiveAngleStrategy
+from repro.solvers.functions import RosenbrockFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+_SPARK = " .:-=+*#%@"
+
+
+def angle_trace(iterations: int = 120) -> list[tuple[int, float, float]]:
+    """``(iteration, gradient_norm, angle_deg)`` along a Rosenbrock run."""
+    fn = RosenbrockFunction(dim=2)
+    method = GradientDescent(
+        fn,
+        x0=np.array([-1.2, 1.0]),
+        learning_rate=1.5e-3,
+        max_iter=iterations,
+        tolerance=1e-14,
+    )
+    bank = default_mode_bank()
+    engine = ApproxEngine(bank.accurate, FixedPointFormat(32, 16), EnergyLedger())
+    strategy = AdaptiveAngleStrategy()
+    strategy.start(bank, _dummy_characterization(bank))
+
+    trace = []
+    x = method.initial_state()
+    for k in range(iterations):
+        grad_norm = float(np.linalg.norm(method.gradient(x)))
+        trace.append((k, grad_norm, strategy.manifold_angle(grad_norm)))
+        d = method.direction(x, engine)
+        x = method.update(x, method.step_size(x, d, k), d, engine)
+    return trace
+
+
+def _dummy_characterization(bank):
+    from repro.core.characterize import CharacterizationTable, ModeImpact
+
+    impacts = {
+        m.name: ModeImpact(
+            mode_name=m.name,
+            quality_error=10.0 ** -(2 * m.index + 1) if not m.is_accurate else 0.0,
+            energy_per_iteration=m.energy_per_add,
+            probes=1,
+        )
+        for m in bank
+    }
+    return CharacterizationTable(impacts=impacts, f_x0=10.0, f_x1=9.0)
+
+
+def sparkline(values: list[float], lo: float = 0.0, hi: float = 90.0) -> str:
+    """One-character-per-value intensity strip."""
+    chars = []
+    span = max(hi - lo, 1e-12)
+    for v in values:
+        idx = int((min(max(v, lo), hi) - lo) / span * (len(_SPARK) - 1))
+        chars.append(_SPARK[idx])
+    return "".join(chars)
+
+
+def figure2() -> str:
+    """Render the Figure-2 angle trace report."""
+    trace = angle_trace()
+    angles = [a for _, _, a in trace]
+    rising = sum(1 for a, b in zip(angles, angles[1:]) if b > a + 1e-9)
+    lines = [
+        "Figure 2: manifold steepness angle along a non-convex descent",
+        "(Rosenbrock valley; angle in degrees, 90 = steepest)",
+        "",
+        "angle " + sparkline(angles),
+        "",
+        f"angle range: [{min(angles):.1f}, {max(angles):.1f}] deg; "
+        f"{rising} of {len(angles) - 1} transitions are *rising* — the "
+        "manifold steepens again after flattening, so a one-directional "
+        "strategy would be stuck at high accuracy.",
+        "",
+        "iteration,gradient_norm,angle_deg",
+    ]
+    lines += [f"{k},{g:.6g},{a:.3f}" for k, g, a in trace]
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Monospace table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render rows as a boxed monospace table.
+
+    Args:
+        headers: column names.
+        rows: cell values; everything is str()-ed.
+        title: optional caption printed above the table.
+
+    Returns:
+        The rendered table as a single string.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def fmt_row(values: Sequence[str]) -> str:
+        padded = [f" {v:<{w}} " for v, w in zip(values, widths)]
+        return "|" + "|".join(padded) + "|"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row([str(h) for h in headers]))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in cells)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_number(value: float, digits: int = 4) -> str:
+    """Compact numeric formatting for table cells."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 10 ** (-digits):
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits}g}"
+
+
+def ascii_scatter(
+    points, labels, width: int = 60, height: int = 24, glyphs: str = "ox+*#@"
+) -> str:
+    """Render labelled 2-D points as an ASCII scatter plot.
+
+    Args:
+        points: ``(n, 2)`` coordinates.
+        labels: integer label per point (selects the glyph).
+        width / height: character-grid size.
+        glyphs: one glyph per cluster index.
+
+    Returns:
+        A newline-joined character grid.
+    """
+    import numpy as np
+
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"ascii_scatter needs (n, 2) points, got {points.shape}")
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y), lab in zip(points, labels):
+        col = int((x - lo[0]) / span[0] * (width - 1))
+        row = int((y - lo[1]) / span[1] * (height - 1))
+        grid[height - 1 - row][col] = glyphs[lab % len(glyphs)]
+    return "\n".join("".join(row) for row in grid)

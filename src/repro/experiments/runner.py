@@ -1,0 +1,166 @@
+"""Shared experiment execution for the table/figure regenerators.
+
+One :class:`ApplicationResult` per (application, dataset) bundles the
+Truth run, the four single-mode runs (Table 3(a)/4(a)) and the two
+online-reconfiguration runs (Table 3(b)/4(b)), with QEM and normalized
+energy computed against the Truth — the exact quantities the paper's
+tables print.  Results are memoized per process so that e.g. Figure 4
+reuses Table 3's runs instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.apps.autoregression import AutoRegression
+from repro.apps.gmm import GaussianMixtureEM
+from repro.apps.qem import cluster_assignment_hamming, weight_l2_error
+from repro.core.framework import ApproxIt, RunResult
+from repro.data.registry import DATASETS, load_dataset
+
+#: Single-mode configurations of the first experiment, ladder order.
+SINGLE_MODES = ("level1", "level2", "level3", "level4")
+#: Online strategies of the second experiment.
+ONLINE_STRATEGIES = ("incremental", "adaptive")
+
+#: Keys of the GMM datasets, Table 3 row order.
+GMM_DATASETS = ("3cluster", "3d3cluster", "4cluster")
+#: Keys of the AR datasets, Table 4 row order.
+AR_DATASETS = ("hangseng", "nasdaq", "sp500")
+
+
+@dataclass
+class ApplicationResult:
+    """All runs of one application on one dataset.
+
+    Attributes:
+        dataset_key: registry key.
+        display_name: the paper's dataset name.
+        truth: fully accurate reference run.
+        single_mode: mode name → run (the Table a experiments).
+        online: strategy name → run (the Table b experiments).
+        qem: run label (mode or strategy name) → quality vs Truth.
+        framework: the ApproxIt instance (exposes method and bank for
+            downstream figures).
+    """
+
+    dataset_key: str
+    display_name: str
+    truth: RunResult
+    single_mode: dict[str, RunResult]
+    online: dict[str, RunResult]
+    qem: dict[str, float]
+    framework: ApproxIt
+
+    def energy_of(self, label: str) -> float:
+        """Normalized energy (Truth = 1) of a single-mode or online run."""
+        run = self.run_of(label)
+        return run.energy_relative_to(self.truth)
+
+    def run_of(self, label: str) -> RunResult:
+        """Look up a run by mode name, strategy name, or ``"truth"``."""
+        if label == "truth":
+            return self.truth
+        if label in self.single_mode:
+            return self.single_mode[label]
+        if label in self.online:
+            return self.online[label]
+        known = ["truth", *self.single_mode, *self.online]
+        raise KeyError(f"unknown run label {label!r}; known: {known}")
+
+    def savings_of(self, label: str) -> float:
+        """Energy saving vs Truth in percent (positive = cheaper)."""
+        return (1.0 - self.energy_of(label)) * 100.0
+
+
+def _run_all(framework: ApproxIt, qem_fn) -> tuple[RunResult, dict, dict, dict]:
+    truth = framework.run_truth()
+    single = {}
+    online = {}
+    qem = {"truth": 0.0}
+    for mode in SINGLE_MODES:
+        run = framework.run(strategy=f"static:{mode}")
+        single[mode] = run
+        qem[mode] = qem_fn(run, truth)
+    for strategy in ONLINE_STRATEGIES:
+        run = framework.run(strategy=strategy)
+        online[strategy] = run
+        qem[strategy] = qem_fn(run, truth)
+    return truth, single, online, qem
+
+
+@lru_cache(maxsize=None)
+def run_gmm_experiment(dataset_key: str) -> ApplicationResult:
+    """Run the full GMM experiment matrix on one Table-2 dataset."""
+    spec = DATASETS[dataset_key]
+    if spec.application != "gmm":
+        raise ValueError(f"{dataset_key!r} is not a GMM dataset")
+    dataset = load_dataset(dataset_key)
+    method = GaussianMixtureEM.from_dataset(dataset)
+    framework = ApproxIt(method)
+
+    def qem_fn(run: RunResult, truth: RunResult) -> float:
+        return float(
+            cluster_assignment_hamming(
+                method.assignments(run.x),
+                method.assignments(truth.x),
+                method.n_clusters,
+            )
+        )
+
+    truth, single, online, qem = _run_all(framework, qem_fn)
+    return ApplicationResult(
+        dataset_key=dataset_key,
+        display_name=spec.display_name,
+        truth=truth,
+        single_mode=single,
+        online=online,
+        qem=qem,
+        framework=framework,
+    )
+
+
+@lru_cache(maxsize=None)
+def run_ar_experiment(dataset_key: str) -> ApplicationResult:
+    """Run the full AutoRegression experiment matrix on one dataset."""
+    spec = DATASETS[dataset_key]
+    if spec.application != "autoregression":
+        raise ValueError(f"{dataset_key!r} is not an AR dataset")
+    dataset = load_dataset(dataset_key)
+    method = AutoRegression.from_dataset(dataset)
+    framework = ApproxIt(method)
+
+    def qem_fn(run: RunResult, truth: RunResult) -> float:
+        return weight_l2_error(run.x, truth.x)
+
+    truth, single, online, qem = _run_all(framework, qem_fn)
+    return ApplicationResult(
+        dataset_key=dataset_key,
+        display_name=spec.display_name,
+        truth=truth,
+        single_mode=single,
+        online=online,
+        qem=qem,
+        framework=framework,
+    )
+
+
+def run_experiment(dataset_key: str) -> ApplicationResult:
+    """Dispatch on the dataset's registered application."""
+    spec = DATASETS[dataset_key]
+    if spec.application == "gmm":
+        return run_gmm_experiment(dataset_key)
+    return run_ar_experiment(dataset_key)
+
+
+def iteration_cell(run: RunResult) -> str:
+    """The paper's iteration cell: the count, or ``MAX_ITER``."""
+    return "MAX_ITER" if run.hit_max_iter else str(run.iterations)
+
+
+def steps_row(run: RunResult, bank_names: list[str]) -> list[int]:
+    """Per-mode accepted step counts in ladder order."""
+    return [run.steps_by_mode.get(name, 0) for name in bank_names]

@@ -1,0 +1,66 @@
+"""Table 3: results on Gaussian mixture models.
+
+(a) single-mode configurations — iterations, QEM (Hamming distance vs
+Truth) and normalized energy per dataset; (b) online reconfiguration —
+per-level accepted step counts, totals and final error for the
+incremental and adaptive (f=1) strategies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.render import format_number, format_table
+from repro.experiments.runner import (
+    GMM_DATASETS,
+    ONLINE_STRATEGIES,
+    SINGLE_MODES,
+    iteration_cell,
+    run_gmm_experiment,
+    steps_row,
+)
+
+
+def table3a(dataset_keys: tuple[str, ...] = GMM_DATASETS) -> str:
+    """Render Table 3(a): GMM single-mode results."""
+    headers = ["Configuration"]
+    for key in dataset_keys:
+        name = run_gmm_experiment(key).display_name
+        headers += [f"{name} Iter", f"{name} QEM", f"{name} Energy"]
+
+    rows = []
+    for label in list(SINGLE_MODES) + ["truth"]:
+        row = ["Truth" if label == "truth" else label]
+        for key in dataset_keys:
+            result = run_gmm_experiment(key)
+            run = result.run_of(label)
+            row += [
+                iteration_cell(run),
+                int(result.qem[label]),
+                format_number(result.energy_of(label)),
+            ]
+        rows.append(row)
+    return format_table(headers, rows, title="Table 3(a): GMM Single Mode Results")
+
+
+def table3b(dataset_keys: tuple[str, ...] = GMM_DATASETS) -> str:
+    """Render Table 3(b): GMM online reconfiguration results."""
+    blocks = []
+    for strategy in ONLINE_STRATEGIES:
+        rows = []
+        bank_names = None
+        for key in dataset_keys:
+            result = run_gmm_experiment(key)
+            bank_names = result.framework.bank.names()
+            run = result.online[strategy]
+            steps = steps_row(run, bank_names)
+            rows.append(
+                [result.display_name]
+                + steps
+                + [run.iterations, int(result.qem[strategy])]
+            )
+        title = (
+            "Table 3(b): GMM Online Reconfiguration — "
+            + ("Incremental" if strategy == "incremental" else "Adaptive (f=1)")
+        )
+        headers = ["Dataset"] + list(bank_names) + ["Total", "Error"]
+        blocks.append(format_table(headers, rows, title=title))
+    return "\n\n".join(blocks)

@@ -1,0 +1,65 @@
+"""Table 4: results on AutoRegression.
+
+Same structure as Table 3, with the QEM being the l2 least-square error
+of the fitted coefficients against the Truth fit, and the paper's
+"Power" column being the normalized approximate-part energy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.render import format_number, format_table
+from repro.experiments.runner import (
+    AR_DATASETS,
+    ONLINE_STRATEGIES,
+    SINGLE_MODES,
+    iteration_cell,
+    run_ar_experiment,
+    steps_row,
+)
+
+
+def table4a(dataset_keys: tuple[str, ...] = AR_DATASETS) -> str:
+    """Render Table 4(a): AR single-mode results."""
+    headers = ["Configuration"]
+    for key in dataset_keys:
+        name = run_ar_experiment(key).display_name
+        headers += [f"{name} Iter", f"{name} QEM", f"{name} Power"]
+
+    rows = []
+    for label in list(SINGLE_MODES) + ["truth"]:
+        row = ["Truth" if label == "truth" else label]
+        for key in dataset_keys:
+            result = run_ar_experiment(key)
+            run = result.run_of(label)
+            row += [
+                iteration_cell(run),
+                format_number(result.qem[label]),
+                format_number(result.energy_of(label)),
+            ]
+        rows.append(row)
+    return format_table(headers, rows, title="Table 4(a): AR Single Mode Results")
+
+
+def table4b(dataset_keys: tuple[str, ...] = AR_DATASETS) -> str:
+    """Render Table 4(b): AR online reconfiguration results."""
+    blocks = []
+    for strategy in ONLINE_STRATEGIES:
+        rows = []
+        bank_names = None
+        for key in dataset_keys:
+            result = run_ar_experiment(key)
+            bank_names = result.framework.bank.names()
+            run = result.online[strategy]
+            steps = steps_row(run, bank_names)
+            rows.append(
+                [result.display_name]
+                + steps
+                + [run.iterations, format_number(result.qem[strategy])]
+            )
+        title = (
+            "Table 4(b): AR Online Reconfiguration — "
+            + ("Incremental" if strategy == "incremental" else "Adaptive (f=1)")
+        )
+        headers = ["Dataset"] + list(bank_names) + ["Total", "Error"]
+        blocks.append(format_table(headers, rows, title=title))
+    return "\n\n".join(blocks)

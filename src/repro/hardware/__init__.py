@@ -1,0 +1,66 @@
+"""Bit-accurate software models of approximate arithmetic hardware.
+
+The paper evaluates ApproxIt on a quality-configurable system built from
+four approximate adders of increasing accuracy (``level1`` .. ``level4``)
+plus a fully accurate mode, following the reconfiguration-oriented adder
+designs of Ye et al. (ICCAD 2013).  Those gate-level netlists are not
+public, so this package implements the canonical approximate-adder
+families those levels stand in for:
+
+=====================  ====================================================
+Model                  Approximation idea
+=====================  ====================================================
+:class:`ExactAdder`    golden ripple-carry behaviour (no approximation)
+:class:`LowerOrAdder`  LOA — OR the low-order bits, add the rest exactly
+:class:`EtaIIAdder`    ETA-II — segmented carry speculation
+:class:`AcaAdder`      ACA — per-bit carry from a bounded look-back window
+:class:`GearAdder`     GeAr — generic sub-adders with R result / P
+                       previous bits
+:class:`TruncatedAdder` drop the low-order bits entirely
+=====================  ====================================================
+
+All adders operate on two's-complement integers of a configurable bit
+width, vectorized over numpy ``int64`` arrays, and expose an energy cost
+per operation derived from the cell counts of their structural
+description (:mod:`repro.hardware.energy`).
+
+:mod:`repro.hardware.characterization` computes the classic low-level
+error metrics (worst-case error, error rate, mean error, mean error
+distance, mean relative error distance) that Section 3.1 of the paper
+contrasts with its application-level *quality error*.
+"""
+
+from repro.hardware.adders import (
+    AcaAdder,
+    AdderModel,
+    EtaIIAdder,
+    ExactAdder,
+    GearAdder,
+    LowerOrAdder,
+    TruncatedAdder,
+    build_adder,
+)
+from repro.hardware.characterization import AdderErrorProfile, characterize_adder
+from repro.hardware.energy import EnergyModel
+from repro.hardware.multipliers import (
+    ApproxArrayMultiplier,
+    ExactMultiplier,
+    TruncatedMultiplier,
+)
+
+__all__ = [
+    "AcaAdder",
+    "AdderModel",
+    "AdderErrorProfile",
+    "ApproxArrayMultiplier",
+    "EnergyModel",
+    "EtaIIAdder",
+    "ExactAdder",
+    "ExactMultiplier",
+    "GearAdder",
+    "LowerOrAdder",
+    "TruncatedAdder",
+    "TruncatedMultiplier",
+    "build_adder",
+    "characterize_adder",
+]

@@ -1,0 +1,73 @@
+"""Approximate adder model zoo.
+
+Each model is a subclass of :class:`~repro.hardware.adders.base.AdderModel`
+implementing ``add_unsigned`` (vectorized over numpy ``int64`` words) and a
+structural cell inventory from which the energy model derives a cost per
+operation.  :func:`build_adder` is the string-keyed factory used by the
+mode registry and by configuration files.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hardware.adders.aca import AcaAdder
+from repro.hardware.adders.base import AdderModel
+from repro.hardware.adders.etaii import EtaIIAdder
+from repro.hardware.adders.exact import ExactAdder
+from repro.hardware.adders.faulty import FaultyAdder
+from repro.hardware.adders.gear import GearAdder
+from repro.hardware.adders.loa import LowerOrAdder
+from repro.hardware.adders.reconfigurable import ReconfigurableAdder
+from repro.hardware.adders.truncated import TruncatedAdder
+
+#: Registry of adder families addressable by name.
+ADDER_FAMILIES: dict[str, type[AdderModel]] = {
+    "exact": ExactAdder,
+    "loa": LowerOrAdder,
+    "etaii": EtaIIAdder,
+    "aca": AcaAdder,
+    "gear": GearAdder,
+    "truncated": TruncatedAdder,
+}
+
+
+def build_adder(family: str, width: int, **params: Any) -> AdderModel:
+    """Instantiate an adder model by family name.
+
+    Args:
+        family: one of ``exact``, ``loa``, ``etaii``, ``aca``, ``gear``,
+            ``truncated``.
+        width: word width in bits (two's complement).
+        **params: family-specific parameters, e.g. ``approx_bits`` for
+            ``loa``/``truncated``, ``segment_bits`` for ``etaii``,
+            ``lookback_bits`` for ``aca``, ``result_bits``/``previous_bits``
+            for ``gear``.
+
+    Returns:
+        A configured :class:`AdderModel`.
+
+    Raises:
+        KeyError: if ``family`` is unknown.
+    """
+    try:
+        cls = ADDER_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(ADDER_FAMILIES))
+        raise KeyError(f"unknown adder family {family!r}; known: {known}") from None
+    return cls(width=width, **params)
+
+
+__all__ = [
+    "ADDER_FAMILIES",
+    "AcaAdder",
+    "AdderModel",
+    "EtaIIAdder",
+    "ExactAdder",
+    "FaultyAdder",
+    "GearAdder",
+    "LowerOrAdder",
+    "ReconfigurableAdder",
+    "TruncatedAdder",
+    "build_adder",
+]

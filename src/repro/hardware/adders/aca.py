@@ -1,0 +1,78 @@
+"""Almost Correct Adder (ACA).
+
+Verma et al.'s design: each result bit ``i`` is computed with a carry
+speculated from only the previous ``lookback_bits`` bit positions rather
+than the full carry chain.  Equivalent to a sliding-window adder; the
+probability that a real carry chain exceeds the window shrinks
+geometrically with the window size.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.hardware import bitops
+from repro.hardware.adders.base import AdderModel
+
+
+class AcaAdder(AdderModel):
+    """ACA with a configurable carry look-back window.
+
+    Args:
+        width: total word width in bits.
+        lookback_bits: how many previous bit positions participate in the
+            speculated carry for each result bit.  ``lookback_bits >=
+            width - 1`` degenerates to an exact adder.
+    """
+
+    family = "aca"
+
+    def __init__(self, width: int, lookback_bits: int):
+        super().__init__(width)
+        if lookback_bits < 1:
+            raise ValueError(f"lookback_bits must be >= 1, got {lookback_bits}")
+        self.lookback_bits = int(lookback_bits)
+
+    def add_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if self.lookback_bits >= self.width - 1:
+            return self.exact_sum(a, b)
+
+        k = self.lookback_bits
+        result = np.zeros_like(a)
+        for i in range(self.width):
+            lo = max(0, i - k)
+            window = i - lo  # number of look-back bits actually available
+            # Carry into bit i from the windowed sub-addition.
+            wa = bitops.extract_field(a, lo, window)
+            wb = bitops.extract_field(b, lo, window)
+            carry = (wa + wb) >> np.int64(window) if window else np.zeros_like(a)
+            s = bitops.get_bit(a, i) + bitops.get_bit(b, i) + carry
+            result |= (s & np.int64(1)) << np.int64(i)
+        return result
+
+    def cell_inventory(self) -> Counter:
+        if self.lookback_bits >= self.width - 1:
+            return Counter({"fa": self.width})
+        # Each result bit owns a window of lookback_bits carry cells; the
+        # heavy overlap is what makes ACA fast but area-hungry.  Real
+        # implementations share the prefix logic between windows, so the
+        # overlap is charged at the shared-speculation cell cost.
+        spec = sum(min(self.lookback_bits, i) for i in range(self.width))
+        return Counter({"fa": self.width, "spec_shared": spec})
+
+    def critical_path_cells(self) -> int:
+        """One look-back window plus the result bit."""
+        if self.lookback_bits >= self.width - 1:
+            return self.width
+        return min(self.width, self.lookback_bits + 1)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.lookback_bits >= self.width - 1
+
+    def describe(self) -> str:
+        return f"AcaAdder(width={self.width}, lookback_bits={self.lookback_bits})"

@@ -1,0 +1,87 @@
+"""Fault-injecting adder wrapper.
+
+Wraps any behavioural adder and flips result bits with a configurable
+per-bit probability — the standard soft-error / voltage-overscaling
+fault model.  Used by the failure-injection tests to demonstrate that
+ApproxIt's recovery machinery (the function scheme's rollback and the
+escalation ladder) keeps runs convergent even when a mode misbehaves
+*worse* than its offline characterization promised — precisely the case
+the paper's function scheme exists for ("the offline choice of impact
+characterization cannot represent all cases").
+
+The fault stream is seeded and self-contained, so runs stay
+reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.hardware import bitops
+from repro.hardware.adders.base import AdderModel
+
+
+class FaultyAdder(AdderModel):
+    """An adder whose outputs suffer random bit flips.
+
+    Args:
+        inner: the behavioural adder to wrap.
+        flip_probability: per-output-bit flip probability per operation.
+        seed: fault-stream seed.
+        max_bit: restrict flips to bits ``[0, max_bit)``; ``None`` exposes
+            every output bit (including the sign) to faults.
+    """
+
+    family = "faulty"
+
+    def __init__(
+        self,
+        inner: AdderModel,
+        flip_probability: float,
+        seed: int = 0,
+        max_bit: int | None = None,
+    ):
+        super().__init__(inner.width)
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError(
+                f"flip_probability must be in [0, 1], got {flip_probability}"
+            )
+        if max_bit is not None and not 0 < max_bit <= inner.width:
+            raise ValueError(f"max_bit must be in (0, width], got {max_bit}")
+        self.inner = inner
+        self.flip_probability = float(flip_probability)
+        self.fault_bits = inner.width if max_bit is None else int(max_bit)
+        self._rng = np.random.default_rng(seed)
+        self.injected_flips = 0
+
+    def add_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = self.inner.add_unsigned(a, b)
+        if self.flip_probability == 0.0:
+            return out
+        flips = self._rng.random((out.size, self.fault_bits)) < self.flip_probability
+        if not flips.any():
+            return out
+        self.injected_flips += int(flips.sum())
+        weights = (np.int64(1) << np.arange(self.fault_bits, dtype=np.int64))
+        masks = (flips * weights).sum(axis=1).astype(np.int64).reshape(out.shape)
+        word = np.int64(bitops.word_mask(self.width))
+        return (out ^ masks) & word
+
+    def cell_inventory(self) -> Counter:
+        return self.inner.cell_inventory()
+
+    def critical_path_cells(self) -> int:
+        return self.inner.critical_path_cells()
+
+    @property
+    def is_exact(self) -> bool:
+        # Even wrapping an exact adder, a nonzero fault rate is inexact.
+        return self.inner.is_exact and self.flip_probability == 0.0
+
+    def describe(self) -> str:
+        return (
+            f"FaultyAdder({self.inner.describe()}, "
+            f"p={self.flip_probability:g}, bits<{self.fault_bits})"
+        )

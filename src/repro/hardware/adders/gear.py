@@ -1,0 +1,117 @@
+"""Generic Accuracy-configurable adder (GeAr).
+
+Shafique et al.'s generalization of ACA/ETA-style designs: the word is
+covered by overlapping sub-adders, each producing ``result_bits`` result
+bits while consuming ``previous_bits`` extra low-order bits purely for
+carry speculation.  ``GeAr(R, P)`` spans the families:
+
+* ``P = 0`` → disjoint segments with no speculation (ETA-like with
+  zero-carry guesses),
+* larger ``P`` → longer speculation windows and lower error rates,
+* ``R + P >= width`` → exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.hardware import bitops
+from repro.hardware.adders.base import AdderModel
+
+
+class GearAdder(AdderModel):
+    """GeAr(R, P) adder.
+
+    Args:
+        width: total word width in bits.
+        result_bits: ``R``, result bits produced per sub-adder (>= 1).
+        previous_bits: ``P``, speculative look-back bits per sub-adder
+            (>= 0).
+    """
+
+    family = "gear"
+
+    def __init__(self, width: int, result_bits: int, previous_bits: int):
+        super().__init__(width)
+        if result_bits < 1:
+            raise ValueError(f"result_bits must be >= 1, got {result_bits}")
+        if previous_bits < 0:
+            raise ValueError(f"previous_bits must be >= 0, got {previous_bits}")
+        self.result_bits = int(result_bits)
+        self.previous_bits = int(previous_bits)
+
+    def _subadders(self) -> list[tuple[int, int]]:
+        """``(result_lo, window_lo)`` for each sub-adder, LSB first.
+
+        The first sub-adder produces bits ``[0, R + P)`` exactly (it has
+        no predecessor to speculate from); subsequent sub-adders each
+        produce ``R`` bits starting where the previous one stopped.
+        """
+        spans = []
+        r, p = self.result_bits, self.previous_bits
+        result_lo = 0
+        first_span = min(r + p, self.width)
+        spans.append((0, 0))
+        result_lo = first_span
+        while result_lo < self.width:
+            window_lo = max(0, result_lo - p)
+            spans.append((result_lo, window_lo))
+            result_lo += r
+        return spans
+
+    def add_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if self.result_bits + self.previous_bits >= self.width:
+            return self.exact_sum(a, b)
+
+        r, p = self.result_bits, self.previous_bits
+        result = np.zeros_like(a)
+        spans = self._subadders()
+        for idx, (result_lo, window_lo) in enumerate(spans):
+            if idx == 0:
+                length = min(r + p, self.width)
+                produced_lo, produced_len = 0, length
+            else:
+                length = min(result_lo + r, self.width) - window_lo
+                produced_lo, produced_len = result_lo, min(r, self.width - result_lo)
+            wa = bitops.extract_field(a, window_lo, length)
+            wb = bitops.extract_field(b, window_lo, length)
+            s = wa + wb
+            keep_shift = np.int64(produced_lo - window_lo)
+            keep_mask = np.int64((1 << produced_len) - 1)
+            result |= ((s >> keep_shift) & keep_mask) << np.int64(produced_lo)
+        return result
+
+    def cell_inventory(self) -> Counter:
+        if self.result_bits + self.previous_bits >= self.width:
+            return Counter({"fa": self.width})
+        total_window = 0
+        r, p = self.result_bits, self.previous_bits
+        for idx, (result_lo, window_lo) in enumerate(self._subadders()):
+            if idx == 0:
+                total_window += min(r + p, self.width)
+            else:
+                total_window += min(result_lo + r, self.width) - window_lo
+        # Every windowed bit costs a full adder; overlap beyond `width`
+        # is the speculation overhead.
+        overhead = max(0, total_window - self.width)
+        return Counter({"fa": self.width, "spec_half": overhead})
+
+    def critical_path_cells(self) -> int:
+        """One sub-adder's window: R result + P speculation bits."""
+        if self.result_bits + self.previous_bits >= self.width:
+            return self.width
+        return min(self.width, self.result_bits + self.previous_bits)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.result_bits + self.previous_bits >= self.width
+
+    def describe(self) -> str:
+        return (
+            f"GearAdder(width={self.width}, result_bits={self.result_bits}, "
+            f"previous_bits={self.previous_bits})"
+        )

@@ -1,0 +1,130 @@
+"""Runtime-reconfigurable quality-configurable adder.
+
+The paper's platform is built from the reconfiguration-oriented adders
+of Ye et al. (ICCAD 2013): *one* physical device whose accuracy level is
+switched by a small configuration register, not five separate adders.
+:class:`ReconfigurableAdder` models that device: it wraps an ordered
+ladder of behavioural adder models, exposes ``select(level)`` and counts
+level switches so the (small but nonzero) reconfiguration energy can be
+charged — letting the reproduction *measure* the paper's claim that
+reconfiguration overhead "can be safely ignored".
+
+The device is intentionally the only stateful component in
+:mod:`repro.hardware`; everything else stays purely functional.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.hardware.adders.base import AdderModel
+
+#: Energy units charged per level switch: reloading a handful of
+#: configuration latches, a few gate-equivalents.
+DEFAULT_SWITCH_ENERGY = 2.0
+
+
+class ReconfigurableAdder(AdderModel):
+    """One adder, many accuracy levels, switched at runtime.
+
+    Args:
+        levels: behavioural models ordered least accurate first; all
+            must share one width and the last must be exact (so the
+            device can always be driven to full accuracy).
+        switch_energy: energy units charged per reconfiguration.
+
+    The instance behaves as whatever level is currently selected;
+    :attr:`switches` and :attr:`switch_energy_spent` expose the
+    reconfiguration overhead.
+    """
+
+    family = "reconfigurable"
+
+    def __init__(
+        self,
+        levels: Sequence[AdderModel],
+        switch_energy: float = DEFAULT_SWITCH_ENERGY,
+    ):
+        if not levels:
+            raise ValueError("a reconfigurable adder needs at least one level")
+        widths = {adder.width for adder in levels}
+        if len(widths) != 1:
+            raise ValueError(f"all levels must share one width, got {widths}")
+        if not levels[-1].is_exact:
+            raise ValueError("the highest level must be exact")
+        if switch_energy < 0:
+            raise ValueError(f"switch_energy must be >= 0, got {switch_energy}")
+        super().__init__(levels[0].width)
+        self.levels = tuple(levels)
+        self.switch_energy = float(switch_energy)
+        self._current = 0
+        self.switches = 0
+        self.switch_energy_spent = 0.0
+
+    # ------------------------------------------------------------------
+    # Configuration interface
+    # ------------------------------------------------------------------
+    @property
+    def current_level(self) -> int:
+        """Index of the active level (0 = least accurate)."""
+        return self._current
+
+    @property
+    def active(self) -> AdderModel:
+        """The behavioural model currently selected."""
+        return self.levels[self._current]
+
+    def select(self, level: int) -> None:
+        """Switch the device to ``level``, charging the overhead.
+
+        Selecting the already-active level is free (no latch toggles).
+
+        Raises:
+            IndexError: if ``level`` is out of range.
+        """
+        if not 0 <= level < len(self.levels):
+            raise IndexError(
+                f"level {level} out of range [0, {len(self.levels) - 1}]"
+            )
+        if level != self._current:
+            self._current = level
+            self.switches += 1
+            self.switch_energy_spent += self.switch_energy
+
+    def reset_counters(self) -> None:
+        """Zero the reconfiguration statistics (keeps the level)."""
+        self.switches = 0
+        self.switch_energy_spent = 0.0
+
+    # ------------------------------------------------------------------
+    # AdderModel interface (delegates to the active level)
+    # ------------------------------------------------------------------
+    def add_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.active.add_unsigned(a, b)
+
+    def cell_inventory(self) -> Counter:
+        """The active level's cells plus the configuration muxes.
+
+        A reconfigurable datapath pays a mux per result bit to steer
+        between the exact and approximate sub-circuits.
+        """
+        cells = Counter(self.active.cell_inventory())
+        cells["mux2"] += self.width
+        return cells
+
+    def critical_path_cells(self) -> int:
+        return self.active.critical_path_cells()
+
+    @property
+    def is_exact(self) -> bool:
+        return self.active.is_exact
+
+    def describe(self) -> str:
+        return (
+            f"ReconfigurableAdder(width={self.width}, "
+            f"levels={len(self.levels)}, current={self._current}, "
+            f"switches={self.switches})"
+        )

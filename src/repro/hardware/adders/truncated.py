@@ -1,0 +1,73 @@
+"""Truncation adder.
+
+The cheapest approximation: the low-order ``approx_bits`` of the result
+are not computed at all.  Two fill policies are supported:
+
+* ``"zero"`` — low bits forced to 0 (pure truncation, negatively biased),
+* ``"one"`` — low bits forced to 1 (halves the expected bias; the common
+  hardware choice because an all-ones constant costs nothing).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.hardware import bitops
+from repro.hardware.adders.base import AdderModel
+
+_FILL_POLICIES = ("zero", "one")
+
+
+class TruncatedAdder(AdderModel):
+    """Adder that skips the low-order bits entirely.
+
+    Args:
+        width: total word width in bits.
+        approx_bits: number of low-order bits left uncomputed
+            (``0 <= approx_bits < width``).
+        fill: ``"zero"`` or ``"one"`` — the constant driven onto the
+            uncomputed result bits.
+    """
+
+    family = "truncated"
+
+    def __init__(self, width: int, approx_bits: int, fill: str = "one"):
+        super().__init__(width)
+        if not 0 <= approx_bits < width:
+            raise ValueError(
+                f"approx_bits must be in [0, width), got {approx_bits} for width {width}"
+            )
+        if fill not in _FILL_POLICIES:
+            raise ValueError(f"fill must be one of {_FILL_POLICIES}, got {fill!r}")
+        self.approx_bits = int(approx_bits)
+        self.fill = fill
+
+    def add_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        k = self.approx_bits
+        if k == 0:
+            return self.exact_sum(a, b)
+        word = np.int64(bitops.word_mask(self.width))
+        upper = (a >> np.int64(k)) + (b >> np.int64(k))
+        low = np.int64((1 << k) - 1) if self.fill == "one" else np.int64(0)
+        return ((upper << np.int64(k)) | low) & word
+
+    def cell_inventory(self) -> Counter:
+        return Counter({"fa": self.width - self.approx_bits})
+
+    def critical_path_cells(self) -> int:
+        """Only the computed upper part carries."""
+        return self.width - self.approx_bits
+
+    @property
+    def is_exact(self) -> bool:
+        return self.approx_bits == 0
+
+    def describe(self) -> str:
+        return (
+            f"TruncatedAdder(width={self.width}, approx_bits={self.approx_bits}, "
+            f"fill={self.fill!r})"
+        )

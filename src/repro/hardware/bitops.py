@@ -1,0 +1,86 @@
+"""Bit-level helpers shared by the adder and multiplier models.
+
+All models represent machine words as numpy ``int64`` arrays holding
+*unsigned* values in ``[0, 2**width)``.  Signed (two's-complement)
+quantities are converted at the model boundary with
+:func:`to_unsigned` / :func:`to_signed`.  ``int64`` is used instead of
+``uint64`` because mixed ``uint64``/python-``int`` arithmetic silently
+promotes to ``float64`` in numpy; with widths capped at
+:data:`MAX_WIDTH` bits every intermediate fits ``int64`` exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Widest supported word.  ``a + b`` of two ``width``-bit unsigned values
+#: needs ``width + 1`` bits, and int64 holds 63 value bits, so 60 leaves
+#: comfortable slack for every internal window sum used by the models.
+MAX_WIDTH = 60
+
+
+def check_width(width: int) -> int:
+    """Validate a word width, returning it for chaining.
+
+    Raises:
+        ValueError: if ``width`` is not an ``int`` in ``[2, MAX_WIDTH]``.
+    """
+    if not isinstance(width, (int, np.integer)):
+        raise ValueError(f"width must be an integer, got {width!r}")
+    if not 2 <= width <= MAX_WIDTH:
+        raise ValueError(f"width must be in [2, {MAX_WIDTH}], got {width}")
+    return int(width)
+
+
+def word_mask(width: int) -> int:
+    """All-ones mask for a ``width``-bit word."""
+    return (1 << check_width(width)) - 1
+
+
+def to_unsigned(values: np.ndarray, width: int) -> np.ndarray:
+    """Reinterpret two's-complement signed values as unsigned words.
+
+    Values outside the representable signed range wrap modulo
+    ``2**width``, matching hardware overflow semantics.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    return arr & word_mask(width)
+
+
+def to_signed(words: np.ndarray, width: int) -> np.ndarray:
+    """Reinterpret unsigned ``width``-bit words as two's-complement."""
+    arr = np.asarray(words, dtype=np.int64)
+    sign_bit = np.int64(1) << np.int64(width - 1)
+    return (arr ^ sign_bit) - sign_bit
+
+
+def extract_field(words: np.ndarray, lo: int, length: int) -> np.ndarray:
+    """Extract ``length`` bits starting at bit ``lo`` (LSB = bit 0)."""
+    if length <= 0:
+        return np.zeros_like(np.asarray(words, dtype=np.int64))
+    field_mask = np.int64((1 << length) - 1)
+    return (np.asarray(words, dtype=np.int64) >> np.int64(lo)) & field_mask
+
+
+def get_bit(words: np.ndarray, index: int) -> np.ndarray:
+    """Return bit ``index`` of each word as 0/1 int64."""
+    return (np.asarray(words, dtype=np.int64) >> np.int64(index)) & np.int64(1)
+
+
+def signed_range(width: int) -> tuple[int, int]:
+    """Inclusive ``(min, max)`` of a signed ``width``-bit word."""
+    check_width(width)
+    return -(1 << (width - 1)), (1 << (width - 1)) - 1
+
+
+def saturate_signed(values: np.ndarray, width: int) -> np.ndarray:
+    """Clamp signed values into the representable ``width``-bit range."""
+    lo, hi = signed_range(width)
+    return np.clip(np.asarray(values, dtype=np.int64), lo, hi)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits of a non-negative python integer."""
+    if value < 0:
+        raise ValueError("popcount expects a non-negative integer")
+    return bin(value).count("1")

@@ -1,0 +1,175 @@
+"""Low-level error-metric characterization of approximate components.
+
+Section 3.1 of the paper surveys the standard metrics used to grade
+approximate hardware — worst-case error (WCE), error rate (ER) and mean
+error (ME) — and argues they cannot be used directly at the application
+level.  This module computes those metrics (plus the mean error distance
+MED and the mean relative error distance MRED common in the literature)
+for any :class:`~repro.hardware.adders.base.AdderModel`, either
+exhaustively (small widths) or by Monte-Carlo sampling (wide words).
+
+These profiles feed two consumers:
+
+* the offline stage of ApproxIt, which needs a per-mode error magnitude
+  ``epsilon_i`` (see :mod:`repro.core.characterize` for the
+  application-level alternative the paper prefers), and
+* the hardware regression tests, which pin the qualitative ordering
+  "higher level → smaller errors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.adders.base import AdderModel
+
+#: Above this width the exhaustive 4**width input space is intractable.
+_EXHAUSTIVE_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class AdderErrorProfile:
+    """Summary statistics of an adder's deviation from the golden sum.
+
+    Attributes:
+        error_rate: fraction of input pairs with any deviation (ER).
+        mean_error: signed mean deviation (ME); captures bias.
+        mean_error_distance: mean absolute deviation (MED).
+        mean_relative_error_distance: mean of ``|err| / max(1, |true|)``
+            (MRED).
+        worst_case_error: maximum absolute deviation observed (WCE).
+        samples: number of input pairs evaluated.
+        exhaustive: whether the whole input space was covered.
+    """
+
+    error_rate: float
+    mean_error: float
+    mean_error_distance: float
+    mean_relative_error_distance: float
+    worst_case_error: int
+    samples: int
+    exhaustive: bool
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict view, convenient for table rendering."""
+        return {
+            "ER": self.error_rate,
+            "ME": self.mean_error,
+            "MED": self.mean_error_distance,
+            "MRED": self.mean_relative_error_distance,
+            "WCE": float(self.worst_case_error),
+        }
+
+
+def _profile_from_pairs(
+    adder: AdderModel, a: np.ndarray, b: np.ndarray, exhaustive: bool
+) -> AdderErrorProfile:
+    approx = adder.add_unsigned(a, b)
+    golden = adder.exact_sum(a, b)
+    err = (approx - golden).astype(np.float64)
+    abs_err = np.abs(err)
+    denom = np.maximum(1.0, np.abs(golden.astype(np.float64)))
+    return AdderErrorProfile(
+        error_rate=float(np.mean(abs_err > 0)),
+        mean_error=float(np.mean(err)),
+        mean_error_distance=float(np.mean(abs_err)),
+        mean_relative_error_distance=float(np.mean(abs_err / denom)),
+        worst_case_error=int(abs_err.max(initial=0.0)),
+        samples=int(a.size),
+        exhaustive=exhaustive,
+    )
+
+
+def characterize_adder(
+    adder: AdderModel,
+    samples: int = 100_000,
+    seed: int = 0,
+    exhaustive: bool | None = None,
+    overflow_free: bool = True,
+) -> AdderErrorProfile:
+    """Measure an adder's error metrics over its unsigned input space.
+
+    Args:
+        adder: the model to characterize.
+        samples: Monte-Carlo sample count when not exhaustive.
+        seed: RNG seed for reproducible sampling.
+        exhaustive: force exhaustive enumeration (``True``), force
+            sampling (``False``), or decide by width (``None``, the
+            default: exhaustive iff ``width <= 8``).
+        overflow_free: restrict inputs so the exact sum fits ``width``
+            bits (the literature's convention).  Without it, pairs whose
+            exact sum wraps but whose approximate sum does not produce
+            error distances near ``2**width`` that say nothing about the
+            adder itself.
+
+    Returns:
+        An :class:`AdderErrorProfile`.
+    """
+    if exhaustive is None:
+        exhaustive = adder.width <= _EXHAUSTIVE_LIMIT
+    if exhaustive:
+        if adder.width > 2 * _EXHAUSTIVE_LIMIT:
+            raise ValueError(
+                f"refusing exhaustive characterization at width {adder.width}"
+            )
+        space = np.arange(1 << adder.width, dtype=np.int64)
+        a, b = np.meshgrid(space, space, indexing="ij")
+        a, b = a.ravel(), b.ravel()
+        if overflow_free:
+            keep = (a + b) < (1 << adder.width)
+            a, b = a[keep], b[keep]
+        return _profile_from_pairs(adder, a, b, exhaustive=True)
+
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rng = np.random.default_rng(seed)
+    # Drawing both operands below 2**(width-1) guarantees the exact sum
+    # never wraps; otherwise use the full input space.
+    hi = 1 << (adder.width - 1 if overflow_free else adder.width)
+    a = rng.integers(0, hi, size=samples, dtype=np.int64)
+    b = rng.integers(0, hi, size=samples, dtype=np.int64)
+    return _profile_from_pairs(adder, a, b, exhaustive=False)
+
+
+def compare_levels(adders: list[AdderModel], **kwargs) -> list[AdderErrorProfile]:
+    """Characterize a list of adders with identical sampling settings."""
+    return [characterize_adder(adder, **kwargs) for adder in adders]
+
+
+def bit_error_profile(
+    adder: AdderModel,
+    samples: int = 50_000,
+    seed: int = 0,
+    overflow_free: bool = True,
+) -> np.ndarray:
+    """Per-bit flip probability of an adder's output.
+
+    For each output bit position, the fraction of sampled input pairs
+    whose approximate sum differs from the golden sum at that bit —
+    the spatial signature of an approximation scheme (lower-part adders
+    concentrate flips in the approximate region; speculation adders
+    flip at segment boundaries).
+
+    Args:
+        adder: the model to profile.
+        samples: Monte-Carlo sample count.
+        seed: RNG seed.
+        overflow_free: restrict operands so exact sums never wrap.
+
+    Returns:
+        Array of length ``adder.width``: flip rate of each bit,
+        LSB first.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rng = np.random.default_rng(seed)
+    hi = 1 << (adder.width - 1 if overflow_free else adder.width)
+    a = rng.integers(0, hi, size=samples, dtype=np.int64)
+    b = rng.integers(0, hi, size=samples, dtype=np.int64)
+    diff = adder.add_unsigned(a, b) ^ adder.exact_sum(a, b)
+    rates = np.empty(adder.width)
+    for bit in range(adder.width):
+        rates[bit] = float(((diff >> np.int64(bit)) & np.int64(1)).mean())
+    return rates

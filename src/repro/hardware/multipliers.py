@@ -1,0 +1,184 @@
+"""Multiplier models built on top of the adder zoo.
+
+The paper's datapath approximates *adders* (Table 2's "Adder Impact"
+column), but a complete hardware substrate needs multipliers too: the
+array multiplier here composes any :class:`AdderModel` to accumulate its
+partial products, so approximate addition propagates into multiplication
+exactly as it would in silicon.  The exact multiplier provides the golden
+reference and the energy baseline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+
+import numpy as np
+
+from repro.hardware import bitops
+from repro.hardware.adders.base import AdderModel
+from repro.hardware.adders.exact import ExactAdder
+
+
+class MultiplierModel(ABC):
+    """A ``width x width -> width``-bit two's-complement multiplier.
+
+    The product is truncated to the low ``width`` bits (wraparound), the
+    standard fixed-width datapath convention.
+    """
+
+    family: str = "abstract"
+
+    def __init__(self, width: int):
+        self.width = bitops.check_width(width)
+
+    @abstractmethod
+    def multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Multiply unsigned words, masked to ``width`` bits."""
+
+    def multiply_signed(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Two's-complement multiply with wraparound overflow."""
+        ua = bitops.to_unsigned(a, self.width)
+        ub = bitops.to_unsigned(b, self.width)
+        return bitops.to_signed(self.multiply_unsigned(ua, ub), self.width)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.multiply_signed(a, b)
+
+    @abstractmethod
+    def cell_inventory(self) -> Counter:
+        """Structural cells, for the energy model."""
+
+
+class ExactMultiplier(MultiplierModel):
+    """Golden multiplier (low ``width`` bits of the full product)."""
+
+    family = "exact_mul"
+
+    def multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        mask = np.int64(bitops.word_mask(self.width))
+        a = np.asarray(a, dtype=np.int64) & mask
+        b = np.asarray(b, dtype=np.int64) & mask
+        # Keep only the low `width` bits; compute in python ints when the
+        # doubled width would overflow int64.
+        if 2 * self.width <= 62:
+            return (a * b) & mask
+        obj = (a.astype(object) * b.astype(object)) & int(mask)
+        return np.asarray(obj, dtype=np.int64)
+
+    def cell_inventory(self) -> Counter:
+        # Array multiplier: width^2 AND gates for partial products and
+        # ~width*(width-1) full adders to reduce them.
+        return Counter({"and2": self.width**2, "fa": self.width * (self.width - 1)})
+
+
+class ApproxArrayMultiplier(MultiplierModel):
+    """Shift-and-add array multiplier accumulating through a given adder.
+
+    Each of the ``width`` partial products is accumulated with
+    ``adder.add_unsigned``, so an approximate adder's error model applies
+    at every reduction step — the standard way approximate adders are
+    composed into larger approximate datapaths.
+
+    Args:
+        adder: the accumulation adder; its width must match.
+    """
+
+    family = "approx_array_mul"
+
+    def __init__(self, adder: AdderModel):
+        super().__init__(adder.width)
+        self.adder = adder
+
+    def multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        mask = np.int64(bitops.word_mask(self.width))
+        a = np.asarray(a, dtype=np.int64) & mask
+        b = np.asarray(b, dtype=np.int64) & mask
+        acc = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        for bit in range(self.width):
+            take = (b >> np.int64(bit)) & np.int64(1)
+            partial = ((a << np.int64(bit)) & mask) * take
+            acc = self.adder.add_unsigned(acc, partial)
+        return acc & mask
+
+    def cell_inventory(self) -> Counter:
+        cells = Counter({"and2": self.width**2})
+        per_add = self.adder.cell_inventory()
+        for cell, count in per_add.items():
+            cells[cell] += count * (self.width - 1)
+        return cells
+
+    def describe(self) -> str:
+        return f"ApproxArrayMultiplier({self.adder.describe()})"
+
+
+class TruncatedMultiplier(MultiplierModel):
+    """Fixed-width truncated array multiplier.
+
+    The classic area/energy saver: partial-product bits in the
+    ``trunc_columns`` least-significant columns are never generated, and
+    an optional constant compensation (``2**(trunc_columns-1)``) centres
+    the resulting negative bias — the standard truncation-with-
+    correction scheme of the truncated-multiplier literature.
+
+    Args:
+        width: word width.
+        trunc_columns: number of low product columns dropped
+            (``0 <= trunc_columns < width``).
+        compensate: add the constant bias correction.
+    """
+
+    family = "truncated_mul"
+
+    def __init__(self, width: int, trunc_columns: int, compensate: bool = True):
+        super().__init__(width)
+        if not 0 <= trunc_columns < width:
+            raise ValueError(
+                f"trunc_columns must be in [0, width), got {trunc_columns}"
+            )
+        self.trunc_columns = int(trunc_columns)
+        self.compensate = bool(compensate)
+
+    def multiply_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        mask = np.int64(bitops.word_mask(self.width))
+        a = np.asarray(a, dtype=np.int64) & mask
+        b = np.asarray(b, dtype=np.int64) & mask
+        k = self.trunc_columns
+        exact = ExactMultiplier(self.width).multiply_unsigned(a, b)
+        if k == 0:
+            return exact
+        # Subtract the partial-product bits that were never generated:
+        # partial j contributes bits of (a << j); its bits below column
+        # k are (a & ((1 << (k - j)) - 1)) << j.
+        dropped = np.zeros_like(exact)
+        for j in range(min(k, self.width)):
+            take = (b >> np.int64(j)) & np.int64(1)
+            low_mask = np.int64((1 << (k - j)) - 1)
+            dropped = dropped + ((a & low_mask) << np.int64(j)) * take
+        out = exact - (dropped & mask)
+        if self.compensate:
+            out = out + np.int64(1 << (k - 1))
+        return out & mask
+
+    def cell_inventory(self) -> Counter:
+        k = self.trunc_columns
+        # Dropped cells: the triangle of k columns of AND gates and the
+        # adders reducing them.
+        total_and = self.width**2
+        dropped_and = k * (k + 1) // 2
+        total_fa = self.width * (self.width - 1)
+        dropped_fa = max(0, (k - 1) * k // 2)
+        return Counter(
+            {"and2": total_and - dropped_and, "fa": total_fa - dropped_fa}
+        )
+
+    def describe(self) -> str:
+        return (
+            f"TruncatedMultiplier(width={self.width}, "
+            f"trunc_columns={self.trunc_columns}, compensate={self.compensate})"
+        )
+
+
+def exact_reference(width: int) -> ApproxArrayMultiplier:
+    """Array multiplier built from an exact adder (structural golden)."""
+    return ApproxArrayMultiplier(ExactAdder(width))

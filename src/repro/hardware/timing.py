@@ -1,0 +1,131 @@
+"""Static timing and voltage-scaling model for the adder library.
+
+The energy model's voltage-scaling factor
+(:class:`~repro.hardware.energy.EnergyModel`) rests on a timing
+argument: approximate adders shorten the carry chain, the shorter
+critical path leaves slack at the nominal clock, and a
+voltage-frequency-scaled deployment converts that slack into a lower
+supply voltage at iso-frequency.  This module makes the argument
+quantitative:
+
+* :func:`critical_path_delay` — gate-delay units through the longest
+  carry chain (one full-adder cell ≈ 2 gate delays, standard for a
+  mirror adder's carry path);
+* :func:`max_frequency` — the clock the adder sustains at nominal
+  voltage;
+* :class:`VoltageScaler` — an alpha-power-law delay model
+  ``delay ∝ V / (V - Vt)^alpha`` inverted to find the minimum supply
+  voltage that still meets a target period, and the resulting
+  energy-per-op factor ``(V/Vnom)²``.
+
+The default parameters are generic 45-nm-class values; only ratios
+matter downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.adders.base import AdderModel
+
+#: Gate delays through one full-adder carry stage.
+GATE_DELAYS_PER_CELL = 2.0
+
+
+def critical_path_delay(adder: AdderModel) -> float:
+    """Delay of the adder's longest carry chain, in gate-delay units."""
+    return GATE_DELAYS_PER_CELL * adder.critical_path_cells()
+
+
+def max_frequency(adder: AdderModel, gate_delay_ps: float = 15.0) -> float:
+    """Highest clock (GHz) the adder meets at nominal voltage.
+
+    Args:
+        adder: the model under analysis.
+        gate_delay_ps: nominal per-gate delay in picoseconds.
+    """
+    if gate_delay_ps <= 0:
+        raise ValueError(f"gate_delay_ps must be > 0, got {gate_delay_ps}")
+    period_ps = critical_path_delay(adder) * gate_delay_ps
+    return 1000.0 / period_ps  # ps -> GHz
+
+
+@dataclass(frozen=True)
+class VoltageScaler:
+    """Alpha-power-law DVS model.
+
+    ``delay(V) = k * V / (V - Vt)^alpha`` — the standard Sakurai–Newton
+    model.  :meth:`voltage_for_slack` finds the smallest supply (within
+    ``[v_min, v_nominal]``) whose delay inflation stays inside the slack
+    earned by a shortened critical path, and :meth:`energy_factor`
+    converts it to the ``(V/Vnom)²`` dynamic-energy ratio.
+
+    Attributes:
+        v_nominal: nominal supply voltage.
+        v_threshold: device threshold voltage.
+        alpha: velocity-saturation exponent (1.3 is typical for
+            short-channel CMOS).
+        v_min: lowest safe operating voltage.
+    """
+
+    v_nominal: float = 1.0
+    v_threshold: float = 0.3
+    alpha: float = 1.3
+    v_min: float = 0.5
+
+    def __post_init__(self):
+        if not 0 < self.v_threshold < self.v_min < self.v_nominal:
+            raise ValueError(
+                "require 0 < v_threshold < v_min < v_nominal, got "
+                f"Vt={self.v_threshold}, Vmin={self.v_min}, Vdd={self.v_nominal}"
+            )
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {self.alpha}")
+
+    def relative_delay(self, voltage: float) -> float:
+        """Delay at ``voltage`` relative to the delay at nominal."""
+        if voltage <= self.v_threshold:
+            raise ValueError(
+                f"voltage {voltage} must exceed threshold {self.v_threshold}"
+            )
+
+        def raw(v: float) -> float:
+            return v / (v - self.v_threshold) ** self.alpha
+
+        return raw(voltage) / raw(self.v_nominal)
+
+    def voltage_for_slack(self, path_ratio: float) -> float:
+        """Minimum supply meeting the nominal clock with a shortened path.
+
+        Args:
+            path_ratio: ``critical_path(approx) / critical_path(exact)``
+                in (0, 1]; the shortened path may run ``1/path_ratio``
+                times slower per gate and still meet timing.
+
+        Returns:
+            The scaled supply voltage (bisection; clamped to
+            ``[v_min, v_nominal]``).
+        """
+        if not 0 < path_ratio <= 1:
+            raise ValueError(f"path_ratio must be in (0, 1], got {path_ratio}")
+        budget = 1.0 / path_ratio  # tolerable per-gate delay inflation
+        lo, hi = self.v_min, self.v_nominal
+        if self.relative_delay(lo) <= budget:
+            return lo
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.relative_delay(mid) <= budget:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def energy_factor(self, path_ratio: float) -> float:
+        """Dynamic-energy ratio ``(V/Vnom)²`` earned by the slack."""
+        v = self.voltage_for_slack(path_ratio)
+        return (v / self.v_nominal) ** 2
+
+    def adder_energy_factor(self, adder: AdderModel) -> float:
+        """Energy factor for a concrete adder vs. a full-chain design."""
+        ratio = adder.critical_path_cells() / adder.width
+        return self.energy_factor(ratio)

@@ -1,0 +1,59 @@
+"""Iterative methods with the paper's direction / update decomposition.
+
+Section 2.1 of the paper observes that every iterative method alternates
+two computations — finding a search direction ``d^k`` and updating the
+iterate ``x^{k+1} = x^k + alpha^k d^k`` — and that approximate hardware
+therefore injects exactly two error species: *direction error* and
+*update error*.  :class:`IterativeMethod` encodes that split so the
+ApproxIt framework can wrap any solver uniformly, route both
+computations through an :class:`~repro.arith.ApproxEngine`, and apply
+its convergence criteria.
+
+Provided solvers:
+
+* :class:`GradientDescent` — first-order descent on any
+  :class:`ObjectiveFunction`;
+* :class:`NewtonMethod` — second-order descent (needs a Hessian);
+* :class:`ConjugateGradient` — Krylov solver for SPD systems;
+* :class:`JacobiSolver`, :class:`GaussSeidelSolver`, :class:`SorSolver`
+  — stationary splittings for linear systems;
+* :class:`LeastSquaresGD` — batch gradient descent on
+  ``||X w - y||^2`` (the substrate of the AutoRegression benchmark).
+"""
+
+from repro.solvers.base import IterationState, IterativeMethod
+from repro.solvers.conjugate_gradient import ConjugateGradient
+from repro.solvers.coordinate import CoordinateDescent
+from repro.solvers.functions import (
+    LogisticLoss,
+    ObjectiveFunction,
+    QuadraticFunction,
+    RosenbrockFunction,
+)
+from repro.solvers.gradient_descent import GradientDescent
+from repro.solvers.least_squares import LeastSquaresGD
+from repro.solvers.linear import GaussSeidelSolver, JacobiSolver, SorSolver
+from repro.solvers.linesearch import BacktrackingLineSearch
+from repro.solvers.momentum import MomentumGradientDescent
+from repro.solvers.newton import NewtonMethod
+from repro.solvers.stochastic import StochasticLeastSquaresGD
+
+__all__ = [
+    "BacktrackingLineSearch",
+    "ConjugateGradient",
+    "CoordinateDescent",
+    "GaussSeidelSolver",
+    "GradientDescent",
+    "IterationState",
+    "IterativeMethod",
+    "JacobiSolver",
+    "LeastSquaresGD",
+    "LogisticLoss",
+    "MomentumGradientDescent",
+    "NewtonMethod",
+    "ObjectiveFunction",
+    "QuadraticFunction",
+    "RosenbrockFunction",
+    "SorSolver",
+    "StochasticLeastSquaresGD",
+]

@@ -1,0 +1,147 @@
+"""The iterative-method abstraction ApproxIt operates on.
+
+An :class:`IterativeMethod` owns the problem data and exposes the
+direction / update split of Section 2.1 of the paper.  The state vector
+``x`` is always a flat float64 array; methods with structured parameters
+(e.g. the GMM application) pack and unpack internally.
+
+Every hook that can involve approximate arithmetic takes the
+:class:`~repro.arith.ApproxEngine` for the currently selected mode; the
+hooks that feed the reconfiguration schemes (:meth:`objective`,
+:meth:`gradient`) are exact, matching the paper's premise that those
+runtime quantities "are already available along with conducting IMs" on
+the error-sensitive (exact) portion of the platform.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine
+
+_CONVERGENCE_KINDS = ("abs", "rel")
+
+
+@dataclass
+class IterationState:
+    """Everything the framework tracks about one accepted iteration.
+
+    Attributes:
+        iteration: 0-based index of the iteration that produced ``x``.
+        x: the iterate after the update.
+        objective: exact objective value at ``x``.
+        mode_name: approximation mode the iteration ran on.
+    """
+
+    iteration: int
+    x: np.ndarray
+    objective: float
+    mode_name: str
+
+
+class IterativeMethod(ABC):
+    """Base class for solvers driven by the ApproxIt framework.
+
+    Attributes:
+        name: short identifier used in reports.
+        max_iter: iteration budget (the paper's ``MAX_ITER``).
+        tolerance: convergence threshold on the objective change.
+        convergence_kind: ``"abs"`` compares ``|f_new - f_prev|`` to the
+            tolerance directly; ``"rel"`` scales by ``max(1, |f_prev|)``.
+    """
+
+    name: str = "iterative-method"
+    #: Fractional bits the application's operand scale calls for; the
+    #: framework uses it when no explicit format is supplied.  ``None``
+    #: keeps the platform default (Q15.16 at width 32).
+    preferred_frac_bits: int | None = None
+
+    def __init__(
+        self,
+        max_iter: int = 500,
+        tolerance: float = 1e-8,
+        convergence_kind: str = "rel",
+    ):
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be > 0, got {tolerance}")
+        if convergence_kind not in _CONVERGENCE_KINDS:
+            raise ValueError(
+                f"convergence_kind must be one of {_CONVERGENCE_KINDS}, "
+                f"got {convergence_kind!r}"
+            )
+        self.max_iter = int(max_iter)
+        self.tolerance = float(tolerance)
+        self.convergence_kind = convergence_kind
+
+    # ------------------------------------------------------------------
+    # Problem definition (must be implemented)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def initial_state(self) -> np.ndarray:
+        """The starting iterate ``x^0`` (deterministic per instance, so
+        different modes/strategies compare from identical starts)."""
+
+    @abstractmethod
+    def objective(self, x: np.ndarray) -> float:
+        """Exact objective ``f(x)`` — the quantity being minimized."""
+
+    @abstractmethod
+    def direction(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        """The search direction ``d^k`` at ``x``, computed through
+        ``engine`` (direction-error injection point)."""
+
+    # ------------------------------------------------------------------
+    # Hooks with sensible defaults
+    # ------------------------------------------------------------------
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """Exact gradient, used by the reconfiguration schemes.
+
+        The default is a central finite difference; applications should
+        override with an analytic gradient whenever one exists.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        grad = np.empty_like(x)
+        h = 1e-6 * max(1.0, float(np.linalg.norm(x)))
+        for i in range(x.size):
+            e = np.zeros_like(x)
+            e[i] = h
+            grad[i] = (self.objective(x + e) - self.objective(x - e)) / (2 * h)
+        return grad
+
+    def step_size(self, x: np.ndarray, d: np.ndarray, iteration: int) -> float:
+        """Step length ``alpha^k``; constant 1 unless overridden."""
+        return 1.0
+
+    def update(
+        self, x: np.ndarray, alpha: float, d: np.ndarray, engine: ApproxEngine
+    ) -> np.ndarray:
+        """Apply Eq. 2, ``x + alpha d``, through the approximate datapath
+        (update-error injection point)."""
+        return engine.scale_add(x, alpha, d)
+
+    def converged(self, f_prev: float, f_new: float) -> bool:
+        """Whether the objective change is below the tolerance."""
+        change = abs(f_new - f_prev)
+        if self.convergence_kind == "rel":
+            return change <= self.tolerance * max(1.0, abs(f_prev))
+        return change <= self.tolerance
+
+    def postprocess(self, x: np.ndarray) -> np.ndarray:
+        """Clean an iterate after the update (e.g. re-project structured
+        parameters).  Identity by default."""
+        return x
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return (
+            f"{type(self).__name__}(max_iter={self.max_iter}, "
+            f"tol={self.tolerance:g}, kind={self.convergence_kind})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,102 @@
+"""Conjugate gradient for SPD linear systems as an :class:`IterativeMethod`.
+
+CG's direction recurrence carries state (the previous direction and
+residual), so the class keeps a small per-iterate cache keyed by the
+iterate's bytes: the framework drives iterations through the generic
+direction/update interface and may roll an iteration back (the function
+scheme), in which case stale cache entries are simply recomputed from
+the residual — an intentional "restart", which is also the standard
+remedy when finite-precision errors break conjugacy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine
+from repro.solvers.base import IterativeMethod
+
+
+class ConjugateGradient(IterativeMethod):
+    """Hestenes–Stiefel CG on ``A x = b`` with SPD ``A``.
+
+    The objective reported to the framework is the quadratic energy
+    ``0.5 xᵀAx − bᵀx``, whose minimizer solves the system.
+
+    Args:
+        matrix: SPD system matrix.
+        rhs: right-hand side.
+        x0: starting iterate; zeros when omitted.
+    """
+
+    name = "conjugate-gradient"
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        rhs: np.ndarray,
+        x0: np.ndarray | None = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        rhs = np.asarray(rhs, dtype=np.float64).reshape(-1)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got {matrix.shape}")
+        if matrix.shape[0] != rhs.shape[0]:
+            raise ValueError(f"shape mismatch: {matrix.shape} vs {rhs.shape}")
+        if not np.allclose(matrix, matrix.T, atol=1e-10):
+            raise ValueError("CG requires a symmetric matrix")
+        self.matrix = matrix
+        self.rhs = rhs
+        self._x0 = (
+            np.zeros(rhs.shape[0])
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64).reshape(-1).copy()
+        )
+        # iterate-bytes -> previous search direction, for the beta term.
+        self._prev_direction: dict[bytes, np.ndarray] = {}
+
+    def initial_state(self) -> np.ndarray:
+        self._prev_direction.clear()
+        return self._x0.copy()
+
+    def objective(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        return float(0.5 * x @ self.matrix @ x - self.rhs @ x)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix @ np.asarray(x, dtype=np.float64) - self.rhs
+
+    def residual(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        """``b − A x`` with approximate row accumulation."""
+        return engine.sub(self.rhs, engine.matvec(self.matrix, x))
+
+    def direction(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        r = self.residual(x, engine)
+        prev = self._prev_direction.get(np.asarray(x, dtype=np.float64).tobytes())
+        if prev is None:
+            d = r
+        else:
+            denom = float(prev @ self.matrix @ prev)
+            beta = float(r @ self.matrix @ prev) / denom if denom > 0 else 0.0
+            d = engine.sub(r, beta * prev)
+        return d
+
+    def step_size(self, x: np.ndarray, d: np.ndarray, iteration: int) -> float:
+        denom = float(d @ self.matrix @ d)
+        if denom <= 0:
+            return 0.0
+        r = self.rhs - self.matrix @ np.asarray(x, dtype=np.float64)
+        return float(r @ d) / denom
+
+    def update(
+        self, x: np.ndarray, alpha: float, d: np.ndarray, engine: ApproxEngine
+    ) -> np.ndarray:
+        x_new = engine.scale_add(x, alpha, d)
+        # Cache the direction for the next beta computation; bound the
+        # cache so long runs with rollbacks cannot grow it unboundedly.
+        if len(self._prev_direction) > 8:
+            self._prev_direction.clear()
+        self._prev_direction[np.asarray(x_new, dtype=np.float64).tobytes()] = d
+        return x_new

@@ -1,0 +1,231 @@
+"""Objective functions with engine-aware gradients.
+
+An :class:`ObjectiveFunction` bundles the exact value/gradient/Hessian of
+a smooth function with an *approximate* gradient that routes its additive
+kernels through an :class:`~repro.arith.ApproxEngine`.  The library
+includes the standard test problems used by the unit tests, examples and
+ablation benches: convex quadratics, the Rosenbrock valley, and
+regularized logistic regression loss.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine
+
+
+class ObjectiveFunction(ABC):
+    """A smooth function with exact and engine-routed derivatives.
+
+    Attributes:
+        dim: dimensionality of the domain.
+    """
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = int(dim)
+
+    @abstractmethod
+    def value(self, x: np.ndarray) -> float:
+        """Exact ``f(x)``."""
+
+    @abstractmethod
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """Exact ``∇f(x)``."""
+
+    def gradient_approx(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        """Gradient computed through the approximate datapath.
+
+        The default quantizes the exact gradient and charges one
+        elementary addition per component — a conservative fallback for
+        functions whose gradient has no natural additive kernel.
+        Subclasses with sum-structured gradients override this.
+        """
+        g = self.gradient(x)
+        return engine.add(g, np.zeros_like(g))
+
+    def hessian(self, x: np.ndarray) -> np.ndarray:
+        """Exact Hessian; optional (Newton requires it)."""
+        raise NotImplementedError(f"{type(self).__name__} provides no Hessian")
+
+    def _check(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        if x.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {x.shape[0]}")
+        return x
+
+
+class QuadraticFunction(ObjectiveFunction):
+    """``f(x) = 0.5 xᵀ A x − bᵀ x + c`` with symmetric positive-definite A.
+
+    The canonical strongly convex test problem; its unique minimizer is
+    the solution of ``A x = b``, which ties the descent solvers to the
+    stationary linear solvers in the test suite.
+    """
+
+    def __init__(self, matrix: np.ndarray, rhs: np.ndarray, constant: float = 0.0):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        rhs = np.asarray(rhs, dtype=np.float64).reshape(-1)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got {matrix.shape}")
+        if matrix.shape[0] != rhs.shape[0]:
+            raise ValueError(
+                f"matrix/rhs shape mismatch: {matrix.shape} vs {rhs.shape}"
+            )
+        if not np.allclose(matrix, matrix.T, atol=1e-12):
+            raise ValueError("matrix must be symmetric")
+        super().__init__(rhs.shape[0])
+        self.matrix = matrix
+        self.rhs = rhs
+        self.constant = float(constant)
+
+    def value(self, x: np.ndarray) -> float:
+        x = self._check(x)
+        return float(0.5 * x @ self.matrix @ x - self.rhs @ x + self.constant)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        x = self._check(x)
+        return self.matrix @ x - self.rhs
+
+    def gradient_approx(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        x = self._check(x)
+        return engine.sub(engine.matvec(self.matrix, x), self.rhs)
+
+    def hessian(self, x: np.ndarray) -> np.ndarray:
+        self._check(x)
+        return self.matrix.copy()
+
+    def minimizer(self) -> np.ndarray:
+        """The exact solution of ``A x = b``."""
+        return np.linalg.solve(self.matrix, self.rhs)
+
+    @classmethod
+    def random_spd(
+        cls, dim: int, seed: int = 0, condition: float = 10.0
+    ) -> "QuadraticFunction":
+        """A random SPD quadratic with a prescribed condition number."""
+        if condition < 1.0:
+            raise ValueError(f"condition must be >= 1, got {condition}")
+        rng = np.random.default_rng(seed)
+        q, _ = np.linalg.qr(rng.normal(size=(dim, dim)))
+        eigs = np.geomspace(1.0, condition, dim)
+        matrix = q @ np.diag(eigs) @ q.T
+        matrix = 0.5 * (matrix + matrix.T)
+        rhs = rng.normal(size=dim)
+        return cls(matrix, rhs)
+
+
+class RosenbrockFunction(ObjectiveFunction):
+    """The banana-valley function, generalized to ``n`` dimensions.
+
+    ``f(x) = Σ_i [ a (x_{i+1} − x_i²)² + (1 − x_i)² ]``; non-convex
+    curvature exercises the adaptive strategy's claim that
+    error-tolerance is *not* monotone along the trajectory (Figure 2).
+    """
+
+    def __init__(self, dim: int = 2, a: float = 100.0):
+        if dim < 2:
+            raise ValueError(f"Rosenbrock needs dim >= 2, got {dim}")
+        super().__init__(dim)
+        self.a = float(a)
+
+    def value(self, x: np.ndarray) -> float:
+        x = self._check(x)
+        head, tail = x[:-1], x[1:]
+        return float(np.sum(self.a * (tail - head**2) ** 2 + (1 - head) ** 2))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        x = self._check(x)
+        grad = np.zeros_like(x)
+        head, tail = x[:-1], x[1:]
+        grad[:-1] += -4 * self.a * head * (tail - head**2) - 2 * (1 - head)
+        grad[1:] += 2 * self.a * (tail - head**2)
+        return grad
+
+    def gradient_approx(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        x = self._check(x)
+        head, tail = x[:-1], x[1:]
+        left = np.zeros_like(x)
+        right = np.zeros_like(x)
+        left[:-1] = -4 * self.a * head * (tail - head**2) - 2 * (1 - head)
+        right[1:] = 2 * self.a * (tail - head**2)
+        # The only structural addition: combining the two coupling terms.
+        return engine.add(left, right)
+
+    def hessian(self, x: np.ndarray) -> np.ndarray:
+        x = self._check(x)
+        n = self.dim
+        hess = np.zeros((n, n))
+        for i in range(n - 1):
+            hess[i, i] += -4 * self.a * (x[i + 1] - 3 * x[i] ** 2) + 2
+            hess[i + 1, i + 1] += 2 * self.a
+            hess[i, i + 1] += -4 * self.a * x[i]
+            hess[i + 1, i] += -4 * self.a * x[i]
+        return hess
+
+    def minimizer(self) -> np.ndarray:
+        """The global minimizer is the all-ones vector."""
+        return np.ones(self.dim)
+
+
+class LogisticLoss(ObjectiveFunction):
+    """L2-regularized logistic regression loss.
+
+    ``f(w) = (1/n) Σ log(1 + exp(−y_i x_iᵀ w)) + (λ/2)‖w‖²`` with labels
+    ``y ∈ {−1, +1}``.  The gradient is a data sum, so the approximate
+    gradient accumulates per-sample contributions through the engine —
+    a realistic RMS-style workload for the framework.
+    """
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray, reg: float = 1e-3):
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if features.ndim != 2 or features.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"features/labels mismatch: {features.shape} vs {labels.shape}"
+            )
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise ValueError("labels must be -1 or +1")
+        if reg < 0:
+            raise ValueError(f"reg must be >= 0, got {reg}")
+        super().__init__(features.shape[1])
+        self.features = features
+        self.labels = labels
+        self.reg = float(reg)
+
+    def _margins(self, w: np.ndarray) -> np.ndarray:
+        return self.labels * (self.features @ w)
+
+    def value(self, w: np.ndarray) -> float:
+        w = self._check(w)
+        m = self._margins(w)
+        # log(1 + exp(-m)) computed stably.
+        loss = np.logaddexp(0.0, -m).mean()
+        return float(loss + 0.5 * self.reg * w @ w)
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        w = self._check(w)
+        m = self._margins(w)
+        sigma = 1.0 / (1.0 + np.exp(m))
+        grad = -(self.features * (self.labels * sigma)[:, None]).mean(axis=0)
+        return grad + self.reg * w
+
+    def gradient_approx(self, w: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        w = self._check(w)
+        m = self._margins(w)
+        sigma = 1.0 / (1.0 + np.exp(m))
+        contributions = -(self.features * (self.labels * sigma)[:, None])
+        data_term = engine.sum(contributions, axis=0) / self.labels.size
+        return engine.add(data_term, self.reg * w)
+
+    def hessian(self, w: np.ndarray) -> np.ndarray:
+        w = self._check(w)
+        m = self._margins(w)
+        s = 1.0 / (1.0 + np.exp(-m))
+        weights = s * (1 - s)
+        hess = (self.features * weights[:, None]).T @ self.features / self.labels.size
+        return hess + self.reg * np.eye(self.dim)

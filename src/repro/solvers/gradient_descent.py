@@ -1,0 +1,75 @@
+"""First-order gradient descent as an :class:`IterativeMethod`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine
+from repro.solvers.base import IterativeMethod
+from repro.solvers.functions import ObjectiveFunction
+
+
+class GradientDescent(IterativeMethod):
+    """Steepest descent ``d^k = −∇f(x^k)`` with a constant or decaying step.
+
+    Args:
+        function: the objective to minimize.
+        x0: starting iterate; zeros when omitted.
+        learning_rate: base step size ``alpha``.
+        decay: multiplicative per-iteration decay of the step size
+            (1.0 = constant).
+        line_search: when given, step sizes come from this Armijo
+            search instead of the fixed schedule — turning Prop. 1's
+            existence statement into the step rule (see
+            :class:`~repro.solvers.linesearch.BacktrackingLineSearch`).
+        max_iter / tolerance / convergence_kind: see the base class.
+    """
+
+    name = "gradient-descent"
+
+    def __init__(
+        self,
+        function: ObjectiveFunction,
+        x0: np.ndarray | None = None,
+        learning_rate: float = 0.1,
+        decay: float = 1.0,
+        line_search=None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.function = function
+        self.learning_rate = float(learning_rate)
+        self.decay = float(decay)
+        self.line_search = line_search
+        self._x0 = (
+            np.zeros(function.dim)
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64).reshape(-1).copy()
+        )
+        if self._x0.shape[0] != function.dim:
+            raise ValueError(
+                f"x0 has dim {self._x0.shape[0]}, function expects {function.dim}"
+            )
+
+    def initial_state(self) -> np.ndarray:
+        return self._x0.copy()
+
+    def objective(self, x: np.ndarray) -> float:
+        return self.function.value(x)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.function.gradient(x)
+
+    def direction(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        return -self.function.gradient_approx(x, engine)
+
+    def step_size(self, x: np.ndarray, d: np.ndarray, iteration: int) -> float:
+        if self.line_search is not None:
+            return self.line_search.search(
+                self.function.value, x, d, self.function.gradient(x)
+            )
+        return self.learning_rate * (self.decay**iteration)

@@ -1,0 +1,92 @@
+"""Backtracking (Armijo) line search.
+
+Proposition 1 of the paper is an existence statement: whenever
+``∇f(x)ᵀ d < 0`` there is an ``alpha_0 > 0`` with ``f(x + alpha d) <
+f(x)`` for every ``alpha`` in ``(0, alpha_0)``.  A backtracking line
+search is that statement turned into an algorithm — halve the step until
+sufficient decrease holds — and gives descent methods a step-size rule
+that stays valid when approximate hardware perturbs the direction
+(as long as the direction criterion itself holds, the search always
+terminates).
+
+The search evaluates the *exact* objective: step-size control is
+error-sensitive control flow, which the platform keeps on the exact
+side (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BacktrackingLineSearch:
+    """Armijo backtracking.
+
+    Accepts the largest ``alpha = initial * shrink**j`` (``j >= 0``)
+    with ``f(x + alpha d) <= f(x) + c1 * alpha * gᵀd``.
+
+    Attributes:
+        initial: first step tried.
+        shrink: multiplicative backtracking factor in (0, 1).
+        c1: Armijo sufficient-decrease constant in (0, 1).
+        max_backtracks: bound on halvings; the last candidate is
+            returned even without sufficient decrease (the framework's
+            function scheme will catch a genuinely bad step).
+    """
+
+    initial: float = 1.0
+    shrink: float = 0.5
+    c1: float = 1e-4
+    max_backtracks: int = 40
+
+    def __post_init__(self):
+        if self.initial <= 0:
+            raise ValueError(f"initial must be > 0, got {self.initial}")
+        if not 0 < self.shrink < 1:
+            raise ValueError(f"shrink must be in (0, 1), got {self.shrink}")
+        if not 0 < self.c1 < 1:
+            raise ValueError(f"c1 must be in (0, 1), got {self.c1}")
+        if self.max_backtracks < 1:
+            raise ValueError(
+                f"max_backtracks must be >= 1, got {self.max_backtracks}"
+            )
+
+    def search(
+        self,
+        value: Callable[[np.ndarray], float],
+        x: np.ndarray,
+        direction: np.ndarray,
+        gradient: np.ndarray,
+        f_x: float | None = None,
+    ) -> float:
+        """Find a sufficient-decrease step along ``direction``.
+
+        Args:
+            value: exact objective callable.
+            x: current iterate.
+            direction: search direction ``d``.
+            gradient: exact gradient at ``x``.
+            f_x: objective at ``x`` (computed when omitted).
+
+        Returns:
+            The accepted step size.  Non-descent directions (``gᵀd >=
+            0``) return 0.0 — the caller should treat that as "do not
+            move" (and its strategy will escalate accuracy).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        direction = np.asarray(direction, dtype=np.float64)
+        gradient = np.asarray(gradient, dtype=np.float64)
+        slope = float(gradient @ direction)
+        if slope >= 0:
+            return 0.0
+        f0 = value(x) if f_x is None else f_x
+        alpha = self.initial
+        for _ in range(self.max_backtracks):
+            if value(x + alpha * direction) <= f0 + self.c1 * alpha * slope:
+                return alpha
+            alpha *= self.shrink
+        return alpha

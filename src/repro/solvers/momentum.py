@@ -1,0 +1,94 @@
+"""Heavy-ball (momentum) gradient descent.
+
+Section 4.1 of the paper describes its gradient scheme as firing "when
+the momentum seems to be taking us in a bad direction, as measured by
+the negative gradient at that point" — language that presumes a
+momentum-style method.  This solver makes that concrete: the direction
+is ``d^k = -grad f(x^k) + beta * d^{k-1}``, so direction error from the
+approximate gradient is *carried forward* by the momentum term, making
+the gradient scheme's protection observable (the plain
+:class:`~repro.solvers.GradientDescent` discards direction error every
+step).
+
+Like :class:`~repro.solvers.ConjugateGradient`, the recurrence carries
+state; the previous direction is cached per iterate so a rollback
+simply restarts the momentum — the standard remedy after a bad step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine
+from repro.solvers.base import IterativeMethod
+from repro.solvers.functions import ObjectiveFunction
+
+
+class MomentumGradientDescent(IterativeMethod):
+    """Polyak heavy-ball descent.
+
+    Args:
+        function: the objective to minimize.
+        x0: starting iterate; zeros when omitted.
+        learning_rate: step size applied to the momentum direction.
+        beta: momentum coefficient in [0, 1).
+    """
+
+    name = "momentum-gd"
+
+    def __init__(
+        self,
+        function: ObjectiveFunction,
+        x0: np.ndarray | None = None,
+        learning_rate: float = 0.05,
+        beta: float = 0.8,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0 <= beta < 1:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        self.function = function
+        self.learning_rate = float(learning_rate)
+        self.beta = float(beta)
+        self._x0 = (
+            np.zeros(function.dim)
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64).reshape(-1).copy()
+        )
+        if self._x0.shape[0] != function.dim:
+            raise ValueError(
+                f"x0 has dim {self._x0.shape[0]}, function expects {function.dim}"
+            )
+        self._prev_direction: dict[bytes, np.ndarray] = {}
+
+    def initial_state(self) -> np.ndarray:
+        self._prev_direction.clear()
+        return self._x0.copy()
+
+    def objective(self, x: np.ndarray) -> float:
+        return self.function.value(x)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.function.gradient(x)
+
+    def direction(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        grad = self.function.gradient_approx(x, engine)
+        prev = self._prev_direction.get(np.asarray(x, dtype=np.float64).tobytes())
+        if prev is None:
+            return -grad
+        # The momentum combination is an addition on the datapath.
+        return engine.add(-grad, self.beta * prev)
+
+    def step_size(self, x: np.ndarray, d: np.ndarray, iteration: int) -> float:
+        return self.learning_rate
+
+    def update(
+        self, x: np.ndarray, alpha: float, d: np.ndarray, engine: ApproxEngine
+    ) -> np.ndarray:
+        x_new = engine.scale_add(x, alpha, d)
+        if len(self._prev_direction) > 8:
+            self._prev_direction.clear()
+        self._prev_direction[np.asarray(x_new, dtype=np.float64).tobytes()] = d
+        return x_new

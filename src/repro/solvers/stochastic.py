@@ -1,0 +1,110 @@
+"""Mini-batch stochastic gradient descent.
+
+The RMS workloads the paper motivates with (recognition, mining,
+synthesis) are trained stochastically in practice; this solver brings
+that regime into the framework.  Batches are drawn from a seeded
+permutation stream, so runs remain bit-reproducible — a requirement for
+comparing strategies on identical trajectories.
+
+The *exact* objective/gradient hooks (used by the convergence test and
+the reconfiguration schemes) evaluate the full dataset; only the search
+direction is stochastic.  A decaying step size keeps the method
+convergent despite gradient noise, and the function scheme's rollback
+doubles as a lightweight noise filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.engine import ApproxEngine
+from repro.solvers.base import IterativeMethod
+
+
+class StochasticLeastSquaresGD(IterativeMethod):
+    """Mini-batch SGD on ``(1/2n)‖X w − y‖²``.
+
+    Args:
+        design: the ``n x p`` design matrix.
+        targets: the length-``n`` target vector.
+        batch_size: samples per stochastic gradient.
+        learning_rate: initial step size.
+        decay: per-iteration multiplicative step decay (in (0, 1]).
+        seed: batch-stream seed.
+        x0: starting weights; zeros when omitted.
+    """
+
+    name = "sgd-least-squares"
+
+    def __init__(
+        self,
+        design: np.ndarray,
+        targets: np.ndarray,
+        batch_size: int = 32,
+        learning_rate: float = 0.1,
+        decay: float = 0.999,
+        seed: int = 0,
+        x0: np.ndarray | None = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        design = np.asarray(design, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        if design.ndim != 2 or design.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"design/targets mismatch: {design.shape} vs {targets.shape}"
+            )
+        if not 1 <= batch_size <= design.shape[0]:
+            raise ValueError(
+                f"batch_size must be in [1, {design.shape[0]}], got {batch_size}"
+            )
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.design = design
+        self.targets = targets
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.decay = float(decay)
+        self.seed = int(seed)
+        self._n = design.shape[0]
+        self._rng = np.random.default_rng(seed)
+        self._x0 = (
+            np.zeros(design.shape[1])
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64).reshape(-1).copy()
+        )
+        if self._x0.shape[0] != design.shape[1]:
+            raise ValueError(
+                f"x0 has dim {self._x0.shape[0]}, expected {design.shape[1]}"
+            )
+
+    def initial_state(self) -> np.ndarray:
+        # Restart the batch stream with the state so reruns are identical.
+        self._rng = np.random.default_rng(self.seed)
+        return self._x0.copy()
+
+    def objective(self, w: np.ndarray) -> float:
+        r = self.design @ np.asarray(w, dtype=np.float64) - self.targets
+        return float(r @ r / (2 * self._n))
+
+    def gradient(self, w: np.ndarray) -> np.ndarray:
+        r = self.design @ np.asarray(w, dtype=np.float64) - self.targets
+        return self.design.T @ r / self._n
+
+    def direction(self, w: np.ndarray, engine: ApproxEngine) -> np.ndarray:
+        idx = self._rng.choice(self._n, size=self.batch_size, replace=False)
+        batch_x = self.design[idx]
+        batch_r = batch_x @ np.asarray(w, dtype=np.float64) - self.targets[idx]
+        # Per-sample contributions reduced on the approximate adder.
+        grad = engine.sum(batch_x * batch_r[:, np.newaxis], axis=0) / self.batch_size
+        return -grad
+
+    def step_size(self, w: np.ndarray, d: np.ndarray, iteration: int) -> float:
+        return self.learning_rate * (self.decay**iteration)
+
+    def solution(self) -> np.ndarray:
+        """Exact least-squares solution, for QEM references."""
+        gram = self.design.T @ self.design
+        return np.linalg.solve(gram, self.design.T @ self.targets)

@@ -1,0 +1,94 @@
+"""Tests for the AutoRegression application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.autoregression import AutoRegression
+from repro.data.timeseries import make_index_series
+
+
+@pytest.fixture(scope="module")
+def small_series():
+    return make_index_series("mini", length=800, seed=17)
+
+
+@pytest.fixture()
+def ar(small_series):
+    return AutoRegression.from_dataset(small_series)
+
+
+class TestConstruction:
+    def test_budget_from_dataset(self, ar, small_series):
+        assert ar.max_iter == small_series.max_iter
+        assert ar.tolerance == small_series.tolerance
+        assert ar.order == 10
+
+    def test_prefers_fine_fixed_point(self, ar):
+        assert ar.preferred_frac_bits == 24
+
+    def test_ridge_bounds_condition(self, ar):
+        eigs = np.linalg.eigvalsh(ar._gram)
+        assert eigs.max() / eigs.min() < 100
+
+    def test_rejects_negative_ridge_fraction(self, small_series):
+        with pytest.raises(ValueError, match="ridge_fraction"):
+            AutoRegression(small_series, ridge_fraction=-0.1)
+
+
+class TestFitting:
+    def test_exact_run_converges(self, ar, exact_engine):
+        from repro.arith.engine import ApproxEngine
+        from repro.arith.fixed import FixedPointFormat
+
+        engine = ApproxEngine(
+            exact_engine.mode, FixedPointFormat(32, 24), exact_engine.ledger
+        )
+        w = ar.initial_state()
+        f_prev = ar.objective(w)
+        converged = False
+        for k in range(ar.max_iter):
+            d = ar.direction(w, engine)
+            w = ar.update(w, ar.step_size(w, d, k), d, engine)
+            f_new = ar.objective(w)
+            if ar.converged(f_prev, f_new) or np.array_equal(w, w):
+                pass
+            if abs(f_new - f_prev) <= 1e-12:
+                converged = True
+                break
+            f_prev = f_new
+        assert converged
+        # Close to the ridge solution.
+        assert np.linalg.norm(w - ar.solution()) < 0.05
+
+    def test_predictions_shape(self, ar):
+        w = ar.solution()
+        assert ar.predictions(w).shape == ar.targets.shape
+
+    def test_prediction_quality(self, ar):
+        w = ar.solution()
+        residual = ar.predictions(w) - ar.targets
+        # AR(10) on a persistent price series must beat the trivial
+        # predict-zero baseline by a wide margin.
+        assert residual.std() < 0.5 * ar.targets.std()
+
+
+class TestConfidenceBand:
+    def test_band_brackets_predictions(self, ar):
+        w = ar.solution()
+        lower, upper = ar.confidence_band(w, level=0.8)
+        preds = ar.predictions(w)
+        assert (lower < preds).all() and (preds < upper).all()
+
+    def test_coverage_close_to_level(self, ar):
+        w = ar.solution()
+        assert ar.coverage(w, level=0.8) == pytest.approx(0.8, abs=0.1)
+
+    def test_wider_level_wider_band(self, ar):
+        w = ar.solution()
+        lo80, hi80 = ar.confidence_band(w, level=0.8)
+        lo95, hi95 = ar.confidence_band(w, level=0.95)
+        assert (lo95 < lo80).all() and (hi95 > hi80).all()
+
+    def test_rejects_bad_level(self, ar):
+        with pytest.raises(ValueError, match="level"):
+            ar.confidence_band(ar.solution(), level=1.5)

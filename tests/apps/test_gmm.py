@@ -1,0 +1,141 @@
+"""Tests for the GMM-EM application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gmm import GaussianMixtureEM, GmmParams
+from repro.apps.qem import cluster_assignment_hamming
+from repro.data.clusters import make_cluster_dataset
+
+
+@pytest.fixture(scope="module")
+def easy_dataset():
+    """Well-separated tiny mixture: EM must nail it."""
+    return make_cluster_dataset(
+        "easy",
+        sizes=[60, 60, 60],
+        means=np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]]),
+        spreads=[0.8, 0.8, 0.8],
+        seed=1,
+        tolerance=1e-9,
+    )
+
+
+@pytest.fixture()
+def method(easy_dataset):
+    return GaussianMixtureEM.from_dataset(easy_dataset)
+
+
+class TestParamsPacking:
+    def test_roundtrip(self):
+        params = GmmParams(
+            weights=np.array([0.3, 0.7]),
+            means=np.array([[1.0, 2.0], [3.0, 4.0]]),
+            variances=np.array([[0.5, 0.5], [1.0, 1.0]]),
+        )
+        back = GmmParams.unpack(params.pack(), 2, 2)
+        assert np.array_equal(back.weights, params.weights)
+        assert np.array_equal(back.means, params.means)
+        assert np.array_equal(back.variances, params.variances)
+
+    def test_unpack_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="entries"):
+            GmmParams.unpack(np.zeros(7), 2, 2)
+
+    def test_properties(self):
+        params = GmmParams(
+            weights=np.ones(3) / 3,
+            means=np.zeros((3, 2)),
+            variances=np.ones((3, 2)),
+        )
+        assert params.n_clusters == 3
+        assert params.dim == 2
+
+
+class TestInitialization:
+    def test_deterministic(self, method):
+        assert np.array_equal(method.initial_state(), method.initial_state())
+
+    def test_weights_uniform(self, method):
+        params = method.params(method.initial_state())
+        assert np.allclose(params.weights, 1 / 3)
+
+    def test_means_are_data_points(self, method, easy_dataset):
+        params = method.params(method.initial_state())
+        for mean in params.means:
+            assert any(np.allclose(mean, p) for p in easy_dataset.points)
+
+
+class TestExactKernels:
+    def test_responsibilities_are_distributions(self, method, rng):
+        x = method.initial_state()
+        resp = method.responsibilities(x)
+        assert resp.shape == (180, 3)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+        assert (resp >= 0).all()
+
+    def test_objective_finite(self, method):
+        assert np.isfinite(method.objective(method.initial_state()))
+
+    def test_gradient_means_matches_finite_difference(self, method):
+        x = method.initial_state()
+        grad = method.gradient(x)
+        k, d = method.n_clusters, 2
+        h = 1e-6
+        for flat_idx in range(k, k + k * d):  # the mean block
+            e = np.zeros_like(x)
+            e[flat_idx] = h
+            fd = (method.objective(x + e) - method.objective(x - e)) / (2 * h)
+            assert grad[flat_idx] == pytest.approx(fd, abs=1e-4)
+
+    def test_em_step_decreases_nll(self, method, exact_engine):
+        x = method.initial_state()
+        f0 = method.objective(x)
+        stepped = method.em_step(x, exact_engine).pack()
+        assert method.objective(stepped) < f0
+
+    def test_convergence_uses_total_loglik_scale(self, method):
+        # mean change of tol/n must pass, tol*2 must not.
+        n = method.points.shape[0]
+        assert method.converged(1.0, 1.0 + method.tolerance / n / 2)
+        assert not method.converged(1.0, 1.0 + method.tolerance * 2)
+
+
+class TestEndToEndExact:
+    def test_recovers_clusters(self, method, easy_dataset, exact_engine):
+        x = method.initial_state()
+        f_prev = method.objective(x)
+        for k in range(200):
+            d = method.direction(x, exact_engine)
+            x = method.postprocess(method.update(x, 1.0, d, exact_engine))
+            f_new = method.objective(x)
+            if method.converged(f_prev, f_new):
+                break
+            f_prev = f_new
+        qem = cluster_assignment_hamming(
+            method.assignments(x), easy_dataset.labels, 3
+        )
+        assert qem <= 2  # essentially perfect on separated clusters
+
+    def test_postprocess_repairs_degenerate_params(self, method):
+        x = method.initial_state()
+        params = method.params(x)
+        broken = GmmParams(
+            weights=np.array([-0.1, 0.5, 0.8]),
+            means=params.means,
+            variances=np.zeros_like(params.variances),
+        )
+        fixed = method.params(method.postprocess(broken.pack()))
+        assert fixed.weights.sum() == pytest.approx(1.0)
+        assert (fixed.weights > 0).all()
+        assert (fixed.variances > 0).all()
+
+
+class TestValidation:
+    def test_rejects_1d_points(self):
+        with pytest.raises(ValueError, match="2-D"):
+            GaussianMixtureEM(np.zeros(10), 2)
+
+    def test_rejects_too_many_clusters(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            GaussianMixtureEM(np.zeros((3, 2)), 5)

@@ -1,0 +1,73 @@
+"""Property-based invariants of the GMM-EM kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.gmm import GaussianMixtureEM, _VAR_FLOOR
+from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import default_mode_bank
+
+
+@st.composite
+def gmm_instances(draw):
+    """Small random GMM problems (points + cluster count + seed)."""
+    n = draw(st.integers(min_value=12, max_value=60))
+    d = draw(st.integers(min_value=1, max_value=3))
+    k = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    points = rng.normal(scale=3.0, size=(n, d))
+    return GaussianMixtureEM(points, n_clusters=k, seed=seed, max_iter=50)
+
+
+@pytest.fixture(scope="module")
+def exact():
+    bank = default_mode_bank(32)
+    return ApproxEngine(bank.accurate, FixedPointFormat(32, 16), EnergyLedger())
+
+
+class TestEmInvariants:
+    @given(gmm_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_em_step_preserves_simplex_and_floors(self, exact, method):
+        x = method.initial_state()
+        params = method.em_step(x, exact)
+        assert params.weights.sum() == pytest.approx(1.0)
+        assert (params.weights >= 0).all()
+        assert (params.variances >= _VAR_FLOOR - 1e-12).all()
+
+    @given(gmm_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_em_step_never_increases_nll_much(self, exact, method):
+        """Exact EM is monotone; the quantized datapath may cost at most
+        a few quantization ulps of objective."""
+        x = method.initial_state()
+        f0 = method.objective(x)
+        f1 = method.objective(method.em_step(x, exact).pack())
+        assert f1 <= f0 + 1e-3
+
+    @given(gmm_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_responsibilities_rows_normalized(self, exact, method):
+        resp = method.responsibilities(method.initial_state())
+        assert np.allclose(resp.sum(axis=1), 1.0)
+        assert (resp >= 0).all()
+
+    @given(gmm_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_assignments_consistent_with_responsibilities(self, exact, method):
+        x = method.initial_state()
+        resp = method.responsibilities(x)
+        labels = method.assignments(x)
+        assert np.array_equal(labels, resp.argmax(axis=1))
+
+    @given(gmm_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_postprocess_idempotent(self, exact, method):
+        x = method.initial_state()
+        once = method.postprocess(x)
+        twice = method.postprocess(once)
+        assert np.allclose(once, twice)

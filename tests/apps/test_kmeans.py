@@ -1,0 +1,91 @@
+"""Tests for the K-means application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeans
+from repro.apps.qem import cluster_assignment_hamming
+from repro.data.clusters import make_cluster_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_cluster_dataset(
+        "km",
+        sizes=[80, 80, 80],
+        means=np.array([[0.0, 0.0], [9.0, 0.0], [0.0, 9.0]]),
+        spreads=[0.9, 0.9, 0.9],
+        seed=2,
+    )
+
+
+@pytest.fixture()
+def km(dataset):
+    return KMeans.from_dataset(dataset)
+
+
+class TestBasics:
+    def test_initial_centroids_are_samples(self, km, dataset):
+        c = km.centroids(km.initial_state())
+        for row in c:
+            assert any(np.allclose(row, p) for p in dataset.points)
+
+    def test_assignments_shape(self, km):
+        labels = km.assignments(km.initial_state())
+        assert labels.shape == (240,)
+        assert labels.max() < 3
+
+    def test_objective_nonnegative(self, km):
+        assert km.objective(km.initial_state()) >= 0
+
+    def test_centroid_validation(self, km):
+        with pytest.raises(ValueError, match="entries"):
+            km.centroids(np.zeros(5))
+
+
+class TestLloydDynamics:
+    def test_lloyd_step_decreases_objective(self, km, exact_engine):
+        x = km.initial_state()
+        f0 = km.objective(x)
+        x1 = x + km.direction(x, exact_engine)
+        assert km.objective(x1) <= f0 + 1e-9
+
+    def test_converges_to_true_clusters(self, km, dataset, exact_engine):
+        x = km.initial_state()
+        f_prev = km.objective(x)
+        for k in range(100):
+            d = km.direction(x, exact_engine)
+            x = km.update(x, 1.0, d, exact_engine)
+            f_new = km.objective(x)
+            if km.converged(f_prev, f_new):
+                break
+            f_prev = f_new
+        qem = cluster_assignment_hamming(km.assignments(x), dataset.labels, 3)
+        assert qem <= 2
+
+    def test_empty_cluster_keeps_centroid(self, exact_engine):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]])
+        km = KMeans(points, n_clusters=2, seed=0)
+        # Put one centroid far away so it owns no points.
+        x = np.array([0.05, 0.05, 100.0, 100.0])
+        new = km.lloyd_step(x, exact_engine)
+        assert np.allclose(new[1], [100.0, 100.0])
+
+    def test_gradient_zero_at_fixed_point(self, km, exact_engine):
+        x = km.initial_state()
+        for k in range(100):
+            d = km.direction(x, exact_engine)
+            if np.allclose(d, 0, atol=1e-6):
+                break
+            x = km.update(x, 1.0, d, exact_engine)
+        assert np.linalg.norm(km.gradient(x)) < 0.05
+
+
+class TestMcdSensor:
+    def test_mcd_positive_and_decreasing(self, km, exact_engine):
+        x = km.initial_state()
+        mcd0 = km.mean_centroid_distance(x)
+        for k in range(20):
+            d = km.direction(x, exact_engine)
+            x = km.update(x, 1.0, d, exact_engine)
+        assert 0 < km.mean_centroid_distance(x) <= mcd0

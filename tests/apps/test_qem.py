@@ -1,0 +1,75 @@
+"""Tests for the application-level quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.qem import (
+    cluster_assignment_hamming,
+    confusion_matrix,
+    weight_l2_error,
+)
+
+
+class TestConfusionMatrix:
+    def test_identity(self):
+        labels = np.array([0, 1, 2, 0, 1])
+        cm = confusion_matrix(labels, labels, 3)
+        assert np.array_equal(cm, np.diag([2, 2, 1]))
+
+    def test_counts(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1])
+        cm = confusion_matrix(a, b, 2)
+        assert cm[0, 0] == 1 and cm[0, 1] == 1 and cm[1, 1] == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes"):
+            confusion_matrix(np.zeros(3, int), np.zeros(4, int), 2)
+
+    def test_out_of_range_labels(self):
+        with pytest.raises(ValueError, match="range"):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]), 2)
+
+
+class TestHamming:
+    def test_identical_assignments_zero(self):
+        labels = np.array([0, 1, 2, 1, 0])
+        assert cluster_assignment_hamming(labels, labels, 3) == 0
+
+    def test_permuted_labels_zero(self):
+        # A pure relabelling is the same clustering.
+        ref = np.array([0, 0, 1, 1, 2, 2])
+        perm = np.array([2, 2, 0, 0, 1, 1])
+        assert cluster_assignment_hamming(perm, ref, 3) == 0
+
+    def test_single_flip_counts_one(self):
+        ref = np.array([0, 0, 0, 1, 1, 1])
+        one_off = np.array([0, 0, 1, 1, 1, 1])
+        assert cluster_assignment_hamming(one_off, ref, 2) == 1
+
+    def test_collapsed_clustering_counts_minority(self):
+        # Everything in one cluster vs an even 2-way split: half wrong.
+        ref = np.array([0] * 5 + [1] * 5)
+        collapsed = np.zeros(10, dtype=np.int64)
+        assert cluster_assignment_hamming(collapsed, ref, 2) == 5
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, size=50)
+        b = rng.integers(0, 3, size=50)
+        assert cluster_assignment_hamming(a, b, 3) == cluster_assignment_hamming(
+            b, a, 3
+        )
+
+
+class TestWeightError:
+    def test_zero_for_equal(self):
+        w = np.array([1.0, -2.0, 3.0])
+        assert weight_l2_error(w, w) == 0.0
+
+    def test_euclidean_norm(self):
+        assert weight_l2_error(np.array([3.0, 0.0]), np.array([0.0, 4.0])) == 5.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes"):
+            weight_l2_error(np.zeros(3), np.zeros(4))

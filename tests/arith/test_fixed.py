@@ -1,0 +1,97 @@
+"""Tests for the Q-format fixed-point encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.fixed import FixedPointFormat
+
+
+class TestConstruction:
+    def test_defaults(self):
+        fmt = FixedPointFormat()
+        assert fmt.width == 32
+        assert fmt.frac_bits == 16
+        assert fmt.overflow == "saturate"
+
+    def test_rejects_frac_ge_width(self):
+        with pytest.raises(ValueError, match="frac_bits"):
+            FixedPointFormat(width=16, frac_bits=16)
+
+    def test_rejects_negative_frac(self):
+        with pytest.raises(ValueError, match="frac_bits"):
+            FixedPointFormat(width=16, frac_bits=-1)
+
+    def test_rejects_unknown_overflow(self):
+        with pytest.raises(ValueError, match="overflow"):
+            FixedPointFormat(overflow="explode")
+
+    def test_describe_mentions_q_format(self):
+        assert "Q15.16" in FixedPointFormat(32, 16).describe()
+
+
+class TestRangeResolution:
+    def test_resolution(self):
+        assert FixedPointFormat(32, 16).resolution == pytest.approx(2**-16)
+
+    def test_range_symmetry(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.max_value == pytest.approx(127 + 255 / 256)
+        assert fmt.min_value == pytest.approx(-128.0)
+
+
+class TestEncodeDecode:
+    def test_integers_exact(self):
+        fmt = FixedPointFormat(32, 16)
+        vals = np.array([-5.0, 0.0, 42.0])
+        assert np.array_equal(fmt.quantize(vals), vals)
+
+    def test_quantization_error_bounded_by_half_ulp(self):
+        fmt = FixedPointFormat(32, 16)
+        rng = np.random.default_rng(0)
+        vals = rng.uniform(-100, 100, size=1000)
+        err = np.abs(fmt.quantize(vals) - vals)
+        assert err.max() <= fmt.resolution / 2 + 1e-12
+
+    def test_saturate_clamps(self):
+        fmt = FixedPointFormat(16, 8, overflow="saturate")
+        out = fmt.quantize(np.array([1e6, -1e6]))
+        assert out[0] == pytest.approx(fmt.max_value)
+        assert out[1] == pytest.approx(fmt.min_value)
+
+    def test_wrap_wraps(self):
+        fmt = FixedPointFormat(16, 8, overflow="wrap")
+        out = fmt.quantize(np.array([fmt.max_value + fmt.resolution]))
+        assert out[0] == pytest.approx(fmt.min_value)
+
+    def test_rejects_nan(self):
+        fmt = FixedPointFormat()
+        with pytest.raises(ValueError, match="non-finite"):
+            fmt.encode(np.array([np.nan]))
+
+    def test_rejects_inf(self):
+        fmt = FixedPointFormat()
+        with pytest.raises(ValueError, match="non-finite"):
+            fmt.encode(np.array([np.inf]))
+
+    def test_representable_mask(self):
+        fmt = FixedPointFormat(16, 8)
+        mask = fmt.representable(np.array([0.0, 1e5, -1e5]))
+        assert list(mask) == [True, False, False]
+
+    @given(st.floats(min_value=-30000.0, max_value=30000.0, allow_nan=False))
+    @settings(max_examples=300)
+    def test_roundtrip_idempotent(self, value):
+        fmt = FixedPointFormat(32, 16)
+        once = fmt.quantize(np.array([value]))
+        twice = fmt.quantize(once)
+        assert np.array_equal(once, twice)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    @settings(max_examples=300)
+    def test_quantize_monotone_nondecreasing(self, value):
+        fmt = FixedPointFormat(32, 16)
+        lo = fmt.quantize(np.array([value]))[0]
+        hi = fmt.quantize(np.array([value + 0.001]))[0]
+        assert hi >= lo

@@ -1,0 +1,120 @@
+"""Tests for the mode ladder."""
+
+import pytest
+
+from repro.arith.modes import (
+    ACCURATE_NAME,
+    LEVEL_NAMES,
+    ApproxMode,
+    ModeBank,
+    default_mode_bank,
+    family_mode_bank,
+)
+from repro.hardware.adders import ExactAdder, LowerOrAdder
+
+
+class TestDefaultBank:
+    def test_five_rungs_in_order(self, bank32):
+        assert bank32.names() == list(LEVEL_NAMES) + [ACCURATE_NAME]
+
+    def test_last_is_accurate(self, bank32):
+        assert bank32.accurate.is_accurate
+        assert bank32.accurate.adder.is_exact
+
+    def test_energy_strictly_increasing(self, bank32):
+        energies = bank32.energy_vector()
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_accurate_energy_normalized_to_one(self, bank32):
+        assert bank32.accurate.energy_per_add == pytest.approx(1.0)
+
+    def test_accuracy_increases_with_level(self, bank32):
+        approx_bits = [m.adder.approx_bits for m in bank32.approximate_modes]
+        assert all(a > b for a, b in zip(approx_bits, approx_bits[1:]))
+
+    def test_width_16_ladder_valid(self):
+        bank = default_mode_bank(16)
+        assert len(bank) == 5
+        energies = bank.energy_vector()
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+
+class TestNavigation:
+    def test_escalate_walks_up(self, bank32):
+        mode = bank32.lowest
+        seen = [mode.name]
+        for _ in range(10):
+            mode = bank32.escalate(mode)
+            seen.append(mode.name)
+        assert seen[:5] == bank32.names()
+        assert seen[5:] == [ACCURATE_NAME] * 6  # saturates at the top
+
+    def test_deescalate_walks_down(self, bank32):
+        mode = bank32.accurate
+        for expected in reversed(bank32.names()[:-1]):
+            mode = bank32.deescalate(mode)
+            assert mode.name == expected
+        assert bank32.deescalate(bank32.lowest) is bank32.lowest
+
+    def test_by_name(self, bank32):
+        assert bank32.by_name("level3").index == 2
+
+    def test_by_name_unknown_lists_known(self, bank32):
+        with pytest.raises(KeyError, match="level1"):
+            bank32.by_name("level99")
+
+    def test_indexing_and_iteration(self, bank32):
+        assert bank32[0] is bank32.lowest
+        assert len(list(bank32)) == len(bank32)
+
+
+class TestValidation:
+    def _mode(self, name, index, adder, energy=1.0):
+        return ApproxMode(name=name, index=index, adder=adder, energy_per_add=energy)
+
+    def test_requires_exact_top(self):
+        modes = [self._mode("a", 0, LowerOrAdder(8, 2))]
+        with pytest.raises(ValueError, match="exact"):
+            ModeBank(modes)
+
+    def test_requires_contiguous_indices(self):
+        modes = [
+            self._mode("a", 0, LowerOrAdder(8, 2)),
+            self._mode("b", 5, ExactAdder(8)),
+        ]
+        with pytest.raises(ValueError, match="index"):
+            ModeBank(modes)
+
+    def test_rejects_duplicate_names(self):
+        modes = [
+            self._mode("a", 0, LowerOrAdder(8, 2)),
+            self._mode("a", 1, ExactAdder(8)),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            ModeBank(modes)
+
+    def test_rejects_mixed_widths(self):
+        modes = [
+            self._mode("a", 0, LowerOrAdder(8, 2)),
+            self._mode("b", 1, ExactAdder(16)),
+        ]
+        with pytest.raises(ValueError, match="width"):
+            ModeBank(modes)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ModeBank([])
+
+
+class TestFamilyBanks:
+    @pytest.mark.parametrize("family", ["loa", "truncated", "etaii", "aca", "gear"])
+    def test_family_ladders_are_valid(self, family):
+        bank = family_mode_bank(family, 32)
+        assert len(bank) == 5
+        assert bank.accurate.is_accurate
+        energies = bank.energy_vector()
+        assert all(a <= b for a, b in zip(energies, energies[1:])), energies
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="ladder"):
+            family_mode_bank("bogus", 32)

@@ -1,0 +1,96 @@
+"""Tests for the first-order error-propagation model."""
+
+import numpy as np
+import pytest
+
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.propagation import (
+    PropagationEstimate,
+    measure_sum_error,
+    predict_sum_error,
+)
+from repro.hardware.characterization import characterize_adder
+
+
+@pytest.fixture(scope="module")
+def fmt():
+    return FixedPointFormat(32, 16)
+
+
+@pytest.fixture(scope="module")
+def level_profiles(bank32):
+    return {
+        m.name: characterize_adder(m.adder, samples=40_000, seed=7)
+        for m in bank32
+    }
+
+
+class TestPrediction:
+    def test_single_summand_is_error_free(self, level_profiles, fmt):
+        est = predict_sum_error(level_profiles["level2"], 1, fmt)
+        assert est.mean_error == 0.0
+        assert est.std_error == 0.0
+
+    def test_exact_adder_predicts_zero(self, level_profiles, fmt):
+        est = predict_sum_error(level_profiles["acc"], 1000, fmt)
+        assert est.mean_error == 0.0
+        assert est.envelope == 0.0
+
+    def test_mean_scales_linearly(self, level_profiles, fmt):
+        p = level_profiles["level2"]
+        small = predict_sum_error(p, 101, fmt)
+        large = predict_sum_error(p, 1001, fmt)
+        assert large.mean_error == pytest.approx(10 * small.mean_error)
+
+    def test_std_scales_with_sqrt(self, level_profiles, fmt):
+        p = level_profiles["level2"]
+        small = predict_sum_error(p, 101, fmt)
+        large = predict_sum_error(p, 401, fmt)
+        assert large.std_error == pytest.approx(2 * small.std_error)
+
+    def test_envelope_definition(self):
+        est = PropagationEstimate(n_summands=10, mean_error=-1.0, std_error=0.5)
+        assert est.envelope == pytest.approx(3.0)
+
+    def test_rejects_zero_summands(self, level_profiles, fmt):
+        with pytest.raises(ValueError, match="n_summands"):
+            predict_sum_error(level_profiles["level2"], 0, fmt)
+
+
+class TestMeasurementAgainstPrediction:
+    @pytest.mark.parametrize("mode_name", ["level2", "level3", "level4"])
+    def test_envelope_contains_measured_error(
+        self, bank32, level_profiles, fmt, mode_name, rng
+    ):
+        data = rng.normal(0, 5, size=512)
+        measured_mean, measured_std = measure_sum_error(
+            bank32.by_name(mode_name), fmt, data, trials=24, seed=3
+        )
+        est = predict_sum_error(level_profiles[mode_name], data.size, fmt)
+        # The first-order envelope must contain the realized error.
+        assert abs(measured_mean) <= est.envelope + fmt.resolution * data.size
+        # And the prediction must not be wildly conservative either:
+        # within three orders of magnitude of the measurement scale.
+        if measured_std > 0:
+            assert est.std_error < 1000 * (measured_std + abs(measured_mean))
+
+    def test_measured_error_grows_with_level_aggressiveness(
+        self, bank32, fmt, rng
+    ):
+        data = rng.normal(0, 5, size=256)
+        magnitudes = []
+        for name in ("level4", "level3", "level2", "level1"):
+            mean, std = measure_sum_error(
+                bank32.by_name(name), fmt, data, trials=16, seed=5
+            )
+            magnitudes.append(abs(mean) + std)
+        assert magnitudes[0] < magnitudes[-1]
+
+    def test_exact_mode_measures_only_quantization(self, bank32, fmt, rng):
+        data = rng.normal(0, 5, size=128)
+        mean, std = measure_sum_error(bank32.accurate, fmt, data, trials=8)
+        assert abs(mean) <= 128 * fmt.resolution
+
+    def test_rejects_too_few_trials(self, bank32, fmt):
+        with pytest.raises(ValueError, match="trials"):
+            measure_sum_error(bank32.accurate, fmt, np.ones(4), trials=1)

@@ -1,0 +1,94 @@
+"""Tests for bank-config and characterization-table serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arith.modes import ModeBank, default_mode_bank, family_mode_bank
+from repro.core.characterize import CharacterizationTable, characterize
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+class TestBankConfig:
+    def test_default_bank_round_trips(self):
+        original = default_mode_bank(32)
+        rebuilt = ModeBank.from_config(original.to_config())
+        assert rebuilt.names() == original.names()
+        assert rebuilt.width == original.width
+        assert rebuilt.energy_vector() == original.energy_vector()
+        for a, b in zip(original, rebuilt):
+            assert a.adder.describe() == b.adder.describe()
+
+    @pytest.mark.parametrize("family", ["truncated", "etaii", "aca", "gear"])
+    def test_family_banks_round_trip(self, family):
+        original = family_mode_bank(family, 32)
+        rebuilt = ModeBank.from_config(original.to_config())
+        assert rebuilt.names() == original.names()
+        assert rebuilt.energy_vector() == pytest.approx(original.energy_vector())
+
+    def test_config_is_json_serializable(self):
+        config = default_mode_bank(32).to_config()
+        rebuilt = ModeBank.from_config(json.loads(json.dumps(config)))
+        assert rebuilt.names() == default_mode_bank(32).names()
+
+    def test_rebuilt_bank_behaves_identically(self, rng):
+        from repro.arith.engine import ApproxEngine, EnergyLedger
+        from repro.arith.fixed import FixedPointFormat
+
+        original = default_mode_bank(32)
+        rebuilt = ModeBank.from_config(original.to_config())
+        fmt = FixedPointFormat(32, 16)
+        data = rng.normal(0, 5, size=300)
+        for name in original.names():
+            a = ApproxEngine(original.by_name(name), fmt, EnergyLedger()).sum(data)
+            b = ApproxEngine(rebuilt.by_name(name), fmt, EnergyLedger()).sum(data)
+            assert a == b, name
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing field"):
+            ModeBank.from_config({"modes": []})
+
+    def test_empty_modes_rejected(self):
+        with pytest.raises(ValueError, match="no modes"):
+            ModeBank.from_config({"width": 32, "modes": []})
+
+
+class TestCharacterizationSerialization:
+    @pytest.fixture(scope="class")
+    def table(self, bank32):
+        from repro.arith.fixed import FixedPointFormat
+
+        fn = QuadraticFunction.random_spd(dim=4, seed=101, condition=15.0)
+        method = GradientDescent(
+            fn, x0=np.full(4, 2.0), learning_rate=0.05, max_iter=100
+        )
+        return characterize(method, bank32, FixedPointFormat(32, 16))
+
+    def test_round_trip(self, table):
+        rebuilt = CharacterizationTable.from_dict(table.to_dict())
+        assert rebuilt.epsilons() == table.epsilons()
+        assert rebuilt.energies() == table.energies()
+        assert rebuilt.f_x0 == table.f_x0
+        assert rebuilt.initial_error_budget() == table.initial_error_budget()
+
+    def test_json_round_trip(self, table):
+        rebuilt = CharacterizationTable.from_dict(
+            json.loads(json.dumps(table.to_dict()))
+        )
+        assert rebuilt.epsilons() == table.epsilons()
+
+    def test_missing_field_rejected(self, table):
+        payload = table.to_dict()
+        del payload["f_x0"]
+        with pytest.raises(ValueError, match="missing field"):
+            CharacterizationTable.from_dict(payload)
+
+    def test_loaded_table_drives_adaptive_strategy(self, table, bank32):
+        from repro.core.strategies.adaptive import AdaptiveAngleStrategy
+
+        rebuilt = CharacterizationTable.from_dict(table.to_dict())
+        strategy = AdaptiveAngleStrategy()
+        mode = strategy.start(bank32, rebuilt)
+        assert mode.name == "level1"

@@ -1,0 +1,34 @@
+"""Shared fixtures for the ApproxIt test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import default_mode_bank
+
+
+@pytest.fixture(scope="session")
+def bank32():
+    """The default four-level LOA ladder at width 32."""
+    return default_mode_bank(32)
+
+
+@pytest.fixture()
+def fmt32():
+    """Q15.16 datapath format."""
+    return FixedPointFormat(width=32, frac_bits=16)
+
+
+@pytest.fixture()
+def exact_engine(bank32, fmt32):
+    """An engine on the accurate mode with a fresh ledger."""
+    return ApproxEngine(bank32.accurate, fmt32, EnergyLedger())
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic RNG for tests that sample."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,114 @@
+"""Tests for the Eq.-5 LP solver and the angle lookup table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategies.adaptive import (
+    AngleLookupTable,
+    _greedy_allocation,
+    relative_budget,
+    solve_energy_lp,
+)
+
+ENERGIES = np.array([0.2, 0.4, 0.6, 0.8, 1.0])
+EPSILONS = np.array([1e-1, 1e-3, 1e-5, 1e-7, 0.0])
+
+
+class TestSolveEnergyLp:
+    def test_loose_budget_prefers_cheapest(self):
+        omega = solve_energy_lp(ENERGIES, EPSILONS, budget=1.0)
+        assert omega.argmax() == 0
+        assert omega[0] > 0.9
+
+    def test_tight_budget_prefers_accurate(self):
+        omega = solve_energy_lp(ENERGIES, EPSILONS, budget=1e-12)
+        assert omega.argmax() == len(ENERGIES) - 1
+
+    def test_shares_form_distribution(self):
+        for budget in (1e-12, 1e-6, 1e-3, 0.5):
+            omega = solve_energy_lp(ENERGIES, EPSILONS, budget)
+            assert omega.sum() == pytest.approx(1.0)
+            assert (omega > 0).all()
+
+    def test_error_constraint_respected(self):
+        for budget in (1e-6, 1e-4, 1e-2):
+            omega = solve_energy_lp(ENERGIES, EPSILONS, budget, min_weight=1e-9)
+            assert float(omega @ EPSILONS) <= budget * (1 + 1e-6)
+
+    def test_intermediate_budget_uses_intermediate_mode(self):
+        # Budget below eps2 but above eps3: level3-heavy allocation.
+        omega = solve_energy_lp(ENERGIES, EPSILONS, budget=5e-5, min_weight=1e-9)
+        assert omega.argmax() == 2
+
+    def test_greedy_matches_linprog_energy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            eps = np.sort(rng.uniform(0, 0.1, size=5))[::-1].copy()
+            eps[-1] = 0.0
+            budget = float(rng.uniform(0, 0.05))
+            lp = solve_energy_lp(ENERGIES, eps, budget, min_weight=1e-9)
+            greedy = _greedy_allocation(ENERGIES, eps, budget, min_weight=1e-9)
+            # Both must be feasible and near-equal in objective value.
+            assert float(greedy @ eps) <= budget + 1e-9
+            assert float(greedy @ ENERGIES) == pytest.approx(
+                float(lp @ ENERGIES), abs=1e-3
+            )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="lengths"):
+            solve_energy_lp(ENERGIES, EPSILONS[:3], 0.1)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            solve_energy_lp(ENERGIES, EPSILONS, -0.1)
+
+    def test_rejects_infeasible_min_weight(self):
+        with pytest.raises(ValueError, match="min_weight"):
+            solve_energy_lp(ENERGIES, EPSILONS, 0.1, min_weight=0.5)
+
+    @given(st.floats(min_value=0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_monotone_budget_monotone_energy(self, budget):
+        # More budget can only reduce (or keep) the optimal energy.
+        omega_loose = solve_energy_lp(ENERGIES, EPSILONS, budget + 0.01)
+        omega_tight = solve_energy_lp(ENERGIES, EPSILONS, budget)
+        assert float(omega_loose @ ENERGIES) <= float(omega_tight @ ENERGIES) + 1e-9
+
+
+class TestAngleLut:
+    def test_spans_cover_range(self):
+        lut = AngleLookupTable.from_shares(np.array([0.5, 0.3, 0.2]))
+        # Spans from flat to steep: mode2 [0,18), mode1 [18,45), mode0 [45,90].
+        assert lut.lookup(89.0) == 0
+        assert lut.lookup(30.0) == 1
+        assert lut.lookup(5.0) == 2
+
+    def test_boundaries_clip(self):
+        lut = AngleLookupTable.from_shares(np.array([0.5, 0.5]))
+        assert lut.lookup(-10.0) == 1  # below 0 -> flattest -> accurate
+        assert lut.lookup(200.0) == 0
+
+    def test_zero_angle_most_accurate(self):
+        lut = AngleLookupTable.from_shares(np.array([0.9, 0.05, 0.05]))
+        assert lut.lookup(0.0) == 2
+
+    def test_degenerate_share_still_lookupable(self):
+        lut = AngleLookupTable.from_shares(np.array([1.0, 0.0]))
+        assert lut.lookup(45.0) == 0
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError, match="distribution"):
+            AngleLookupTable.from_shares(np.array([0.5, 0.2]))
+
+
+class TestRelativeBudget:
+    def test_normalizes_by_previous(self):
+        assert relative_budget(2.0, 1.0) == pytest.approx(0.5)
+
+    def test_absolute_value(self):
+        assert relative_budget(1.0, 2.0) == pytest.approx(1.0)
+
+    def test_guards_zero_objective(self):
+        assert np.isfinite(relative_budget(0.0, 1e-8))

@@ -1,0 +1,159 @@
+"""Tests for the Chippa-style sensor + PID baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeans
+from repro.core.baseline_pid import PidController, PidEffortStrategy
+from repro.core.framework import ApproxIt
+from repro.core.sensors import (
+    MeanCentroidDistanceSensor,
+    ObjectiveSensor,
+    RelativeDecreaseSensor,
+)
+from repro.data.clusters import make_cluster_dataset
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+@pytest.fixture(scope="module")
+def km_dataset():
+    return make_cluster_dataset(
+        "pid-km",
+        sizes=[100, 100, 100],
+        means=np.array([[0.0, 0.0], [6.0, 0.5], [0.5, 6.0]]),
+        spreads=[1.2, 1.2, 1.2],
+        seed=3,
+    )
+
+
+class TestPidController:
+    def test_proportional_only(self):
+        pid = PidController(kp=2.0, ki=0.0, kd=0.0)
+        assert pid.step(1.5) == pytest.approx(3.0)
+
+    def test_integral_accumulates(self):
+        pid = PidController(kp=0.0, ki=1.0, kd=0.0)
+        assert pid.step(1.0) == pytest.approx(1.0)
+        assert pid.step(1.0) == pytest.approx(2.0)
+
+    def test_integral_windup_clamped(self):
+        pid = PidController(kp=0.0, ki=1.0, kd=0.0, integral_limit=3.0)
+        for _ in range(10):
+            out = pid.step(1.0)
+        assert out == pytest.approx(3.0)
+
+    def test_derivative_on_change(self):
+        pid = PidController(kp=0.0, ki=0.0, kd=1.0)
+        assert pid.step(1.0) == pytest.approx(0.0)  # no previous error
+        assert pid.step(3.0) == pytest.approx(2.0)
+
+    def test_reset(self):
+        pid = PidController(kp=0.0, ki=1.0, kd=0.0)
+        pid.step(5.0)
+        pid.reset()
+        assert pid.step(1.0) == pytest.approx(1.0)
+
+
+class TestSensors:
+    def test_mcd_sensor_reads_kmeans(self, km_dataset):
+        km = KMeans.from_dataset(km_dataset)
+        sensor = MeanCentroidDistanceSensor()
+        x = km.initial_state()
+        assert sensor.read(km, x) > 0
+
+    def test_mcd_sensor_rejects_non_clustering(self):
+        fn = QuadraticFunction.random_spd(dim=2, seed=0)
+        gd = GradientDescent(fn)
+        with pytest.raises(TypeError, match="mean_centroid_distance"):
+            MeanCentroidDistanceSensor().read(gd, np.zeros(2))
+
+    def test_objective_sensor(self, km_dataset):
+        km = KMeans.from_dataset(km_dataset)
+        x = km.initial_state()
+        assert ObjectiveSensor().read(km, x) == pytest.approx(km.objective(x))
+
+    def test_relative_decrease_sensor_decays(self, km_dataset, exact_engine):
+        km = KMeans.from_dataset(km_dataset)
+        sensor = RelativeDecreaseSensor()
+        x = km.initial_state()
+        first = sensor.read(km, x)
+        assert first == 1.0
+        for _ in range(15):
+            d = km.direction(x, exact_engine)
+            x = km.update(x, 1.0, d, exact_engine)
+            last = sensor.read(km, x)
+        assert last < 0.1  # near convergence the decrease vanishes
+
+    def test_relative_decrease_reset(self, km_dataset):
+        km = KMeans.from_dataset(km_dataset)
+        sensor = RelativeDecreaseSensor()
+        x = km.initial_state()
+        sensor.read(km, x)
+        sensor.reset()
+        assert sensor.read(km, x) == 1.0
+
+
+class TestPidStrategy:
+    def test_runs_kmeans_without_quality_guarantee(self, km_dataset, bank32):
+        km = KMeans.from_dataset(km_dataset)
+        fw = ApproxIt(km, bank32)
+        strat = PidEffortStrategy(km, sensor=MeanCentroidDistanceSensor(), target=0.5)
+        result = fw.run(strategy=strat)
+        assert result.iterations > 0
+        # The defining property: no verification pass is forced.
+        assert strat.verify_convergence is False
+
+    def test_effort_rises_when_quality_lags(self, km_dataset, bank32):
+        km = KMeans.from_dataset(km_dataset)
+        fw = ApproxIt(km, bank32)
+        # Impossible target: sensor can never get that low, so the PID
+        # keeps pushing effort up.
+        strat = PidEffortStrategy(
+            km,
+            sensor=MeanCentroidDistanceSensor(),
+            target=1e-6,
+            controller=PidController(kp=2.0, ki=0.5),
+        )
+        result = fw.run(strategy=strat, max_iter=40)
+        high = result.steps_by_mode["acc"] + result.steps_by_mode["level4"]
+        assert high > result.steps_by_mode["level1"]
+
+    def test_effort_falls_when_target_met(self, km_dataset, bank32):
+        km = KMeans.from_dataset(km_dataset)
+        fw = ApproxIt(km, bank32)
+        # Trivial target: met immediately, PID relaxes to cheap modes.
+        strat = PidEffortStrategy(
+            km,
+            sensor=MeanCentroidDistanceSensor(),
+            target=0.99,
+            controller=PidController(kp=2.0, ki=0.5),
+        )
+        result = fw.run(strategy=strat, max_iter=40)
+        assert result.steps_by_mode["level1"] > result.steps_by_mode["acc"]
+
+    def test_rejects_bad_target(self, km_dataset):
+        km = KMeans.from_dataset(km_dataset)
+        with pytest.raises(ValueError, match="target"):
+            PidEffortStrategy(km, target=1.5)
+
+    def test_no_final_quality_guarantee_demonstrable(self, km_dataset, bank32):
+        """The Section-2.3 motivation: PID DES can end in a state whose
+        clustering differs from Truth, while ApproxIt cannot."""
+        from repro.apps.qem import cluster_assignment_hamming
+
+        km = KMeans.from_dataset(km_dataset)
+        fw = ApproxIt(km, bank32)
+        truth = fw.run_truth()
+        approxit = fw.run(strategy="incremental")
+        qem_approxit = cluster_assignment_hamming(
+            km.assignments(approxit.x), km.assignments(truth.x), km.n_clusters
+        )
+        assert qem_approxit == 0
+        # The PID run is *allowed* to be wrong; we only assert that it
+        # stops unverified in an approximate mode at least sometimes —
+        # pinning exact wrongness would be seed-brittle.
+        strat = PidEffortStrategy(km, sensor=MeanCentroidDistanceSensor(), target=0.9)
+        pid_run = fw.run(strategy=strat)
+        last_mode = pid_run.mode_trace[-1]
+        assert last_mode != "acc" or pid_run.converged

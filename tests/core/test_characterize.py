@@ -1,0 +1,62 @@
+"""Tests for the offline characterization stage."""
+
+import numpy as np
+import pytest
+
+from repro.arith.fixed import FixedPointFormat
+from repro.core.characterize import characterize
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+@pytest.fixture()
+def method():
+    fn = QuadraticFunction.random_spd(dim=4, seed=21, condition=15.0)
+    return GradientDescent(
+        fn, x0=np.full(4, 3.0), learning_rate=0.05, max_iter=500, tolerance=1e-12
+    )
+
+
+class TestCharacterize:
+    def test_covers_every_mode(self, method, bank32, fmt32):
+        table = characterize(method, bank32, fmt32)
+        assert set(table.impacts) == set(bank32.names())
+
+    def test_accurate_mode_has_zero_quality_error(self, method, bank32, fmt32):
+        table = characterize(method, bank32, fmt32)
+        assert table.impacts["acc"].quality_error == 0.0
+
+    def test_quality_error_decreases_with_level(self, method, bank32, fmt32):
+        table = characterize(method, bank32, fmt32)
+        eps = [table.impacts[n].quality_error for n in ("level1", "level2", "level3")]
+        assert eps[0] > eps[1] > eps[2]
+
+    def test_energy_increases_with_level(self, method, bank32, fmt32):
+        table = characterize(method, bank32, fmt32)
+        energies = [table.impacts[n].energy_per_iteration for n in bank32.names()]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_initial_budget_is_first_decrease(self, method, bank32, fmt32):
+        table = characterize(method, bank32, fmt32)
+        assert table.initial_error_budget() == pytest.approx(
+            abs(table.f_x1 - table.f_x0)
+        )
+        assert table.f_x1 < table.f_x0  # the exact first step descends
+
+    def test_probe_count_recorded(self, method, bank32, fmt32):
+        table = characterize(method, bank32, fmt32, probe_iterations=5)
+        assert all(imp.probes == 5 for imp in table.impacts.values())
+
+    def test_rejects_zero_probes(self, method, bank32, fmt32):
+        with pytest.raises(ValueError, match="probe"):
+            characterize(method, bank32, fmt32, probe_iterations=0)
+
+    def test_deterministic(self, method, bank32, fmt32):
+        t1 = characterize(method, bank32, fmt32)
+        t2 = characterize(method, bank32, fmt32)
+        assert t1.epsilons() == t2.epsilons()
+        assert t1.energies() == t2.energies()
+
+    def test_dict_views(self, method, bank32, fmt32):
+        table = characterize(method, bank32, fmt32)
+        assert set(table.epsilons()) == set(table.energies()) == set(bank32.names())

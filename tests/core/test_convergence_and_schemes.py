@@ -1,0 +1,174 @@
+"""Tests for the Section-3.2 criteria and the Section-4.1 schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergence import direction_ok, update_error_ok
+from repro.core.schemes import (
+    function_scheme_violated,
+    gradient_scheme_violated,
+    quality_scheme_violated,
+    windowed_quality_violated,
+)
+
+
+class TestDirectionCriterion:
+    def test_negative_gradient_is_descent(self):
+        g = np.array([1.0, -2.0])
+        assert direction_ok(g, -g)
+
+    def test_gradient_itself_is_ascent(self):
+        g = np.array([1.0, -2.0])
+        assert not direction_ok(g, g)
+
+    def test_orthogonal_is_not_descent(self):
+        assert not direction_ok(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_zero_gradient_accepts_anything(self):
+        assert direction_ok(np.zeros(3), np.ones(3))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            direction_ok(np.zeros(2), np.zeros(3))
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=6))
+    @settings(max_examples=200)
+    def test_negated_gradient_always_ok(self, values):
+        g = np.array(values)
+        # Subnormal gradients underflow the dot product to -0.0.
+        assume(float(np.linalg.norm(g)) > 1e-100)
+        assert direction_ok(g, -g)
+
+
+class TestPropositionOne:
+    """Proposition 1 made executable: a direction passing the criterion
+    admits a strictly decreasing step."""
+
+    @given(
+        st.lists(st.floats(-3, 3), min_size=2, max_size=5),
+        st.lists(st.floats(-3, 3), min_size=2, max_size=5),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=150)
+    def test_descent_direction_admits_decreasing_step(self, xs, ds, seed):
+        from repro.solvers.functions import QuadraticFunction
+
+        dim = min(len(xs), len(ds))
+        fn = QuadraticFunction.random_spd(dim=dim, seed=seed, condition=8.0)
+        x = np.array(xs[:dim])
+        d = np.array(ds[:dim])
+        g = fn.gradient(x)
+        if not direction_ok(g, d) or not np.any(g):
+            return
+        slope = float(g @ d)
+        assume(slope < -1e-8)  # avoid float underflow edge cases
+        # Proposition 1: some alpha_0 > 0 exists; for a quadratic the
+        # half-optimal step along d always works.
+        curvature = float(d @ fn.matrix @ d)
+        alpha = -slope / max(curvature, 1e-12)
+        assert fn.value(x + 0.5 * alpha * d) < fn.value(x)
+
+
+class TestUpdateErrorCriterion:
+    def test_small_error_ok(self):
+        assert update_error_ok(0.1, np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_large_error_not_ok(self):
+        assert not update_error_ok(2.0, np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_boundary_inclusive(self):
+        assert update_error_ok(1.0, np.zeros(1), np.array([1.0]))
+
+    def test_rejects_negative_estimate(self):
+        with pytest.raises(ValueError):
+            update_error_ok(-0.1, np.zeros(1), np.ones(1))
+
+
+class TestGradientScheme:
+    def test_fires_on_uphill_move(self):
+        grad = np.array([1.0, 0.0])
+        assert gradient_scheme_violated(grad, np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_silent_on_downhill_move(self):
+        grad = np.array([1.0, 0.0])
+        assert not gradient_scheme_violated(grad, np.zeros(2), np.array([-1.0, 0.0]))
+
+
+class TestQualityScheme:
+    def test_fires_when_error_dominates_step(self):
+        # epsilon*||x_new|| = 1.0 > step 0.1
+        assert quality_scheme_violated(
+            1.0, np.array([1.0]), np.array([1.1])
+        )
+
+    def test_silent_when_step_dominates(self):
+        assert not quality_scheme_violated(
+            1e-6, np.array([0.0]), np.array([1.0])
+        )
+
+    def test_objective_reading_fires_on_floor(self):
+        # Big step, but the decrease sits below the error floor.
+        assert quality_scheme_violated(
+            0.01,
+            np.zeros(2),
+            np.array([10.0, 0.0]),
+            f_prev=1.0,
+            f_new=0.9999,
+        )
+
+    def test_objective_reading_silent_on_real_progress(self):
+        assert not quality_scheme_violated(
+            0.01,
+            np.zeros(2),
+            np.array([10.0, 0.0]),
+            f_prev=1.0,
+            f_new=0.5,
+        )
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            quality_scheme_violated(-1.0, np.zeros(1), np.ones(1))
+
+    def test_exact_mode_epsilon_zero_never_fires(self):
+        assert not quality_scheme_violated(
+            0.0, np.zeros(1), np.array([1e-12]), f_prev=1.0, f_new=1.0 - 1e-15
+        )
+
+
+class TestWindowedQualityScheme:
+    def test_empty_window_never_fires(self):
+        assert not windowed_quality_violated(0.1, [], 1.0)
+
+    def test_stagnant_window_fires(self):
+        # Net decrease over the window: 1e-9, below eps*|f| = 1e-3.
+        window = [1.0, 1.0 + 5e-9, 1.0 - 1e-10]
+        assert windowed_quality_violated(1e-3, window, 1.0 - 1e-9)
+
+    def test_productive_window_silent(self):
+        window = [2.0, 1.5, 1.2]
+        assert not windowed_quality_violated(1e-3, window, 1.0)
+
+    def test_noise_kicks_do_not_mask_stagnation(self):
+        # Per-step |Δf| looks large but net progress is ~zero.
+        window = [1.0, 1.1, 0.95, 1.05]
+        assert windowed_quality_violated(0.01, window, 0.9999)
+
+    def test_exact_mode_never_fires(self):
+        assert not windowed_quality_violated(0.0, [1.0, 1.0], 1.0)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            windowed_quality_violated(-0.1, [1.0], 1.0)
+
+
+class TestFunctionScheme:
+    def test_fires_on_increase(self):
+        assert function_scheme_violated(1.0, 1.0001)
+
+    def test_silent_on_decrease(self):
+        assert not function_scheme_violated(1.0, 0.5)
+
+    def test_silent_on_equality(self):
+        assert not function_scheme_violated(1.0, 1.0)

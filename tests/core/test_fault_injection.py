@@ -1,0 +1,89 @@
+"""Failure-injection tests: the recovery machinery under misbehaving
+hardware.
+
+The function scheme exists because "the offline choice of impact
+characterization cannot represent all cases".  Here a mode's adder is
+wrapped with seeded random bit flips that its characterization never
+saw, and the framework must still deliver the exact answer — rollbacks
+plus escalation absorb the surprise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith.modes import ApproxMode, ModeBank, default_mode_bank
+from repro.core.framework import ApproxIt
+from repro.hardware.adders import ExactAdder, FaultyAdder, LowerOrAdder
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+def faulty_bank(flip_probability: float, seed: int = 0) -> ModeBank:
+    """The default ladder with extra faults injected into level2."""
+    base = default_mode_bank(32)
+    modes = []
+    for mode in base:
+        adder = mode.adder
+        if mode.name == "level2":
+            adder = FaultyAdder(
+                adder, flip_probability=flip_probability, seed=seed, max_bit=20
+            )
+        modes.append(
+            ApproxMode(
+                name=mode.name,
+                index=mode.index,
+                adder=adder,
+                energy_per_add=mode.energy_per_add,
+            )
+        )
+    return ModeBank(modes)
+
+
+def make_framework(bank: ModeBank) -> tuple[QuadraticFunction, ApproxIt]:
+    fn = QuadraticFunction.random_spd(dim=4, seed=51, condition=20.0)
+    method = GradientDescent(
+        fn,
+        x0=np.full(4, 2.0),
+        learning_rate=0.05,
+        max_iter=5000,
+        tolerance=1e-11,
+        convergence_kind="abs",
+    )
+    return fn, ApproxIt(method, bank)
+
+
+@pytest.mark.parametrize("strategy", ["incremental", "adaptive"])
+@pytest.mark.parametrize("flip_probability", [1e-4, 1e-3])
+def test_converges_despite_uncharacterized_faults(strategy, flip_probability):
+    _, clean_fw = make_framework(default_mode_bank(32))
+    truth = clean_fw.run_truth()
+
+    _, faulty_fw = make_framework(faulty_bank(flip_probability, seed=3))
+    run = faulty_fw.run(strategy=strategy)
+    assert run.converged
+    assert np.linalg.norm(run.x - truth.x) < 1e-2
+
+
+def test_faults_trigger_recovery_machinery():
+    """Heavy faults must be *visible* in the run statistics: rollbacks
+    or fast escalation away from the faulty mode."""
+    _, faulty_fw = make_framework(faulty_bank(5e-3, seed=5))
+    run = faulty_fw.run(strategy="incremental")
+    clean_run = make_framework(default_mode_bank(32))[1].run(strategy="incremental")
+    escaped_faster = (
+        run.steps_by_mode["level2"] <= clean_run.steps_by_mode["level2"]
+    )
+    assert run.rollbacks > 0 or escaped_faster
+
+
+def test_exact_mode_faults_are_a_misconfiguration():
+    """A bank whose *top* mode is faulty violates the ladder contract
+    and must be rejected up front — the guarantee needs a trusted top."""
+    faulty_top = FaultyAdder(ExactAdder(32), 1e-3)
+    with pytest.raises(ValueError, match="exact"):
+        ModeBank(
+            [
+                ApproxMode("l", 0, LowerOrAdder(32, 8), 0.5),
+                ApproxMode("acc", 1, faulty_top, 1.0),
+            ]
+        )

@@ -1,0 +1,183 @@
+"""Tests for the ApproxIt orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.arith.fixed import FixedPointFormat
+from repro.core.framework import ApproxIt, RunResult
+from repro.core.strategies.incremental import IncrementalStrategy
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+@pytest.fixture()
+def method():
+    fn = QuadraticFunction.random_spd(dim=4, seed=31, condition=25.0)
+    return GradientDescent(
+        fn,
+        x0=np.full(4, 2.0),
+        learning_rate=0.05,
+        max_iter=2000,
+        tolerance=1e-10,
+        convergence_kind="abs",
+    )
+
+
+@pytest.fixture()
+def framework(method, bank32):
+    return ApproxIt(method, bank32)
+
+
+class TestConstruction:
+    def test_default_bank_and_format(self, method):
+        fw = ApproxIt(method)
+        assert fw.bank.width == 32
+        assert fw.fmt.frac_bits == 16
+
+    def test_preferred_frac_bits_respected(self, method):
+        method.preferred_frac_bits = 24
+        fw = ApproxIt(method)
+        assert fw.fmt.frac_bits == 24
+
+    def test_format_width_must_match_bank(self, method, bank32):
+        with pytest.raises(ValueError, match="width"):
+            ApproxIt(method, bank32, fmt=FixedPointFormat(16, 8))
+
+    def test_characterization_cached(self, framework):
+        assert framework.characterization() is framework.characterization()
+
+
+class TestStrategyResolution:
+    def test_spec_strings(self, framework):
+        assert framework.resolve_strategy("incremental").name == "incremental"
+        assert framework.resolve_strategy("adaptive").name == "adaptive"
+        assert framework.resolve_strategy("adaptive:f=5").update_period == 5
+        assert framework.resolve_strategy("static:level2").mode_name == "level2"
+        assert framework.resolve_strategy("truth").mode_name == "acc"
+
+    def test_instances_pass_through(self, framework):
+        strat = IncrementalStrategy()
+        assert framework.resolve_strategy(strat) is strat
+
+    def test_unknown_spec_raises(self, framework):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            framework.run(strategy="bogus")
+
+
+class TestTruthRun:
+    def test_converges_to_minimizer(self, framework, method):
+        result = framework.run_truth()
+        assert result.converged
+        assert not result.hit_max_iter
+        assert np.allclose(
+            result.x, method.function.minimizer(), atol=0.02
+        )
+
+    def test_all_steps_on_accurate(self, framework):
+        result = framework.run_truth()
+        assert result.steps_by_mode["acc"] == result.iterations
+        assert all(
+            count == 0
+            for name, count in result.steps_by_mode.items()
+            if name != "acc"
+        )
+
+    def test_energy_positive_and_mode_split_consistent(self, framework):
+        result = framework.run_truth()
+        assert result.energy > 0
+        assert sum(result.energy_by_mode.values()) == pytest.approx(result.energy)
+
+    def test_traces_align(self, framework):
+        result = framework.run_truth()
+        assert len(result.mode_trace) == result.executed_iterations
+        assert len(result.objective_trace) == len(result.mode_trace)
+
+    def test_traces_can_be_disabled(self, framework):
+        result = framework.run_truth()
+        lean = framework.run(strategy="truth", collect_traces=False)
+        assert lean.mode_trace == []
+        assert lean.iterations == result.iterations
+
+    def test_history_opt_in(self, framework):
+        lean = framework.run(strategy="truth")
+        assert lean.history == []
+        rich = framework.run(strategy="truth", collect_history=True)
+        assert len(rich.history) == rich.iterations
+        first = rich.history[0]
+        assert first.iteration == 0
+        assert first.mode_name == "acc"
+        assert first.objective == rich.objective_trace[0]
+        assert np.array_equal(rich.history[-1].x, rich.x)
+
+
+class TestOnlineRuns:
+    @pytest.mark.parametrize("strategy", ["incremental", "adaptive"])
+    def test_reaches_same_answer_as_truth(self, framework, method, strategy):
+        truth = framework.run_truth()
+        run = framework.run(strategy=strategy)
+        assert run.converged
+        assert np.allclose(run.x, truth.x, atol=0.05)
+
+    @pytest.mark.parametrize("strategy", ["incremental", "adaptive"])
+    def test_saves_energy_vs_truth(self, framework, strategy):
+        truth = framework.run_truth()
+        run = framework.run(strategy=strategy)
+        assert run.energy_relative_to(truth) < 1.0
+
+    def test_static_level1_deviates(self, framework, method):
+        truth = framework.run_truth()
+        run = framework.run(strategy="static:level1")
+        # level1's error floor keeps it away from the true minimizer.
+        assert np.linalg.norm(run.x - truth.x) > np.linalg.norm(truth.x) * 1e-4
+
+    def test_max_iter_override(self, framework):
+        run = framework.run(strategy="truth", max_iter=3)
+        assert run.executed_iterations <= 3
+        assert run.hit_max_iter
+
+    def test_mode_trace_matches_step_counts(self, framework):
+        run = framework.run(strategy="incremental")
+        from collections import Counter
+
+        executed = Counter(run.mode_trace)
+        accepted = Counter(
+            {k: v for k, v in run.steps_by_mode.items() if v}
+        )
+        # executed counts = accepted + rolled back
+        assert sum(executed.values()) == sum(accepted.values()) + run.rollbacks
+
+
+class TestRunResult:
+    def test_energy_relative_requires_positive_reference(self):
+        r = RunResult(
+            x=np.zeros(1),
+            objective=0.0,
+            iterations=1,
+            rollbacks=0,
+            converged=True,
+            hit_max_iter=False,
+            steps_by_mode={},
+            energy=1.0,
+            energy_by_mode={},
+            strategy_name="s",
+        )
+        bad = RunResult(
+            x=np.zeros(1),
+            objective=0.0,
+            iterations=0,
+            rollbacks=0,
+            converged=True,
+            hit_max_iter=False,
+            steps_by_mode={},
+            energy=0.0,
+            energy_by_mode={},
+            strategy_name="s",
+        )
+        with pytest.raises(ValueError):
+            r.energy_relative_to(bad)
+
+    def test_summary_mentions_strategy_and_status(self, framework):
+        run = framework.run_truth()
+        text = run.summary()
+        assert "static:acc" in text
+        assert "converged" in text

@@ -1,0 +1,116 @@
+"""Edge-case tests for the framework loop."""
+
+import numpy as np
+import pytest
+
+from repro.arith.modes import ApproxMode, ModeBank
+from repro.core.framework import ApproxIt
+from repro.hardware.adders import ExactAdder
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+def make_method(dim=3, seed=71, **kwargs):
+    fn = QuadraticFunction.random_spd(dim=dim, seed=seed, condition=10.0)
+    defaults = dict(
+        x0=np.full(dim, 1.5),
+        learning_rate=0.08,
+        max_iter=1000,
+        tolerance=1e-10,
+        convergence_kind="abs",
+    )
+    defaults.update(kwargs)
+    return GradientDescent(fn, **defaults)
+
+
+class TestDegenerateBanks:
+    def test_single_mode_bank_runs(self):
+        """A ladder with only the exact mode degenerates to Truth."""
+        bank = ModeBank([ApproxMode("acc", 0, ExactAdder(32), 1.0)])
+        fw = ApproxIt(make_method(), bank)
+        run = fw.run(strategy="incremental")
+        assert run.converged
+        assert run.steps_by_mode == {"acc": run.iterations}
+
+    def test_adaptive_on_single_mode_bank(self):
+        bank = ModeBank([ApproxMode("acc", 0, ExactAdder(32), 1.0)])
+        fw = ApproxIt(make_method(), bank)
+        run = fw.run(strategy="adaptive")
+        assert run.converged
+
+
+class TestBudgets:
+    def test_max_iter_one(self, bank32):
+        fw = ApproxIt(make_method(), bank32)
+        run = fw.run(strategy="truth", max_iter=1)
+        assert run.executed_iterations == 1
+        assert run.hit_max_iter
+
+    def test_zero_iteration_budget_is_clean(self, bank32):
+        fw = ApproxIt(make_method(), bank32)
+        run = fw.run(strategy="truth", max_iter=0)
+        assert run.iterations == 0
+        assert run.energy == 0.0
+        assert not run.converged
+
+    def test_method_budget_used_when_not_overridden(self, bank32):
+        method = make_method(max_iter=7, tolerance=1e-30)
+        fw = ApproxIt(method, bank32)
+        run = fw.run(strategy="truth")
+        assert run.executed_iterations <= 7
+
+
+class TestSwitchEnergy:
+    def test_rejects_negative(self, bank32):
+        with pytest.raises(ValueError, match="switch_energy"):
+            ApproxIt(make_method(), bank32, switch_energy=-1.0)
+
+    def test_zero_switch_energy_charges_nothing(self, bank32):
+        fw = ApproxIt(make_method(), bank32, switch_energy=0.0)
+        run = fw.run(strategy="incremental")
+        assert "reconfig" not in run.energy_by_mode
+
+    def test_switch_energy_appears_in_ledger(self, bank32):
+        fw = ApproxIt(make_method(), bank32, switch_energy=5.0)
+        run = fw.run(strategy="incremental")
+        assert run.mode_switches > 0
+        assert run.energy_by_mode["reconfig"] == pytest.approx(
+            5.0 * run.mode_switches
+        )
+
+    def test_truth_never_switches(self, bank32):
+        fw = ApproxIt(make_method(), bank32, switch_energy=5.0)
+        run = fw.run_truth()
+        assert run.mode_switches == 0
+        assert "reconfig" not in run.energy_by_mode
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("strategy", ["incremental", "adaptive", "truth"])
+    def test_runs_are_bit_reproducible(self, bank32, strategy):
+        fw = ApproxIt(make_method(), bank32)
+        a = fw.run(strategy=strategy)
+        b = fw.run(strategy=strategy)
+        assert np.array_equal(a.x, b.x)
+        assert a.energy == b.energy
+        assert a.mode_trace == b.mode_trace
+
+    def test_fresh_framework_reproduces(self, bank32):
+        a = ApproxIt(make_method(), bank32).run(strategy="adaptive")
+        b = ApproxIt(make_method(), bank32).run(strategy="adaptive")
+        assert np.array_equal(a.x, b.x)
+
+
+class TestCharacterizationInteraction:
+    def test_characterization_runs_before_first_run(self, bank32):
+        fw = ApproxIt(make_method(), bank32)
+        table = fw.characterization()
+        run = fw.run(strategy="incremental")
+        # The run's ledger never includes the characterization probes.
+        probe_energy = sum(i.energy_per_iteration for i in table.impacts.values())
+        assert run.energy != probe_energy
+
+    def test_probe_override(self, bank32):
+        fw = ApproxIt(make_method(), bank32, probe_iterations=5)
+        table = fw.characterization()
+        assert all(i.probes == 5 for i in table.impacts.values())

@@ -1,0 +1,91 @@
+"""Property-style integration tests for the paper's quality guarantees.
+
+Section 3.2 argues that ApproxIt converges to the exact algorithm's
+answer because (i) the schemes keep the trajectory a feasible descent
+method and (ii) the accurate mode is eventually applied whenever
+approximation misbehaves.  These tests pin that behaviour across seeds
+and problems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import ApproxIt
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+def make_framework(seed, bank, dim=4, condition=20.0):
+    fn = QuadraticFunction.random_spd(dim=dim, seed=seed, condition=condition)
+    method = GradientDescent(
+        fn,
+        x0=np.full(dim, 2.5),
+        learning_rate=1.0 / condition,
+        max_iter=5000,
+        tolerance=1e-11,
+        convergence_kind="abs",
+    )
+    return fn, ApproxIt(method, bank)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+@pytest.mark.parametrize("strategy", ["incremental", "adaptive"])
+def test_online_strategies_match_truth_across_seeds(seed, strategy, bank32):
+    fn, fw = make_framework(seed, bank32)
+    truth = fw.run_truth()
+    run = fw.run(strategy=strategy)
+    assert run.converged, f"seed {seed} did not converge"
+    assert np.linalg.norm(run.x - truth.x) < 1e-2, f"seed {seed} deviates"
+
+
+@pytest.mark.parametrize("strategy", ["incremental", "adaptive"])
+def test_accepted_objective_sequence_quasi_monotone(strategy, bank32):
+    """With the function scheme active, accepted iterations never
+    increase the objective (rollbacks absorb the increases)."""
+    _, fw = make_framework(7, bank32)
+    run = fw.run(strategy=strategy)
+    # Reconstruct accepted objective values: the trace includes
+    # rolled-back entries, so check the final value against the start
+    # and that the minimum is achieved at the end.
+    assert run.objective <= run.objective_trace[0] + 1e-12
+    assert run.objective == pytest.approx(min(run.objective_trace), abs=1e-9)
+
+
+def test_incremental_mode_sequence_is_monotone(bank32):
+    """The incremental strategy only ever escalates."""
+    _, fw = make_framework(11, bank32)
+    run = fw.run(strategy="incremental")
+    order = {name: i for i, name in enumerate(fw.bank.names())}
+    indices = [order[name] for name in run.mode_trace]
+    assert all(a <= b for a, b in zip(indices, indices[1:]))
+
+
+def test_adaptive_can_move_both_directions(bank32):
+    """The adaptive strategy is bidirectional (the paper's §4.2 point)."""
+    moved_down = False
+    for seed in range(8):
+        _, fw = make_framework(seed, bank32, condition=40.0)
+        run = fw.run(strategy="adaptive")
+        order = {name: i for i, name in enumerate(fw.bank.names())}
+        indices = [order[name] for name in run.mode_trace]
+        if any(a > b for a, b in zip(indices, indices[1:])):
+            moved_down = True
+            break
+    assert moved_down
+
+
+@pytest.mark.parametrize("strategy", ["incremental", "adaptive"])
+def test_energy_accounting_consistent(strategy, bank32):
+    _, fw = make_framework(13, bank32)
+    run = fw.run(strategy=strategy)
+    assert run.energy == pytest.approx(sum(run.energy_by_mode.values()))
+    assert sum(run.steps_by_mode.values()) == run.iterations
+
+
+def test_verified_stop_only_in_accurate_mode(bank32):
+    """A verifying strategy's final iteration runs on the exact mode
+    unless the run ended on a datapath fixed point."""
+    _, fw = make_framework(17, bank32)
+    run = fw.run(strategy="incremental")
+    assert run.converged
+    assert run.mode_trace[-1] == "acc"

@@ -1,0 +1,63 @@
+"""Tests for the Definition-1 quality metric and estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import QualityEstimator, quality_error
+
+
+class TestQualityError:
+    def test_zero_for_identical(self):
+        assert quality_error(4.2, 4.2) == 0.0
+
+    def test_relative_difference(self):
+        assert quality_error(2.0, 1.5) == pytest.approx(0.25)
+
+    def test_negative_objectives_use_magnitude(self):
+        # log-likelihood style objectives are negative.
+        assert quality_error(-2.0, -1.5) == pytest.approx(0.25)
+
+    def test_tiny_denominator_guarded(self):
+        assert np.isfinite(quality_error(0.0, 1e-10))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            quality_error(np.nan, 1.0)
+        with pytest.raises(ValueError, match="finite"):
+            quality_error(1.0, np.inf)
+
+
+class TestQualityEstimator:
+    def test_epsilon_lookup(self):
+        est = QualityEstimator({"level1": 0.1, "acc": 0.0})
+        assert est.epsilon("level1") == 0.1
+
+    def test_unknown_mode_lists_known(self):
+        est = QualityEstimator({"level1": 0.1})
+        with pytest.raises(KeyError, match="level1"):
+            est.epsilon("level9")
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            QualityEstimator({"m": -0.5})
+
+    def test_estimate_fields(self):
+        est = QualityEstimator({"m": 0.01})
+        x_prev = np.array([1.0, 0.0])
+        x_new = np.array([1.0, 1.0])
+        q = est.estimate("m", f_prev=5.0, f_new=4.0, x_prev=x_prev, x_new=x_new)
+        assert q.decrease == pytest.approx(1.0)
+        assert q.step_norm == pytest.approx(1.0)
+        assert q.error_bound == pytest.approx(0.01 * np.sqrt(2.0))
+        assert q.trustworthy
+
+    def test_untrustworthy_when_error_dominates(self):
+        est = QualityEstimator({"m": 10.0})
+        q = est.estimate(
+            "m",
+            f_prev=5.0,
+            f_new=4.99,
+            x_prev=np.array([1.0]),
+            x_new=np.array([1.001]),
+        )
+        assert not q.trustworthy

@@ -1,0 +1,85 @@
+"""Tests for run serialization and comparison reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import ApproxIt
+from repro.core.reporting import (
+    comparison_report,
+    load_run,
+    run_from_dict,
+    run_to_dict,
+    save_run,
+)
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+@pytest.fixture(scope="module")
+def runs(bank32):
+    fn = QuadraticFunction.random_spd(dim=4, seed=61, condition=20.0)
+    method = GradientDescent(
+        fn,
+        x0=np.full(4, 2.0),
+        learning_rate=0.05,
+        max_iter=2000,
+        tolerance=1e-10,
+        convergence_kind="abs",
+    )
+    fw = ApproxIt(method, bank32)
+    return {
+        "truth": fw.run_truth(),
+        "incremental": fw.run(strategy="incremental"),
+    }
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, runs):
+        original = runs["incremental"]
+        rebuilt = run_from_dict(run_to_dict(original))
+        assert np.array_equal(rebuilt.x, original.x)
+        assert rebuilt.objective == original.objective
+        assert rebuilt.iterations == original.iterations
+        assert rebuilt.steps_by_mode == original.steps_by_mode
+        assert rebuilt.energy == original.energy
+        assert rebuilt.mode_trace == original.mode_trace
+        assert rebuilt.mode_switches == original.mode_switches
+
+    def test_file_round_trip(self, runs, tmp_path):
+        path = save_run(runs["truth"], tmp_path / "truth.json")
+        rebuilt = load_run(path)
+        assert rebuilt.summary() == runs["truth"].summary()
+
+    def test_json_is_plain_data(self, runs):
+        import json
+
+        text = json.dumps(run_to_dict(runs["truth"]))
+        assert "energy" in text
+
+    def test_schema_mismatch_rejected(self, runs):
+        payload = run_to_dict(runs["truth"])
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            run_from_dict(payload)
+
+    def test_missing_field_rejected(self, runs):
+        payload = run_to_dict(runs["truth"])
+        del payload["energy"]
+        with pytest.raises(ValueError, match="missing field"):
+            run_from_dict(payload)
+
+
+class TestComparisonReport:
+    def test_reference_normalized_to_one(self, runs):
+        text = comparison_report(runs, reference="truth")
+        assert "truth" in text and "incremental" in text
+        assert "Energy (truth=1)" in text
+
+    def test_savings_signs(self, runs):
+        text = comparison_report(runs, reference="truth")
+        # Truth saves +0.0 % against itself; the online run is positive.
+        assert "+0.0 %" in text
+
+    def test_missing_reference_rejected(self, runs):
+        with pytest.raises(KeyError, match="reference"):
+            comparison_report(runs, reference="nope")

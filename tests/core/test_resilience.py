@@ -1,0 +1,89 @@
+"""Tests for the Section-3.1 resilience analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gmm import GaussianMixtureEM
+from repro.core.resilience import analyze_resilience, gmm_blocks
+from repro.data.clusters import make_cluster_dataset
+
+
+@pytest.fixture(scope="module")
+def method():
+    dataset = make_cluster_dataset(
+        "resilience",
+        sizes=[80, 80, 70],
+        means=np.array([[0.0, 0.0], [4.5, 3.0], [-3.0, 4.5]]),
+        spreads=[1.2, 1.1, 1.0],
+        seed=23,
+        max_iter=200,
+        tolerance=1e-7,
+    )
+    return GaussianMixtureEM.from_dataset(dataset)
+
+
+class TestGmmBlocks:
+    def test_partition_covers_state(self, method):
+        blocks = gmm_blocks(method)
+        all_indices = np.concatenate(list(blocks.values()))
+        assert sorted(all_indices.tolist()) == list(
+            range(method.initial_state().size)
+        )
+
+    def test_block_names(self, method):
+        assert set(gmm_blocks(method)) == {"weights", "means", "variances"}
+
+
+class TestAnalyzeResilience:
+    def test_zero_noise_is_fully_resilient(self, method):
+        results = analyze_resilience(
+            method, gmm_blocks(method), noise_scale=0.0, trials=1
+        )
+        for impact in results.values():
+            assert impact.resilient
+            assert impact.mean_quality_error == pytest.approx(0.0, abs=1e-12)
+            assert impact.crashed == 0
+
+    def test_small_noise_resilient_blocks(self, method):
+        results = analyze_resilience(
+            method, gmm_blocks(method), noise_scale=1e-3, trials=2, threshold=0.01
+        )
+        assert all(imp.resilient for imp in results.values())
+
+    def test_extreme_noise_breaks_resilience(self, method):
+        results = analyze_resilience(
+            method, gmm_blocks(method), noise_scale=0.5, trials=2, threshold=0.01
+        )
+        assert any(not imp.resilient for imp in results.values())
+
+    def test_degradation_monotone_in_noise(self, method):
+        blocks = {"means": gmm_blocks(method)["means"]}
+        errors = []
+        for scale in (1e-3, 5e-2, 0.4):
+            results = analyze_resilience(
+                method, blocks, noise_scale=scale, trials=2
+            )
+            errors.append(results["means"].mean_quality_error)
+        assert errors[0] < errors[-1]
+
+    def test_deterministic_per_seed(self, method):
+        blocks = {"weights": gmm_blocks(method)["weights"]}
+        a = analyze_resilience(method, blocks, noise_scale=0.05, trials=2, seed=4)
+        b = analyze_resilience(method, blocks, noise_scale=0.05, trials=2, seed=4)
+        assert a["weights"].quality_errors == b["weights"].quality_errors
+
+    def test_rejects_bad_indices(self, method):
+        with pytest.raises(ValueError, match="outside the state"):
+            analyze_resilience(method, {"bogus": np.array([10_000])})
+
+    def test_rejects_bad_parameters(self, method):
+        blocks = gmm_blocks(method)
+        with pytest.raises(ValueError, match="noise_scale"):
+            analyze_resilience(method, blocks, noise_scale=-1.0)
+        with pytest.raises(ValueError, match="trials"):
+            analyze_resilience(method, blocks, trials=0)
+
+    def test_trial_count_recorded(self, method):
+        blocks = {"weights": gmm_blocks(method)["weights"]}
+        results = analyze_resilience(method, blocks, noise_scale=0.01, trials=3)
+        assert len(results["weights"].quality_errors) == 3

@@ -1,0 +1,88 @@
+"""Tests for the sweep utility."""
+
+import numpy as np
+import pytest
+
+from repro.core.sweep import sweep
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+def make_factory(seed):
+    def factory():
+        fn = QuadraticFunction.random_spd(dim=4, seed=seed, condition=15.0)
+        return GradientDescent(
+            fn,
+            x0=np.full(4, 1.5),
+            learning_rate=0.06,
+            max_iter=2000,
+            tolerance=1e-10,
+            convergence_kind="abs",
+        )
+
+    return factory
+
+
+def state_distance(method, run, truth):
+    return float(np.linalg.norm(run.x - truth.x))
+
+
+@pytest.fixture(scope="module")
+def result(bank32):
+    return sweep(
+        instances={"q81": make_factory(81), "q82": make_factory(82)},
+        strategies=("incremental", "adaptive", "static:level2"),
+        bank=bank32,
+        quality_fn=state_distance,
+    )
+
+
+class TestSweep:
+    def test_cell_count(self, result):
+        assert len(result.cells) == 2 * 3
+
+    def test_every_cell_normalized_per_instance(self, result):
+        for cell in result.cells:
+            assert cell.truth.strategy_name == "static:acc"
+            assert cell.energy > 0
+
+    def test_quality_recorded(self, result):
+        for cell in result.cells:
+            assert cell.quality is not None
+            if cell.strategy != "static:level2":
+                assert cell.quality < 1e-2
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "q81" in text and "q82" in text
+        assert "incremental" in text and "static:level2" in text
+
+    def test_best_strategy_is_cheapest_converged(self, result):
+        best = result.best_strategy("q81")
+        others = [
+            c
+            for c in result.cells
+            if c.instance == "q81" and c.run.converged
+        ]
+        assert best.energy == min(c.energy for c in others)
+
+    def test_best_strategy_missing_instance(self, result):
+        with pytest.raises(KeyError, match="no converged"):
+            result.best_strategy("nope")
+
+    def test_best_strategy_quality_filter(self, result):
+        best = result.best_strategy("q81", max_quality=1e-3)
+        assert best.quality is not None and best.quality <= 1e-3
+
+    def test_quality_filter_can_exclude_everything(self, result):
+        with pytest.raises(KeyError, match="no converged"):
+            result.best_strategy("q81", max_quality=-1.0)
+
+    def test_rows_export(self, result):
+        rows = result.rows()
+        assert len(rows) == len(result.cells)
+        assert {"instance", "strategy", "energy", "savings_percent"} <= set(rows[0])
+
+    def test_empty_instances_rejected(self, bank32):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep(instances={}, bank=bank32)

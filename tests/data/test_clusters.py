@@ -1,0 +1,94 @@
+"""Tests for the cluster dataset generators (Table 2 shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.data.clusters import (
+    ClusterDataset,
+    make_cluster_dataset,
+    make_four_clusters,
+    make_three_clusters,
+    make_three_clusters_3d,
+)
+
+
+class TestTable2Shapes:
+    def test_3cluster_shape(self):
+        ds = make_three_clusters()
+        assert ds.points.shape == (1000, 2)
+        assert ds.n_clusters == 3
+        assert ds.max_iter == 500
+        assert ds.tolerance == 1e-10
+
+    def test_3d3cluster_shape(self):
+        ds = make_three_clusters_3d()
+        assert ds.points.shape == (1900, 3)
+        assert ds.n_clusters == 3
+        assert ds.tolerance == 1e-6
+
+    def test_4cluster_shape(self):
+        ds = make_four_clusters()
+        assert ds.points.shape == (2350, 2)
+        assert ds.n_clusters == 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = make_three_clusters(seed=3)
+        b = make_three_clusters(seed=3)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_different_data(self):
+        a = make_three_clusters(seed=3)
+        b = make_three_clusters(seed=4)
+        assert not np.array_equal(a.points, b.points)
+
+
+class TestGeneratorSemantics:
+    def test_labels_match_component_means(self):
+        ds = make_three_clusters()
+        for k in range(ds.n_clusters):
+            member_mean = ds.points[ds.labels == k].mean(axis=0)
+            # Sample mean lands near the generating mean.
+            assert np.linalg.norm(member_mean - ds.true_means[k]) < 0.5
+
+    def test_samples_are_shuffled(self):
+        ds = make_three_clusters()
+        # labels must not be sorted blocks
+        assert not np.array_equal(ds.labels, np.sort(ds.labels))
+
+    def test_component_sizes_respected(self):
+        ds = make_cluster_dataset(
+            "tiny",
+            sizes=[10, 20],
+            means=np.array([[0.0, 0.0], [5.0, 5.0]]),
+            spreads=[1.0, 1.0],
+            seed=0,
+        )
+        assert np.bincount(ds.labels).tolist() == [10, 20]
+
+    def test_size_mean_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="sizes"):
+            make_cluster_dataset(
+                "bad",
+                sizes=[10],
+                means=np.zeros((2, 2)),
+                spreads=[1.0, 1.0],
+                seed=0,
+            )
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError, match="labels"):
+            ClusterDataset(
+                name="bad",
+                points=np.zeros((10, 2)),
+                labels=np.zeros(5, dtype=np.int64),
+                n_clusters=2,
+                true_means=np.zeros((2, 2)),
+            )
+
+    def test_properties(self):
+        ds = make_three_clusters()
+        assert ds.n_samples == 1000
+        assert ds.dim == 2

@@ -1,0 +1,69 @@
+"""Tests for dataset CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.data.clusters import make_three_clusters
+from repro.data.io import (
+    load_cluster_dataset,
+    load_timeseries,
+    save_cluster_dataset,
+    save_timeseries,
+)
+from repro.data.timeseries import make_index_series
+
+
+class TestClusterRoundTrip:
+    def test_lossless(self, tmp_path):
+        original = make_three_clusters()
+        path = save_cluster_dataset(original, tmp_path / "c.csv")
+        loaded = load_cluster_dataset(path)
+        assert loaded.name == original.name
+        assert loaded.n_clusters == original.n_clusters
+        assert loaded.max_iter == original.max_iter
+        assert loaded.tolerance == original.tolerance
+        assert np.array_equal(loaded.labels, original.labels)
+        assert np.array_equal(loaded.points, original.points)  # repr() is exact
+        assert np.array_equal(loaded.true_means, original.true_means)
+
+    def test_loaded_dataset_drives_gmm(self, tmp_path):
+        from repro.apps.gmm import GaussianMixtureEM
+
+        path = save_cluster_dataset(make_three_clusters(), tmp_path / "c.csv")
+        method = GaussianMixtureEM.from_dataset(load_cluster_dataset(path))
+        assert np.isfinite(method.objective(method.initial_state()))
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = save_timeseries(make_index_series("x", 100, seed=1), tmp_path / "t.csv")
+        with pytest.raises(ValueError, match="not a cluster"):
+            load_cluster_dataset(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no data"):
+            load_cluster_dataset(path)
+
+
+class TestTimeSeriesRoundTrip:
+    def test_lossless(self, tmp_path):
+        original = make_index_series("mini", 400, seed=5)
+        path = save_timeseries(original, tmp_path / "t.csv")
+        loaded = load_timeseries(path)
+        assert loaded.name == original.name
+        assert loaded.order == original.order
+        assert loaded.tolerance == original.tolerance
+        assert np.array_equal(loaded.prices, original.prices)
+
+    def test_loaded_series_builds_design(self, tmp_path):
+        original = make_index_series("mini", 200, seed=6)
+        path = save_timeseries(original, tmp_path / "t.csv")
+        X, y = load_timeseries(path).design()
+        X0, y0 = original.design()
+        assert np.array_equal(X, X0)
+        assert np.array_equal(y, y0)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = save_cluster_dataset(make_three_clusters(), tmp_path / "c.csv")
+        with pytest.raises(ValueError, match="not a time series"):
+            load_timeseries(path)

@@ -1,0 +1,52 @@
+"""Tests for the Table-2 dataset registry."""
+
+import pytest
+
+from repro.data.clusters import ClusterDataset
+from repro.data.registry import DATASETS, load_dataset
+from repro.data.timeseries import TimeSeriesDataset
+
+
+class TestRegistryContents:
+    def test_six_datasets(self):
+        assert set(DATASETS) == {
+            "3cluster",
+            "3d3cluster",
+            "4cluster",
+            "hangseng",
+            "nasdaq",
+            "sp500",
+        }
+
+    def test_applications_partition(self):
+        gmm = [k for k, s in DATASETS.items() if s.application == "gmm"]
+        ar = [k for k, s in DATASETS.items() if s.application == "autoregression"]
+        assert len(gmm) == 3 and len(ar) == 3
+
+    def test_paper_budgets(self):
+        assert DATASETS["3cluster"].max_iter == 500
+        assert DATASETS["3cluster"].tolerance == 1e-10
+        assert DATASETS["hangseng"].max_iter == 1000
+        assert DATASETS["hangseng"].tolerance == 1e-13
+
+    def test_adder_impact_column(self):
+        assert DATASETS["3cluster"].adder_impact == "Mean Value"
+        assert DATASETS["sp500"].adder_impact == "80% Confidence Space"
+
+    def test_shapes_column_matches_factories(self):
+        for key, spec in DATASETS.items():
+            ds = load_dataset(key)
+            n = int(spec.shape.split("*")[0])
+            assert ds.n_samples == n, key
+
+
+class TestLoadDataset:
+    def test_loads_cluster_types(self):
+        assert isinstance(load_dataset("3cluster"), ClusterDataset)
+
+    def test_loads_timeseries_types(self):
+        assert isinstance(load_dataset("hangseng"), TimeSeriesDataset)
+
+    def test_unknown_key_lists_known(self):
+        with pytest.raises(KeyError, match="3cluster"):
+            load_dataset("5cluster")

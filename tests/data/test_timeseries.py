@@ -1,0 +1,85 @@
+"""Tests for the synthetic financial index generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import (
+    TimeSeriesDataset,
+    make_hangseng,
+    make_index_series,
+    make_nasdaq,
+    make_sp500,
+)
+
+
+class TestTable2Shapes:
+    def test_lengths_match_paper(self):
+        assert make_hangseng().n_samples == 6694
+        assert make_nasdaq().n_samples == 10799
+        assert make_sp500().n_samples == 16080
+
+    def test_order_and_budget(self):
+        ds = make_hangseng()
+        assert ds.order == 10
+        assert ds.max_iter == 1000
+        assert ds.tolerance == 1e-13
+
+
+class TestGenerator:
+    def test_prices_positive(self):
+        assert (make_hangseng().prices > 0).all()
+
+    def test_deterministic_per_seed(self):
+        a = make_index_series("x", 500, seed=1)
+        b = make_index_series("x", 500, seed=1)
+        assert np.array_equal(a.prices, b.prices)
+
+    def test_regimes_produce_volatility_clustering(self):
+        ds = make_index_series("x", 8000, seed=5)
+        r = ds.returns()
+        # Squared returns must be positively autocorrelated (clustering).
+        sq = r**2
+        ac = np.corrcoef(sq[:-1], sq[1:])[0, 1]
+        assert ac > 0.05
+
+    def test_ar_structure_injected(self):
+        ds = make_index_series("x", 8000, seed=6, ar_coeffs=(0.4,))
+        r = ds.returns()
+        ac = np.corrcoef(r[:-1], r[1:])[0, 1]
+        assert ac > 0.2  # strong lag-1 correlation by construction
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            make_index_series("x", 5, seed=0, order=10)
+
+
+class TestDesign:
+    def test_design_shapes(self):
+        ds = make_index_series("x", 500, seed=2)
+        X, y = ds.design()
+        assert X.shape == (500 - 10, 10)
+        assert y.shape == (500 - 10,)
+
+    def test_design_is_lagged_view(self):
+        ds = make_index_series("x", 100, seed=3, order=4)
+        X, y = ds.design()
+        # Row t ends with the value preceding target t.
+        assert np.allclose(X[1:, -1], y[:-1])
+
+    def test_design_standardized(self):
+        ds = make_hangseng()
+        X, _ = ds.design()
+        assert abs(X.mean()) < 0.05
+        assert X.std() == pytest.approx(1.0, abs=0.1)
+
+    def test_returns_length(self):
+        ds = make_index_series("x", 200, seed=4)
+        assert ds.returns().shape == (199,)
+
+    def test_validation_rejects_nonpositive_prices(self):
+        with pytest.raises(ValueError, match="positive"):
+            TimeSeriesDataset(name="bad", prices=np.array([1.0, -2.0, 3.0] * 20))
+
+    def test_validation_rejects_bad_order(self):
+        with pytest.raises(ValueError, match="order"):
+            TimeSeriesDataset(name="bad", prices=np.ones(5), order=10)

@@ -1,0 +1,114 @@
+"""Unit tests for the bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware import bitops
+
+
+class TestCheckWidth:
+    def test_accepts_valid_widths(self):
+        assert bitops.check_width(2) == 2
+        assert bitops.check_width(32) == 32
+        assert bitops.check_width(bitops.MAX_WIDTH) == bitops.MAX_WIDTH
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError, match="width"):
+            bitops.check_width(1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError, match="width"):
+            bitops.check_width(bitops.MAX_WIDTH + 1)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError, match="integer"):
+            bitops.check_width(8.5)
+
+    def test_accepts_numpy_integer(self):
+        assert bitops.check_width(np.int64(16)) == 16
+
+
+class TestWordMask:
+    def test_small_masks(self):
+        assert bitops.word_mask(2) == 0b11
+        assert bitops.word_mask(8) == 0xFF
+
+    def test_mask_is_all_ones(self):
+        assert bitops.word_mask(32) == (1 << 32) - 1
+
+
+class TestSignedUnsignedRoundTrip:
+    def test_positive_values_unchanged(self):
+        x = np.array([0, 1, 127])
+        assert np.array_equal(bitops.to_unsigned(x, 8), x)
+
+    def test_negative_values_wrap(self):
+        assert bitops.to_unsigned(np.array([-1]), 8)[0] == 255
+        assert bitops.to_unsigned(np.array([-128]), 8)[0] == 128
+
+    def test_to_signed_reverses(self):
+        words = np.array([255, 128, 127, 0])
+        expected = np.array([-1, -128, 127, 0])
+        assert np.array_equal(bitops.to_signed(words, 8), expected)
+
+    @given(
+        st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+        st.integers(min_value=4, max_value=bitops.MAX_WIDTH),
+    )
+    def test_round_trip_within_range(self, value, width):
+        lo, hi = bitops.signed_range(width)
+        if lo <= value <= hi:
+            arr = np.array([value])
+            back = bitops.to_signed(bitops.to_unsigned(arr, width), width)
+            assert back[0] == value
+
+    @given(st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    def test_wraparound_is_modular(self, value):
+        width = 16
+        arr = np.array([value])
+        back = int(bitops.to_signed(bitops.to_unsigned(arr, width), width)[0])
+        assert (back - value) % (1 << width) == 0
+        lo, hi = bitops.signed_range(width)
+        assert lo <= back <= hi
+
+
+class TestFieldExtraction:
+    def test_extract_low_bits(self):
+        assert bitops.extract_field(np.array([0b1101_0110]), 0, 4)[0] == 0b0110
+
+    def test_extract_middle_bits(self):
+        assert bitops.extract_field(np.array([0b1101_0110]), 4, 4)[0] == 0b1101
+
+    def test_zero_length_field(self):
+        out = bitops.extract_field(np.array([0xFF]), 3, 0)
+        assert out[0] == 0
+
+    def test_get_bit(self):
+        word = np.array([0b1010])
+        assert bitops.get_bit(word, 0)[0] == 0
+        assert bitops.get_bit(word, 1)[0] == 1
+        assert bitops.get_bit(word, 3)[0] == 1
+
+
+class TestSaturation:
+    def test_saturate_clamps_both_ends(self):
+        vals = np.array([-200, -128, 0, 127, 300])
+        out = bitops.saturate_signed(vals, 8)
+        assert np.array_equal(out, [-128, -128, 0, 127, 127])
+
+    def test_signed_range(self):
+        assert bitops.signed_range(8) == (-128, 127)
+        assert bitops.signed_range(16) == (-32768, 32767)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        assert bitops.popcount(0) == 0
+        assert bitops.popcount(0b1011) == 3
+        assert bitops.popcount((1 << 20) - 1) == 20
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitops.popcount(-1)

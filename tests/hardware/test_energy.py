@@ -1,0 +1,88 @@
+"""Tests for the energy model."""
+
+from collections import Counter
+
+import pytest
+
+from repro.hardware.adders import ExactAdder, LowerOrAdder, build_adder
+from repro.hardware.energy import DEFAULT_CELL_COSTS, EnergyModel
+
+
+class TestCostOfCells:
+    def test_full_adders_cost_one_each(self):
+        model = EnergyModel()
+        assert model.cost_of_cells(Counter({"fa": 10})) == pytest.approx(10.0)
+
+    def test_mixed_inventory(self):
+        model = EnergyModel()
+        cost = model.cost_of_cells(Counter({"fa": 2, "or2": 4}))
+        assert cost == pytest.approx(2.0 + 4 * DEFAULT_CELL_COSTS["or2"])
+
+    def test_unknown_cell_raises_with_known_list(self):
+        model = EnergyModel()
+        with pytest.raises(KeyError, match="fa"):
+            model.cost_of_cells(Counter({"warp_core": 1}))
+
+    def test_negative_count_rejected(self):
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            model.cost_of_cells(Counter({"fa": -1}))
+
+    def test_activity_factor_scales(self):
+        model = EnergyModel(activity_factor=0.5)
+        assert model.cost_of_cells(Counter({"fa": 10})) == pytest.approx(5.0)
+
+
+class TestAdderEnergy:
+    def test_exact_adder_energy_is_width(self):
+        model = EnergyModel(voltage_exponent=0.0)
+        assert model.energy_per_add(ExactAdder(32)) == pytest.approx(32.0)
+
+    def test_loa_cheaper_than_exact(self):
+        model = EnergyModel()
+        exact = ExactAdder(32)
+        loa = LowerOrAdder(32, approx_bits=16)
+        assert model.energy_per_add(loa) < model.energy_per_add(exact)
+
+    def test_energy_monotone_in_approx_bits(self):
+        model = EnergyModel()
+        costs = [
+            model.energy_per_add(LowerOrAdder(32, approx_bits=k))
+            for k in (20, 14, 8, 4, 0)
+        ]
+        assert costs == sorted(costs)
+
+    def test_relative_energy_of_exact_is_one(self):
+        model = EnergyModel()
+        exact = ExactAdder(32)
+        assert model.relative_energy(exact, exact) == pytest.approx(1.0)
+
+    def test_voltage_scaling_compounds_savings(self):
+        loa = LowerOrAdder(32, approx_bits=16)
+        no_scaling = EnergyModel(voltage_exponent=0.0)
+        linear = EnergyModel(voltage_exponent=1.0)
+        quadratic = EnergyModel(voltage_exponent=2.0)
+        e0 = no_scaling.energy_per_add(loa)
+        e1 = linear.energy_per_add(loa)
+        e2 = quadratic.energy_per_add(loa)
+        assert e0 > e1 > e2
+        assert e1 == pytest.approx(e0 * 0.5)
+        assert e2 == pytest.approx(e0 * 0.25)
+
+    def test_voltage_scaling_never_touches_exact(self):
+        exact = ExactAdder(32)
+        assert EnergyModel(voltage_exponent=2.0).energy_per_add(
+            exact
+        ) == pytest.approx(EnergyModel(voltage_exponent=0.0).energy_per_add(exact))
+
+    def test_every_family_is_cheaper_than_exact(self):
+        model = EnergyModel()
+        exact_cost = model.energy_per_add(ExactAdder(32))
+        cases = [
+            ("loa", {"approx_bits": 12}),
+            ("etaii", {"segment_bits": 8}),
+            ("truncated", {"approx_bits": 12}),
+        ]
+        for family, params in cases:
+            adder = build_adder(family, 32, **params)
+            assert model.energy_per_add(adder) < exact_cost, family

@@ -1,0 +1,77 @@
+"""Tests for the fault-injecting adder wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.adders import ExactAdder, FaultyAdder, LowerOrAdder
+
+
+class TestConstruction:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="flip_probability"):
+            FaultyAdder(ExactAdder(16), flip_probability=1.5)
+
+    def test_rejects_bad_max_bit(self):
+        with pytest.raises(ValueError, match="max_bit"):
+            FaultyAdder(ExactAdder(16), flip_probability=0.1, max_bit=0)
+
+    def test_zero_rate_wrapping_exact_is_exact(self):
+        assert FaultyAdder(ExactAdder(16), 0.0).is_exact
+
+    def test_nonzero_rate_is_never_exact(self):
+        assert not FaultyAdder(ExactAdder(16), 0.1).is_exact
+
+
+class TestFaultInjection:
+    def test_zero_probability_is_transparent(self):
+        inner = ExactAdder(16)
+        faulty = FaultyAdder(inner, 0.0, seed=1)
+        a = np.arange(100, dtype=np.int64)
+        b = np.arange(100, dtype=np.int64)[::-1].copy()
+        assert np.array_equal(
+            faulty.add_unsigned(a, b), inner.add_unsigned(a, b)
+        )
+        assert faulty.injected_flips == 0
+
+    def test_faults_are_visible_and_counted(self):
+        faulty = FaultyAdder(ExactAdder(16), 0.05, seed=2)
+        inner = ExactAdder(16)
+        a = np.arange(2000, dtype=np.int64) % 1000
+        b = np.arange(2000, dtype=np.int64) % 900
+        out = faulty.add_unsigned(a, b)
+        golden = inner.add_unsigned(a, b)
+        mismatches = int((out != golden).sum())
+        assert mismatches > 0
+        assert faulty.injected_flips >= mismatches
+
+    def test_fault_rate_approximately_respected(self):
+        p = 0.02
+        faulty = FaultyAdder(ExactAdder(16), p, seed=3)
+        n = 30_000
+        a = np.zeros(n, dtype=np.int64)
+        b = np.zeros(n, dtype=np.int64)
+        faulty.add_unsigned(a, b)
+        expected = p * n * 16
+        assert faulty.injected_flips == pytest.approx(expected, rel=0.1)
+
+    def test_max_bit_confines_faults(self):
+        faulty = FaultyAdder(ExactAdder(16), 0.5, seed=4, max_bit=4)
+        a = np.zeros(500, dtype=np.int64)
+        b = np.zeros(500, dtype=np.int64)
+        out = faulty.add_unsigned(a, b)
+        assert int(np.abs(out).max()) < 16  # only bits [0, 4) flipped
+
+    def test_result_stays_in_word_range(self):
+        faulty = FaultyAdder(LowerOrAdder(12, 4), 0.3, seed=5)
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, 1 << 12, size=1000, dtype=np.int64)
+        b = rng.integers(0, 1 << 12, size=1000, dtype=np.int64)
+        out = faulty.add_unsigned(a, b)
+        assert out.min() >= 0
+        assert out.max() < (1 << 12)
+
+    def test_structure_is_delegated(self):
+        inner = LowerOrAdder(16, 6)
+        faulty = FaultyAdder(inner, 0.1)
+        assert faulty.cell_inventory() == inner.cell_inventory()
+        assert faulty.critical_path_cells() == inner.critical_path_cells()

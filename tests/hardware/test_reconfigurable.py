@@ -1,0 +1,97 @@
+"""Tests for the runtime-reconfigurable adder."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.adders import ExactAdder, LowerOrAdder, ReconfigurableAdder
+
+
+@pytest.fixture()
+def device():
+    return ReconfigurableAdder(
+        [
+            LowerOrAdder(16, approx_bits=8),
+            LowerOrAdder(16, approx_bits=4),
+            ExactAdder(16),
+        ],
+        switch_energy=2.0,
+    )
+
+
+class TestConstruction:
+    def test_requires_exact_top(self):
+        with pytest.raises(ValueError, match="exact"):
+            ReconfigurableAdder([LowerOrAdder(16, 4)])
+
+    def test_requires_shared_width(self):
+        with pytest.raises(ValueError, match="width"):
+            ReconfigurableAdder([LowerOrAdder(16, 4), ExactAdder(32)])
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ReconfigurableAdder([])
+
+    def test_rejects_negative_switch_energy(self):
+        with pytest.raises(ValueError, match="switch_energy"):
+            ReconfigurableAdder([ExactAdder(8)], switch_energy=-1.0)
+
+
+class TestSwitching:
+    def test_starts_at_lowest(self, device):
+        assert device.current_level == 0
+        assert not device.is_exact
+
+    def test_select_changes_behaviour(self, device):
+        a, b = np.array([0x00FF]), np.array([0x0001])
+        low = int(device.add_unsigned(a, b)[0])
+        device.select(2)
+        exact = int(device.add_unsigned(a, b)[0])
+        assert exact == 0x0100
+        assert low != exact  # the OR'd low byte cannot ripple the carry
+
+    def test_switch_counting_and_energy(self, device):
+        device.select(1)
+        device.select(1)  # no-op: free
+        device.select(2)
+        device.select(0)
+        assert device.switches == 3
+        assert device.switch_energy_spent == pytest.approx(6.0)
+
+    def test_out_of_range_level(self, device):
+        with pytest.raises(IndexError, match="level"):
+            device.select(5)
+
+    def test_reset_counters_keeps_level(self, device):
+        device.select(2)
+        device.reset_counters()
+        assert device.switches == 0
+        assert device.switch_energy_spent == 0.0
+        assert device.current_level == 2
+
+    def test_is_exact_tracks_level(self, device):
+        device.select(2)
+        assert device.is_exact
+        device.select(0)
+        assert not device.is_exact
+
+
+class TestStructure:
+    def test_inventory_includes_config_muxes(self, device):
+        cells = device.cell_inventory()
+        assert cells["mux2"] == 16
+
+    def test_energy_tracks_active_level(self, device):
+        from repro.hardware.energy import EnergyModel
+
+        model = EnergyModel()
+        costs = []
+        for level in range(3):
+            device.select(level)
+            costs.append(model.energy_per_add(device))
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_critical_path_tracks_level(self, device):
+        device.select(0)
+        assert device.critical_path_cells() == 8
+        device.select(2)
+        assert device.critical_path_cells() == 16

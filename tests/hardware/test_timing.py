@@ -1,0 +1,85 @@
+"""Tests for the timing / voltage-scaling model."""
+
+import pytest
+
+from repro.hardware.adders import ExactAdder, LowerOrAdder
+from repro.hardware.timing import (
+    VoltageScaler,
+    critical_path_delay,
+    max_frequency,
+)
+
+
+class TestCriticalPath:
+    def test_exact_adder_full_chain(self):
+        assert critical_path_delay(ExactAdder(32)) == 64.0
+
+    def test_loa_shorter(self):
+        assert critical_path_delay(LowerOrAdder(32, 20)) == 24.0
+
+    def test_max_frequency_inverse_to_path(self):
+        f_exact = max_frequency(ExactAdder(32))
+        f_loa = max_frequency(LowerOrAdder(32, 16))
+        assert f_loa == pytest.approx(2 * f_exact)
+
+    def test_max_frequency_rejects_bad_delay(self):
+        with pytest.raises(ValueError, match="gate_delay_ps"):
+            max_frequency(ExactAdder(8), gate_delay_ps=0)
+
+
+class TestVoltageScaler:
+    def test_nominal_delay_is_one(self):
+        scaler = VoltageScaler()
+        assert scaler.relative_delay(scaler.v_nominal) == pytest.approx(1.0)
+
+    def test_delay_grows_as_voltage_drops(self):
+        scaler = VoltageScaler()
+        assert scaler.relative_delay(0.7) > scaler.relative_delay(0.9) > 1.0
+
+    def test_voltage_below_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            VoltageScaler().relative_delay(0.2)
+
+    def test_full_path_keeps_nominal_voltage(self):
+        scaler = VoltageScaler()
+        assert scaler.voltage_for_slack(1.0) == pytest.approx(
+            scaler.v_nominal, abs=1e-6
+        )
+
+    def test_shorter_path_lower_voltage(self):
+        scaler = VoltageScaler()
+        v_half = scaler.voltage_for_slack(0.5)
+        v_quarter = scaler.voltage_for_slack(0.25)
+        assert scaler.v_min <= v_quarter <= v_half < scaler.v_nominal
+
+    def test_voltage_clamped_at_v_min(self):
+        scaler = VoltageScaler()
+        assert scaler.voltage_for_slack(1e-3) == pytest.approx(scaler.v_min)
+
+    def test_scaled_voltage_meets_timing(self):
+        scaler = VoltageScaler()
+        for ratio in (0.3, 0.5, 0.8):
+            v = scaler.voltage_for_slack(ratio)
+            if v > scaler.v_min:  # interior solution must be tight
+                assert scaler.relative_delay(v) <= 1.0 / ratio + 1e-6
+
+    def test_energy_factor_monotone_in_path_ratio(self):
+        scaler = VoltageScaler()
+        factors = [scaler.energy_factor(r) for r in (0.25, 0.5, 0.75, 1.0)]
+        assert all(a <= b for a, b in zip(factors, factors[1:]))
+        assert factors[-1] == pytest.approx(1.0, abs=1e-6)
+        assert factors[0] >= (scaler.v_min / scaler.v_nominal) ** 2 - 1e-9
+
+    def test_adder_energy_factor(self):
+        scaler = VoltageScaler()
+        exact = scaler.adder_energy_factor(ExactAdder(32))
+        loa = scaler.adder_energy_factor(LowerOrAdder(32, 20))
+        assert loa < exact == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="v_threshold"):
+            VoltageScaler(v_threshold=0.9)
+        with pytest.raises(ValueError, match="alpha"):
+            VoltageScaler(alpha=0)
+        with pytest.raises(ValueError, match="path_ratio"):
+            VoltageScaler().voltage_for_slack(0.0)

@@ -1,0 +1,94 @@
+"""Tests for the truncated fixed-width multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.multipliers import ExactMultiplier, TruncatedMultiplier
+
+WIDTH = 8
+
+
+def golden_truncated(a: int, b: int, width: int, k: int, compensate: bool) -> int:
+    mask = (1 << width) - 1
+    exact = (a * b) & mask
+    dropped = 0
+    for j in range(min(k, width)):
+        if (b >> j) & 1:
+            dropped += (a & ((1 << (k - j)) - 1)) << j
+    out = exact - (dropped & mask)
+    if compensate:
+        out += 1 << (k - 1)
+    return out & mask
+
+
+class TestCorrectness:
+    def test_zero_truncation_is_exact(self):
+        mul = TruncatedMultiplier(WIDTH, trunc_columns=0)
+        golden = ExactMultiplier(WIDTH)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, size=500, dtype=np.int64)
+        b = rng.integers(0, 256, size=500, dtype=np.int64)
+        assert np.array_equal(
+            mul.multiply_unsigned(a, b), golden.multiply_unsigned(a, b)
+        )
+
+    @pytest.mark.parametrize("k,comp", [(2, True), (3, True), (3, False), (5, True)])
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=120)
+    def test_matches_golden_model(self, k, comp, a, b):
+        mul = TruncatedMultiplier(WIDTH, trunc_columns=k, compensate=comp)
+        out = int(mul.multiply_unsigned(np.array([a]), np.array([b]))[0])
+        assert out == golden_truncated(a, b, WIDTH, k, comp)
+
+    def test_error_bounded_by_truncated_columns(self):
+        k = 3
+        mul = TruncatedMultiplier(WIDTH, trunc_columns=k, compensate=True)
+        golden = ExactMultiplier(WIDTH)
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 16, size=2000, dtype=np.int64)
+        b = rng.integers(0, 15, size=2000, dtype=np.int64)
+        err = np.abs(
+            mul.multiply_unsigned(a, b) - golden.multiply_unsigned(a, b)
+        )
+        # Dropped bits sum to < 2^k per column triangle + compensation.
+        assert int(err.max()) < (1 << (k + 1))
+
+    def test_compensation_reduces_bias(self):
+        k = 4
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 64, size=5000, dtype=np.int64)
+        b = rng.integers(0, 3, size=5000, dtype=np.int64)
+        golden = ExactMultiplier(WIDTH)
+        exact = golden.multiply_unsigned(a, b).astype(float)
+        raw = TruncatedMultiplier(WIDTH, k, compensate=False)
+        comp = TruncatedMultiplier(WIDTH, k, compensate=True)
+        bias_raw = abs((raw.multiply_unsigned(a, b) - exact).mean())
+        bias_comp = abs((comp.multiply_unsigned(a, b) - exact).mean())
+        assert bias_comp < bias_raw
+
+    def test_rejects_bad_columns(self):
+        with pytest.raises(ValueError, match="trunc_columns"):
+            TruncatedMultiplier(WIDTH, trunc_columns=WIDTH)
+
+
+class TestStructure:
+    def test_cheaper_than_exact(self):
+        model = EnergyModel(voltage_exponent=0.0)
+        exact = ExactMultiplier(16)
+        trunc = TruncatedMultiplier(16, trunc_columns=8)
+        assert model.cost_of_cells(trunc.cell_inventory()) < model.cost_of_cells(
+            exact.cell_inventory()
+        )
+
+    def test_energy_monotone_in_truncation(self):
+        model = EnergyModel(voltage_exponent=0.0)
+        costs = [
+            model.cost_of_cells(
+                TruncatedMultiplier(16, trunc_columns=k).cell_inventory()
+            )
+            for k in (0, 4, 8, 12)
+        ]
+        assert all(a > b for a, b in zip(costs, costs[1:]))

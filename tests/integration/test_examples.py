@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts must run and print their story.
+
+Only the fast examples run here (the finance and clustering walkthroughs
+take tens of seconds and are exercised implicitly by the benchmark
+suite, which runs the same experiments).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Approximation ladder" in out
+        assert "Truth:" in out
+        assert "energy saving" in out
+
+    def test_baseline_pid_kmeans(self):
+        out = run_example("baseline_pid_kmeans.py")
+        assert "ApproxIt (incremental)" in out
+        assert "PID baseline" in out
+        assert "NOT guaranteed" in out
+
+    def test_custom_solver(self):
+        out = run_example("custom_solver.py")
+        assert "Logistic regression" in out
+        assert "Power iteration" in out
+        assert "lambda" in out
+
+    def test_pagerank_web(self):
+        out = run_example("pagerank_web.py")
+        assert "Top-5 nodes" in out
+        assert "top-10 overlap 100%" in out
+
+    def test_resilience_analysis(self):
+        out = run_example("resilience_analysis.py")
+        assert "Per-block resilience" in out
+        assert "SENSITIVE" in out or "resilient" in out

@@ -1,0 +1,140 @@
+"""End-to-end tests of the experiment runners and regenerators.
+
+The full Table-3/4 matrices are exercised by ``benchmarks/``; these
+tests run the same machinery on miniature datasets (registered
+temporarily) so the unit suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.data.clusters import make_cluster_dataset
+from repro.data.registry import DATASETS, DatasetSpec
+from repro.data.timeseries import make_index_series
+from repro.experiments.figure2 import angle_trace, figure2
+from repro.experiments.runner import run_ar_experiment, run_gmm_experiment
+from repro.experiments.suite import describe_benchmarks, describe_datasets
+
+
+@pytest.fixture()
+def mini_registry(monkeypatch):
+    """Temporarily register miniature datasets and clear runner caches."""
+
+    def mini_clusters():
+        return make_cluster_dataset(
+            "mini3",
+            sizes=[60, 60, 50],
+            means=np.array([[0.0, 0.0], [4.5, 3.0], [-3.0, 4.5]]),
+            spreads=[1.1, 1.0, 1.0],
+            seed=5,
+            max_iter=300,
+            tolerance=1e-8,
+        )
+
+    def mini_series():
+        return make_index_series(
+            "miniIdx", length=700, seed=19, max_iter=600, tolerance=1e-12
+        )
+
+    registry = dict(DATASETS)
+    registry["mini3"] = DatasetSpec(
+        key="mini3",
+        display_name="mini3",
+        application="gmm",
+        shape="170*2",
+        source="test",
+        max_iter=300,
+        tolerance=1e-8,
+        adder_impact="Mean Value",
+        factory=mini_clusters,
+    )
+    registry["miniidx"] = DatasetSpec(
+        key="miniidx",
+        display_name="miniIdx",
+        application="autoregression",
+        shape="700*10",
+        source="test",
+        max_iter=600,
+        tolerance=1e-12,
+        adder_impact="80% Confidence Space",
+        factory=mini_series,
+    )
+    import repro.data.registry as registry_module
+
+    monkeypatch.setattr(runner_module, "DATASETS", registry)
+    monkeypatch.setattr(registry_module, "DATASETS", registry)
+    run_gmm_experiment.cache_clear()
+    run_ar_experiment.cache_clear()
+    yield registry
+    run_gmm_experiment.cache_clear()
+    run_ar_experiment.cache_clear()
+
+
+class TestRunner:
+    def test_gmm_experiment_structure(self, mini_registry):
+        result = run_gmm_experiment("mini3")
+        assert result.truth.converged
+        assert set(result.single_mode) == {"level1", "level2", "level3", "level4"}
+        assert set(result.online) == {"incremental", "adaptive"}
+        assert result.qem["truth"] == 0.0
+        # Online strategies keep the clustering.
+        assert result.qem["incremental"] == 0
+        assert result.qem["adaptive"] == 0
+
+    def test_gmm_energy_lookup(self, mini_registry):
+        result = run_gmm_experiment("mini3")
+        assert result.energy_of("truth") == pytest.approx(1.0)
+        assert result.energy_of("incremental") < 1.0
+        assert result.savings_of("incremental") > 0
+
+    def test_run_of_unknown_label(self, mini_registry):
+        result = run_gmm_experiment("mini3")
+        with pytest.raises(KeyError, match="truth"):
+            result.run_of("level99")
+
+    def test_ar_experiment_structure(self, mini_registry):
+        result = run_ar_experiment("miniidx")
+        assert result.truth.converged
+        assert result.qem["incremental"] < 1e-2
+        assert result.qem["adaptive"] < 1e-2
+        assert result.energy_of("incremental") < 1.0
+
+    def test_wrong_application_rejected(self, mini_registry):
+        with pytest.raises(ValueError, match="not a GMM"):
+            run_gmm_experiment("miniidx")
+        with pytest.raises(ValueError, match="not an AR"):
+            run_ar_experiment("mini3")
+
+    def test_memoization(self, mini_registry):
+        assert run_gmm_experiment("mini3") is run_gmm_experiment("mini3")
+
+
+class TestSuiteTables:
+    def test_table1_contents(self):
+        text = describe_benchmarks()
+        assert "Gaussian Mixture Models" in text
+        assert "AutoRegression" in text
+        assert "Hamming Distance" in text
+
+    def test_table2_contents(self):
+        text = describe_datasets()
+        for name in ("3cluster", "3d3cluster", "4cluster", "HangSeng INDEX"):
+            assert name in text
+        assert "Mean Value" in text
+        assert "80% Confidence Space" in text
+        assert "500" in text and "1000" in text
+
+
+class TestFigure2:
+    def test_trace_has_both_directions(self):
+        trace = angle_trace(iterations=80)
+        angles = [a for _, _, a in trace]
+        assert any(b > a for a, b in zip(angles, angles[1:]))
+        assert any(b < a for a, b in zip(angles, angles[1:]))
+        assert all(0.0 <= a <= 90.0 for a in angles)
+
+    def test_report_renders(self):
+        text = figure2()
+        assert "Figure 2" in text
+        assert "iteration,gradient_norm,angle_deg" in text

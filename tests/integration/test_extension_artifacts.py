@@ -1,0 +1,63 @@
+"""Integration tests for the extension-experiment regenerators."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    pagerank_table,
+    reconfiguration_cost_table,
+)
+
+
+@pytest.mark.slow
+class TestPagerankTable:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # A small web keeps the artifact test quick.
+        return pagerank_table(n_nodes=90, seed=5)
+
+    def test_all_configurations_listed(self, report):
+        for label in ("level1", "level4", "incremental", "adaptive", "Truth"):
+            assert label in report
+
+    def test_online_rows_preserve_ranking(self, report):
+        rows = [
+            line
+            for line in report.splitlines()
+            if line.startswith("|")
+            and ("incremental" in line or "adaptive" in line)
+        ]
+        assert len(rows) == 2
+        for line in rows:
+            cells = [c.strip() for c in line.split("|")]
+            assert cells[3] == "100%", line
+
+
+@pytest.mark.slow
+class TestReconfigurationCostTable:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return reconfiguration_cost_table(switch_energies=(0.0, 100.0, 10000.0))
+
+    def test_rows_and_columns(self, report):
+        assert "Switch energy" in report
+        assert report.count("\n|") >= 4  # header + 3 sweep rows
+
+    def test_energy_monotone_in_cost(self, report):
+        rows = [
+            [c.strip() for c in line.split("|")]
+            for line in report.splitlines()
+            if line.startswith("|") and "Switch" not in line
+        ]
+        energies = [float(r[3]) for r in rows]
+        assert energies == sorted(energies)
+
+
+class TestCliCharacterize:
+    def test_characterize_report(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["characterize", "--dataset", "3cluster"]) == 0
+        out = capsys.readouterr().out
+        assert "Offline characterization" in out
+        for mode in ("level1", "level4", "acc"):
+            assert mode in out

@@ -1,0 +1,37 @@
+"""Integration test for the §2.3 motivation artifact."""
+
+import pytest
+
+from repro.experiments.motivation import motivation_table
+
+
+@pytest.mark.slow
+class TestMotivation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return motivation_table("3cluster")
+
+    def test_all_configurations_present(self, report):
+        assert "Truth (exact)" in report
+        assert "ApproxIt incremental" in report
+        assert "ApproxIt adaptive" in report
+        assert report.count("PID (MCD target") == 3
+
+    def test_approxit_rows_are_verified(self, report):
+        rows = [
+            line
+            for line in report.splitlines()
+            if line.startswith("|") and "ApproxIt" in line
+        ]
+        assert len(rows) == 2
+        for line in rows:
+            assert "verified" in line
+            cells = [c.strip() for c in line.split("|")]
+            assert cells[3] == "0", line  # QEM column
+
+    def test_pid_rows_stop_unverified(self, report):
+        pid_lines = [l for l in report.splitlines() if "PID (MCD" in l]
+        assert all("stopped on" in line for line in pid_lines)
+        # At least one PID target produces a wrong clustering.
+        qems = [int([c.strip() for c in l.split("|")][3]) for l in pid_lines]
+        assert max(qems) > 0

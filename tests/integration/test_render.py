@@ -1,0 +1,65 @@
+"""Tests for the report-rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.render import ascii_scatter, format_number, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+")
+        assert "| a " in lines[2]
+        # All rows share the same width.
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "| x" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatNumber:
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_round_values(self):
+        assert format_number(0.2545) == "0.2545"
+
+    def test_large_values_compact(self):
+        assert "e" in format_number(1.23456e9) or len(format_number(1.23456e9)) <= 10
+
+
+class TestAsciiScatter:
+    def test_grid_dimensions(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = ascii_scatter(pts, np.array([0, 1]), width=10, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 10 for line in lines)
+
+    def test_distinct_glyphs_per_cluster(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = ascii_scatter(pts, np.array([0, 1]), width=10, height=5)
+        assert "o" in out and "x" in out
+
+    def test_corners(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = ascii_scatter(pts, np.array([0, 0]), width=8, height=4).splitlines()
+        assert out[-1][0] == "o"  # min-min lands bottom-left
+        assert out[0][-1] == "o"  # max-max lands top-right
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="(n, 2)"):
+            ascii_scatter(np.zeros((3, 3)), np.zeros(3, dtype=int))
+
+    def test_degenerate_span_safe(self):
+        pts = np.zeros((4, 2))
+        out = ascii_scatter(pts, np.zeros(4, dtype=int), width=6, height=3)
+        assert "o" in out

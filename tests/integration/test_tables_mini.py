@@ -1,0 +1,120 @@
+"""Table/figure renderers exercised end-to-end on miniature datasets.
+
+The full-size rendering is covered by ``benchmarks/``; here the same
+code paths run against a small temporary registry so the unit suite
+verifies formatting, column structure and content quickly.
+"""
+
+import numpy as np
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.data.clusters import make_cluster_dataset
+from repro.data.registry import DATASETS, DatasetSpec
+from repro.data.timeseries import make_index_series
+from repro.experiments.figure1 import figure1
+from repro.experiments.figure3 import figure3
+from repro.experiments.figure4 import figure4
+from repro.experiments.runner import run_ar_experiment, run_gmm_experiment
+from repro.experiments.table3 import table3a, table3b
+from repro.experiments.table4 import table4a, table4b
+
+
+@pytest.fixture()
+def mini_registry(monkeypatch):
+    def mini_clusters():
+        return make_cluster_dataset(
+            "miniA",
+            sizes=[50, 50, 50],
+            means=np.array([[0.0, 0.0], [4.5, 3.0], [-3.0, 4.5]]),
+            spreads=[1.1, 1.0, 1.0],
+            seed=31,
+            max_iter=300,
+            tolerance=1e-7,
+        )
+
+    def mini_series():
+        return make_index_series(
+            "miniB", length=600, seed=33, max_iter=500, tolerance=1e-12
+        )
+
+    registry = dict(DATASETS)
+    registry["minia"] = DatasetSpec(
+        key="minia",
+        display_name="miniA",
+        application="gmm",
+        shape="150*2",
+        source="test",
+        max_iter=300,
+        tolerance=1e-7,
+        adder_impact="Mean Value",
+        factory=mini_clusters,
+    )
+    registry["minib"] = DatasetSpec(
+        key="minib",
+        display_name="miniB",
+        application="autoregression",
+        shape="600*10",
+        source="test",
+        max_iter=500,
+        tolerance=1e-12,
+        adder_impact="80% Confidence Space",
+        factory=mini_series,
+    )
+    import repro.data.registry as registry_module
+
+    monkeypatch.setattr(runner_module, "DATASETS", registry)
+    monkeypatch.setattr(registry_module, "DATASETS", registry)
+    run_gmm_experiment.cache_clear()
+    run_ar_experiment.cache_clear()
+    yield registry
+    run_gmm_experiment.cache_clear()
+    run_ar_experiment.cache_clear()
+
+
+class TestTable3Mini:
+    def test_table3a_structure(self, mini_registry):
+        text = table3a(dataset_keys=("minia",))
+        assert "Table 3(a)" in text
+        for config in ("level1", "level2", "level3", "level4", "Truth"):
+            assert config in text
+        assert "miniA Iter" in text and "miniA QEM" in text
+
+    def test_table3b_structure(self, mini_registry):
+        text = table3b(dataset_keys=("minia",))
+        assert "Incremental" in text and "Adaptive (f=1)" in text
+        assert "Total" in text and "Error" in text
+        # Truth's mode names appear as columns.
+        for name in ("level1", "level4", "acc"):
+            assert name in text
+
+
+class TestTable4Mini:
+    def test_table4a_structure(self, mini_registry):
+        text = table4a(dataset_keys=("minib",))
+        assert "Table 4(a)" in text
+        assert "miniB Power" in text
+
+    def test_table4b_structure(self, mini_registry):
+        text = table4b(dataset_keys=("minib",))
+        assert "AR Online Reconfiguration" in text
+
+
+class TestFiguresMini:
+    def test_figure3_panels(self, mini_registry):
+        text = figure3("minia")
+        assert "Figure 3" in text
+        assert text.count("---") >= 5  # Truth + four levels
+        assert "clusters populated" in text
+
+    def test_figure4_totals_and_savings(self, mini_registry):
+        text = figure4(dataset_keys=("minia",))
+        assert "total energy" in text
+        assert "per-iteration energy" in text
+        assert "saves" in text
+
+    def test_figure1_mentions_modules(self):
+        text = figure1()
+        assert "OFFLINE CHARACTERIZATION" in text
+        assert "core.strategies" in text
+        assert "arith.engine" in text

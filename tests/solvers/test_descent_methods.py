@@ -1,0 +1,148 @@
+"""Tests for gradient descent, Newton and conjugate gradient."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.conjugate_gradient import ConjugateGradient
+from repro.solvers.functions import QuadraticFunction, RosenbrockFunction
+from repro.solvers.gradient_descent import GradientDescent
+from repro.solvers.newton import NewtonMethod
+
+
+def drive(method, engine, max_iter=None):
+    """Minimal driver: run a method to convergence with one engine."""
+    x = method.initial_state()
+    f_prev = method.objective(x)
+    budget = max_iter if max_iter is not None else method.max_iter
+    for k in range(budget):
+        d = method.direction(x, engine)
+        alpha = method.step_size(x, d, k)
+        x = method.postprocess(method.update(x, alpha, d, engine))
+        f_new = method.objective(x)
+        if method.converged(f_prev, f_new):
+            return x, k + 1, True
+        f_prev = f_new
+    return x, budget, False
+
+
+@pytest.fixture()
+def quadratic():
+    return QuadraticFunction.random_spd(dim=6, seed=5, condition=30.0)
+
+
+class TestGradientDescent:
+    def test_converges_to_minimizer(self, quadratic, exact_engine):
+        gd = GradientDescent(
+            quadratic, learning_rate=0.05, max_iter=3000, tolerance=1e-12
+        )
+        x, iters, converged = drive(gd, exact_engine)
+        assert converged
+        assert np.allclose(x, quadratic.minimizer(), atol=0.01)
+
+    def test_direction_is_negative_gradient(self, quadratic, exact_engine, rng):
+        gd = GradientDescent(quadratic)
+        x = rng.normal(size=quadratic.dim)
+        d = gd.direction(x, exact_engine)
+        assert np.allclose(d, -quadratic.gradient(x), atol=1e-2)
+
+    def test_decay_shrinks_steps(self, quadratic):
+        gd = GradientDescent(quadratic, learning_rate=0.1, decay=0.5)
+        assert gd.step_size(None, None, 0) == pytest.approx(0.1)
+        assert gd.step_size(None, None, 2) == pytest.approx(0.025)
+
+    def test_rejects_bad_learning_rate(self, quadratic):
+        with pytest.raises(ValueError, match="learning_rate"):
+            GradientDescent(quadratic, learning_rate=0.0)
+
+    def test_rejects_bad_decay(self, quadratic):
+        with pytest.raises(ValueError, match="decay"):
+            GradientDescent(quadratic, decay=1.5)
+
+    def test_rejects_wrong_x0_dim(self, quadratic):
+        with pytest.raises(ValueError, match="x0"):
+            GradientDescent(quadratic, x0=np.zeros(3))
+
+    def test_initial_state_is_copy(self, quadratic):
+        gd = GradientDescent(quadratic, x0=np.ones(6))
+        x = gd.initial_state()
+        x[:] = 99
+        assert np.allclose(gd.initial_state(), 1.0)
+
+
+class TestNewton:
+    def test_one_step_solves_quadratic(self, quadratic, exact_engine):
+        newton = NewtonMethod(quadratic, tolerance=1e-10)
+        x = newton.initial_state()
+        d = newton.direction(x, exact_engine)
+        x = newton.update(x, 1.0, d, exact_engine)
+        # A quadratic is minimized by a single full Newton step (up to
+        # fixed-point quantization of the engine path).
+        assert np.allclose(x, quadratic.minimizer(), atol=0.01)
+
+    def test_converges_on_rosenbrock(self, exact_engine):
+        fn = RosenbrockFunction(dim=2)
+        newton = NewtonMethod(
+            fn, x0=np.array([-0.5, 0.5]), max_iter=200, tolerance=1e-14
+        )
+        x, _, converged = drive(newton, exact_engine)
+        assert converged
+        assert np.allclose(x, [1.0, 1.0], atol=0.05)
+
+    def test_indefinite_hessian_falls_back_to_descent(self, exact_engine):
+        # A saddle: f = x^2 - y^2 has an indefinite Hessian everywhere.
+        class Saddle(QuadraticFunction):
+            def __init__(self):
+                matrix = np.diag([2.0, -2.0])
+                # bypass the SPD check by building via parent fields
+                self.matrix = matrix
+                self.rhs = np.zeros(2)
+                self.constant = 0.0
+                self.dim = 2
+
+        saddle = Saddle()
+        newton = NewtonMethod(saddle, x0=np.array([1.0, 1.0]))
+        d = newton.direction(np.array([1.0, 1.0]), exact_engine)
+        g = saddle.gradient(np.array([1.0, 1.0]))
+        assert float(g @ d) < 0  # always a descent direction
+
+    def test_rejects_bad_damping(self, quadratic):
+        with pytest.raises(ValueError, match="damping"):
+            NewtonMethod(quadratic, damping=0.0)
+
+
+class TestConjugateGradient:
+    def test_converges_faster_than_gd(self, exact_engine):
+        quad = QuadraticFunction.random_spd(dim=8, seed=11, condition=50.0)
+        cg = ConjugateGradient(
+            quad.matrix, quad.rhs, max_iter=500, tolerance=1e-13
+        )
+        x, cg_iters, converged = drive(cg, exact_engine)
+        assert converged
+        assert np.allclose(x, quad.minimizer(), atol=0.02)
+
+        gd = GradientDescent(
+            quad, learning_rate=0.02, max_iter=500, tolerance=1e-13
+        )
+        _, gd_iters, _ = drive(gd, exact_engine)
+        assert cg_iters < gd_iters
+
+    def test_requires_symmetric_matrix(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            ConjugateGradient(np.array([[1.0, 2.0], [0.0, 1.0]]), np.zeros(2))
+
+    def test_objective_is_quadratic_energy(self, rng):
+        quad = QuadraticFunction.random_spd(dim=4, seed=2)
+        cg = ConjugateGradient(quad.matrix, quad.rhs)
+        x = rng.normal(size=4)
+        assert cg.objective(x) == pytest.approx(quad.value(x))
+
+    def test_restart_after_unknown_state_is_safe(self, exact_engine, rng):
+        quad = QuadraticFunction.random_spd(dim=4, seed=8)
+        cg = ConjugateGradient(quad.matrix, quad.rhs)
+        cg.initial_state()
+        # A state the solver has never seen: direction falls back to the
+        # residual (steepest descent restart) without raising.
+        x = rng.normal(size=4)
+        d = cg.direction(x, exact_engine)
+        r = quad.rhs - quad.matrix @ x
+        assert np.allclose(d, r, atol=1e-2)

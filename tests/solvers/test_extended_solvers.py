@@ -1,0 +1,186 @@
+"""Tests for the momentum, stochastic and coordinate solvers."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.coordinate import CoordinateDescent
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+from repro.solvers.momentum import MomentumGradientDescent
+from repro.solvers.stochastic import StochasticLeastSquaresGD
+
+
+def drive(method, engine, max_iter=None):
+    x = method.initial_state()
+    f_prev = method.objective(x)
+    budget = max_iter if max_iter is not None else method.max_iter
+    for k in range(budget):
+        d = method.direction(x, engine)
+        x = method.postprocess(method.update(x, method.step_size(x, d, k), d, engine))
+        f_new = method.objective(x)
+        if method.converged(f_prev, f_new):
+            return x, k + 1, True
+        f_prev = f_new
+    return x, budget, False
+
+
+@pytest.fixture()
+def quadratic():
+    return QuadraticFunction.random_spd(dim=6, seed=41, condition=40.0)
+
+
+class TestMomentum:
+    def test_converges_to_minimizer(self, quadratic, exact_engine):
+        mom = MomentumGradientDescent(
+            quadratic,
+            learning_rate=0.01,
+            beta=0.8,
+            max_iter=5000,
+            tolerance=1e-13,
+            convergence_kind="abs",
+        )
+        x, _, converged = drive(mom, exact_engine)
+        assert converged
+        assert np.allclose(x, quadratic.minimizer(), atol=0.01)
+
+    def test_beats_plain_gd_on_ill_conditioned(self, exact_engine):
+        quad = QuadraticFunction.random_spd(dim=6, seed=43, condition=200.0)
+        lr = 1.0 / 200.0
+        gd = GradientDescent(
+            quad, learning_rate=lr, max_iter=8000, tolerance=1e-12, convergence_kind="abs"
+        )
+        mom = MomentumGradientDescent(
+            quad,
+            learning_rate=lr,
+            beta=0.9,
+            max_iter=8000,
+            tolerance=1e-12,
+            convergence_kind="abs",
+        )
+        _, gd_iters, _ = drive(gd, exact_engine)
+        _, mom_iters, _ = drive(mom, exact_engine)
+        assert mom_iters < gd_iters
+
+    def test_first_step_is_steepest_descent(self, quadratic, exact_engine):
+        mom = MomentumGradientDescent(quadratic)
+        x = mom.initial_state()
+        d = mom.direction(x, exact_engine)
+        assert np.allclose(d, -quadratic.gradient(x), atol=1e-2)
+
+    def test_momentum_carries_previous_direction(self, quadratic, exact_engine):
+        mom = MomentumGradientDescent(quadratic, learning_rate=0.01, beta=0.9)
+        x = mom.initial_state()
+        d0 = mom.direction(x, exact_engine)
+        x1 = mom.update(x, 0.01, d0, exact_engine)
+        d1 = mom.direction(x1, exact_engine)
+        plain = -quadratic.gradient(x1)
+        # d1 must include the beta * d0 term, not just the new gradient.
+        assert np.linalg.norm(d1 - plain) > 0.1 * np.linalg.norm(d0)
+
+    def test_rejects_bad_beta(self, quadratic):
+        with pytest.raises(ValueError, match="beta"):
+            MomentumGradientDescent(quadratic, beta=1.0)
+
+    def test_initial_state_resets_momentum(self, quadratic, exact_engine):
+        mom = MomentumGradientDescent(quadratic)
+        x = mom.initial_state()
+        d = mom.direction(x, exact_engine)
+        mom.update(x, 0.05, d, exact_engine)
+        mom.initial_state()
+        assert mom._prev_direction == {}
+
+
+class TestCoordinateDescent:
+    def test_converges_to_minimizer(self, quadratic, exact_engine):
+        cd = CoordinateDescent(
+            quadratic, max_iter=5000, tolerance=1e-13, convergence_kind="abs"
+        )
+        x, _, converged = drive(cd, exact_engine)
+        assert converged
+        assert np.allclose(x, quadratic.minimizer(), atol=0.01)
+
+    def test_direction_touches_one_coordinate(self, quadratic, exact_engine):
+        cd = CoordinateDescent(quadratic)
+        x = cd.initial_state()
+        d = cd.direction(x, exact_engine)
+        assert int((np.abs(d) > 1e-12).sum()) <= 1
+
+    def test_cycles_through_coordinates(self, quadratic, exact_engine):
+        cd = CoordinateDescent(quadratic)
+        x = cd.initial_state()
+        touched = set()
+        for _ in range(quadratic.dim):
+            d = cd.direction(x, exact_engine)
+            nz = np.nonzero(np.abs(d) > 1e-15)[0]
+            if nz.size:
+                touched.add(int(nz[0]))
+        assert len(touched) >= quadratic.dim - 1
+
+    def test_each_step_never_increases_objective(self, quadratic, exact_engine):
+        cd = CoordinateDescent(quadratic)
+        x = cd.initial_state()
+        f = cd.objective(x)
+        for k in range(12):
+            d = cd.direction(x, exact_engine)
+            x = cd.update(x, 1.0, d, exact_engine)
+            f_new = cd.objective(x)
+            assert f_new <= f + 1e-6
+            f = f_new
+
+    def test_rejects_nonpositive_diagonal(self):
+        matrix = np.array([[0.0, 0.0], [0.0, 1.0]])
+        fn = QuadraticFunction(matrix, np.zeros(2))
+        with pytest.raises(ValueError, match="diagonal"):
+            CoordinateDescent(fn)
+
+
+class TestStochasticGd:
+    @pytest.fixture()
+    def regression(self, rng):
+        X = rng.normal(size=(400, 5))
+        w_true = rng.normal(size=5)
+        y = X @ w_true + 0.01 * rng.normal(size=400)
+        return X, y, w_true
+
+    def test_recovers_weights(self, regression, exact_engine):
+        X, y, w_true = regression
+        sgd = StochasticLeastSquaresGD(
+            X, y, batch_size=64, learning_rate=0.2, decay=0.995, max_iter=1500
+        )
+        x = sgd.initial_state()
+        for k in range(sgd.max_iter):
+            d = sgd.direction(x, exact_engine)
+            x = sgd.update(x, sgd.step_size(x, d, k), d, exact_engine)
+        assert np.allclose(x, w_true, atol=0.05)
+
+    def test_batches_are_reproducible(self, regression, exact_engine):
+        X, y, _ = regression
+        sgd = StochasticLeastSquaresGD(X, y, batch_size=16, seed=9)
+        x = sgd.initial_state()
+        d1 = sgd.direction(x, exact_engine)
+        x = sgd.initial_state()  # resets the batch stream
+        d2 = sgd.direction(x, exact_engine)
+        assert np.array_equal(d1, d2)
+
+    def test_stochastic_direction_noisy_but_unbiased(self, regression, exact_engine):
+        X, y, _ = regression
+        sgd = StochasticLeastSquaresGD(X, y, batch_size=32, seed=0)
+        x = np.ones(5)
+        full = -sgd.gradient(x)
+        draws = np.stack([sgd.direction(x, exact_engine) for _ in range(200)])
+        mean = draws.mean(axis=0)
+        assert np.allclose(mean, full, atol=0.1 * max(np.linalg.norm(full), 1.0))
+        assert draws.std(axis=0).max() > 0  # genuinely stochastic
+
+    def test_rejects_bad_batch_size(self, regression):
+        X, y, _ = regression
+        with pytest.raises(ValueError, match="batch_size"):
+            StochasticLeastSquaresGD(X, y, batch_size=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            StochasticLeastSquaresGD(X, y, batch_size=10_000)
+
+    def test_solution_matches_normal_equations(self, regression):
+        X, y, _ = regression
+        sgd = StochasticLeastSquaresGD(X, y)
+        w = sgd.solution()
+        assert np.allclose(X.T @ (X @ w - y), 0.0, atol=1e-8)

@@ -1,0 +1,160 @@
+"""Tests for the objective-function library, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.functions import (
+    LogisticLoss,
+    QuadraticFunction,
+    RosenbrockFunction,
+)
+
+
+def finite_difference_gradient(fn, x, h=1e-6):
+    grad = np.zeros_like(x)
+    for i in range(x.size):
+        e = np.zeros_like(x)
+        e[i] = h
+        grad[i] = (fn.value(x + e) - fn.value(x - e)) / (2 * h)
+    return grad
+
+
+def finite_difference_hessian(fn, x, h=1e-5):
+    n = x.size
+    hess = np.zeros((n, n))
+    for i in range(n):
+        e = np.zeros_like(x)
+        e[i] = h
+        hess[:, i] = (fn.gradient(x + e) - fn.gradient(x - e)) / (2 * h)
+    return hess
+
+
+@pytest.fixture()
+def quadratic():
+    return QuadraticFunction.random_spd(dim=5, seed=1, condition=20.0)
+
+
+@pytest.fixture()
+def rosenbrock():
+    return RosenbrockFunction(dim=4)
+
+
+@pytest.fixture()
+def logistic(rng):
+    n, d = 200, 4
+    X = rng.normal(size=(n, d))
+    w_true = rng.normal(size=d)
+    y = np.where(X @ w_true + 0.3 * rng.normal(size=n) > 0, 1.0, -1.0)
+    return LogisticLoss(X, y, reg=1e-2)
+
+
+class TestQuadratic:
+    def test_gradient_matches_finite_difference(self, quadratic, rng):
+        x = rng.normal(size=quadratic.dim)
+        assert np.allclose(
+            quadratic.gradient(x), finite_difference_gradient(quadratic, x), atol=1e-4
+        )
+
+    def test_hessian_is_matrix(self, quadratic, rng):
+        x = rng.normal(size=quadratic.dim)
+        assert np.allclose(quadratic.hessian(x), quadratic.matrix)
+
+    def test_minimizer_has_zero_gradient(self, quadratic):
+        assert np.allclose(quadratic.gradient(quadratic.minimizer()), 0, atol=1e-9)
+
+    def test_minimizer_is_minimum(self, quadratic, rng):
+        x_star = quadratic.minimizer()
+        f_star = quadratic.value(x_star)
+        for _ in range(10):
+            assert quadratic.value(x_star + 0.1 * rng.normal(size=5)) > f_star
+
+    def test_gradient_approx_matches_exact_on_accurate_engine(
+        self, quadratic, exact_engine, rng
+    ):
+        x = rng.normal(size=quadratic.dim)
+        approx = quadratic.gradient_approx(x, exact_engine)
+        assert np.allclose(approx, quadratic.gradient(x), atol=1e-2)
+
+    def test_random_spd_respects_condition(self):
+        fn = QuadraticFunction.random_spd(dim=6, seed=3, condition=100.0)
+        eigs = np.linalg.eigvalsh(fn.matrix)
+        assert eigs.min() > 0
+        assert eigs.max() / eigs.min() == pytest.approx(100.0, rel=1e-6)
+
+    def test_rejects_asymmetric_matrix(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            QuadraticFunction(np.array([[1.0, 2.0], [0.0, 1.0]]), np.zeros(2))
+
+    def test_rejects_bad_condition(self):
+        with pytest.raises(ValueError, match="condition"):
+            QuadraticFunction.random_spd(dim=3, condition=0.5)
+
+
+class TestRosenbrock:
+    def test_gradient_matches_finite_difference(self, rosenbrock, rng):
+        x = rng.normal(size=rosenbrock.dim)
+        assert np.allclose(
+            rosenbrock.gradient(x),
+            finite_difference_gradient(rosenbrock, x),
+            atol=1e-3,
+        )
+
+    def test_hessian_matches_finite_difference(self, rosenbrock, rng):
+        x = rng.normal(size=rosenbrock.dim) * 0.5
+        assert np.allclose(
+            rosenbrock.hessian(x),
+            finite_difference_hessian(rosenbrock, x),
+            atol=1e-3,
+        )
+
+    def test_global_minimum_at_ones(self, rosenbrock):
+        ones = rosenbrock.minimizer()
+        assert rosenbrock.value(ones) == pytest.approx(0.0)
+        assert np.allclose(rosenbrock.gradient(ones), 0.0)
+
+    def test_requires_dim_two(self):
+        with pytest.raises(ValueError, match="dim"):
+            RosenbrockFunction(dim=1)
+
+    def test_gradient_approx_close_on_accurate_engine(
+        self, rosenbrock, exact_engine, rng
+    ):
+        x = rng.normal(size=rosenbrock.dim)
+        assert np.allclose(
+            rosenbrock.gradient_approx(x, exact_engine),
+            rosenbrock.gradient(x),
+            atol=1e-2,
+        )
+
+
+class TestLogistic:
+    def test_gradient_matches_finite_difference(self, logistic, rng):
+        w = rng.normal(size=logistic.dim) * 0.3
+        assert np.allclose(
+            logistic.gradient(w), finite_difference_gradient(logistic, w), atol=1e-5
+        )
+
+    def test_hessian_matches_finite_difference(self, logistic, rng):
+        w = rng.normal(size=logistic.dim) * 0.3
+        assert np.allclose(
+            logistic.hessian(w), finite_difference_hessian(logistic, w), atol=1e-4
+        )
+
+    def test_loss_is_convex_along_segments(self, logistic, rng):
+        a = rng.normal(size=logistic.dim)
+        b = rng.normal(size=logistic.dim)
+        mid = logistic.value((a + b) / 2)
+        assert mid <= (logistic.value(a) + logistic.value(b)) / 2 + 1e-12
+
+    def test_rejects_bad_labels(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="labels"):
+            LogisticLoss(X, np.zeros(10))
+
+    def test_value_stable_for_large_margins(self, logistic):
+        w = np.full(logistic.dim, 50.0)
+        assert np.isfinite(logistic.value(w))
+
+    def test_dimension_check(self, logistic):
+        with pytest.raises(ValueError, match="dim"):
+            logistic.value(np.zeros(logistic.dim + 1))

@@ -1,0 +1,158 @@
+"""Tests for the stationary linear solvers and least squares."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.least_squares import LeastSquaresGD
+from repro.solvers.linear import GaussSeidelSolver, JacobiSolver, SorSolver
+
+
+def drive(method, engine, max_iter=None):
+    x = method.initial_state()
+    f_prev = method.objective(x)
+    budget = max_iter if max_iter is not None else method.max_iter
+    for k in range(budget):
+        d = method.direction(x, engine)
+        alpha = method.step_size(x, d, k)
+        x = method.postprocess(method.update(x, alpha, d, engine))
+        f_new = method.objective(x)
+        if method.converged(f_prev, f_new):
+            return x, k + 1, True
+        f_prev = f_new
+    return x, budget, False
+
+
+@pytest.fixture()
+def dd_system(rng):
+    """A strictly diagonally dominant system (all splittings converge)."""
+    n = 8
+    A = rng.normal(size=(n, n))
+    A = A + A.T
+    A += np.eye(n) * (np.abs(A).sum(axis=1).max() + 1.0)
+    b = rng.normal(size=n)
+    return A, b
+
+
+class TestJacobi:
+    def test_converges_to_solution(self, dd_system, exact_engine):
+        A, b = dd_system
+        solver = JacobiSolver(A, b, max_iter=500, tolerance=1e-12)
+        x, _, converged = drive(solver, exact_engine)
+        assert converged
+        assert np.allclose(x, np.linalg.solve(A, b), atol=0.01)
+
+    def test_rejects_zero_diagonal(self):
+        A = np.array([[0.0, 1.0], [1.0, 2.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            JacobiSolver(A, np.ones(2))
+
+    def test_objective_is_squared_residual(self, dd_system, rng):
+        A, b = dd_system
+        solver = JacobiSolver(A, b)
+        x = rng.normal(size=b.shape[0])
+        r = b - A @ x
+        assert solver.objective(x) == pytest.approx(float(r @ r))
+
+    def test_gradient_matches_finite_difference(self, dd_system, rng):
+        A, b = dd_system
+        solver = JacobiSolver(A, b)
+        x = rng.normal(size=b.shape[0])
+        h = 1e-6
+        fd = np.zeros_like(x)
+        for i in range(x.size):
+            e = np.zeros_like(x)
+            e[i] = h
+            fd[i] = (solver.objective(x + e) - solver.objective(x - e)) / (2 * h)
+        assert np.allclose(solver.gradient(x), fd, atol=1e-3)
+
+
+class TestGaussSeidel:
+    def test_converges_faster_than_jacobi(self, dd_system, exact_engine):
+        A, b = dd_system
+        jacobi = JacobiSolver(A, b, max_iter=1000, tolerance=1e-12)
+        gs = GaussSeidelSolver(A, b, max_iter=1000, tolerance=1e-12)
+        _, jac_iters, jc = drive(jacobi, exact_engine)
+        x, gs_iters, gc = drive(gs, exact_engine)
+        assert jc and gc
+        assert gs_iters <= jac_iters
+        assert np.allclose(x, np.linalg.solve(A, b), atol=0.01)
+
+
+class TestSor:
+    def test_converges(self, dd_system, exact_engine):
+        A, b = dd_system
+        sor = SorSolver(A, b, omega=1.2, max_iter=1000, tolerance=1e-12)
+        x, _, converged = drive(sor, exact_engine)
+        assert converged
+        assert np.allclose(x, np.linalg.solve(A, b), atol=0.01)
+
+    def test_omega_one_matches_gauss_seidel_direction(
+        self, dd_system, exact_engine, rng
+    ):
+        A, b = dd_system
+        sor = SorSolver(A, b, omega=1.0 - 1e-12)
+        gs = GaussSeidelSolver(A, b)
+        x = rng.normal(size=b.shape[0])
+        assert np.allclose(
+            sor.direction(x, exact_engine), gs.direction(x, exact_engine), atol=1e-3
+        )
+
+    def test_rejects_bad_omega(self, dd_system):
+        A, b = dd_system
+        with pytest.raises(ValueError, match="omega"):
+            SorSolver(A, b, omega=2.0)
+
+
+class TestLeastSquares:
+    def test_recovers_true_weights(self, rng, exact_engine):
+        n, p = 400, 5
+        X = rng.normal(size=(n, p))
+        w_true = rng.normal(size=p)
+        y = X @ w_true + 0.01 * rng.normal(size=n)
+        ls = LeastSquaresGD(X, y, max_iter=2000, tolerance=1e-14)
+        w, _, converged = drive(ls, exact_engine)
+        assert converged
+        assert np.allclose(w, w_true, atol=0.02)
+
+    def test_solution_matches_normal_equations(self, rng):
+        n, p = 100, 4
+        X = rng.normal(size=(n, p))
+        y = rng.normal(size=n)
+        ls = LeastSquaresGD(X, y)
+        w = ls.solution()
+        assert np.allclose(X.T @ (X @ w - y), 0.0, atol=1e-9)
+
+    def test_auto_learning_rate_is_stable(self, rng, exact_engine):
+        X = rng.normal(size=(50, 3)) * 10  # large scale
+        y = rng.normal(size=50)
+        ls = LeastSquaresGD(X, y, max_iter=200, tolerance=1e-12)
+        x = ls.initial_state()
+        f0 = ls.objective(x)
+        d = ls.direction(x, exact_engine)
+        x1 = ls.update(x, ls.step_size(x, d, 0), d, exact_engine)
+        assert ls.objective(x1) < f0  # no divergence on the first step
+
+    def test_ridge_shrinks_solution(self, rng):
+        X = rng.normal(size=(60, 4))
+        y = rng.normal(size=60)
+        free = LeastSquaresGD(X, y).solution()
+        ridged = LeastSquaresGD(X, y, ridge=5.0).solution()
+        assert np.linalg.norm(ridged) < np.linalg.norm(free)
+
+    def test_ridge_in_objective(self, rng):
+        X = rng.normal(size=(30, 3))
+        y = rng.normal(size=30)
+        w = rng.normal(size=3)
+        plain = LeastSquaresGD(X, y)
+        ridged = LeastSquaresGD(X, y, ridge=2.0)
+        assert ridged.objective(w) == pytest.approx(
+            plain.objective(w) + 1.0 * w @ w
+        )
+
+    def test_rejects_underdetermined(self, rng):
+        with pytest.raises(ValueError, match="samples"):
+            LeastSquaresGD(rng.normal(size=(3, 5)), np.zeros(3))
+
+    def test_rejects_negative_ridge(self, rng):
+        with pytest.raises(ValueError, match="ridge"):
+            LeastSquaresGD(rng.normal(size=(10, 2)), np.zeros(10), ridge=-1.0)

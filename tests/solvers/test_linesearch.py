@@ -1,0 +1,132 @@
+"""Tests for the Armijo backtracking line search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.functions import QuadraticFunction, RosenbrockFunction
+from repro.solvers.gradient_descent import GradientDescent
+from repro.solvers.linesearch import BacktrackingLineSearch
+
+
+@pytest.fixture()
+def quadratic():
+    return QuadraticFunction.random_spd(dim=5, seed=91, condition=25.0)
+
+
+class TestSearch:
+    def test_accepts_descent_step(self, quadratic, rng):
+        ls = BacktrackingLineSearch()
+        x = rng.normal(size=5)
+        g = quadratic.gradient(x)
+        alpha = ls.search(quadratic.value, x, -g, g)
+        assert alpha > 0
+        assert quadratic.value(x - alpha * g) < quadratic.value(x)
+
+    def test_sufficient_decrease_holds(self, quadratic, rng):
+        ls = BacktrackingLineSearch(c1=0.3)
+        x = rng.normal(size=5)
+        g = quadratic.gradient(x)
+        alpha = ls.search(quadratic.value, x, -g, g)
+        slope = float(g @ -g)
+        assert quadratic.value(x - alpha * g) <= (
+            quadratic.value(x) + 0.3 * alpha * slope + 1e-12
+        )
+
+    def test_non_descent_direction_returns_zero(self, quadratic, rng):
+        ls = BacktrackingLineSearch()
+        x = rng.normal(size=5)
+        g = quadratic.gradient(x)
+        assert ls.search(quadratic.value, x, g, g) == 0.0
+
+    def test_backtracks_on_steep_valley(self):
+        fn = RosenbrockFunction(dim=2)
+        ls = BacktrackingLineSearch(initial=1.0)
+        x = np.array([-1.2, 1.0])
+        g = fn.gradient(x)
+        alpha = ls.search(fn.value, x, -g, g)
+        # The full step overshoots badly on Rosenbrock; Armijo shrinks.
+        assert 0 < alpha < 1.0
+        assert fn.value(x - alpha * g) < fn.value(x)
+
+    def test_reuses_precomputed_objective(self, quadratic, rng):
+        ls = BacktrackingLineSearch()
+        x = rng.normal(size=5)
+        g = quadratic.gradient(x)
+        a = ls.search(quadratic.value, x, -g, g)
+        b = ls.search(quadratic.value, x, -g, g, f_x=quadratic.value(x))
+        assert a == b
+
+    @given(st.floats(min_value=-3.0, max_value=3.0), st.floats(-3.0, 3.0))
+    @settings(max_examples=100)
+    def test_always_decreases_on_quadratic(self, a, b):
+        fn = QuadraticFunction(np.diag([1.0, 4.0]), np.zeros(2))
+        x = np.array([a, b])
+        g = fn.gradient(x)
+        if np.linalg.norm(g) < 1e-9:
+            return
+        ls = BacktrackingLineSearch()
+        alpha = ls.search(fn.value, x, -g, g)
+        assert fn.value(x - alpha * g) < fn.value(x)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="initial"):
+            BacktrackingLineSearch(initial=0.0)
+        with pytest.raises(ValueError, match="shrink"):
+            BacktrackingLineSearch(shrink=1.0)
+        with pytest.raises(ValueError, match="c1"):
+            BacktrackingLineSearch(c1=0.0)
+        with pytest.raises(ValueError, match="max_backtracks"):
+            BacktrackingLineSearch(max_backtracks=0)
+
+
+class TestWithGradientDescent:
+    def test_line_searched_gd_converges_without_tuning(self, exact_engine):
+        """No learning-rate tuning: Armijo handles a condition number the
+        fixed default step would diverge on."""
+        fn = QuadraticFunction.random_spd(dim=6, seed=93, condition=400.0)
+        gd = GradientDescent(
+            fn,
+            x0=np.full(6, 2.0),
+            learning_rate=0.1,  # would diverge if used directly
+            line_search=BacktrackingLineSearch(),
+            max_iter=8000,
+            # The Q15.16 datapath floors the achievable gap near 1e-6;
+            # the tolerance must sit above per-step quantization jitter.
+            tolerance=1e-6,
+            convergence_kind="abs",
+        )
+        x = gd.initial_state()
+        f_prev = gd.objective(x)
+        converged = False
+        for k in range(gd.max_iter):
+            d = gd.direction(x, exact_engine)
+            x = gd.update(x, gd.step_size(x, d, k), d, exact_engine)
+            f_new = gd.objective(x)
+            if gd.converged(f_prev, f_new):
+                converged = True
+                break
+            f_prev = f_new
+        assert converged
+        assert np.allclose(x, fn.minimizer(), atol=0.05)
+
+    def test_works_under_framework(self, bank32):
+        from repro.core.framework import ApproxIt
+
+        fn = QuadraticFunction.random_spd(dim=4, seed=95, condition=50.0)
+        gd = GradientDescent(
+            fn,
+            x0=np.full(4, 1.5),
+            line_search=BacktrackingLineSearch(),
+            max_iter=4000,
+            tolerance=1e-10,
+            convergence_kind="abs",
+        )
+        fw = ApproxIt(gd, bank32)
+        truth = fw.run_truth()
+        run = fw.run(strategy="incremental")
+        assert run.converged
+        assert np.allclose(run.x, truth.x, atol=1e-2)
