@@ -1,0 +1,91 @@
+"""Vectorized adder kernels vs their bit-serial references.
+
+The headline number is the 32-bit ACA: the windowed-carry kernel must
+beat the per-bit reference loop by at least 5x on 1e5-element batches.
+The other families are timed with loose floors — their actual speedups
+are recorded in ``BENCH_perf.json``, and equivalence is always asserted
+on the benchmarked operands (the exhaustive width-8 proof lives in
+``tests/hardware/test_adder_equivalence.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.adders import AcaAdder, EtaIIAdder, GearAdder, LowerOrAdder
+from repro.hardware.adders import reference
+
+WIDTH = 32
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(2024)
+    a = rng.integers(0, 1 << WIDTH, size=N, dtype=np.int64)
+    b = rng.integers(0, 1 << WIDTH, size=N, dtype=np.int64)
+    return a, b
+
+
+def _measure(perf, name, adder, ref_fn, operands, floor):
+    a, b = operands
+    assert np.array_equal(adder.add_unsigned(a, b), ref_fn(a, b))
+    vec = perf.time(lambda: adder.add_unsigned(a, b), repeats=7)
+    ref = perf.time(lambda: ref_fn(a, b), repeats=3)
+    speedup = ref / vec
+    perf.record(
+        name,
+        elements=N,
+        width=WIDTH,
+        vectorized_s=round(vec, 6),
+        reference_s=round(ref, 6),
+        speedup=round(speedup, 2),
+    )
+    assert speedup >= floor, f"{name}: {speedup:.2f}x < required {floor}x"
+
+
+def test_aca_lookback4(perf, operands):
+    adder = AcaAdder(WIDTH, 4)
+    _measure(
+        perf,
+        "adders/aca32_k4",
+        adder,
+        lambda a, b: reference.aca_add(WIDTH, 4, a, b),
+        operands,
+        floor=5.0,
+    )
+
+
+def test_etaii_segment6(perf, operands):
+    adder = EtaIIAdder(WIDTH, 6)
+    _measure(
+        perf,
+        "adders/etaii32_s6",
+        adder,
+        lambda a, b: reference.etaii_add(WIDTH, 6, a, b),
+        operands,
+        floor=1.2,
+    )
+
+
+def test_gear_r4p4(perf, operands):
+    adder = GearAdder(WIDTH, 4, 4)
+    _measure(
+        perf,
+        "adders/gear32_r4p4",
+        adder,
+        lambda a, b: reference.gear_add(WIDTH, 4, 4, a, b),
+        operands,
+        floor=1.2,
+    )
+
+
+def test_loa_k8(perf, operands):
+    adder = LowerOrAdder(WIDTH, 8)
+    _measure(
+        perf,
+        "adders/loa32_k8",
+        adder,
+        lambda a, b: reference.loa_add(WIDTH, 8, a, b),
+        operands,
+        floor=1.2,
+    )

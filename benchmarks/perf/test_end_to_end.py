@@ -1,0 +1,51 @@
+"""End-to-end ApproxIt run: fast path vs pre-residency execution.
+
+One Jacobi system under the incremental strategy, executed twice — once
+with ``ApproxEngine.default_fast_path`` on (the shipped configuration)
+and once off (the literal pre-optimization engine).  The runs must be
+*identical* in result and energy; only the wall clock may differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith.engine import ApproxEngine
+from repro.core.framework import ApproxIt
+from repro.solvers.linear import JacobiSolver
+
+
+def _run_incremental():
+    rng = np.random.default_rng(17)
+    n = 80
+    matrix = rng.uniform(-1.0, 1.0, size=(n, n))
+    matrix += np.diag(np.abs(matrix).sum(axis=1) + 1.0)
+    rhs = rng.uniform(-5.0, 5.0, size=n)
+    framework = ApproxIt(JacobiSolver(matrix, rhs, max_iter=120))
+    return framework.run(strategy="incremental")
+
+
+def test_incremental_jacobi_fast_vs_legacy(perf):
+    saved = ApproxEngine.default_fast_path
+    try:
+        ApproxEngine.default_fast_path = True
+        fast_run = _run_incremental()
+        t_fast = perf.time(_run_incremental, repeats=3)
+        ApproxEngine.default_fast_path = False
+        legacy_run = _run_incremental()
+        t_legacy = perf.time(_run_incremental, repeats=3)
+    finally:
+        ApproxEngine.default_fast_path = saved
+
+    np.testing.assert_array_equal(fast_run.x, legacy_run.x)
+    assert fast_run.iterations == legacy_run.iterations
+    assert fast_run.energy == pytest.approx(legacy_run.energy)
+
+    speedup = t_legacy / t_fast
+    perf.record(
+        "e2e/jacobi80_incremental",
+        iterations=fast_run.iterations,
+        fast_s=round(t_fast, 4),
+        legacy_s=round(t_legacy, 4),
+        speedup=round(speedup, 2),
+    )
+    assert speedup > 1.0

@@ -9,12 +9,14 @@ methods in :mod:`repro.solvers` / :mod:`repro.apps`:
 * :class:`ApproxEngine` — executes additions, reductions, dot products
   and matrix-vector products *through* a chosen adder model, charging
   every elementary addition to an :class:`EnergyLedger`;
+* :class:`ResidentVector` — fixed-point words kept resident between
+  chained engine kernels (pass ``resident=True`` to any kernel);
 * :mod:`repro.arith.modes` — the quality-configurable mode registry
   (``level1`` .. ``level4`` + ``accurate``) mirroring the paper's
   experimental platform.
 """
 
-from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.engine import ApproxEngine, EnergyLedger, ResidentVector
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ApproxMode, ModeBank, default_mode_bank
 
@@ -24,5 +26,6 @@ __all__ = [
     "EnergyLedger",
     "FixedPointFormat",
     "ModeBank",
+    "ResidentVector",
     "default_mode_bank",
 ]

@@ -16,6 +16,21 @@ dot-product / matrix-vector kernels below therefore approximate the
 Reductions use a balanced binary tree, mirroring a hardware adder-tree
 reduction unit; ``n`` summands cost exactly ``n - 1`` elementary
 additions per output lane regardless of tree shape.
+
+Fixed-point residency
+---------------------
+Every public kernel accepts a ``resident=True`` keyword to return a
+:class:`ResidentVector` — the raw fixed-point words plus their format —
+instead of decoded floats, and accepts :class:`ResidentVector` operands
+wherever it accepts float arrays.  Chained kernels (``sub(rhs,
+matvec(A, x, resident=True))`` and friends) then encode once on entry
+and decode once on exit instead of round-tripping through floats at
+every step.  Because ``encode(decode(w)) == w`` for every representable
+word at the supported widths, residency changes *no results and no
+energy accounting* — it only removes redundant conversions.  Setting
+``fast_path=False`` (or flipping :attr:`ApproxEngine.default_fast_path`)
+restores the literal pre-residency execution, which the perf benchmarks
+use as their baseline.
 """
 
 from __future__ import annotations
@@ -26,6 +41,59 @@ import numpy as np
 
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ApproxMode
+from repro.hardware import bitops
+
+
+class ResidentVector:
+    """Fixed-point words kept resident in the datapath between kernels.
+
+    A thin, immutable-by-convention wrapper pairing an ``int64`` word
+    array with the :class:`~repro.arith.fixed.FixedPointFormat` it is
+    encoded in.  Engines hand these out when a kernel is called with
+    ``resident=True`` and accept them as operands, skipping the
+    decode/encode round-trip between chained operations.
+
+    Attributes:
+        words: the fixed-point words (``int64``, any shape).
+        fmt: the format the words are encoded in.
+    """
+
+    __slots__ = ("words", "fmt", "_bounds")
+
+    def __init__(
+        self,
+        words: np.ndarray,
+        fmt: FixedPointFormat,
+        bounds: tuple[int, int] | None = None,
+    ):
+        self.words = np.asarray(words, dtype=np.int64)
+        self.fmt = fmt
+        self._bounds = bounds
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.words.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.words.size)
+
+    def bounds(self) -> tuple[int, int] | None:
+        """Cached ``(min, max)`` of the words; ``None`` when empty."""
+        if self._bounds is None and self.words.size:
+            self._bounds = (int(self.words.min()), int(self.words.max()))
+        return self._bounds
+
+    def decode(self) -> np.ndarray:
+        """The float values these words represent."""
+        return self.fmt.decode(self.words)
+
+    def __array__(self, dtype=None, copy=None):
+        decoded = self.decode()
+        return decoded if dtype is None else decoded.astype(dtype)
+
+    def __repr__(self) -> str:
+        return f"ResidentVector(shape={self.words.shape}, fmt={self.fmt.describe()})"
 
 
 @dataclass
@@ -91,7 +159,18 @@ class ApproxEngine:
             approximation propagates into products, as in silicon)
             instead of exact float multiplication.  Off by default —
             the paper's platform approximates adders only.
+        fast_path: enables fixed-point residency and the saturation
+            range precheck.  ``None`` (default) takes
+            :attr:`default_fast_path`.  ``False`` reproduces the
+            pre-residency execution exactly: every saturating add
+            recomputes the true sum, reductions concatenate per level,
+            and ``resident=True`` requests still return floats.
     """
+
+    #: Class-wide default for ``fast_path`` — flipped to ``False`` by the
+    #: perf benchmarks to measure the legacy execution on otherwise
+    #: identical code paths.
+    default_fast_path: bool = True
 
     def __init__(
         self,
@@ -99,6 +178,7 @@ class ApproxEngine:
         fmt: FixedPointFormat,
         ledger: EnergyLedger | None = None,
         approximate_multiplier: bool = False,
+        fast_path: bool | None = None,
     ):
         if mode.adder.width != fmt.width:
             raise ValueError(
@@ -108,23 +188,91 @@ class ApproxEngine:
         self.fmt = fmt
         self.ledger = ledger if ledger is not None else EnergyLedger()
         self.approximate_multiplier = bool(approximate_multiplier)
+        self.fast_path = (
+            self.default_fast_path if fast_path is None else bool(fast_path)
+        )
+        self._signed_lo, self._signed_hi = bitops.signed_range(fmt.width)
         self._multiplier = None
         self._mul_energy = None
 
     # ------------------------------------------------------------------
     # Elementary fixed-point plumbing
     # ------------------------------------------------------------------
-    def _add_words(self, qa: np.ndarray, qb: np.ndarray) -> np.ndarray:
+    def _coerce(self, x) -> tuple[np.ndarray, tuple[int, int] | None]:
+        """Operand → ``(words, bounds)``; floats are encoded, residents
+        are taken as-is (their cached bounds ride along)."""
+        if isinstance(x, ResidentVector):
+            self._check_fmt(x)
+            return x.words, x.bounds()
+        return self.fmt.encode(np.asarray(x, dtype=np.float64)), None
+
+    def _check_fmt(self, rv: ResidentVector) -> None:
+        if rv.fmt != self.fmt:
+            raise ValueError(
+                f"resident vector format {rv.fmt.describe()} does not match "
+                f"engine format {self.fmt.describe()}"
+            )
+
+    def _to_float(self, x) -> np.ndarray:
+        """Operand → float array (decoding residents)."""
+        if isinstance(x, ResidentVector):
+            self._check_fmt(x)
+            return x.decode()
+        return np.asarray(x, dtype=np.float64)
+
+    def _emit(self, words: np.ndarray, resident: bool):
+        """Kernel output: resident words on request (fast path only),
+        decoded floats otherwise."""
+        if resident and self.fast_path:
+            return ResidentVector(words, self.fmt)
+        return self.fmt.decode(words)
+
+    def _saturation_needed(
+        self,
+        qa: np.ndarray,
+        qb: np.ndarray,
+        bounds_a: tuple[int, int] | None,
+        bounds_b: tuple[int, int] | None,
+    ) -> bool:
+        """Whether the saturating output stage must recompute true sums.
+
+        On the fast path a cheap range precheck (operand min/max, cached
+        on residents) proves most adds cannot leave the representable
+        range, skipping the int64 true-sum recompute entirely.  With
+        ``fast_path=False`` this always answers ``True``, reproducing
+        the unconditional pre-residency recompute.
+        """
+        if not self.fast_path:
+            return True
+        if qa.size == 0 or qb.size == 0:
+            return False
+        if bounds_a is None:
+            bounds_a = (int(qa.min()), int(qa.max()))
+        if bounds_b is None:
+            bounds_b = (int(qb.min()), int(qb.max()))
+        return (
+            bounds_a[0] + bounds_b[0] < self._signed_lo
+            or bounds_a[1] + bounds_b[1] > self._signed_hi
+        )
+
+    def _add_words(
+        self,
+        qa: np.ndarray,
+        qb: np.ndarray,
+        bounds_a: tuple[int, int] | None = None,
+        bounds_b: tuple[int, int] | None = None,
+    ) -> np.ndarray:
         """Add fixed-point words through the mode's adder, with overflow
         handling and energy charging."""
         out = self.mode.adder.add_signed(qa, qb)
-        if self.fmt.overflow == "saturate":
+        if self.fmt.overflow == "saturate" and self._saturation_needed(
+            qa, qb, bounds_a, bounds_b
+        ):
             # A saturating output stage: when the *true* sum leaves the
             # representable range, clamp instead of trusting the wrapped
             # (sign-flipped) approximate word.
             true = qa.astype(np.int64) + qb.astype(np.int64)
-            lo = -(1 << (self.fmt.width - 1))
-            hi = (1 << (self.fmt.width - 1)) - 1
+            lo, hi = self._signed_lo, self._signed_hi
             overflowed = (true < lo) | (true > hi)
             if np.any(overflowed):
                 out = np.where(overflowed, np.clip(true, lo, hi), out)
@@ -133,7 +281,53 @@ class ApproxEngine:
         return out
 
     def _reduce_words(self, q: np.ndarray) -> np.ndarray:
-        """Balanced-tree reduction of axis 0 down to a single slice."""
+        """Balanced-tree reduction of axis 0 down to a single slice.
+
+        The fast path folds the tree inside one preallocated buffer (no
+        per-level ``np.concatenate``); the legacy layout is kept in
+        :meth:`_reduce_words_concat`.  Both walk the *same* tree — the
+        identical sequence of :meth:`_add_words` calls in the identical
+        order — so results and the exact ``n - 1`` adds-per-lane energy
+        accounting are unchanged.
+        """
+        if not self.fast_path:
+            return self._reduce_words_concat(q)
+        cur = np.asarray(q, dtype=np.int64)
+        n = cur.shape[0]
+        saturating = self.fmt.overflow == "saturate"
+        # One min/max over the level bounds both operand halves for the
+        # saturation precheck; carried forward level to level.
+        bounds = None
+        if saturating and cur.size and n > 1:
+            bounds = (int(cur.min()), int(cur.max()))
+        buf = None  # allocated only if an odd level needs the tail moved
+        while n > 1:
+            half = n // 2
+            folded = self._add_words(
+                cur[:half], cur[half : 2 * half], bounds_a=bounds, bounds_b=bounds
+            )
+            if n % 2:
+                if buf is None:
+                    buf = np.empty_like(cur, shape=cur.shape)
+                nxt = buf[: half + 1]
+                # Tail first: buf may alias cur after an earlier odd
+                # level, and index 2*half sits above every write here.
+                nxt[half] = cur[2 * half]
+                nxt[:half] = folded
+                cur = nxt
+                n = half + 1
+            else:
+                cur = folded
+                n = half
+            if bounds is not None and n > 1:
+                bounds = (int(cur[:n].min()), int(cur[:n].max()))
+        return cur[0]
+
+    def _reduce_words_concat(self, q: np.ndarray) -> np.ndarray:
+        """Pre-residency reduction layout: concatenate the folded half
+        with the odd tail at every level.  Retained as the benchmark
+        baseline and as an oracle for the fast layout's regression
+        tests."""
         while q.shape[0] > 1:
             n = q.shape[0]
             half = n // 2
@@ -145,84 +339,106 @@ class ApproxEngine:
         return q[0]
 
     # ------------------------------------------------------------------
-    # Public float-in / float-out kernels
+    # Public kernels: floats in/out by default, fixed-point-resident
+    # operands and outputs on request
     # ------------------------------------------------------------------
-    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def add(self, a, b, *, resident: bool = False):
         """Elementwise ``a + b`` through the approximate datapath."""
-        qa = self.fmt.encode(np.asarray(a, dtype=np.float64))
-        qb = self.fmt.encode(np.asarray(b, dtype=np.float64))
+        qa, bounds_a = self._coerce(a)
+        qb, bounds_b = self._coerce(b)
         qa, qb = np.broadcast_arrays(qa, qb)
-        return self.fmt.decode(self._add_words(qa, qb))
+        out = self._add_words(qa, qb, bounds_a=bounds_a, bounds_b=bounds_b)
+        return self._emit(out, resident)
 
-    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def sub(self, a, b, *, resident: bool = False):
         """Elementwise ``a - b`` (negation is free in two's complement)."""
-        return self.add(a, -np.asarray(b, dtype=np.float64))
+        if isinstance(b, ResidentVector):
+            self._check_fmt(b)
+            neg = self.fmt.handle_overflow(-b.words)
+            bounds = b.bounds()
+            if bounds is not None and bounds[0] > self._signed_lo:
+                # Negation flips the range; only the most-negative word
+                # needs the overflow policy, so bounds stay exact here.
+                bounds = (-bounds[1], -bounds[0])
+            else:
+                bounds = None
+            return self.add(
+                a, ResidentVector(neg, self.fmt, bounds), resident=resident
+            )
+        return self.add(a, -np.asarray(b, dtype=np.float64), resident=resident)
 
-    def scale_add(self, x: np.ndarray, alpha: float, d: np.ndarray) -> np.ndarray:
+    def scale_add(self, x, alpha: float, d, *, resident: bool = False):
         """The iterative-method update rule ``x + alpha * d`` (Eq. 2).
 
         The scaling multiply is exact (float); the update addition runs
         on the approximate adder — precisely the paper's "update error"
         injection point.
         """
-        return self.add(x, alpha * np.asarray(d, dtype=np.float64))
+        return self.add(x, alpha * self._to_float(d), resident=resident)
 
-    def sum(self, x: np.ndarray, axis: int | None = None) -> np.ndarray | float:
-        """Tree-reduce ``x`` along ``axis`` (flattened when ``None``)."""
-        arr = np.asarray(x, dtype=np.float64)
+    def sum(self, x, axis: int | None = None, *, resident: bool = False):
+        """Tree-reduce ``x`` along ``axis`` (flattened when ``None``).
+
+        Scalar reductions (``axis=None``) always return a float.
+        """
         scalar = axis is None
+        if isinstance(x, ResidentVector):
+            self._check_fmt(x)
+            q = x.words
+        else:
+            q = self.fmt.encode(np.asarray(x, dtype=np.float64))
         if scalar:
-            arr = arr.reshape(-1)
+            q = q.reshape(-1)
             axis = 0
-        if arr.shape[axis] == 0:
-            out = np.zeros(np.delete(arr.shape, axis))
-            return float(out) if scalar else out
-        moved = np.moveaxis(arr, axis, 0)
-        q = self.fmt.encode(moved)
-        reduced = self.fmt.decode(self._reduce_words(q))
-        return float(reduced) if scalar else reduced
+        if q.shape[axis] == 0:
+            out = np.zeros(np.delete(q.shape, axis))
+            return float(out) if scalar else self._emit(self.fmt.encode(out), resident)
+        reduced = self._reduce_words(np.moveaxis(q, axis, 0))
+        if scalar:
+            return float(self.fmt.decode(reduced))
+        return self._emit(reduced, resident)
 
-    def mean(self, x: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+    def mean(self, x, axis: int | None = None) -> np.ndarray | float:
         """Approximate-sum mean (the division is exact float)."""
-        arr = np.asarray(x, dtype=np.float64)
+        arr = self._to_float(x)
         count = arr.size if axis is None else arr.shape[axis]
         if count == 0:
             raise ValueError("mean of an empty axis")
         return self.sum(arr, axis=axis) / count
 
-    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+    def dot(self, a, b) -> float:
         """Inner product: exact elementwise products, approximate
         accumulation."""
-        a = np.asarray(a, dtype=np.float64).reshape(-1)
-        b = np.asarray(b, dtype=np.float64).reshape(-1)
+        a = self._to_float(a).reshape(-1)
+        b = self._to_float(b).reshape(-1)
         if a.shape != b.shape:
             raise ValueError(f"dot shape mismatch: {a.shape} vs {b.shape}")
         return float(self.sum(a * b))
 
-    def matvec(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    def matvec(self, matrix, vector, *, resident: bool = False):
         """``matrix @ vector`` with approximate row accumulation."""
         matrix = np.asarray(matrix, dtype=np.float64)
-        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        vector = self._to_float(vector).reshape(-1)
         if matrix.ndim != 2 or matrix.shape[1] != vector.shape[0]:
             raise ValueError(
                 f"matvec shape mismatch: {matrix.shape} vs {vector.shape}"
             )
-        return self.sum(matrix * vector[np.newaxis, :], axis=1)
+        return self.sum(matrix * vector[np.newaxis, :], axis=1, resident=resident)
 
-    def weighted_sum(self, weights: np.ndarray, points: np.ndarray) -> np.ndarray:
+    def weighted_sum(self, weights, points, *, resident: bool = False):
         """``sum_i weights[i] * points[i]`` over rows of ``points``.
 
         This is the M-step kernel of GMM/K-means mean updates — the
         computation the paper marks as the adder-impact site ("Mean
         Value" in Table 2).
         """
-        weights = np.asarray(weights, dtype=np.float64).reshape(-1)
-        points = np.asarray(points, dtype=np.float64)
+        weights = self._to_float(weights).reshape(-1)
+        points = self._to_float(points)
         if points.shape[0] != weights.shape[0]:
             raise ValueError(
                 f"weighted_sum shape mismatch: {weights.shape} vs {points.shape}"
             )
-        return self.sum(weights[:, np.newaxis] * points, axis=0)
+        return self.sum(weights[:, np.newaxis] * points, axis=0, resident=resident)
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise product.

@@ -16,6 +16,8 @@ Beyond the paper's artifacts::
     approxit resilience --dataset 3cluster     # §3.1 block analysis
 
 ``--out PATH`` writes the report to a file instead of stdout.
+``--parallel N`` prewarms the experiment matrix over ``N`` worker
+processes (``0`` = all cores) before rendering table3/table4/figure4/all.
 """
 
 from __future__ import annotations
@@ -65,9 +67,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="for run: also persist the run as JSON to this path",
     )
     parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan experiment sweep cells out over N worker processes "
+        "before rendering (table3/table4/figure4/all; 0 = all cores)",
+    )
+    parser.add_argument(
         "--out", default=None, help="write the report to this file instead of stdout"
     )
     return parser
+
+
+#: Artifacts whose underlying experiment matrix can be prewarmed in
+#: parallel before the (serial, cache-hitting) rendering pass.
+_PARALLEL_ARTIFACTS = {
+    "table3": ("3cluster", "3d3cluster", "4cluster"),
+    "figure4": None,  # all datasets
+    "table4": ("hangseng", "nasdaq", "sp500"),
+    "all": None,
+}
+
+
+def _prewarm(artifact: str, workers: int) -> None:
+    from repro.experiments.runner import run_experiments_parallel
+
+    if artifact not in _PARALLEL_ARTIFACTS:
+        return
+    run_experiments_parallel(
+        dataset_keys=_PARALLEL_ARTIFACTS[artifact],
+        max_workers=workers if workers > 0 else None,
+    )
 
 
 def _generate(
@@ -219,6 +250,8 @@ def _run_report(dataset_key: str, strategy: str, save: str | None) -> str:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.parallel is not None:
+        _prewarm(args.artifact, args.parallel)
     report = _generate(args.artifact, args.dataset, args.strategy, args.save)
     if args.out:
         with open(args.out, "w") as handle:

@@ -1,0 +1,63 @@
+"""Process-pool fan-out with a serial fallback.
+
+Experiment sweep cells (one ``(dataset, run-label)`` pair each) are
+independent and CPU-bound, so they parallelize across processes with no
+shared state.  :func:`process_map` is the one primitive the runners use:
+it behaves exactly like ``[fn(item) for item in items]`` — same results,
+same ordering, same exceptions — but fans the calls out over a
+``concurrent.futures.ProcessPoolExecutor`` when one is available and
+worth spinning up.  Sandboxed or single-core environments silently fall
+back to the serial loop, so callers never need to care which one ran.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not pin one (all cores)."""
+    return os.cpu_count() or 1
+
+
+def process_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    max_workers: int | None = None,
+) -> list[_R]:
+    """``[fn(item) for item in items]``, fanned out over processes.
+
+    Args:
+        fn: a module-level (picklable) callable.
+        items: the work list; results come back in the same order.
+        max_workers: pool size; ``None`` uses :func:`default_workers`,
+            and values ``<= 1`` (or a single-item work list) run serially
+            without touching multiprocessing at all.
+
+    Exceptions raised by ``fn`` propagate to the caller either way.  A
+    pool that cannot be created or dies for environmental reasons (fork
+    restrictions, resource limits) triggers a warning and a serial
+    retry — the computation still completes.
+    """
+    work: Sequence[_T] = list(items)
+    if max_workers is None:
+        max_workers = default_workers()
+    if max_workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(work))) as pool:
+            return list(pool.map(fn, work))
+    except (BrokenProcessPool, OSError, PermissionError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in work]

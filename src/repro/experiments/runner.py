@@ -6,20 +6,26 @@ online-reconfiguration runs (Table 3(b)/4(b)), with QEM and normalized
 energy computed against the Truth — the exact quantities the paper's
 tables print.  Results are memoized per process so that e.g. Figure 4
 reuses Table 3's runs instead of recomputing them.
+
+The experiment matrix is embarrassingly parallel: every ``(dataset,
+run-label)`` sweep cell is an independent, deterministic computation.
+:func:`run_experiment_cells` / :func:`run_experiments_parallel` fan the
+cells out over a process pool (:mod:`repro.experiments.parallel`) and
+seed the per-process memo caches with the assembled results, so the
+serial table/figure code downstream reuses them transparently.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from functools import lru_cache
-
-import numpy as np
 
 from repro.apps.autoregression import AutoRegression
 from repro.apps.gmm import GaussianMixtureEM
 from repro.apps.qem import cluster_assignment_hamming, weight_l2_error
 from repro.core.framework import ApproxIt, RunResult
 from repro.data.registry import DATASETS, load_dataset
+from repro.experiments.parallel import process_map
 
 #: Single-mode configurations of the first experiment, ladder order.
 SINGLE_MODES = ("level1", "level2", "level3", "level4")
@@ -30,6 +36,35 @@ ONLINE_STRATEGIES = ("incremental", "adaptive")
 GMM_DATASETS = ("3cluster", "3d3cluster", "4cluster")
 #: Keys of the AR datasets, Table 4 row order.
 AR_DATASETS = ("hangseng", "nasdaq", "sp500")
+
+#: Every run of one experiment cell's matrix, in serial execution order.
+CELL_LABELS = ("truth", *SINGLE_MODES, *ONLINE_STRATEGIES)
+
+
+def _memoized(fn):
+    """Per-process memo keyed on the single positional argument.
+
+    Like ``functools.lru_cache(maxsize=None)`` but with a seedable cache
+    so parallel runs can deposit precomputed results:
+
+    * ``fn.cache_clear()`` — drop everything (test isolation);
+    * ``fn.cache_seed(key, value)`` — install a result as if ``fn(key)``
+      had been called.
+    """
+    cache: dict = {}
+
+    @functools.wraps(fn)
+    def wrapper(key):
+        if key not in cache:
+            cache[key] = fn(key)
+        return cache[key]
+
+    def cache_seed(key, value):
+        cache[key] = value
+
+    wrapper.cache_clear = cache.clear
+    wrapper.cache_seed = cache_seed
+    return wrapper
 
 
 @dataclass
@@ -76,76 +111,103 @@ class ApplicationResult:
         return (1.0 - self.energy_of(label)) * 100.0
 
 
-def _run_all(framework: ApproxIt, qem_fn) -> tuple[RunResult, dict, dict, dict]:
-    truth = framework.run_truth()
-    single = {}
-    online = {}
-    qem = {"truth": 0.0}
-    for mode in SINGLE_MODES:
-        run = framework.run(strategy=f"static:{mode}")
-        single[mode] = run
-        qem[mode] = qem_fn(run, truth)
-    for strategy in ONLINE_STRATEGIES:
-        run = framework.run(strategy=strategy)
-        online[strategy] = run
-        qem[strategy] = qem_fn(run, truth)
-    return truth, single, online, qem
-
-
-@lru_cache(maxsize=None)
-def run_gmm_experiment(dataset_key: str) -> ApplicationResult:
-    """Run the full GMM experiment matrix on one Table-2 dataset."""
+def _build_framework(dataset_key: str) -> tuple[ApproxIt, object]:
+    """Construct the framework (and its method) for one dataset."""
     spec = DATASETS[dataset_key]
-    if spec.application != "gmm":
-        raise ValueError(f"{dataset_key!r} is not a GMM dataset")
     dataset = load_dataset(dataset_key)
-    method = GaussianMixtureEM.from_dataset(dataset)
-    framework = ApproxIt(method)
+    if spec.application == "gmm":
+        method = GaussianMixtureEM.from_dataset(dataset)
+    else:
+        method = AutoRegression.from_dataset(dataset)
+    return ApproxIt(method), method
 
-    def qem_fn(run: RunResult, truth: RunResult) -> float:
-        return float(
-            cluster_assignment_hamming(
-                method.assignments(run.x),
-                method.assignments(truth.x),
-                method.n_clusters,
+
+def _qem_fn(dataset_key: str, method):
+    """The dataset's quality-error metric against a Truth run."""
+    if DATASETS[dataset_key].application == "gmm":
+
+        def qem_fn(run: RunResult, truth: RunResult) -> float:
+            return float(
+                cluster_assignment_hamming(
+                    method.assignments(run.x),
+                    method.assignments(truth.x),
+                    method.n_clusters,
+                )
             )
-        )
 
-    truth, single, online, qem = _run_all(framework, qem_fn)
-    return ApplicationResult(
-        dataset_key=dataset_key,
-        display_name=spec.display_name,
-        truth=truth,
-        single_mode=single,
-        online=online,
-        qem=qem,
-        framework=framework,
-    )
-
-
-@lru_cache(maxsize=None)
-def run_ar_experiment(dataset_key: str) -> ApplicationResult:
-    """Run the full AutoRegression experiment matrix on one dataset."""
-    spec = DATASETS[dataset_key]
-    if spec.application != "autoregression":
-        raise ValueError(f"{dataset_key!r} is not an AR dataset")
-    dataset = load_dataset(dataset_key)
-    method = AutoRegression.from_dataset(dataset)
-    framework = ApproxIt(method)
+        return qem_fn
 
     def qem_fn(run: RunResult, truth: RunResult) -> float:
         return weight_l2_error(run.x, truth.x)
 
-    truth, single, online, qem = _run_all(framework, qem_fn)
+    return qem_fn
+
+
+def _run_cell(framework: ApproxIt, label: str) -> RunResult:
+    """Execute one sweep cell (a single run) on a framework."""
+    if label == "truth":
+        return framework.run_truth()
+    if label in SINGLE_MODES:
+        return framework.run(strategy=f"static:{label}")
+    if label in ONLINE_STRATEGIES:
+        return framework.run(strategy=label)
+    raise KeyError(f"unknown cell label {label!r}; known: {CELL_LABELS}")
+
+
+def _cell_worker(cell: tuple[str, str]) -> tuple[str, str, RunResult]:
+    """Process-pool entry point: run one ``(dataset, label)`` cell.
+
+    Every worker rebuilds the framework from the dataset registry —
+    methods are deterministic (fresh, seeded RNGs per call), so a cell
+    run in a fresh process is bit-identical to the same cell run
+    serially on a shared framework.
+    """
+    dataset_key, label = cell
+    framework, _ = _build_framework(dataset_key)
+    return dataset_key, label, _run_cell(framework, label)
+
+
+def _assemble(dataset_key: str, runs: dict[str, RunResult]) -> ApplicationResult:
+    """Bundle one dataset's cell runs into an :class:`ApplicationResult`."""
+    spec = DATASETS[dataset_key]
+    framework, method = _build_framework(dataset_key)
+    qem_fn = _qem_fn(dataset_key, method)
+    truth = runs["truth"]
+    qem = {"truth": 0.0}
+    for label in (*SINGLE_MODES, *ONLINE_STRATEGIES):
+        qem[label] = qem_fn(runs[label], truth)
     return ApplicationResult(
         dataset_key=dataset_key,
         display_name=spec.display_name,
         truth=truth,
-        single_mode=single,
-        online=online,
+        single_mode={m: runs[m] for m in SINGLE_MODES},
+        online={s: runs[s] for s in ONLINE_STRATEGIES},
         qem=qem,
         framework=framework,
     )
+
+
+def _run_matrix(dataset_key: str) -> ApplicationResult:
+    """Serial execution of one dataset's full experiment matrix."""
+    framework, _ = _build_framework(dataset_key)
+    runs = {label: _run_cell(framework, label) for label in CELL_LABELS}
+    return _assemble(dataset_key, runs)
+
+
+@_memoized
+def run_gmm_experiment(dataset_key: str) -> ApplicationResult:
+    """Run the full GMM experiment matrix on one Table-2 dataset."""
+    if DATASETS[dataset_key].application != "gmm":
+        raise ValueError(f"{dataset_key!r} is not a GMM dataset")
+    return _run_matrix(dataset_key)
+
+
+@_memoized
+def run_ar_experiment(dataset_key: str) -> ApplicationResult:
+    """Run the full AutoRegression experiment matrix on one dataset."""
+    if DATASETS[dataset_key].application != "autoregression":
+        raise ValueError(f"{dataset_key!r} is not an AR dataset")
+    return _run_matrix(dataset_key)
 
 
 def run_experiment(dataset_key: str) -> ApplicationResult:
@@ -154,6 +216,61 @@ def run_experiment(dataset_key: str) -> ApplicationResult:
     if spec.application == "gmm":
         return run_gmm_experiment(dataset_key)
     return run_ar_experiment(dataset_key)
+
+
+def _seed_cache(dataset_key: str, result: ApplicationResult) -> None:
+    if DATASETS[dataset_key].application == "gmm":
+        run_gmm_experiment.cache_seed(dataset_key, result)
+    else:
+        run_ar_experiment.cache_seed(dataset_key, result)
+
+
+def run_experiment_cells(
+    dataset_key: str, max_workers: int | None = None
+) -> ApplicationResult:
+    """One dataset's experiment matrix, sweep cells fanned out.
+
+    Equivalent to :func:`run_experiment` — cell runs are deterministic —
+    but the seven runs (truth, four static modes, two online strategies)
+    execute concurrently across processes.  The assembled result is
+    seeded into the memo cache for downstream reuse.
+    """
+    cells = [(dataset_key, label) for label in CELL_LABELS]
+    rows = process_map(_cell_worker, cells, max_workers=max_workers)
+    result = _assemble(dataset_key, {label: run for _, label, run in rows})
+    _seed_cache(dataset_key, result)
+    return result
+
+
+def run_experiments_parallel(
+    dataset_keys: tuple[str, ...] | None = None,
+    max_workers: int | None = None,
+) -> dict[str, ApplicationResult]:
+    """Fan the whole (dataset × run-label) sweep out over a process pool.
+
+    Args:
+        dataset_keys: datasets to run; all six paper datasets when
+            ``None``.
+        max_workers: pool size (``None`` = all cores; ``<= 1`` = serial).
+
+    Returns:
+        ``dataset_key -> ApplicationResult`` for every requested key,
+        with the per-process memo caches seeded so that the serial
+        table/figure generators reuse these runs.
+    """
+    if dataset_keys is None:
+        dataset_keys = (*GMM_DATASETS, *AR_DATASETS)
+    cells = [(key, label) for key in dataset_keys for label in CELL_LABELS]
+    rows = process_map(_cell_worker, cells, max_workers=max_workers)
+    by_key: dict[str, dict[str, RunResult]] = {}
+    for key, label, run in rows:
+        by_key.setdefault(key, {})[label] = run
+    results = {}
+    for key in dataset_keys:
+        result = _assemble(key, by_key[key])
+        _seed_cache(key, result)
+        results[key] = result
+    return results
 
 
 def iteration_cell(run: RunResult) -> str:

@@ -34,25 +34,19 @@ class AcaAdder(AdderModel):
         if lookback_bits < 1:
             raise ValueError(f"lookback_bits must be >= 1, got {lookback_bits}")
         self.lookback_bits = int(lookback_bits)
+        if self.lookback_bits < self.width - 1:
+            # Carry into bit i is speculated from [i - lookback, i).
+            self._carry_masks = bitops.windowed_carry_masks(
+                [max(0, i - self.lookback_bits) for i in range(self.width)]
+            )
 
     def add_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
         if self.lookback_bits >= self.width - 1:
             return self.exact_sum(a, b)
-
-        k = self.lookback_bits
-        result = np.zeros_like(a)
-        for i in range(self.width):
-            lo = max(0, i - k)
-            window = i - lo  # number of look-back bits actually available
-            # Carry into bit i from the windowed sub-addition.
-            wa = bitops.extract_field(a, lo, window)
-            wb = bitops.extract_field(b, lo, window)
-            carry = (wa + wb) >> np.int64(window) if window else np.zeros_like(a)
-            s = bitops.get_bit(a, i) + bitops.get_bit(b, i) + carry
-            result |= (s & np.int64(1)) << np.int64(i)
-        return result
+        # Bit-parallel: all windowed carries at once, O(lookback) vector
+        # ops per batch (see bitops.windowed_carry_add; the bit-serial
+        # formulation lives in repro.hardware.adders.reference).
+        return bitops.windowed_carry_add(a, b, self.width, self._carry_masks)
 
     def cell_inventory(self) -> Counter:
         if self.lookback_bits >= self.width - 1:

@@ -38,6 +38,8 @@ class EtaIIAdder(AdderModel):
         if segment_bits < 1:
             raise ValueError(f"segment_bits must be >= 1, got {segment_bits}")
         self.segment_bits = int(segment_bits)
+        if self.segment_bits < self.width:
+            self._top_mask = bitops.segment_top_mask(self.width, self._segments())
 
     def _segments(self) -> list[tuple[int, int]]:
         """``(lo, length)`` of each segment, LSB segment first."""
@@ -49,23 +51,12 @@ class EtaIIAdder(AdderModel):
         return spans
 
     def add_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
         if self.segment_bits >= self.width:
             return self.exact_sum(a, b)
-
-        result = np.zeros_like(a)
-        carry = np.zeros_like(a)
-        for lo, length in self._segments():
-            seg_a = bitops.extract_field(a, lo, length)
-            seg_b = bitops.extract_field(b, lo, length)
-            seg_sum = seg_a + seg_b + carry
-            seg_mask = np.int64((1 << length) - 1)
-            result |= (seg_sum & seg_mask) << np.int64(lo)
-            # Speculated carry into the *next* segment: carry-out of this
-            # segment computed without its own incoming carry.
-            carry = (seg_a + seg_b) >> np.int64(length)
-        return result
+        # All segments at once via the SWAR kernel: constant vector-op
+        # count regardless of segment count (the segment-serial
+        # formulation lives in repro.hardware.adders.reference).
+        return bitops.segmented_speculative_add(a, b, self.width, self._top_mask)
 
     def cell_inventory(self) -> Counter:
         if self.segment_bits >= self.width:

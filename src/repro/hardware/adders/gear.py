@@ -41,6 +41,79 @@ class GearAdder(AdderModel):
             raise ValueError(f"previous_bits must be >= 0, got {previous_bits}")
         self.result_bits = int(result_bits)
         self.previous_bits = int(previous_bits)
+        self._groups: list[tuple[int, int]] | None = None
+        self._carry_masks: tuple[int, ...] | None = None
+        if self.result_bits + self.previous_bits < self.width:
+            groups = self._group_plan()
+            depth = max(1, self.result_bits + self.previous_bits - 1)
+            # Two equivalent bit-parallel evaluations exist; pick the one
+            # with fewer vector ops (~7 per SWAR group pass vs ~5 per
+            # carry-window depth level).
+            if 7 * len(groups) <= 5 * depth:
+                self._groups = groups
+            else:
+                self._carry_masks = bitops.windowed_carry_masks(self._window_lo())
+
+    def _window_lo(self) -> list[int]:
+        """Carry-window start per result bit.
+
+        Bits of the first sub-adder are exact (window from 0); every
+        later sub-adder speculates the carry for its ``R`` result bits
+        from ``P`` positions below its result region.
+        """
+        window_lo = [0] * self.width
+        for result_lo, lo in self._subadders()[1:]:
+            for i in range(result_lo, min(result_lo + self.result_bits, self.width)):
+                window_lo[i] = lo
+        return window_lo
+
+    def _group_plan(self) -> list[tuple[int, int]]:
+        """``(top_mask, keep_mask)`` per group of disjoint sub-adders.
+
+        Adjacent sub-adder windows overlap by only ``P`` bits, so windows
+        spaced a full span apart are disjoint.  Greedily packing the
+        windows into groups of pairwise-disjoint intervals lets each
+        group be evaluated as ONE segmented local-sum pass
+        (:func:`repro.hardware.bitops.segment_local_sums`): the group's
+        windows plus the gaps between them tile the word, carries cannot
+        cross segment boundaries, and each sub-adder's result bits are
+        selected with ``keep_mask``.
+        """
+        r, p = self.result_bits, self.previous_bits
+        width = self.width
+        wins = []  # (window_lo, window_hi, keep_lo, keep_hi)
+        for idx, (result_lo, window_lo) in enumerate(self._subadders()):
+            if idx == 0:
+                hi = min(r + p, width)
+                wins.append((0, hi, 0, hi))
+            else:
+                hi = min(result_lo + r, width)
+                wins.append((window_lo, hi, result_lo, hi))
+        groups: list[list[tuple[int, int, int, int]]] = []
+        for win in wins:  # LSB-first, so first-fit keeps groups sorted
+            for grp in groups:
+                if grp[-1][1] <= win[0]:
+                    grp.append(win)
+                    break
+            else:
+                groups.append([win])
+        plan = []
+        for grp in groups:
+            spans = []
+            pos = 0
+            for lo, hi, _, _ in grp:
+                if lo > pos:
+                    spans.append((pos, lo - pos))  # inter-window gap
+                spans.append((lo, hi - lo))
+                pos = hi
+            if pos < width:
+                spans.append((pos, width - pos))
+            top = bitops.segment_top_mask(width, spans)
+            keep = 0
+            for _, _, klo, khi in grp:
+                keep |= ((1 << (khi - klo)) - 1) << klo
+            plan.append((top, keep))
+        return plan
 
     def _subadders(self) -> list[tuple[int, int]]:
         """``(result_lo, window_lo)`` for each sub-adder, LSB first.
@@ -62,28 +135,21 @@ class GearAdder(AdderModel):
         return spans
 
     def add_unsigned(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
         if self.result_bits + self.previous_bits >= self.width:
             return self.exact_sum(a, b)
-
-        r, p = self.result_bits, self.previous_bits
-        result = np.zeros_like(a)
-        spans = self._subadders()
-        for idx, (result_lo, window_lo) in enumerate(spans):
-            if idx == 0:
-                length = min(r + p, self.width)
-                produced_lo, produced_len = 0, length
-            else:
-                length = min(result_lo + r, self.width) - window_lo
-                produced_lo, produced_len = result_lo, min(r, self.width - result_lo)
-            wa = bitops.extract_field(a, window_lo, length)
-            wb = bitops.extract_field(b, window_lo, length)
-            s = wa + wb
-            keep_shift = np.int64(produced_lo - window_lo)
-            keep_mask = np.int64((1 << produced_len) - 1)
-            result |= ((s >> keep_shift) & keep_mask) << np.int64(produced_lo)
-        return result
+        # Every sub-adder is a truncated-carry window, so the whole GeAr
+        # evaluates bit-parallel either as grouped segmented local sums
+        # or as one windowed-carry addition — __init__ picked the cheaper
+        # layout (the sub-adder-serial formulation lives in
+        # repro.hardware.adders.reference).
+        if self._groups is not None:
+            result = None
+            for top, keep in self._groups:
+                part = bitops.segment_local_sums(a, b, self.width, top)
+                part = part & np.int64(keep)
+                result = part if result is None else result | part
+            return result
+        return bitops.windowed_carry_add(a, b, self.width, self._carry_masks)
 
     def cell_inventory(self) -> Counter:
         if self.result_bits + self.previous_bits >= self.width:

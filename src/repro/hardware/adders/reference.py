@@ -1,0 +1,191 @@
+"""Bit-serial reference implementations of every adder family.
+
+The production models in this package evaluate whole operand batches
+with the bit-parallel kernels of :mod:`repro.hardware.bitops`.  This
+module retains the straightforward bit-serial formulations — the carry
+loops a hardware description would spell out — so that
+
+* the exhaustive equivalence tests can check the vectorized datapaths
+  bit-for-bit against an independent implementation of each published
+  design, and
+* the ``benchmarks/perf`` harness has a stable baseline to measure the
+  bit-parallel kernels' speedup against.
+
+Each function is elementwise-vectorized over numpy arrays but iterates
+bit-by-bit (or segment-by-segment) exactly as the scalar definitions
+do.  They are deliberately *not* used on any production path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import bitops
+from repro.hardware.adders.base import AdderModel
+
+
+def exact_add(width: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Ripple-carry addition, one full adder per bit."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    result = np.zeros_like(a)
+    carry = np.zeros_like(a)
+    for i in range(width):
+        s = bitops.get_bit(a, i) + bitops.get_bit(b, i) + carry
+        result |= (s & np.int64(1)) << np.int64(i)
+        carry = s >> np.int64(1)
+    return result
+
+
+def loa_add(width: int, approx_bits: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """LOA: OR gates on the low part, ripple carry above, AND carry guess."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    k = approx_bits
+    if k == 0:
+        return exact_add(width, a, b)
+    result = np.zeros_like(a)
+    for i in range(k):
+        result |= (bitops.get_bit(a, i) | bitops.get_bit(b, i)) << np.int64(i)
+    carry = bitops.get_bit(a, k - 1) & bitops.get_bit(b, k - 1)
+    for i in range(k, width):
+        s = bitops.get_bit(a, i) + bitops.get_bit(b, i) + carry
+        result |= (s & np.int64(1)) << np.int64(i)
+        carry = s >> np.int64(1)
+    return result
+
+
+def truncated_add(
+    width: int, approx_bits: int, fill: str, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Truncation adder: constant low bits, ripple carry above."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    k = approx_bits
+    if k == 0:
+        return exact_add(width, a, b)
+    low = np.int64((1 << k) - 1) if fill == "one" else np.int64(0)
+    result = np.full_like(a, low)
+    carry = np.zeros_like(a)
+    for i in range(k, width):
+        s = bitops.get_bit(a, i) + bitops.get_bit(b, i) + carry
+        result |= (s & np.int64(1)) << np.int64(i)
+        carry = s >> np.int64(1)
+    return result
+
+
+def aca_add(
+    width: int, lookback_bits: int, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """ACA: per-bit carry speculated from a sliding look-back window.
+
+    This is the pre-vectorization production implementation, retained
+    verbatim: one windowed sub-addition per result bit.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if lookback_bits >= width - 1:
+        return exact_add(width, a, b)
+    k = lookback_bits
+    result = np.zeros_like(a)
+    for i in range(width):
+        lo = max(0, i - k)
+        window = i - lo  # number of look-back bits actually available
+        wa = bitops.extract_field(a, lo, window)
+        wb = bitops.extract_field(b, lo, window)
+        carry = (wa + wb) >> np.int64(window) if window else np.zeros_like(a)
+        s = bitops.get_bit(a, i) + bitops.get_bit(b, i) + carry
+        result |= (s & np.int64(1)) << np.int64(i)
+    return result
+
+
+def etaii_add(
+    width: int, segment_bits: int, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """ETA-II: segment-serial addition with one-segment carry speculation.
+
+    The pre-vectorization production implementation, retained verbatim.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if segment_bits >= width:
+        return exact_add(width, a, b)
+    result = np.zeros_like(a)
+    carry = np.zeros_like(a)
+    lo = 0
+    while lo < width:
+        length = min(segment_bits, width - lo)
+        seg_a = bitops.extract_field(a, lo, length)
+        seg_b = bitops.extract_field(b, lo, length)
+        seg_sum = seg_a + seg_b + carry
+        seg_mask = np.int64((1 << length) - 1)
+        result |= (seg_sum & seg_mask) << np.int64(lo)
+        # Speculated carry into the *next* segment: carry-out of this
+        # segment computed without its own incoming carry.
+        carry = (seg_a + seg_b) >> np.int64(length)
+        lo += length
+    return result
+
+
+def gear_add(
+    width: int,
+    result_bits: int,
+    previous_bits: int,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> np.ndarray:
+    """GeAr(R, P): sub-adder-serial overlapping windowed addition.
+
+    The pre-vectorization production implementation, retained verbatim.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    r, p = result_bits, previous_bits
+    if r + p >= width:
+        return exact_add(width, a, b)
+    result = np.zeros_like(a)
+    first_span = min(r + p, width)
+    spans = [(0, 0)]
+    result_lo = first_span
+    while result_lo < width:
+        spans.append((result_lo, max(0, result_lo - p)))
+        result_lo += r
+    for idx, (result_lo, window_lo) in enumerate(spans):
+        if idx == 0:
+            length = first_span
+            produced_lo, produced_len = 0, length
+        else:
+            length = min(result_lo + r, width) - window_lo
+            produced_lo, produced_len = result_lo, min(r, width - result_lo)
+        wa = bitops.extract_field(a, window_lo, length)
+        wb = bitops.extract_field(b, window_lo, length)
+        s = wa + wb
+        keep_shift = np.int64(produced_lo - window_lo)
+        keep_mask = np.int64((1 << produced_len) - 1)
+        result |= ((s >> keep_shift) & keep_mask) << np.int64(produced_lo)
+    return result
+
+
+def reference_add_unsigned(
+    adder: AdderModel, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Dispatch to the bit-serial reference of ``adder``'s family.
+
+    Raises:
+        KeyError: for wrapper/stateful families (``faulty``,
+            ``reconfigurable``) that have no standalone reference.
+    """
+    family = adder.family
+    if family == "exact":
+        return exact_add(adder.width, a, b)
+    if family == "loa":
+        return loa_add(adder.width, adder.approx_bits, a, b)
+    if family == "truncated":
+        return truncated_add(adder.width, adder.approx_bits, adder.fill, a, b)
+    if family == "aca":
+        return aca_add(adder.width, adder.lookback_bits, a, b)
+    if family == "etaii":
+        return etaii_add(adder.width, adder.segment_bits, a, b)
+    if family == "gear":
+        return gear_add(adder.width, adder.result_bits, adder.previous_bits, a, b)
+    raise KeyError(f"no bit-serial reference for adder family {family!r}")

@@ -7,9 +7,24 @@ quantities are converted at the model boundary with
 ``uint64`` because mixed ``uint64``/python-``int`` arithmetic silently
 promotes to ``float64`` in numpy; with widths capped at
 :data:`MAX_WIDTH` bits every intermediate fits ``int64`` exactly.
+
+Besides the word plumbing, this module hosts the two *bit-parallel
+kernels* the speculative adder families are built on:
+
+* :func:`windowed_carry_add` — addition whose carry into bit ``i`` is
+  speculated from a per-bit look-back window (ACA and GeAr are both
+  instances of this shape, with different window layouts); and
+* :func:`segmented_speculative_add` — SWAR-style segmented addition with
+  one-segment carry speculation (the ETA-II shape).
+
+Both operate on whole ``int64`` words, so a batch of ``n`` additions
+costs a handful of vector operations instead of an ``O(width)`` python
+loop per call.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -84,3 +99,153 @@ def popcount(value: int) -> int:
     if value < 0:
         raise ValueError("popcount expects a non-negative integer")
     return bin(value).count("1")
+
+
+# ----------------------------------------------------------------------
+# Bit-parallel speculative-addition kernels
+# ----------------------------------------------------------------------
+def windowed_carry_masks(window_lo: Sequence[int]) -> tuple[int, ...]:
+    """Precompute the per-depth masks :func:`windowed_carry_add` needs.
+
+    ``window_lo[i]`` is the lowest bit position participating in the
+    speculated carry into result bit ``i`` (the carry chain is cut below
+    it).  The returned tuple has one mask per look-back depth ``d``:
+    ``masks[d - 1]`` holds a 1 at every bit ``i`` whose window reaches at
+    least ``d`` positions back, i.e. ``i - window_lo[i] >= d``.
+
+    Raises:
+        ValueError: if any ``window_lo[i]`` lies outside ``[0, i]``.
+    """
+    depths = []
+    for i, lo in enumerate(window_lo):
+        lo = int(lo)
+        if not 0 <= lo <= i:
+            raise ValueError(
+                f"window_lo[{i}] must be in [0, {i}], got {lo}"
+            )
+        depths.append(i - lo)
+    max_depth = max(depths, default=0)
+    masks = []
+    for d in range(1, max_depth + 1):
+        mask = 0
+        for i, depth in enumerate(depths):
+            if depth >= d:
+                mask |= 1 << i
+        masks.append(mask)
+    return tuple(masks)
+
+
+def windowed_carry_add(
+    a: np.ndarray, b: np.ndarray, width: int, masks: Sequence[int]
+) -> np.ndarray:
+    """Bit-parallel addition with per-bit truncated carry speculation.
+
+    Result bit ``i`` is ``a_i ^ b_i ^ c_i`` where the carry ``c_i`` is
+    computed from the window encoded in ``masks`` (built once with
+    :func:`windowed_carry_masks`) instead of the full chain: a generate
+    at bit ``i - d`` reaches bit ``i`` only if the window spans ``d``
+    positions and every bit strictly between propagates.  With ``p = a ^
+    b`` and ``g = a & b`` this is the classic carry-chain expansion
+
+    ``c = OR_d (g << d) & (p << 1) & ... & (p << d-1) & masks[d-1]``
+
+    evaluated with one running propagate product, so the whole batch
+    costs ``O(max_depth)`` vector ops — independent of batch size and of
+    ``width``.  Exhaustive equivalence with the bit-serial references is
+    locked in by ``tests/hardware/test_adder_equivalence.py``.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    word = np.int64(word_mask(width))
+    prop = a ^ b
+    gen = a & b
+    carry = np.zeros_like(prop)
+    run = None  # running AND of (prop << 1) .. (prop << d-1)
+    last = len(masks)
+    for d, mask in enumerate(masks, start=1):
+        term = gen << np.int64(d)
+        if run is not None:
+            term = term & run
+        carry |= term & np.int64(mask)
+        if d < last:
+            shifted = prop << np.int64(d)
+            run = shifted if run is None else run & shifted
+    return (prop ^ carry) & word
+
+
+def segment_top_mask(width: int, spans: Sequence[tuple[int, int]]) -> int:
+    """Mask of the most significant bit of each ``(lo, length)`` segment.
+
+    The spans must tile ``[0, width)`` contiguously, LSB segment first —
+    the layout :func:`segmented_speculative_add` operates on.
+
+    Raises:
+        ValueError: if the spans do not tile the word.
+    """
+    check_width(width)
+    mask = 0
+    expect = 0
+    for lo, length in spans:
+        if lo != expect or length < 1:
+            raise ValueError(f"spans must tile [0, {width}) contiguously")
+        mask |= 1 << (lo + length - 1)
+        expect = lo + length
+    if expect != width:
+        raise ValueError(f"spans cover [0, {expect}), expected [0, {width})")
+    return mask
+
+
+def segment_local_sums(
+    a: np.ndarray, b: np.ndarray, width: int, top_mask: int
+) -> np.ndarray:
+    """Per-segment sums with zero carry-in, all segments at once.
+
+    ``top_mask`` marks the MSB of each segment (see
+    :func:`segment_top_mask`).  Each segment of the result holds ``(a_seg
+    + b_seg) mod 2**len`` — carries never cross a segment boundary,
+    because masking each operand's segment-top bit before the word-wide
+    addition leaves the per-segment partial sums strictly below the
+    boundary, and the top bits are patched back in by XOR.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    top = np.int64(top_mask)
+    body = np.int64(word_mask(width) & ~top_mask)
+    blocked = (a & body) + (b & body)
+    return blocked ^ ((a ^ b) & top)
+
+
+def segmented_speculative_add(
+    a: np.ndarray, b: np.ndarray, width: int, top_mask: int
+) -> np.ndarray:
+    """Segmented addition with one-segment carry speculation (ETA-II).
+
+    Each segment (delimited by ``top_mask``, the MSB of every segment)
+    adds exactly, but the carry *into* a segment is the carry-out of the
+    previous segment computed with zero carry-in — carries never cross
+    more than one boundary.  All segments are evaluated simultaneously
+    with the SWAR blocking trick: masking each segment's top bit before
+    adding keeps the per-segment sums from rippling across boundaries,
+    and the top bit and speculated carries are patched in afterwards.
+    Constant vector-op count regardless of segment size or count.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    word = np.int64(word_mask(width))
+    top = np.int64(top_mask)
+    body = np.int64(word_mask(width) & ~top_mask)
+
+    axb = a ^ b
+    # Per-segment sums of the sub-top bits; carries cannot leave a
+    # segment because each operand's top bit is masked off.
+    blocked = (a & body) + (b & body)
+    # Full per-segment sum (mod segment size) with zero carry-in.
+    psum = blocked ^ (axb & top)
+    # Speculated carry-out of each segment = majority(a_msb, b_msb, c_in)
+    # where the carry into the MSB is that bit of the blocked sum.
+    carry_out = ((a & b) | (axb & blocked)) & top
+    spec = (carry_out << np.int64(1)) & word
+    # Fold the speculated carries in: they may ripple within a segment
+    # (the sub-top bits sum to < 2**(len-1), so +1 cannot escape it).
+    low = (psum & body) + spec
+    return (low ^ (psum & top)) & word

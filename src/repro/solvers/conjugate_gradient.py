@@ -70,7 +70,7 @@ class ConjugateGradient(IterativeMethod):
 
     def residual(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
         """``b − A x`` with approximate row accumulation."""
-        return engine.sub(self.rhs, engine.matvec(self.matrix, x))
+        return engine.sub(self.rhs, engine.matvec(self.matrix, x, resident=True))
 
     def direction(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
         r = self.residual(x, engine)

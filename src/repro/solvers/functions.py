@@ -93,7 +93,7 @@ class QuadraticFunction(ObjectiveFunction):
 
     def gradient_approx(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
         x = self._check(x)
-        return engine.sub(engine.matvec(self.matrix, x), self.rhs)
+        return engine.sub(engine.matvec(self.matrix, x, resident=True), self.rhs)
 
     def hessian(self, x: np.ndarray) -> np.ndarray:
         self._check(x)

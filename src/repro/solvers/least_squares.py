@@ -92,7 +92,7 @@ class LeastSquaresGD(IterativeMethod):
 
     def direction(self, w: np.ndarray, engine: ApproxEngine) -> np.ndarray:
         # Gram-form gradient: the p x p reduction runs on the engine.
-        grad = engine.sub(engine.matvec(self._gram, w), self._xty)
+        grad = engine.sub(engine.matvec(self._gram, w, resident=True), self._xty)
         return -grad
 
     def step_size(self, w: np.ndarray, d: np.ndarray, iteration: int) -> float:

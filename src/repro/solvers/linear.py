@@ -60,8 +60,12 @@ class _SplittingSolver(IterativeMethod):
         return -2.0 * self.matrix.T @ r
 
     def residual(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
-        """``b − A x`` with approximate accumulation."""
-        return engine.sub(self.rhs, engine.matvec(self.matrix, x))
+        """``b − A x`` with approximate accumulation.
+
+        The matvec result stays fixed-point resident into the subtract —
+        one encode on entry, one decode on exit.
+        """
+        return engine.sub(self.rhs, engine.matvec(self.matrix, x, resident=True))
 
     def solution(self) -> np.ndarray:
         """Direct solution, for QEM references in tests."""

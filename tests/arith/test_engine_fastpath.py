@@ -1,0 +1,194 @@
+"""Fast-path regression tests: residency changes results and energy NOT AT ALL.
+
+The fixed-point-resident fast path (``ApproxEngine.fast_path``) exists
+purely to remove redundant decode/encode round-trips, skip provably
+unnecessary saturation recomputes, and fold reductions in place.  Every
+test here pins the invariant that it is *observationally identical* to
+the legacy execution (``fast_path=False``): bit-identical kernel
+outputs — including saturating overflow — and an unchanged energy
+ledger, down to the exact ``n - 1`` adds per reduced lane.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith.engine import ApproxEngine, EnergyLedger, ResidentVector
+from repro.arith.fixed import FixedPointFormat
+
+
+def _pair(bank32, mode_name, fmt=None):
+    """Matched (fast, legacy) engines with independent ledgers."""
+    fmt = fmt if fmt is not None else FixedPointFormat(32, 16)
+    fast = ApproxEngine(bank32.by_name(mode_name), fmt, EnergyLedger(), fast_path=True)
+    legacy = ApproxEngine(
+        bank32.by_name(mode_name), fmt, EnergyLedger(), fast_path=False
+    )
+    return fast, legacy
+
+
+MODES = ("acc", "level1", "level4")
+
+
+class TestEnergyUnchanged:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 100, 101])
+    @pytest.mark.parametrize("mode", MODES)
+    def test_tree_sum_charges_exactly_n_minus_1(self, bank32, rng, mode, n):
+        fast, legacy = _pair(bank32, mode)
+        x = rng.uniform(-50.0, 50.0, size=n)
+        rf, rl = fast.sum(x), legacy.sum(x)
+        assert rf == rl
+        assert fast.ledger.adds == n - 1
+        assert legacy.ledger.adds == n - 1
+        assert fast.ledger.energy == pytest.approx(legacy.ledger.energy)
+        assert fast.ledger.adds_by_mode == legacy.ledger.adds_by_mode
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_matvec_ledger_identical(self, bank32, rng, mode):
+        fast, legacy = _pair(bank32, mode)
+        matrix = rng.uniform(-2.0, 2.0, size=(13, 9))
+        vector = rng.uniform(-2.0, 2.0, size=9)
+        np.testing.assert_array_equal(
+            fast.matvec(matrix, vector), legacy.matvec(matrix, vector)
+        )
+        # 13 lanes x (9 - 1) adds each, charged identically.
+        assert fast.ledger.adds == legacy.ledger.adds == 13 * 8
+        assert fast.ledger.energy_by_mode == legacy.ledger.energy_by_mode
+
+    def test_resident_chain_ledger_identical(self, bank32, rng):
+        fast, legacy = _pair(bank32, "level2")
+        matrix = rng.uniform(-1.0, 1.0, size=(6, 6))
+        rhs = rng.uniform(-1.0, 1.0, size=6)
+        x = rng.uniform(-1.0, 1.0, size=6)
+        got = fast.sub(rhs, fast.matvec(matrix, x, resident=True))
+        want = legacy.sub(rhs, legacy.matvec(matrix, x))
+        np.testing.assert_array_equal(got, want)
+        assert fast.ledger.adds == legacy.ledger.adds
+        assert fast.ledger.energy == pytest.approx(legacy.ledger.energy)
+
+
+class TestResultsBitIdentical:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_elementwise_kernels(self, bank32, rng, mode):
+        fast, legacy = _pair(bank32, mode)
+        a = rng.uniform(-100.0, 100.0, size=257)
+        b = rng.uniform(-100.0, 100.0, size=257)
+        np.testing.assert_array_equal(fast.add(a, b), legacy.add(a, b))
+        np.testing.assert_array_equal(fast.sub(a, b), legacy.sub(a, b))
+        np.testing.assert_array_equal(
+            fast.scale_add(a, 0.37, b), legacy.scale_add(a, 0.37, b)
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("overflow", ["saturate", "wrap"])
+    def test_overflowing_sum(self, bank32, rng, mode, overflow):
+        fmt = FixedPointFormat(32, 16, overflow=overflow)
+        fast, legacy = _pair(bank32, mode, fmt)
+        # 8 x 30000 blows way past the Q15.16 max of ~32768.
+        x = np.full(8, 30000.0)
+        assert fast.sum(x) == legacy.sum(x)
+        big = rng.uniform(20000.0, 32000.0, size=64)
+        np.testing.assert_array_equal(fast.add(big, big), legacy.add(big, big))
+        assert fast.ledger.adds == legacy.ledger.adds
+
+    def test_saturating_sum_clamps(self, bank32):
+        fast, _ = _pair(bank32, "acc")
+        assert fast.sum(np.full(8, 30000.0)) == pytest.approx(
+            fast.fmt.max_value, abs=1e-3
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_weighted_sum_and_dot(self, bank32, rng, mode):
+        fast, legacy = _pair(bank32, mode)
+        w = rng.uniform(0.0, 1.0, size=33)
+        pts = rng.uniform(-5.0, 5.0, size=(33, 3))
+        np.testing.assert_array_equal(
+            fast.weighted_sum(w, pts), legacy.weighted_sum(w, pts)
+        )
+        assert fast.dot(pts[:, 0], pts[:, 1]) == legacy.dot(pts[:, 0], pts[:, 1])
+
+    def test_reduce_layouts_bit_identical(self, bank32, rng):
+        fast, _ = _pair(bank32, "level3")
+        for n in (2, 3, 5, 9, 17, 100, 101):
+            q = fast.fmt.encode(rng.uniform(-50.0, 50.0, size=(n, 4)))
+            np.testing.assert_array_equal(
+                fast._reduce_words(q.copy()), fast._reduce_words_concat(q.copy())
+            )
+
+
+class TestResidency:
+    def test_resident_round_trip_is_exact(self, bank32, rng):
+        fast, _ = _pair(bank32, "acc")
+        rv = fast.matvec(rng.uniform(-2, 2, (5, 5)), rng.uniform(-2, 2, 5), resident=True)
+        assert isinstance(rv, ResidentVector)
+        np.testing.assert_array_equal(fast.fmt.encode(rv.decode()), rv.words)
+
+    def test_resident_operands_accepted_everywhere(self, bank32, rng):
+        fast, legacy = _pair(bank32, "level1")
+        a = rng.uniform(-10, 10, size=12)
+        b = rng.uniform(-10, 10, size=12)
+        ra = fast.add(a, 0.0, resident=True)
+        np.testing.assert_array_equal(fast.add(ra, b), legacy.add(legacy.add(a, 0.0), b))
+        np.testing.assert_array_equal(fast.sub(b, ra), legacy.sub(b, legacy.add(a, 0.0)))
+        np.testing.assert_array_equal(
+            fast.scale_add(b, 2.0, ra), legacy.scale_add(b, 2.0, legacy.add(a, 0.0))
+        )
+        assert fast.sum(ra, axis=0) == pytest.approx(legacy.sum(legacy.add(a, 0.0)))
+
+    def test_legacy_engine_never_emits_residents(self, bank32, rng):
+        _, legacy = _pair(bank32, "acc")
+        out = legacy.matvec(rng.uniform(-2, 2, (4, 4)), rng.uniform(-2, 2, 4), resident=True)
+        assert isinstance(out, np.ndarray)
+
+    def test_format_mismatch_rejected(self, bank32):
+        fast, _ = _pair(bank32, "acc")
+        other = ResidentVector(np.zeros(3, dtype=np.int64), FixedPointFormat(32, 8))
+        with pytest.raises(ValueError, match="format"):
+            fast.add(other, other)
+
+    def test_asarray_decodes(self, bank32):
+        fast, _ = _pair(bank32, "acc")
+        rv = fast.add(np.array([1.5, -2.25]), 0.0, resident=True)
+        np.testing.assert_allclose(np.asarray(rv), [1.5, -2.25])
+
+    def test_sub_resident_most_negative_word(self, bank32):
+        # Negating the most negative word must follow the overflow
+        # policy, exactly like the float-negate-then-encode path.
+        for overflow in ("saturate", "wrap"):
+            fmt = FixedPointFormat(32, 16, overflow=overflow)
+            fast, legacy = _pair(bank32, "acc", fmt)
+            lowest = np.array([fmt.min_value, -1.0])
+            rv = ResidentVector(fmt.encode(lowest), fmt)
+            np.testing.assert_array_equal(
+                fast.sub(np.zeros(2), rv), legacy.sub(np.zeros(2), lowest)
+            )
+
+
+class TestFrameworkParity:
+    def test_full_run_identical_fast_vs_legacy(self):
+        from repro.core.framework import ApproxIt
+        from repro.solvers.linear import JacobiSolver
+
+        rng = np.random.default_rng(7)
+        n = 24
+        matrix = rng.uniform(-1.0, 1.0, size=(n, n))
+        matrix += np.diag(np.abs(matrix).sum(axis=1) + 1.0)
+        rhs = rng.uniform(-5.0, 5.0, size=n)
+
+        def run_once():
+            framework = ApproxIt(JacobiSolver(matrix, rhs, max_iter=60))
+            return framework.run(strategy="incremental")
+
+        saved = ApproxEngine.default_fast_path
+        try:
+            ApproxEngine.default_fast_path = True
+            fast_run = run_once()
+            ApproxEngine.default_fast_path = False
+            legacy_run = run_once()
+        finally:
+            ApproxEngine.default_fast_path = saved
+
+        np.testing.assert_array_equal(fast_run.x, legacy_run.x)
+        assert fast_run.iterations == legacy_run.iterations
+        assert fast_run.energy == pytest.approx(legacy_run.energy)
+        assert fast_run.steps_by_mode == legacy_run.steps_by_mode
+        assert fast_run.mode_trace == legacy_run.mode_trace

@@ -1,0 +1,138 @@
+"""The parallel experiment runner: same results, different schedule.
+
+``process_map`` must behave exactly like a serial list comprehension
+(ordering, exceptions, fallback), and the cell-level fan-out of
+``run_experiment_cells`` / ``run_experiments_parallel`` must assemble
+``ApplicationResult``s indistinguishable from the serial
+``run_experiment`` path — cell runs are deterministic, so this is an
+equality check, not a tolerance check.
+
+The mini-registry tests pin ``max_workers=1``: the monkeypatched
+dataset registry only exists in this process, so they exercise the
+serial branch; the pool branch is exercised with a picklable pure
+function instead.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.data.registry as registry_module
+import repro.experiments.runner as runner_module
+from repro.data.clusters import make_cluster_dataset
+from repro.data.registry import DATASETS, DatasetSpec
+from repro.experiments.parallel import process_map
+from repro.experiments.runner import (
+    CELL_LABELS,
+    run_experiment,
+    run_experiment_cells,
+    run_experiments_parallel,
+    run_gmm_experiment,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestProcessMap:
+    def test_serial_path(self):
+        assert process_map(_square, [1, 2, 3], max_workers=1) == [1, 4, 9]
+
+    def test_empty_and_single(self):
+        assert process_map(_square, [], max_workers=4) == []
+        assert process_map(_square, [5], max_workers=4) == [25]
+
+    def test_pool_path_preserves_order(self):
+        # Falls back serially (with a warning) where pools are blocked;
+        # results are identical either way.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert process_map(_square, list(range(20)), max_workers=2) == [
+                x * x for x in range(20)
+            ]
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            process_map(_boom, [1], max_workers=1)
+
+
+@pytest.fixture()
+def mini_gmm_registry(monkeypatch):
+    def mini_clusters():
+        return make_cluster_dataset(
+            "miniP",
+            sizes=[40, 40, 40],
+            means=np.array([[0.0, 0.0], [4.0, 3.0], [-3.0, 4.0]]),
+            spreads=[1.0, 1.0, 1.0],
+            seed=41,
+            max_iter=200,
+            tolerance=1e-7,
+        )
+
+    registry = dict(DATASETS)
+    registry["minip"] = DatasetSpec(
+        key="minip",
+        display_name="miniP",
+        application="gmm",
+        shape="120*2",
+        source="test",
+        max_iter=200,
+        tolerance=1e-7,
+        adder_impact="Mean Value",
+        factory=mini_clusters,
+    )
+    monkeypatch.setattr(runner_module, "DATASETS", registry)
+    monkeypatch.setattr(registry_module, "DATASETS", registry)
+    run_gmm_experiment.cache_clear()
+    yield registry
+    run_gmm_experiment.cache_clear()
+
+
+def _assert_same_result(got, want):
+    assert got.dataset_key == want.dataset_key
+    np.testing.assert_array_equal(got.truth.x, want.truth.x)
+    assert got.truth.energy == pytest.approx(want.truth.energy)
+    assert set(got.single_mode) == set(want.single_mode)
+    assert set(got.online) == set(want.online)
+    for label in (*got.single_mode, *got.online):
+        g, w = got.run_of(label), want.run_of(label)
+        np.testing.assert_array_equal(g.x, w.x)
+        assert g.iterations == w.iterations
+        assert g.energy == pytest.approx(w.energy)
+        assert g.steps_by_mode == w.steps_by_mode
+    assert got.qem == pytest.approx(want.qem)
+
+
+class TestCellRunner:
+    def test_cells_match_serial_experiment(self, mini_gmm_registry):
+        serial = run_experiment("minip")
+        run_gmm_experiment.cache_clear()
+        celled = run_experiment_cells("minip", max_workers=1)
+        _assert_same_result(celled, serial)
+
+    def test_cells_seed_the_memo_cache(self, mini_gmm_registry):
+        result = run_experiment_cells("minip", max_workers=1)
+        assert run_experiment("minip") is result
+
+    def test_run_experiments_parallel_covers_requested_keys(
+        self, mini_gmm_registry
+    ):
+        results = run_experiments_parallel(
+            dataset_keys=("minip",), max_workers=1
+        )
+        assert set(results) == {"minip"}
+        assert set(results["minip"].single_mode) | set(
+            results["minip"].online
+        ) | {"truth"} == set(CELL_LABELS)
+        assert run_gmm_experiment("minip") is results["minip"]
+
+    def test_unknown_label_rejected(self, mini_gmm_registry):
+        framework, _ = runner_module._build_framework("minip")
+        with pytest.raises(KeyError, match="unknown cell label"):
+            runner_module._run_cell(framework, "nonsense")
