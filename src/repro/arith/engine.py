@@ -105,12 +105,18 @@ class EnergyLedger:
         energy: total energy units charged.
         adds_by_mode: per-mode addition counts.
         energy_by_mode: per-mode energy totals.
+        observer: optional observability hook (duck-typed
+            :class:`repro.obs.observer.Observer`); every charge is
+            forwarded to its ``on_charge`` so traced runs see where
+            energy goes without the ledger depending on the obs
+            package.  Excluded from equality and snapshots.
     """
 
     adds: int = 0
     energy: float = 0.0
     adds_by_mode: dict[str, int] = field(default_factory=dict)
     energy_by_mode: dict[str, float] = field(default_factory=dict)
+    observer: object | None = field(default=None, compare=False, repr=False)
 
     def charge(self, mode_name: str, n_adds: int, energy_per_add: float) -> None:
         """Record ``n_adds`` elementary additions on mode ``mode_name``."""
@@ -123,6 +129,8 @@ class EnergyLedger:
         self.energy_by_mode[mode_name] = (
             self.energy_by_mode.get(mode_name, 0.0) + cost
         )
+        if self.observer is not None:
+            self.observer.on_charge(mode_name, n_adds, cost)
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -125,6 +125,19 @@ class PidEffortStrategy(ReconfigurationStrategy):
         top = len(self._bank) - 1
         self._level = float(np.clip(self._level - actuation, 0.0, top))
         mode = self._bank[int(round(self._level))]
+        if self._observer is not None:
+            self._observer.metrics.gauge("pid.normalized", normalized)
+            self._observer.metrics.gauge("pid.level", self._level)
+            if mode.name != self._mode.name:
+                # The controller actuated an effort change.
+                self.emit_event(
+                    "scheme_fired",
+                    obs.iteration,
+                    self._mode.name,
+                    scheme="pid",
+                    level=self._level,
+                    normalized=float(normalized),
+                )
         self._mode = mode
         return Decision(mode=mode, rollback=False, reason=f"pid:{normalized:.3f}")
 

@@ -44,6 +44,8 @@ from repro.core.strategies.base import (
 )
 from repro.core.strategies.incremental import IncrementalStrategy
 from repro.core.strategies.static_mode import StaticModeStrategy
+from repro.obs.events import TraceEvent
+from repro.obs.observer import Observer
 from repro.solvers.base import IterationState, IterativeMethod
 
 
@@ -72,6 +74,9 @@ class RunResult:
             objective, mode); only populated when the run was invoked
             with ``collect_history=True`` — states are O(dim) each, so
             this is opt-in.
+        trace_path: path of the JSONL trace exported for this run, when
+            the run was traced to disk (``--trace`` sweeps); ``None``
+            otherwise.
     """
 
     x: np.ndarray
@@ -87,6 +92,7 @@ class RunResult:
     mode_trace: list[str] = field(default_factory=list)
     objective_trace: list[float] = field(default_factory=list)
     history: list[IterationState] = field(default_factory=list)
+    trace_path: str | None = None
 
     @property
     def executed_iterations(self) -> int:
@@ -225,6 +231,7 @@ class ApproxIt:
         max_iter: int | None = None,
         collect_traces: bool = True,
         collect_history: bool = False,
+        observer: Observer | None = None,
     ) -> RunResult:
         """Drive the method to convergence under a strategy.
 
@@ -238,6 +245,14 @@ class ApproxIt:
             collect_history: additionally record full
                 :class:`~repro.solvers.IterationState` snapshots of
                 every accepted iteration (O(dim) each).
+            observer: observability hook (typically a
+                :class:`~repro.obs.observer.TraceRecorder`) receiving
+                every control-loop :class:`~repro.obs.events.TraceEvent`,
+                per-mode energy charges and ``direction`` / ``update`` /
+                ``objective`` wall-time sections.  Purely passive: an
+                observed run's :class:`RunResult` is bit-identical to an
+                unobserved one, and ``None`` (the default) skips every
+                hook site entirely.
 
         Returns:
             A :class:`RunResult`.
@@ -248,11 +263,40 @@ class ApproxIt:
         epsilons = characterization.epsilons()
 
         ledger = EnergyLedger()
+        if observer is not None:
+            ledger.observer = observer
         engines = {
             mode.name: ApproxEngine(mode, self.fmt, ledger) for mode in self.bank
         }
 
-        mode = policy.start(self.bank, characterization)
+        policy.bind_observer(observer)
+        try:
+            return self._run_loop(
+                policy,
+                budget,
+                epsilons,
+                ledger,
+                engines,
+                collect_traces,
+                collect_history,
+                observer,
+            )
+        finally:
+            policy.bind_observer(None)
+
+    def _run_loop(
+        self,
+        policy: ReconfigurationStrategy,
+        budget: int,
+        epsilons: dict[str, float],
+        ledger: EnergyLedger,
+        engines: dict[str, ApproxEngine],
+        collect_traces: bool,
+        collect_history: bool,
+        observer: Observer | None,
+    ) -> RunResult:
+        """The online loop of :meth:`run` (observer already bound)."""
+        mode = policy.start(self.bank, self.characterization())
         x = self.method.postprocess(self.method.initial_state())
         f_prev = self.method.objective(x)
         grad_prev = self.method.gradient(x)
@@ -268,22 +312,48 @@ class ApproxIt:
 
         last_mode_name: str | None = None
         while executed < budget:
-            if (
-                self.switch_energy
-                and last_mode_name is not None
-                and mode.name != last_mode_name
-            ):
+            switched = last_mode_name is not None and mode.name != last_mode_name
+            if switched and observer is not None:
+                observer.record(
+                    TraceEvent(
+                        "mode_switch",
+                        executed,
+                        mode.name,
+                        {"previous": last_mode_name},
+                    )
+                )
+            if self.switch_energy and switched:
                 # The reconfigurable device reloads its configuration
                 # latches whenever the selected level actually changes.
                 ledger.charge("reconfig", 1, self.switch_energy)
+                if observer is not None:
+                    observer.record(
+                        TraceEvent(
+                            "reconfig_charge",
+                            executed,
+                            mode.name,
+                            {"energy": self.switch_energy},
+                        )
+                    )
             last_mode_name = mode.name
             engine = engines[mode.name]
-            d = self.method.direction(x, engine)
-            alpha = self.method.step_size(x, d, iterations)
-            x_new = self.method.postprocess(
-                self.method.update(x, alpha, d, engine)
-            )
-            f_new = self.method.objective(x_new)
+            if observer is None:
+                d = self.method.direction(x, engine)
+                alpha = self.method.step_size(x, d, iterations)
+                x_new = self.method.postprocess(
+                    self.method.update(x, alpha, d, engine)
+                )
+                f_new = self.method.objective(x_new)
+            else:
+                with observer.metrics.time("direction"):
+                    d = self.method.direction(x, engine)
+                alpha = self.method.step_size(x, d, iterations)
+                with observer.metrics.time("update"):
+                    x_new = self.method.postprocess(
+                        self.method.update(x, alpha, d, engine)
+                    )
+                with observer.metrics.time("objective"):
+                    f_new = self.method.objective(x_new)
             grad_new = self.method.gradient(x_new)
             executed += 1
 
@@ -309,6 +379,19 @@ class ApproxIt:
                 objective_trace.append(f_new)
 
             if decision.rollback and not fixed_point:
+                if observer is not None:
+                    observer.record(
+                        TraceEvent(
+                            "iteration",
+                            executed - 1,
+                            mode.name,
+                            {
+                                "objective": f_new,
+                                "accepted": False,
+                                "reason": decision.reason,
+                            },
+                        )
+                    )
                 if mode.is_accurate and decision.mode.is_accurate:
                     # Retrying the exact mode from the same state would
                     # reproduce the same objective uptick forever: the
@@ -317,12 +400,34 @@ class ApproxIt:
                     converged = True
                     break
                 rollbacks += 1
+                if observer is not None:
+                    observer.record(
+                        TraceEvent(
+                            "rollback",
+                            executed - 1,
+                            mode.name,
+                            {"next_mode": decision.mode.name},
+                        )
+                    )
                 mode = decision.mode
                 continue
 
             # Iteration accepted.
             iterations += 1
             steps_by_mode[mode.name] += 1
+            if observer is not None:
+                observer.record(
+                    TraceEvent(
+                        "iteration",
+                        executed - 1,
+                        mode.name,
+                        {
+                            "objective": f_new,
+                            "accepted": True,
+                            "reason": decision.reason,
+                        },
+                    )
+                )
             if collect_history:
                 history.append(
                     IterationState(
@@ -340,7 +445,17 @@ class ApproxIt:
                     # fixed point the approximate mode cannot escape —
                     # hands over to higher accuracy instead of being
                     # accepted as an unverified stop.
+                    handed_from = mode
                     mode = policy.on_premature_convergence(mode)
+                    if observer is not None:
+                        observer.record(
+                            TraceEvent(
+                                "convergence_handover",
+                                executed - 1,
+                                handed_from.name,
+                                {"next_mode": mode.name},
+                            )
+                        )
                     continue
                 converged = True
                 break
@@ -363,6 +478,8 @@ class ApproxIt:
             history=history,
         )
 
-    def run_truth(self, max_iter: int | None = None) -> RunResult:
+    def run_truth(
+        self, max_iter: int | None = None, observer: Observer | None = None
+    ) -> RunResult:
         """The fully accurate reference run (the paper's *Truth*)."""
-        return self.run(strategy="truth", max_iter=max_iter)
+        return self.run(strategy="truth", max_iter=max_iter, observer=observer)

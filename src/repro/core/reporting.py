@@ -17,14 +17,25 @@ import numpy as np
 
 from repro.core.framework import RunResult
 from repro.experiments.render import format_number, format_table
+from repro.solvers.base import IterationState
 
-#: Schema tag written into every serialized run.
-SCHEMA_VERSION = 1
+#: Schema tag written into every serialized run.  Version 2 added the
+#: ``history`` and ``trace_path`` fields; version-1 payloads (which
+#: silently dropped both) still load.
+SCHEMA_VERSION = 2
+
+#: Schemas :func:`run_from_dict` accepts.
+_SUPPORTED_SCHEMAS = (1, 2)
 
 
 def run_to_dict(result: RunResult) -> dict:
-    """Lossless plain-data view of a run (JSON-ready)."""
-    return {
+    """Lossless plain-data view of a run (JSON-ready).
+
+    ``collect_history=True`` runs keep their per-iteration snapshots:
+    every :class:`~repro.solvers.base.IterationState` serializes as
+    ``{iteration, x, objective, mode_name}``.
+    """
+    payload = {
         "schema": SCHEMA_VERSION,
         "strategy": result.strategy_name,
         "x": np.asarray(result.x, dtype=float).tolist(),
@@ -38,21 +49,45 @@ def run_to_dict(result: RunResult) -> dict:
         "energy_by_mode": {k: float(v) for k, v in result.energy_by_mode.items()},
         "mode_trace": list(result.mode_trace),
         "objective_trace": [float(v) for v in result.objective_trace],
+        "history": [
+            {
+                "iteration": int(state.iteration),
+                "x": np.asarray(state.x, dtype=float).tolist(),
+                "objective": float(state.objective),
+                "mode_name": str(state.mode_name),
+            }
+            for state in result.history
+        ],
+        "trace_path": result.trace_path,
     }
+    return payload
 
 
 def run_from_dict(payload: dict) -> RunResult:
     """Rebuild a :class:`RunResult` from :func:`run_to_dict` output.
 
+    Accepts the current schema and the legacy version 1 (which carried
+    no ``history``/``trace_path``; both come back empty).
+
     Raises:
         ValueError: on schema mismatch or missing fields.
     """
     schema = payload.get("schema")
-    if schema != SCHEMA_VERSION:
+    if schema not in _SUPPORTED_SCHEMAS:
         raise ValueError(
-            f"unsupported run schema {schema!r}; expected {SCHEMA_VERSION}"
+            f"unsupported run schema {schema!r}; expected one of "
+            f"{_SUPPORTED_SCHEMAS}"
         )
     try:
+        history = [
+            IterationState(
+                iteration=int(entry["iteration"]),
+                x=np.asarray(entry["x"], dtype=np.float64),
+                objective=float(entry["objective"]),
+                mode_name=str(entry["mode_name"]),
+            )
+            for entry in payload.get("history", [])
+        ]
         return RunResult(
             x=np.asarray(payload["x"], dtype=np.float64),
             objective=float(payload["objective"]),
@@ -66,6 +101,8 @@ def run_from_dict(payload: dict) -> RunResult:
             strategy_name=str(payload["strategy"]),
             mode_trace=list(payload["mode_trace"]),
             objective_trace=list(payload["objective_trace"]),
+            history=history,
+            trace_path=payload.get("trace_path"),
         )
     except KeyError as missing:
         raise ValueError(f"serialized run is missing field {missing}") from None
@@ -94,7 +131,10 @@ def comparison_report(
 
     Returns:
         A rendered table: iterations, convergence, final objective,
-        normalized energy, savings, rollbacks, switches.
+        normalized energy, savings, rollbacks, switches.  A reference
+        run with zero energy (e.g. a zero-iteration or budget-0 truth
+        run) renders ``n/a`` in the Energy/Savings columns instead of
+        aborting the whole report.
     """
     if reference not in runs:
         raise KeyError(
@@ -103,15 +143,20 @@ def comparison_report(
     ref = runs[reference]
     rows = []
     for label, run in runs.items():
-        rel = run.energy_relative_to(ref)
+        if ref.energy > 0:
+            rel = run.energy_relative_to(ref)
+            energy_cell = format_number(rel)
+            savings_cell = f"{(1 - rel) * 100:+.1f} %"
+        else:
+            energy_cell = savings_cell = "n/a"
         rows.append(
             [
                 label,
                 "MAX_ITER" if run.hit_max_iter else run.iterations,
                 "yes" if run.converged else "no",
                 format_number(run.objective, 6),
-                format_number(rel),
-                f"{(1 - rel) * 100:+.1f} %",
+                energy_cell,
+                savings_cell,
                 run.rollbacks,
                 run.mode_switches,
             ]

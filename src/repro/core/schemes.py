@@ -89,8 +89,17 @@ def quality_scheme_violated(
     return False
 
 
+#: Shortest window the sustained-stagnation check accepts: with a
+#: single recorded objective the "net" decrease degenerates to the
+#: per-step comparison the windowed reading exists to complement.
+MIN_QUALITY_WINDOW = 2
+
+
 def windowed_quality_violated(
-    epsilon: float, recent_objectives: list[float], f_new: float
+    epsilon: float,
+    recent_objectives: list[float],
+    f_new: float,
+    min_window: int = MIN_QUALITY_WINDOW,
 ) -> bool:
     """Windowed reading of the quality scheme: sustained stagnation.
 
@@ -106,15 +115,23 @@ def windowed_quality_violated(
         epsilon: the active mode's characterized quality error.
         recent_objectives: objective values of recent accepted
             iterations, oldest first (the caller decides the window
-            size; an empty or short window never fires).
+            size).
         f_new: the newest objective value.
+        min_window: minimum number of recorded objectives required
+            before the check may fire; windows shorter than this —
+            including the empty window — never fire, because a
+            length-1 "window" is just the per-step quality check in
+            disguise.  Must be at least 1.
 
     Returns:
-        ``True`` — reconfigure — when the window is full of stagnation.
+        ``True`` — reconfigure — when a full-length window shows
+        stagnation.
     """
     if epsilon < 0:
         raise ValueError(f"epsilon must be >= 0, got {epsilon}")
-    if not recent_objectives:
+    if min_window < 1:
+        raise ValueError(f"min_window must be >= 1, got {min_window}")
+    if len(recent_objectives) < min_window:
         return False
     net_decrease = recent_objectives[0] - f_new
     return net_decrease < epsilon * abs(f_new)

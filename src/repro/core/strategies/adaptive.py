@@ -291,6 +291,8 @@ class AdaptiveAngleStrategy(ReconfigurationStrategy):
             characterization.f_x0, characterization.f_x1
         )
         self._lut = self._build_lut(self._budget)
+        # Offline LUT initialization, tagged iteration -1 in traces.
+        self._emit_lut_refresh(-1)
         self._grad_ref: float | None = None
         self._floor_index = 0
         self._floor_until = -1
@@ -303,6 +305,14 @@ class AdaptiveAngleStrategy(ReconfigurationStrategy):
             self._energies, self._epsilons, budget, self.min_weight
         )
         return AngleLookupTable.from_shares(shares)
+
+    def _emit_lut_refresh(self, iteration: int) -> None:
+        self.emit_event(
+            "lut_refresh",
+            iteration,
+            budget=float(self._budget),
+            shares=[float(s) for s in self._lut.shares],
+        )
 
     # ------------------------------------------------------------------
     # Angle measurement
@@ -346,6 +356,9 @@ class AdaptiveAngleStrategy(ReconfigurationStrategy):
             # which no mode below one level above the failed mode may be
             # selected — a repeat offender would otherwise ping-pong
             # between failing cheaply and rolling back.
+            self.emit_event(
+                "scheme_fired", obs.iteration, obs.mode.name, scheme="function"
+            )
             floor = self._bank.escalate(obs.mode)
             self._floor_index = max(self._floor_index, floor.index)
             self._floor_until = obs.iteration + self.failure_cooldown
@@ -366,6 +379,7 @@ class AdaptiveAngleStrategy(ReconfigurationStrategy):
         )
         if (obs.iteration + 1) % self.update_period == 0:
             self._lut = self._build_lut(self._budget)
+            self._emit_lut_refresh(obs.iteration)
 
         chosen_index = self._lut.lookup(angle)
         if obs.iteration < self._floor_until:
@@ -379,6 +393,9 @@ class AdaptiveAngleStrategy(ReconfigurationStrategy):
             # Progress has sunk to the active mode's error floor; bouncing
             # there re-inflates the measured budget with pure noise, so the
             # quality scheme overrides the LUT toward higher accuracy.
+            self.emit_event(
+                "scheme_fired", obs.iteration, obs.mode.name, scheme="quality"
+            )
             chosen_index = max(chosen_index, obs.mode.index + 1)
             reason = "quality"
         elif self.quality_window:
@@ -388,6 +405,12 @@ class AdaptiveAngleStrategy(ReconfigurationStrategy):
             ):
                 # Sustained stagnation: the mode's noise is masquerading
                 # as per-step progress.
+                self.emit_event(
+                    "scheme_fired",
+                    obs.iteration,
+                    obs.mode.name,
+                    scheme="quality-window",
+                )
                 chosen_index = max(chosen_index, obs.mode.index + 1)
                 reason = "quality-window"
                 self._recent_f = []

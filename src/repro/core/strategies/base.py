@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.arith.modes import ApproxMode, ModeBank
 from repro.core.characterize import CharacterizationTable
+from repro.obs.events import TraceEvent
+from repro.obs.observer import Observer
 
 
 @dataclass
@@ -102,12 +104,34 @@ class ReconfigurationStrategy(ABC):
     _bank: ModeBank
     _characterization: CharacterizationTable
 
+    #: Observability hook bound by the framework for the run's duration
+    #: (None outside an observed run, so emits are zero-cost no-ops).
+    _observer: Observer | None = None
+
     def _bind(
         self, bank: ModeBank, characterization: CharacterizationTable
     ) -> None:
         """Store the run context (call from :meth:`start`)."""
         self._bank = bank
         self._characterization = characterization
+
+    def bind_observer(self, observer: Observer | None) -> None:
+        """Attach (or, with ``None``, detach) the run's observer.
+
+        The framework binds before :meth:`start` and unbinds when the
+        run finishes, so strategy instances never leak a stale hook
+        into a later, unobserved run.
+        """
+        self._observer = observer
+
+    def emit_event(
+        self, kind: str, iteration: int, mode: str | None = None, **detail
+    ) -> None:
+        """Record a :class:`~repro.obs.events.TraceEvent` when observed."""
+        if self._observer is not None:
+            self._observer.record(
+                TraceEvent(kind=kind, iteration=iteration, mode=mode, detail=detail)
+            )
 
     def describe(self) -> str:
         """One-line description for reports."""

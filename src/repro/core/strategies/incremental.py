@@ -80,18 +80,27 @@ class IncrementalStrategy(ReconfigurationStrategy):
         if self.use_function_scheme and function_scheme_violated(
             obs.f_prev, obs.f_new
         ):
+            self.emit_event(
+                "scheme_fired", obs.iteration, mode.name, scheme="function"
+            )
             return Decision(
                 mode=self._escalate(mode), rollback=True, reason="function"
             )
         if self.use_gradient_scheme and gradient_scheme_violated(
             obs.grad_prev, obs.x_prev, obs.x_new
         ):
+            self.emit_event(
+                "scheme_fired", obs.iteration, mode.name, scheme="gradient"
+            )
             return Decision(
                 mode=self._escalate(mode), rollback=False, reason="gradient"
             )
         if self.use_quality_scheme and quality_scheme_violated(
             obs.epsilon, obs.x_prev, obs.x_new, obs.f_prev, obs.f_new
         ):
+            self.emit_event(
+                "scheme_fired", obs.iteration, mode.name, scheme="quality"
+            )
             return Decision(
                 mode=self._escalate(mode), rollback=False, reason="quality"
             )
@@ -100,6 +109,12 @@ class IncrementalStrategy(ReconfigurationStrategy):
             if len(window) >= self.quality_window and windowed_quality_violated(
                 obs.epsilon, window, obs.f_new
             ):
+                self.emit_event(
+                    "scheme_fired",
+                    obs.iteration,
+                    mode.name,
+                    scheme="quality-window",
+                )
                 return Decision(
                     mode=self._escalate(mode),
                     rollback=False,

@@ -18,6 +18,8 @@ Beyond the paper's artifacts::
 ``--out PATH`` writes the report to a file instead of stdout.
 ``--parallel N`` prewarms the experiment matrix over ``N`` worker
 processes (``0`` = all cores) before rendering table3/table4/figure4/all.
+``--trace DIR`` exports JSONL run traces (see ``docs/observability.md``)
+for the ``run`` artifact and for every cell of a ``--parallel`` prewarm.
 """
 
 from __future__ import annotations
@@ -75,6 +77,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "before rendering (table3/table4/figure4/all; 0 = all cores)",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="export JSONL run traces to this directory (run artifact "
+        "and --parallel prewarms; one file per run, safe under "
+        "--parallel)",
+    )
+    parser.add_argument(
         "--out", default=None, help="write the report to this file instead of stdout"
     )
     return parser
@@ -90,7 +100,7 @@ _PARALLEL_ARTIFACTS = {
 }
 
 
-def _prewarm(artifact: str, workers: int) -> None:
+def _prewarm(artifact: str, workers: int, trace_dir: str | None = None) -> None:
     from repro.experiments.runner import run_experiments_parallel
 
     if artifact not in _PARALLEL_ARTIFACTS:
@@ -98,6 +108,7 @@ def _prewarm(artifact: str, workers: int) -> None:
     run_experiments_parallel(
         dataset_keys=_PARALLEL_ARTIFACTS[artifact],
         max_workers=workers if workers > 0 else None,
+        trace_dir=trace_dir,
     )
 
 
@@ -106,6 +117,7 @@ def _generate(
     dataset: str,
     strategy: str = "incremental",
     save: str | None = None,
+    trace_dir: str | None = None,
 ) -> str:
     # Imports are local so `approxit --help` stays fast.
     from repro.experiments.figure1 import figure1
@@ -119,7 +131,7 @@ def _generate(
     if artifact == "figure1":
         return figure1()
     if artifact == "run":
-        return _run_report(dataset, strategy, save)
+        return _run_report(dataset, strategy, save, trace_dir)
     if artifact == "suite":
         return describe_benchmarks() + "\n\n" + describe_datasets()
     if artifact == "table3":
@@ -235,24 +247,52 @@ def _resilience_report(dataset_key: str) -> str:
     )
 
 
-def _run_report(dataset_key: str, strategy: str, save: str | None) -> str:
+def _run_report(
+    dataset_key: str,
+    strategy: str,
+    save: str | None,
+    trace_dir: str | None = None,
+) -> str:
+    from pathlib import Path
+
     from repro.core.framework import ApproxIt
     from repro.core.reporting import comparison_report, save_run
+    from repro.obs import TraceRecorder, render_trace
 
     framework = ApproxIt(_build_method(dataset_key))
+    recorder = None
+    if trace_dir is not None:
+        recorder = TraceRecorder(label=f"{dataset_key}:{strategy}")
     truth = framework.run_truth()
-    run = framework.run(strategy=strategy)
+    run = framework.run(strategy=strategy, observer=recorder)
+    extra = ""
+    if recorder is not None:
+        path = Path(trace_dir) / f"{dataset_key}_{strategy}.jsonl"
+        recorder.save(
+            path,
+            meta={
+                "dataset": dataset_key,
+                "run_label": strategy,
+                "strategy": run.strategy_name,
+            },
+        )
+        run.trace_path = str(path)
+        extra = (
+            f"\n\n{render_trace(recorder.events, mode_order=framework.bank.names()[::-1])}"
+            f"\ntrace written to {path}"
+        )
     if save:
         save_run(run, save)
-    return comparison_report({"truth": truth, strategy: run}, reference="truth")
+    report = comparison_report({"truth": truth, strategy: run}, reference="truth")
+    return report + extra
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.parallel is not None:
-        _prewarm(args.artifact, args.parallel)
-    report = _generate(args.artifact, args.dataset, args.strategy, args.save)
+        _prewarm(args.artifact, args.parallel, args.trace)
+    report = _generate(args.artifact, args.dataset, args.strategy, args.save, args.trace)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report + "\n")

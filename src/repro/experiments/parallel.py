@@ -8,6 +8,18 @@ same ordering, same exceptions — but fans the calls out over a
 ``concurrent.futures.ProcessPoolExecutor`` when one is available and
 worth spinning up.  Sandboxed or single-core environments silently fall
 back to the serial loop, so callers never need to care which one ran.
+
+Failure handling draws a hard line between two very different events:
+
+* the *pool environment* failing (fork restrictions, resource limits, a
+  worker process dying) — recoverable, so the computation retries
+  serially with a warning;
+* ``fn`` *itself* raising — the caller's error, re-raised as-is.  In
+  particular an ``OSError`` raised inside ``fn`` must not masquerade as
+  "process pool unavailable" and silently re-run every cell serially,
+  duplicating side effects before surfacing the real error.  Worker
+  calls are therefore wrapped so their exceptions come back as values
+  and are re-raised at the call site.
 """
 
 from __future__ import annotations
@@ -27,6 +39,31 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+class _WorkerFailure:
+    """An exception raised by ``fn`` inside a worker, shipped back as a
+    value so it cannot be confused with a pool-environment failure."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: Exception):
+        self.exc = exc
+
+
+class _TrappedCall:
+    """Picklable wrapper executing ``fn`` and trapping its exceptions."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[_T], _R]):
+        self.fn = fn
+
+    def __call__(self, item: _T):
+        try:
+            return self.fn(item)
+        except Exception as exc:
+            return _WorkerFailure(exc)
+
+
 def process_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
@@ -41,10 +78,11 @@ def process_map(
             and values ``<= 1`` (or a single-item work list) run serially
             without touching multiprocessing at all.
 
-    Exceptions raised by ``fn`` propagate to the caller either way.  A
-    pool that cannot be created or dies for environmental reasons (fork
-    restrictions, resource limits) triggers a warning and a serial
-    retry — the computation still completes.
+    Exceptions raised by ``fn`` propagate to the caller either way —
+    from the pool they are re-raised here, never retried.  Only a pool
+    that cannot be created or dies for environmental reasons (fork
+    restrictions, resource limits, a killed worker) triggers a warning
+    and a serial retry — the computation still completes.
     """
     work: Sequence[_T] = list(items)
     if max_workers is None:
@@ -53,7 +91,7 @@ def process_map(
         return [fn(item) for item in work]
     try:
         with ProcessPoolExecutor(max_workers=min(max_workers, len(work))) as pool:
-            return list(pool.map(fn, work))
+            results = list(pool.map(_TrappedCall(fn), work))
     except (BrokenProcessPool, OSError, PermissionError) as exc:
         warnings.warn(
             f"process pool unavailable ({exc!r}); running serially",
@@ -61,3 +99,7 @@ def process_map(
             stacklevel=2,
         )
         return [fn(item) for item in work]
+    for result in results:
+        if isinstance(result, _WorkerFailure):
+            raise result.exc
+    return results

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.apps.autoregression import AutoRegression
 from repro.apps.gmm import GaussianMixtureEM
@@ -26,6 +27,7 @@ from repro.apps.qem import cluster_assignment_hamming, weight_l2_error
 from repro.core.framework import ApproxIt, RunResult
 from repro.data.registry import DATASETS, load_dataset
 from repro.experiments.parallel import process_map
+from repro.obs import TraceRecorder
 
 #: Single-mode configurations of the first experiment, ladder order.
 SINGLE_MODES = ("level1", "level2", "level3", "level4")
@@ -143,28 +145,64 @@ def _qem_fn(dataset_key: str, method):
     return qem_fn
 
 
-def _run_cell(framework: ApproxIt, label: str) -> RunResult:
-    """Execute one sweep cell (a single run) on a framework."""
+def _run_cell(
+    framework: ApproxIt,
+    label: str,
+    trace_dir: str | None = None,
+    dataset_key: str = "",
+) -> RunResult:
+    """Execute one sweep cell (a single run) on a framework.
+
+    With ``trace_dir`` set the run is observed by a
+    :class:`~repro.obs.TraceRecorder` and exported to
+    ``<trace_dir>/<dataset>_<label>.jsonl`` (``<label>.jsonl`` without a
+    dataset key); the written path lands in ``RunResult.trace_path``.
+    Tracing is passive — the run itself is bit-identical either way.
+    """
+    observer = None
+    if trace_dir is not None:
+        tag = f"{dataset_key}:{label}" if dataset_key else label
+        observer = TraceRecorder(label=tag)
     if label == "truth":
-        return framework.run_truth()
-    if label in SINGLE_MODES:
-        return framework.run(strategy=f"static:{label}")
-    if label in ONLINE_STRATEGIES:
-        return framework.run(strategy=label)
-    raise KeyError(f"unknown cell label {label!r}; known: {CELL_LABELS}")
+        run = framework.run_truth(observer=observer)
+    elif label in SINGLE_MODES:
+        run = framework.run(strategy=f"static:{label}", observer=observer)
+    elif label in ONLINE_STRATEGIES:
+        run = framework.run(strategy=label, observer=observer)
+    else:
+        raise KeyError(f"unknown cell label {label!r}; known: {CELL_LABELS}")
+    if observer is not None:
+        stem = f"{dataset_key}_{label}" if dataset_key else label
+        path = Path(trace_dir) / f"{stem}.jsonl"
+        observer.save(
+            path,
+            meta={
+                "dataset": dataset_key,
+                "run_label": label,
+                "strategy": run.strategy_name,
+            },
+        )
+        run.trace_path = str(path)
+    return run
 
 
-def _cell_worker(cell: tuple[str, str]) -> tuple[str, str, RunResult]:
-    """Process-pool entry point: run one ``(dataset, label)`` cell.
+def _cell_worker(
+    cell: tuple[str, str, str | None],
+) -> tuple[str, str, RunResult]:
+    """Process-pool entry point: run one ``(dataset, label, trace_dir)``
+    cell.
 
     Every worker rebuilds the framework from the dataset registry —
     methods are deterministic (fresh, seeded RNGs per call), so a cell
     run in a fresh process is bit-identical to the same cell run
-    serially on a shared framework.
+    serially on a shared framework.  Each traced cell writes its own
+    per-process recorder to its own file, so tracing stays safe under
+    ``--parallel``; the paths come back merged into the results at
+    join.
     """
-    dataset_key, label = cell
+    dataset_key, label, trace_dir = cell
     framework, _ = _build_framework(dataset_key)
-    return dataset_key, label, _run_cell(framework, label)
+    return dataset_key, label, _run_cell(framework, label, trace_dir, dataset_key)
 
 
 def _assemble(dataset_key: str, runs: dict[str, RunResult]) -> ApplicationResult:
@@ -225,17 +263,31 @@ def _seed_cache(dataset_key: str, result: ApplicationResult) -> None:
         run_ar_experiment.cache_seed(dataset_key, result)
 
 
+def _prepare_trace_dir(trace_dir: str | Path | None) -> str | None:
+    """Normalize and create the trace directory (picklable str or None)."""
+    if trace_dir is None:
+        return None
+    path = Path(trace_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    return str(path)
+
+
 def run_experiment_cells(
-    dataset_key: str, max_workers: int | None = None
+    dataset_key: str,
+    max_workers: int | None = None,
+    trace_dir: str | Path | None = None,
 ) -> ApplicationResult:
     """One dataset's experiment matrix, sweep cells fanned out.
 
     Equivalent to :func:`run_experiment` — cell runs are deterministic —
     but the seven runs (truth, four static modes, two online strategies)
     execute concurrently across processes.  The assembled result is
-    seeded into the memo cache for downstream reuse.
+    seeded into the memo cache for downstream reuse.  With ``trace_dir``
+    every cell exports its JSONL trace there (one file per cell, written
+    by the worker that ran it).
     """
-    cells = [(dataset_key, label) for label in CELL_LABELS]
+    trace_dir = _prepare_trace_dir(trace_dir)
+    cells = [(dataset_key, label, trace_dir) for label in CELL_LABELS]
     rows = process_map(_cell_worker, cells, max_workers=max_workers)
     result = _assemble(dataset_key, {label: run for _, label, run in rows})
     _seed_cache(dataset_key, result)
@@ -245,6 +297,7 @@ def run_experiment_cells(
 def run_experiments_parallel(
     dataset_keys: tuple[str, ...] | None = None,
     max_workers: int | None = None,
+    trace_dir: str | Path | None = None,
 ) -> dict[str, ApplicationResult]:
     """Fan the whole (dataset × run-label) sweep out over a process pool.
 
@@ -252,6 +305,10 @@ def run_experiments_parallel(
         dataset_keys: datasets to run; all six paper datasets when
             ``None``.
         max_workers: pool size (``None`` = all cores; ``<= 1`` = serial).
+        trace_dir: when set, every cell run is traced and exported to
+            ``<trace_dir>/<dataset>_<label>.jsonl``; per-cell files are
+            written by per-process recorders, so this is safe under the
+            pool, and each ``RunResult.trace_path`` points at its file.
 
     Returns:
         ``dataset_key -> ApplicationResult`` for every requested key,
@@ -260,7 +317,8 @@ def run_experiments_parallel(
     """
     if dataset_keys is None:
         dataset_keys = (*GMM_DATASETS, *AR_DATASETS)
-    cells = [(key, label) for key in dataset_keys for label in CELL_LABELS]
+    trace_dir = _prepare_trace_dir(trace_dir)
+    cells = [(key, label, trace_dir) for key in dataset_keys for label in CELL_LABELS]
     rows = process_map(_cell_worker, cells, max_workers=max_workers)
     by_key: dict[str, dict[str, RunResult]] = {}
     for key, label, run in rows:

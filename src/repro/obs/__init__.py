@@ -1,0 +1,36 @@
+"""Structured run tracing and metrics for the online loop.
+
+The paper's contribution is the online reconfiguration loop, and this
+package makes that loop observable: :class:`~repro.obs.events.TraceEvent`
+records every control decision, :class:`~repro.obs.metrics.MetricsRegistry`
+accumulates where time and energy go, and
+:class:`~repro.obs.observer.TraceRecorder` is the hook
+``ApproxIt.run(observer=...)`` threads through the framework, the
+strategies and the energy ledger.  Traces persist as schema-versioned
+JSONL (:mod:`repro.obs.io`) and fold back into run-level summaries and
+a Figure-3-style mode timeline (:mod:`repro.obs.report`).
+
+See ``docs/observability.md`` for the schema and usage.
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.io import TRACE_SCHEMA_VERSION, TraceFile, load_trace, save_trace
+from repro.obs.metrics import MetricsRegistry, TimerStat
+from repro.obs.observer import Observer, TraceRecorder
+from repro.obs.report import TraceSummary, render_trace, summarize_trace
+
+__all__ = [
+    "EVENT_KINDS",
+    "MetricsRegistry",
+    "Observer",
+    "TRACE_SCHEMA_VERSION",
+    "TimerStat",
+    "TraceEvent",
+    "TraceFile",
+    "TraceRecorder",
+    "TraceSummary",
+    "load_trace",
+    "render_trace",
+    "save_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,111 @@
+"""JSONL persistence for run traces.
+
+A trace file is newline-delimited JSON, schema-versioned like
+:mod:`repro.core.reporting`:
+
+* line 1 — a header record: ``{"record": "header", "schema": N,
+  "meta": {...}}``;
+* one ``{"record": "event", ...}`` line per
+  :class:`~repro.obs.events.TraceEvent`, in emission order;
+* optionally a trailing ``{"record": "metrics", "metrics": {...}}``
+  line carrying a :class:`~repro.obs.metrics.MetricsRegistry` dump.
+
+JSONL keeps traces streamable and appendable: a sweep can ``cat``
+per-cell files together for ad-hoc analysis, and a crashed run's
+partial trace is still loadable line by line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import MetricsRegistry
+
+#: Schema tag written into every trace header.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class TraceFile:
+    """A loaded trace: header metadata, events and optional metrics.
+
+    Attributes:
+        schema: the file's schema version.
+        meta: free-form header metadata (dataset, label, strategy, ...).
+        events: the event stream in emission order.
+        metrics: the run's metrics registry; empty when the file
+            carried none.
+    """
+
+    schema: int
+    meta: dict = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+
+def save_trace(
+    path: str | Path,
+    events: Iterable[TraceEvent],
+    metrics: MetricsRegistry | None = None,
+    meta: dict | None = None,
+) -> Path:
+    """Write a trace to ``path`` as JSONL; returns the path.
+
+    Args:
+        path: destination file (parent directories are created).
+        events: the event stream, in order.
+        metrics: optional registry appended as a trailing record.
+        meta: optional header metadata (JSON-ready values only).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(
+            {
+                "record": "header",
+                "schema": TRACE_SCHEMA_VERSION,
+                "meta": dict(meta or {}),
+            }
+        )
+    ]
+    for event in events:
+        lines.append(json.dumps({"record": "event", **event.to_dict()}))
+    if metrics is not None:
+        lines.append(json.dumps({"record": "metrics", "metrics": metrics.to_dict()}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> TraceFile:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises:
+        ValueError: on a missing/invalid header, an unsupported schema,
+            or an unknown record type.
+    """
+    lines = [line for line in Path(path).read_text().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"trace file {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("record") != "header":
+        raise ValueError(f"trace file {path} does not start with a header record")
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema {schema!r}; expected {TRACE_SCHEMA_VERSION}"
+        )
+    trace = TraceFile(schema=int(schema), meta=dict(header.get("meta", {})))
+    for line in lines[1:]:
+        record = json.loads(line)
+        kind = record.get("record")
+        if kind == "event":
+            trace.events.append(TraceEvent.from_dict(record))
+        elif kind == "metrics":
+            trace.metrics = MetricsRegistry.from_dict(record.get("metrics", {}))
+        else:
+            raise ValueError(f"unknown trace record type {kind!r}")
+    return trace

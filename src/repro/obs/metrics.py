@@ -1,0 +1,125 @@
+"""Counters, gauges and wall-time timers for run instrumentation.
+
+A :class:`MetricsRegistry` is the numeric side of the observability
+layer: where :class:`~repro.obs.events.TraceEvent` records *what*
+happened, the registry accumulates *how much* — elementary-add and
+energy totals per mode (fed by :class:`~repro.arith.engine.EnergyLedger`
+charge notifications), strategy gauges, and ``perf_counter`` sections
+around the method's ``direction`` / ``update`` / ``objective`` calls so
+sweeps can report where wall time actually goes.
+
+Registries are cheap plain-dict holders; they merge associatively
+(:meth:`MetricsRegistry.merge`), which is what lets parallel sweep
+cells keep per-process registries and combine them at join.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall time of one named section.
+
+    Attributes:
+        total: summed seconds across observations.
+        count: number of observations.
+    """
+
+    total: float = 0.0
+    count: int = 0
+
+    @property
+    def mean(self) -> float:
+        """Average seconds per observation (0.0 before any)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timers.
+
+    Counters accumulate (``inc``), gauges hold the last value
+    (``gauge``), timers accumulate wall time and a call count
+    (``observe_time`` / the :meth:`time` context manager).
+    """
+
+    __slots__ = ("counters", "gauges", "timers")
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.timers: dict[str, TimerStat] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest reading."""
+        self.gauges[name] = float(value)
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        """Record one timed section of ``seconds`` under ``name``."""
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = TimerStat()
+        stat.total += seconds
+        stat.count += 1
+
+    @contextmanager
+    def time(self, name: str):
+        """``with metrics.time("direction"): ...`` — a perf_counter
+        section recorded under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe_time(name, time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    # Aggregation and persistence
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters and timers add; gauges take the other registry's value
+        (last writer wins), matching their point-in-time semantics.
+        """
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, stat in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                mine = self.timers[name] = TimerStat()
+            mine.total += stat.total
+            mine.count += stat.count
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-ready) view of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {
+                name: {"total": stat.total, "count": stat.count}
+                for name, stat in self.timers.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        registry.counters.update(payload.get("counters", {}))
+        registry.gauges.update(payload.get("gauges", {}))
+        for name, stat in payload.get("timers", {}).items():
+            registry.timers[name] = TimerStat(
+                total=float(stat["total"]), count=int(stat["count"])
+            )
+        return registry

@@ -1,0 +1,75 @@
+"""The observer hook the online loop reports through.
+
+:class:`Observer` is the contract: :meth:`~Observer.record` receives
+every :class:`~repro.obs.events.TraceEvent` the framework, the
+strategies and the energy ledger emit, :meth:`~Observer.on_charge`
+receives every ledger charge, and :attr:`~Observer.metrics` is the
+registry timed sections and gauges land in.  The base class is a
+usable no-op (events are dropped, metrics still accumulate), so custom
+observers override only what they need.
+
+:class:`TraceRecorder` is the standard implementation: it buffers the
+event stream in memory, aggregates charges into per-mode add/energy
+counters, and persists everything as JSONL via :meth:`TraceRecorder.save`.
+
+Every hook site in the hot loop is guarded by ``observer is not None``,
+so an unobserved run pays nothing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.events import TraceEvent
+from repro.obs.io import save_trace
+from repro.obs.metrics import MetricsRegistry
+
+
+class Observer:
+    """Base observability hook; a no-op for events, live for metrics.
+
+    Attributes:
+        metrics: the run's :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+
+    def record(self, event: TraceEvent) -> None:
+        """Receive one control-loop event (default: dropped)."""
+
+    def on_charge(self, mode_name: str, n_adds: int, cost: float) -> None:
+        """Receive one energy-ledger charge (default: counters only)."""
+        self.metrics.inc(f"adds.{mode_name}", n_adds)
+        self.metrics.inc(f"energy.{mode_name}", cost)
+
+
+class TraceRecorder(Observer):
+    """Buffers the full event stream for export and analysis.
+
+    Args:
+        label: free-form tag stored in saved trace headers (sweeps use
+            ``"<dataset>:<run-label>"``).
+    """
+
+    def __init__(self, label: str | None = None):
+        super().__init__()
+        self.label = label
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def save(self, path: str | Path, meta: dict | None = None) -> Path:
+        """Persist the recorded trace as JSONL; returns the path.
+
+        The recorder's ``label`` and its metrics registry ride along in
+        the header and trailing record.
+        """
+        merged_meta = {} if self.label is None else {"label": self.label}
+        merged_meta.update(meta or {})
+        return save_trace(path, self.events, metrics=self.metrics, meta=merged_meta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" label={self.label!r}" if self.label else ""
+        return f"TraceRecorder({len(self.events)} events{tag})"

@@ -132,6 +132,35 @@ class TestPidStrategy:
         result = fw.run(strategy=strat, max_iter=40)
         assert result.steps_by_mode["level1"] > result.steps_by_mode["acc"]
 
+    def test_strategy_instance_reusable_across_runs(self, km_dataset, bank32):
+        """Regression: ``start()`` must wipe the controller integral,
+        the sensor baseline and the continuous level, so a second run
+        with the same strategy instance is bit-identical to the first
+        (no PID state leaking across runs)."""
+        km = KMeans.from_dataset(km_dataset)
+        fw = ApproxIt(km, bank32)
+        strat = PidEffortStrategy(
+            km,
+            sensor=MeanCentroidDistanceSensor(),
+            target=0.5,
+            controller=PidController(kp=2.0, ki=0.5),
+        )
+        first = fw.run(strategy=strat, max_iter=40)
+        second = fw.run(strategy=strat, max_iter=40)
+        np.testing.assert_array_equal(second.x, first.x)
+        assert second.mode_trace == first.mode_trace
+        assert second.steps_by_mode == first.steps_by_mode
+        assert second.energy == pytest.approx(first.energy)
+        # ...and identical to a fresh instance's run.
+        fresh = PidEffortStrategy(
+            km,
+            sensor=MeanCentroidDistanceSensor(),
+            target=0.5,
+            controller=PidController(kp=2.0, ki=0.5),
+        )
+        third = fw.run(strategy=fresh, max_iter=40)
+        assert third.mode_trace == first.mode_trace
+
     def test_rejects_bad_target(self, km_dataset):
         km = KMeans.from_dataset(km_dataset)
         with pytest.raises(ValueError, match="target"):

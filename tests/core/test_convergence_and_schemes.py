@@ -162,6 +162,23 @@ class TestWindowedQualityScheme:
         with pytest.raises(ValueError):
             windowed_quality_violated(-0.1, [1.0], 1.0)
 
+    def test_short_window_never_fires(self):
+        """Regression: a length-1 "window" is the per-step check in
+        disguise and used to fire on a stagnant single observation."""
+        assert not windowed_quality_violated(1e-3, [1.0], 1.0 - 1e-9)
+        # With a real window the same stagnation does fire.
+        assert windowed_quality_violated(1e-3, [1.0, 1.0], 1.0 - 1e-9)
+
+    def test_min_window_is_tunable(self):
+        stagnant = [1.0, 1.0, 1.0]
+        assert windowed_quality_violated(1e-3, stagnant, 1.0, min_window=3)
+        assert not windowed_quality_violated(1e-3, stagnant, 1.0, min_window=4)
+        assert windowed_quality_violated(1e-3, [1.0], 1.0 - 1e-9, min_window=1)
+
+    def test_min_window_validated(self):
+        with pytest.raises(ValueError, match="min_window"):
+            windowed_quality_violated(1e-3, [1.0, 1.0], 1.0, min_window=0)
+
 
 class TestFunctionScheme:
     def test_fires_on_increase(self):

@@ -68,6 +68,45 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="missing field"):
             run_from_dict(payload)
 
+    def test_history_round_trip(self, bank32):
+        """Regression: ``collect_history=True`` snapshots used to be
+        silently dropped by the save/load round trip."""
+        fn = QuadraticFunction.random_spd(dim=3, seed=7, condition=10.0)
+        method = GradientDescent(
+            fn,
+            x0=np.full(3, 1.5),
+            learning_rate=0.05,
+            max_iter=200,
+            tolerance=1e-8,
+            convergence_kind="abs",
+        )
+        fw = ApproxIt(method, bank32)
+        original = fw.run(strategy="incremental", collect_history=True)
+        assert original.history  # precondition: there is something to keep
+        rebuilt = run_from_dict(run_to_dict(original))
+        assert len(rebuilt.history) == len(original.history)
+        for got, want in zip(rebuilt.history, original.history):
+            assert got.iteration == want.iteration
+            np.testing.assert_array_equal(got.x, want.x)
+            assert got.objective == want.objective
+            assert got.mode_name == want.mode_name
+
+    def test_trace_path_round_trip(self, runs):
+        payload = run_to_dict(runs["incremental"])
+        assert payload["schema"] == 2
+        payload["trace_path"] = "traces/run.jsonl"
+        assert run_from_dict(payload).trace_path == "traces/run.jsonl"
+
+    def test_legacy_schema_1_payload_loads(self, runs):
+        payload = run_to_dict(runs["incremental"])
+        payload["schema"] = 1
+        del payload["history"]
+        del payload["trace_path"]
+        rebuilt = run_from_dict(payload)
+        assert rebuilt.history == []
+        assert rebuilt.trace_path is None
+        assert np.array_equal(rebuilt.x, runs["incremental"].x)
+
 
 class TestComparisonReport:
     def test_reference_normalized_to_one(self, runs):
@@ -83,3 +122,18 @@ class TestComparisonReport:
     def test_missing_reference_rejected(self, runs):
         with pytest.raises(KeyError, match="reference"):
             comparison_report(runs, reference="nope")
+
+    def test_zero_energy_reference_renders_na(self, runs):
+        """Regression: a zero-energy reference run (e.g. a stub engine)
+        used to crash the report with a ZeroDivisionError-style
+        ValueError; it must render ``n/a`` cells instead."""
+        payload = run_to_dict(runs["truth"])
+        payload["energy"] = 0.0
+        payload["energy_by_mode"] = {}
+        free_truth = run_from_dict(payload)
+        text = comparison_report(
+            {"truth": free_truth, "incremental": runs["incremental"]},
+            reference="truth",
+        )
+        assert "n/a" in text
+        assert "incremental" in text

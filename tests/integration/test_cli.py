@@ -21,6 +21,11 @@ class TestParser:
         args = _build_parser().parse_args(["suite", "--out", "x.txt"])
         assert args.out == "x.txt"
 
+    def test_trace_flag(self):
+        args = _build_parser().parse_args(["run", "--trace", "traces"])
+        assert args.trace == "traces"
+        assert _build_parser().parse_args(["run"]).trace is None
+
 
 class TestMain:
     def test_suite_to_stdout(self, capsys):
@@ -32,3 +37,28 @@ class TestMain:
         target = tmp_path / "fig2.txt"
         assert main(["figure2", "--out", str(target)]) == 0
         assert "Figure 2" in target.read_text()
+
+    def test_run_with_trace_exports_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_trace, summarize_trace
+
+        trace_dir = tmp_path / "traces"
+        assert (
+            main(
+                [
+                    "run",
+                    "--dataset",
+                    "3cluster",
+                    "--strategy",
+                    "incremental",
+                    "--trace",
+                    str(trace_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Mode timeline" in out
+        assert "trace written to" in out
+        trace = load_trace(trace_dir / "3cluster_incremental.jsonl")
+        assert trace.meta["dataset"] == "3cluster"
+        assert summarize_trace(trace).iterations > 0

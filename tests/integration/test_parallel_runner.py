@@ -40,6 +40,31 @@ def _boom(x):
     raise RuntimeError(f"boom {x}")
 
 
+def _os_boom(x):
+    raise OSError(f"fn-level os failure {x}")
+
+
+class _InProcessPool:
+    """``ProcessPoolExecutor`` stand-in that maps in the test process.
+
+    Lets the pool-path tests observe call counts and raise from ``fn``
+    deterministically, without depending on fork working in the test
+    environment.
+    """
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
 class TestProcessMap:
     def test_serial_path(self):
         assert process_map(_square, [1, 2, 3], max_workers=1) == [1, 4, 9]
@@ -60,6 +85,46 @@ class TestProcessMap:
     def test_exceptions_propagate(self):
         with pytest.raises(RuntimeError, match="boom"):
             process_map(_boom, [1], max_workers=1)
+
+    def test_worker_oserror_is_not_a_pool_failure(self, monkeypatch):
+        """Regression: an ``OSError`` raised *inside* ``fn`` used to be
+        mistaken for "process pool unavailable" and silently retried
+        serially — duplicating every cell's side effects.  It must
+        propagate as the caller's error, with no warning and no rerun."""
+        import repro.experiments.parallel as parallel_module
+
+        calls = []
+
+        def counting_os_boom(x):
+            calls.append(x)
+            raise OSError(f"fn-level os failure {x}")
+
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", _InProcessPool
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning fails the test
+            with pytest.raises(OSError, match="fn-level os failure"):
+                process_map(counting_os_boom, [1, 2, 3], max_workers=2)
+        assert calls == [1, 2, 3]  # one pass over the work list, no serial rerun
+
+    def test_worker_exception_propagates_from_real_pool(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(OSError, match="fn-level os failure"):
+                process_map(_os_boom, [1, 2], max_workers=2)
+
+    def test_pool_construction_failure_falls_back_serially(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        def exploding_pool(*args, **kwargs):
+            raise OSError("fork blocked")
+
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", exploding_pool
+        )
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            assert process_map(_square, [1, 2, 3], max_workers=2) == [1, 4, 9]
 
 
 @pytest.fixture()
@@ -136,3 +201,27 @@ class TestCellRunner:
         framework, _ = runner_module._build_framework("minip")
         with pytest.raises(KeyError, match="unknown cell label"):
             runner_module._run_cell(framework, "nonsense")
+
+    def test_traced_cells_export_jsonl_and_stay_identical(
+        self, mini_gmm_registry, tmp_path
+    ):
+        from repro.obs import load_trace, summarize_trace
+
+        plain = run_experiment_cells("minip", max_workers=1)
+        run_gmm_experiment.cache_clear()
+        traced = run_experiment_cells(
+            "minip", max_workers=1, trace_dir=tmp_path / "traces"
+        )
+        _assert_same_result(traced, plain)
+        for label in CELL_LABELS:
+            run = traced.run_of(label)
+            assert run.trace_path is not None
+            assert run.trace_path.endswith(f"minip_{label}.jsonl")
+            trace = load_trace(run.trace_path)
+            assert trace.meta["dataset"] == "minip"
+            summary = summarize_trace(trace)
+            assert summary.iterations == run.iterations
+            assert summary.rollbacks == run.rollbacks
+            assert summary.mode_switches == run.mode_switches
+        # The untraced assembly left no paths behind.
+        assert plain.run_of("incremental").trace_path is None

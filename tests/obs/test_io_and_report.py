@@ -1,0 +1,142 @@
+"""Unit tests for trace persistence, summaries and the timeline view."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    MetricsRegistry,
+    TraceEvent,
+    load_trace,
+    render_trace,
+    save_trace,
+    summarize_trace,
+)
+
+
+def _sample_events():
+    return [
+        TraceEvent("lut_refresh", -1, detail={"budget": 0.1, "shares": [0.5, 0.5]}),
+        TraceEvent("iteration", 0, "level1", {"objective": 3.0, "accepted": True}),
+        TraceEvent("scheme_fired", 1, "level1", {"scheme": "function"}),
+        TraceEvent(
+            "iteration",
+            1,
+            "level1",
+            {"objective": 3.5, "accepted": False, "reason": "function"},
+        ),
+        TraceEvent("rollback", 1, "level1", {"next_mode": "level2"}),
+        TraceEvent("mode_switch", 2, "level2", {"previous": "level1"}),
+        TraceEvent("reconfig_charge", 2, "level2", {"energy": 0.25}),
+        TraceEvent("iteration", 2, "level2", {"objective": 2.0, "accepted": True}),
+        TraceEvent("convergence_handover", 3, "level2", {"next_mode": "acc"}),
+        TraceEvent("mode_switch", 3, "acc", {"previous": "level2"}),
+        TraceEvent("reconfig_charge", 3, "acc", {"energy": 0.25}),
+        TraceEvent("iteration", 3, "acc", {"objective": 1.0, "accepted": True}),
+    ]
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        events = _sample_events()
+        metrics = MetricsRegistry()
+        metrics.inc("adds.level1", 12)
+        path = save_trace(
+            tmp_path / "t.jsonl", events, metrics=metrics, meta={"dataset": "3cluster"}
+        )
+        trace = load_trace(path)
+        assert trace.schema == TRACE_SCHEMA_VERSION
+        assert trace.meta == {"dataset": "3cluster"}
+        assert trace.events == events
+        assert trace.metrics.counters == {"adds.level1": 12}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_trace(tmp_path / "a" / "b" / "t.jsonl", _sample_events())
+        assert path.exists()
+
+    def test_metrics_record_optional(self, tmp_path):
+        path = save_trace(tmp_path / "t.jsonl", _sample_events())
+        trace = load_trace(path)
+        assert trace.metrics.counters == {}
+
+    def test_file_is_one_json_object_per_line(self, tmp_path):
+        path = save_trace(tmp_path / "t.jsonl", _sample_events())
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["record"] == "header"
+        assert all(r["record"] in {"header", "event", "metrics"} for r in records)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(path)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"record": "event", "kind": "iteration", "iteration": 0}\n')
+        with pytest.raises(ValueError, match="header"):
+            load_trace(path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"record": "header", "schema": 99, "meta": {}}\n')
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = save_trace(tmp_path / "t.jsonl", [])
+        with path.open("a") as handle:
+            handle.write('{"record": "surprise"}\n')
+        with pytest.raises(ValueError, match="unknown trace record"):
+            load_trace(path)
+
+
+class TestSummarize:
+    def test_counts_from_event_stream(self):
+        summary = summarize_trace(_sample_events())
+        assert summary.iterations == 3
+        assert summary.executed_iterations == 4
+        assert summary.rollbacks == 1
+        assert summary.mode_switches == 2
+        assert summary.steps_by_mode == {"level1": 1, "level2": 1, "acc": 1}
+        assert summary.scheme_firings == {"function": 1}
+        assert summary.lut_refreshes == 1
+        assert summary.convergence_handovers == 1
+        assert summary.reconfig_energy == pytest.approx(0.5)
+
+    def test_accepts_path_and_tracefile(self, tmp_path):
+        path = save_trace(tmp_path / "t.jsonl", _sample_events())
+        from_path = summarize_trace(path)
+        from_file = summarize_trace(load_trace(path))
+        assert from_path == from_file == summarize_trace(_sample_events())
+
+
+class TestRender:
+    def test_empty_trace(self):
+        assert "empty trace" in render_trace([])
+
+    def test_rows_cover_modes_and_marks(self):
+        text = render_trace(_sample_events())
+        lines = text.splitlines()
+        assert "4 executed iterations" in lines[0]
+        row_of = {line.split("|")[0].strip(): line for line in lines[1:-1]}
+        assert set(row_of) == {"level1", "level2", "acc"}
+        assert "x" in row_of["level1"]  # the rollback bucket
+        assert "#" in row_of["acc"]
+        assert "3 accepted, 1 rollbacks, 2 switches" in lines[-1]
+
+    def test_mode_order_controls_rows(self):
+        text = render_trace(_sample_events(), mode_order=["acc", "level2", "level1"])
+        rows = [line.split("|")[0].strip() for line in text.splitlines()[1:-1]]
+        assert rows == ["acc", "level2", "level1"]
+
+    def test_long_runs_bucketed_to_width(self):
+        events = [
+            TraceEvent("iteration", i, "acc", {"accepted": True}) for i in range(300)
+        ]
+        text = render_trace(events, width=50)
+        timeline = text.splitlines()[1].split("|")[1]
+        assert len(timeline) == 50
+        assert "1 column = 6 iterations" in text

@@ -1,0 +1,151 @@
+"""Observed runs: passive tracing that reproduces the run's counters.
+
+The acceptance bar for the observability layer is twofold: a traced run
+must be *bit-identical* to an untraced one (observation cannot perturb
+the computation), and ``summarize_trace`` over the exported event stream
+must reproduce the originating ``RunResult``'s ``steps_by_mode`` /
+``rollbacks`` / ``mode_switches`` exactly (the schema's consistency
+guarantee).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline_pid import PidEffortStrategy
+from repro.core.framework import ApproxIt
+from repro.core.strategies import AdaptiveAngleStrategy, IncrementalStrategy
+from repro.obs import TraceRecorder, load_trace, summarize_trace
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+@pytest.fixture(scope="module")
+def framework(bank32):
+    fn = QuadraticFunction.random_spd(dim=4, seed=61, condition=20.0)
+    method = GradientDescent(
+        fn,
+        x0=np.full(4, 2.0),
+        learning_rate=0.05,
+        max_iter=2000,
+        tolerance=1e-10,
+        convergence_kind="abs",
+    )
+    return ApproxIt(method, bank32)
+
+
+def _assert_bit_identical(a, b):
+    np.testing.assert_array_equal(a.x, b.x)
+    assert a.objective == b.objective
+    assert a.iterations == b.iterations
+    assert a.energy == b.energy
+    assert a.mode_trace == b.mode_trace
+    assert a.steps_by_mode == b.steps_by_mode
+    assert a.rollbacks == b.rollbacks
+    assert a.mode_switches == b.mode_switches
+
+
+def _assert_summary_matches(summary, run):
+    assert summary.iterations == run.iterations
+    assert summary.rollbacks == run.rollbacks
+    assert summary.mode_switches == run.mode_switches
+    # The summary omits modes with zero steps; the run result keeps them.
+    assert summary.steps_by_mode == {
+        mode: count for mode, count in run.steps_by_mode.items() if count
+    }
+
+
+@pytest.mark.parametrize("strategy", ["incremental", "adaptive", "static:level2"])
+def test_traced_run_bit_identical_and_summary_exact(framework, strategy):
+    untraced = framework.run(strategy=strategy)
+    recorder = TraceRecorder(label=strategy)
+    traced = framework.run(strategy=strategy, observer=recorder)
+    _assert_bit_identical(traced, untraced)
+    _assert_summary_matches(summarize_trace(recorder.events), traced)
+
+
+def test_summary_survives_jsonl_round_trip(framework, tmp_path):
+    recorder = TraceRecorder(label="incremental")
+    run = framework.run(strategy="incremental", observer=recorder)
+    path = recorder.save(tmp_path / "run.jsonl", meta={"strategy": "incremental"})
+    trace = load_trace(path)
+    assert trace.meta["label"] == "incremental"
+    _assert_summary_matches(summarize_trace(trace), run)
+    assert trace.metrics.counters == recorder.metrics.counters
+
+
+def test_every_executed_iteration_emits_an_event(framework):
+    recorder = TraceRecorder()
+    run = framework.run(strategy="incremental", observer=recorder)
+    steps = [e for e in recorder.events if e.kind == "iteration"]
+    assert len(steps) == run.iterations + run.rollbacks
+    # Executed-iteration indices are contiguous from 0.
+    assert [e.iteration for e in steps] == list(range(len(steps)))
+
+
+def test_energy_counters_match_ledger(framework):
+    recorder = TraceRecorder()
+    run = framework.run(strategy="incremental", observer=recorder)
+    energy = sum(
+        value
+        for name, value in recorder.metrics.counters.items()
+        if name.startswith("energy.")
+    )
+    assert energy == pytest.approx(run.energy)
+
+
+def test_timers_cover_the_method_sections(framework):
+    recorder = TraceRecorder()
+    run = framework.run(strategy="incremental", observer=recorder)
+    for section in ("direction", "update", "objective"):
+        assert recorder.metrics.timers[section].count >= run.iterations
+
+
+def test_observer_detached_after_run(framework):
+    strategy = IncrementalStrategy(framework.method)
+    recorder = TraceRecorder()
+    framework.run(strategy=strategy, observer=recorder)
+    assert strategy._observer is None
+    # A later unobserved run on the same instance records nothing new.
+    n_events = len(recorder.events)
+    framework.run(strategy=strategy)
+    assert len(recorder.events) == n_events
+
+
+def test_observer_detached_even_when_run_raises(framework):
+    strategy = IncrementalStrategy(framework.method)
+
+    class Exploding(TraceRecorder):
+        def record(self, event):
+            raise RuntimeError("observer boom")
+
+    with pytest.raises(RuntimeError, match="observer boom"):
+        framework.run(strategy=strategy, observer=Exploding())
+    assert strategy._observer is None
+
+
+def test_adaptive_emits_offline_lut_refresh(framework):
+    recorder = TraceRecorder()
+    framework.run(strategy=AdaptiveAngleStrategy(), observer=recorder)
+    refreshes = [e for e in recorder.events if e.kind == "lut_refresh"]
+    assert refreshes and refreshes[0].iteration == -1
+    assert "budget" in refreshes[0].detail and "shares" in refreshes[0].detail
+
+
+def test_pid_strategy_emits_gauges_and_firings(framework):
+    recorder = TraceRecorder()
+    strategy = PidEffortStrategy(framework.method, target=1e-6)
+    run = framework.run(strategy=strategy, observer=recorder, max_iter=40)
+    assert "pid.level" in recorder.metrics.gauges
+    assert "pid.normalized" in recorder.metrics.gauges
+    fired = summarize_trace(recorder.events).scheme_firings
+    assert fired.get("pid", 0) == run.mode_switches
+
+
+def test_run_truth_accepts_observer(framework):
+    recorder = TraceRecorder()
+    untraced = framework.run_truth()
+    traced = framework.run_truth(observer=recorder)
+    _assert_bit_identical(traced, untraced)
+    assert summarize_trace(recorder.events).steps_by_mode == {
+        "acc": traced.iterations
+    }
