@@ -50,11 +50,22 @@ class PerfRecorder:
         self.entries[name] = fields
 
     def write(self) -> None:
+        # Merge into the existing artifact instead of overwriting it, so
+        # running a subset of the suite (one file, `-k` selection)
+        # refreshes only the entries it measured and a partial run can
+        # never silently drop the other benchmarks from the record.
+        benchmarks: dict[str, dict] = {}
+        if BENCH_PATH.exists():
+            try:
+                benchmarks = json.loads(BENCH_PATH.read_text())["benchmarks"]
+            except (OSError, ValueError, KeyError):
+                benchmarks = {}
+        benchmarks.update(self.entries)
         payload = {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
             "machine": platform.machine(),
-            "benchmarks": self.entries,
+            "benchmarks": benchmarks,
         }
         BENCH_PATH.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"

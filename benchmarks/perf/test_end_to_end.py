@@ -1,26 +1,33 @@
-"""End-to-end ApproxIt run: fast path vs pre-residency execution.
+"""End-to-end ApproxIt runs: the shipped configuration vs its baselines.
 
-One Jacobi system under the incremental strategy, executed twice — once
-with ``ApproxEngine.default_fast_path`` on (the shipped configuration)
-and once off (the literal pre-optimization engine).  The runs must be
-*identical* in result and energy; only the wall clock may differ.
+One Jacobi system under the incremental strategy, executed three ways:
+
+* ``ApproxEngine.default_fast_path`` on (the shipped engine) vs off (the
+  literal pre-optimization engine) — identical results and energy, only
+  the wall clock may differ;
+* the shipped engine with a *warm* disk-backed characterization cache vs
+  without one — the offline stage dominates a fresh run (it probes every
+  mode of the bank), so a cache hit is where the end-to-end win lives.
 """
 
 import numpy as np
 import pytest
 
 from repro.arith.engine import ApproxEngine
+from repro.core.characterize import CharacterizationCache
 from repro.core.framework import ApproxIt
 from repro.solvers.linear import JacobiSolver
 
 
-def _run_incremental():
+def _run_incremental(char_cache=None):
     rng = np.random.default_rng(17)
     n = 80
     matrix = rng.uniform(-1.0, 1.0, size=(n, n))
     matrix += np.diag(np.abs(matrix).sum(axis=1) + 1.0)
     rhs = rng.uniform(-5.0, 5.0, size=n)
-    framework = ApproxIt(JacobiSolver(matrix, rhs, max_iter=120))
+    framework = ApproxIt(
+        JacobiSolver(matrix, rhs, max_iter=120), char_cache=char_cache
+    )
     return framework.run(strategy="incremental")
 
 
@@ -29,10 +36,10 @@ def test_incremental_jacobi_fast_vs_legacy(perf):
     try:
         ApproxEngine.default_fast_path = True
         fast_run = _run_incremental()
-        t_fast = perf.time(_run_incremental, repeats=3)
+        t_fast = perf.time(_run_incremental, repeats=7)
         ApproxEngine.default_fast_path = False
         legacy_run = _run_incremental()
-        t_legacy = perf.time(_run_incremental, repeats=3)
+        t_legacy = perf.time(_run_incremental, repeats=7)
     finally:
         ApproxEngine.default_fast_path = saved
 
@@ -46,6 +53,38 @@ def test_incremental_jacobi_fast_vs_legacy(perf):
         iterations=fast_run.iterations,
         fast_s=round(t_fast, 4),
         legacy_s=round(t_legacy, 4),
+        speedup=round(speedup, 2),
+    )
+    assert speedup > 1.0
+
+
+def test_incremental_jacobi_warm_char_cache(perf, tmp_path):
+    """The full sweep-cell configuration: fast path + warm disk cache.
+
+    A fresh run recharacterizes the whole mode bank before iterating;
+    with the content-addressed cache warm, the table deserializes
+    instead.  Results are bit-identical either way — the cached table
+    round-trips through JSON exactly.
+    """
+    cache = CharacterizationCache(tmp_path / "char")
+    uncached_run = _run_incremental()
+    cached_run = _run_incremental(char_cache=cache)  # cold: characterizes + stores
+    warm_run = _run_incremental(char_cache=cache)
+
+    np.testing.assert_array_equal(warm_run.x, uncached_run.x)
+    np.testing.assert_array_equal(cached_run.x, uncached_run.x)
+    assert warm_run.iterations == uncached_run.iterations
+    assert warm_run.energy == pytest.approx(uncached_run.energy)
+    assert cache.hits >= 1
+
+    t_uncached = perf.time(_run_incremental, repeats=7)
+    t_warm = perf.time(lambda: _run_incremental(char_cache=cache), repeats=7)
+    speedup = t_uncached / t_warm
+    perf.record(
+        "e2e/jacobi80_warm_char_cache",
+        iterations=warm_run.iterations,
+        uncached_s=round(t_uncached, 4),
+        warm_s=round(t_warm, 4),
         speedup=round(speedup, 2),
     )
     assert speedup > 1.0

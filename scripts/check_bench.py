@@ -1,0 +1,78 @@
+"""Gate a fresh ``BENCH_perf.json`` against speedup regressions.
+
+Usage::
+
+    python scripts/check_bench.py [BENCH_perf.json] [--min-speedup 0.9]
+
+Every benchmark entry records a ``speedup`` of the optimized path over
+its baseline (legacy engine, bit-serial reference adder, cold cache).
+An optimization that drops below parity means the fast path lost to the
+code it was meant to beat; the CI perf-smoke job runs the harness on a
+small size and fails the build when that happens.  The floor defaults
+to 0.9 rather than 1.0 so shared-runner timing noise does not flap the
+gate — a real regression lands well below it.
+
+Exit codes: 0 all entries pass, 1 regression found, 2 artifact missing
+or malformed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(path: Path, min_speedup: float) -> int:
+    try:
+        payload = json.loads(path.read_text())
+        benchmarks = payload["benchmarks"]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read benchmark artifact {path}: {exc}")
+        return 2
+    if not benchmarks:
+        print(f"error: {path} contains no benchmark entries")
+        return 2
+
+    failures = []
+    for name in sorted(benchmarks):
+        entry = benchmarks[name]
+        speedup = entry.get("speedup")
+        if speedup is None:
+            failures.append(f"{name}: entry has no 'speedup' field")
+            continue
+        marker = "ok " if speedup >= min_speedup else "REG"
+        print(f"  {marker} {name}: {speedup}x")
+        if speedup < min_speedup:
+            failures.append(f"{name}: speedup {speedup} < floor {min_speedup}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) below the {min_speedup}x floor:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall {len(benchmarks)} benchmarks at or above {min_speedup}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifact",
+        nargs="?",
+        default="BENCH_perf.json",
+        help="path to the benchmark artifact (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.9,
+        help="fail when any entry's speedup is below this (default: 0.9)",
+    )
+    args = parser.parse_args(argv)
+    return check(Path(args.artifact), args.min_speedup)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,12 +11,20 @@ methods in :mod:`repro.solvers` / :mod:`repro.apps`:
   every elementary addition to an :class:`EnergyLedger`;
 * :class:`ResidentVector` — fixed-point words kept resident between
   chained engine kernels (pass ``resident=True`` to any kernel);
+* :class:`ResidentMatrix` — a pinned multiplicative constant whose
+  products skip the per-call finiteness scan (``engine.pin_matrix``);
 * :mod:`repro.arith.modes` — the quality-configurable mode registry
   (``level1`` .. ``level4`` + ``accurate``) mirroring the paper's
   experimental platform.
 """
 
-from repro.arith.engine import ApproxEngine, EnergyLedger, ResidentVector
+from repro.arith.engine import (
+    ApproxEngine,
+    EnergyLedger,
+    ReductionPlan,
+    ResidentMatrix,
+    ResidentVector,
+)
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ApproxMode, ModeBank, default_mode_bank
 
@@ -26,6 +34,8 @@ __all__ = [
     "EnergyLedger",
     "FixedPointFormat",
     "ModeBank",
+    "ReductionPlan",
+    "ResidentMatrix",
     "ResidentVector",
     "default_mode_bank",
 ]

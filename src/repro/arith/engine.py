@@ -31,6 +31,22 @@ energy accounting* — it only removes redundant conversions.  Setting
 ``fast_path=False`` (or flipping :attr:`ApproxEngine.default_fast_path`)
 restores the literal pre-residency execution, which the perf benchmarks
 use as their baseline.
+
+Pinned (cached) operands
+------------------------
+Iterative methods feed the same constant operands — the system matrix,
+the right-hand side, cluster points — into every iteration.
+:meth:`ApproxEngine.pin` encodes an additive constant once per engine
+(hence once per format) and returns the cached :class:`ResidentVector`
+on every subsequent call with the same array; :meth:`ApproxEngine.pin_matrix`
+validates and profiles a multiplicative constant once and returns a
+:class:`ResidentMatrix` whose products can skip the per-call finiteness
+scan.  Both caches key on the pin name plus array identity: pinning a
+*different* array under an existing name re-encodes (the version bump),
+in-place mutation of a pinned array requires re-pinning, and the caches
+die with the engine, so a new format always starts cold.  Legacy engines
+(``fast_path=False``) accept the same calls but re-encode every time —
+the oracle stays literal.
 """
 
 from __future__ import annotations
@@ -89,11 +105,66 @@ class ResidentVector:
         return self.fmt.decode(self.words)
 
     def __array__(self, dtype=None, copy=None):
+        if copy is False:
+            # NumPy 2 semantics: ``copy=False`` demands a zero-copy view,
+            # but decoding always materialises a fresh float array.
+            raise ValueError(
+                "ResidentVector cannot be converted to an array without "
+                "copying (decode allocates); use copy=None or copy=True"
+            )
         decoded = self.decode()
         return decoded if dtype is None else decoded.astype(dtype)
 
     def __repr__(self) -> str:
         return f"ResidentVector(shape={self.words.shape}, fmt={self.fmt.describe()})"
+
+
+class ResidentMatrix:
+    """A constant multiplicative operand validated and profiled once.
+
+    Multiplicative constants (the system matrix in ``matvec``, the
+    cluster points in ``weighted_sum``) are *not* encoded to fixed point
+    — products are exact float and only the accumulation is approximate
+    — so what repeats every iteration is the full finiteness scan of the
+    ``rows × cols`` product array inside ``encode``.  Pinning checks the
+    constant finite once and records its absolute maximum; each call
+    then proves the product finite from ``abs_max`` times the iterate's
+    absolute maximum (an ``O(n)`` scan instead of ``O(rows × cols)``)
+    and encodes with the scan skipped.  The emitted words are identical
+    either way.
+
+    The wrapped array is treated as immutable: mutating it after
+    pinning invalidates the cached ``abs_max`` — re-pin instead.
+
+    Attributes:
+        array: the validated float64 constant.
+        abs_max: ``max(|array|)`` (``0.0`` when empty).
+    """
+
+    __slots__ = ("array", "abs_max")
+
+    def __init__(self, array: np.ndarray):
+        arr = np.asarray(array, dtype=np.float64)
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("cannot pin non-finite values")
+        self.array = arr
+        self.abs_max = float(np.abs(arr).max()) if arr.size else 0.0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.array.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.array.ndim
+
+    def __array__(self, dtype=None, copy=None):
+        if copy:
+            return self.array.astype(dtype, copy=True) if dtype else self.array.copy()
+        return self.array if dtype is None else self.array.astype(dtype, copy=False)
+
+    def __repr__(self) -> str:
+        return f"ResidentMatrix(shape={self.array.shape}, abs_max={self.abs_max:g})"
 
 
 @dataclass
@@ -153,6 +224,36 @@ class EnergyLedger:
         return self.energy - earlier.energy
 
 
+class ReductionPlan:
+    """Precomputed geometry for one tree-reduce input shape.
+
+    The balanced-tree fold visits the same level splits for every input
+    of a given shape, so the per-level ``n // 2`` / odd-tail bookkeeping
+    and the tail carry buffer can be computed once and reused.  Plans
+    are cached per engine keyed by input shape — and an engine is bound
+    to one ``(fmt, mode)``, so the cache key of the issue
+    (``(n, fmt, mode)``) falls out of engine identity.  A plan holds no
+    data-dependent state: the fold still runs the identical sequence of
+    adder calls with the identical per-level ledger charges.
+
+    Attributes:
+        levels: :func:`repro.hardware.bitops.reduction_levels` output.
+        buf: preallocated tail-carry buffer sized for the first (widest)
+            odd level, or ``None`` when no level is odd.
+    """
+
+    __slots__ = ("levels", "buf")
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.levels = bitops.reduction_levels(shape[0])
+        self.buf = None
+        for half, odd in self.levels:
+            if odd:
+                # Widest odd level comes first (sizes only shrink).
+                self.buf = np.empty((half + 1,) + shape[1:], dtype=np.int64)
+                break
+
+
 class ApproxEngine:
     """Executes additive kernels through one approximation mode.
 
@@ -202,6 +303,86 @@ class ApproxEngine:
         self._signed_lo, self._signed_hi = bitops.signed_range(fmt.width)
         self._multiplier = None
         self._mul_energy = None
+        # Pinned-operand caches (fast path only; legacy engines stay
+        # literal).  ``_pinned*`` key by name; ``_operand_cache`` keys by
+        # ``id`` so raw arrays passed straight to kernels hit too.  Each
+        # entry keeps a reference to the pinned array, both to validate
+        # identity and to keep the id stable while cached.
+        self._pinned: dict[str, tuple[np.ndarray, ResidentVector]] = {}
+        self._pinned_matrices: dict[str, tuple[np.ndarray, ResidentMatrix]] = {}
+        self._operand_cache: dict[int, tuple[np.ndarray, ResidentVector]] = {}
+        self._reduce_plans: dict[tuple[int, ...], ReductionPlan] = {}
+        self.encode_cache_hits = 0
+        self.encode_cache_misses = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Pinned (cached) constant operands
+    # ------------------------------------------------------------------
+    def pin(self, name: str, array: np.ndarray) -> ResidentVector:
+        """Encode an additive constant once and cache it under ``name``.
+
+        Returns the cached :class:`ResidentVector` (bounds pre-scanned)
+        whenever called again with the *same array object*; a different
+        array under an existing name re-encodes and replaces the entry.
+        On legacy engines (``fast_path=False``) every call re-encodes —
+        the oracle performs the literal per-iteration work.
+        """
+        arr = np.asarray(array, dtype=np.float64)
+        if self.fast_path:
+            entry = self._pinned.get(name)
+            if entry is not None and entry[0] is arr:
+                self.encode_cache_hits += 1
+                return entry[1]
+        rv = ResidentVector(self.fmt.encode(arr), self.fmt)
+        rv.bounds()
+        if self.fast_path:
+            stale = self._pinned.get(name)
+            if stale is not None:
+                self._operand_cache.pop(id(stale[0]), None)
+            self._pinned[name] = (arr, rv)
+            self._operand_cache[id(arr)] = (arr, rv)
+            self.encode_cache_misses += 1
+        return rv
+
+    def pin_matrix(self, name: str, matrix: np.ndarray) -> ResidentMatrix:
+        """Validate a multiplicative constant once and cache it.
+
+        The returned :class:`ResidentMatrix` lets :meth:`matvec` /
+        :meth:`weighted_sum` skip the per-call product finiteness scan
+        (see the class docstring).  Same keying and legacy semantics as
+        :meth:`pin`.
+        """
+        arr = np.asarray(matrix, dtype=np.float64)
+        if self.fast_path:
+            entry = self._pinned_matrices.get(name)
+            if entry is not None and entry[0] is arr:
+                self.encode_cache_hits += 1
+                return entry[1]
+        rm = ResidentMatrix(arr)
+        if self.fast_path:
+            self._pinned_matrices[name] = (arr, rm)
+            self.encode_cache_misses += 1
+        return rm
+
+    def unpin(self, name: str) -> None:
+        """Drop a pinned operand (both vector and matrix namespaces)."""
+        entry = self._pinned.pop(name, None)
+        if entry is not None:
+            self._operand_cache.pop(id(entry[0]), None)
+        self._pinned_matrices.pop(name, None)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Counters for the pin/encode and reduction-plan caches."""
+        return {
+            "encode_cache_hits": self.encode_cache_hits,
+            "encode_cache_misses": self.encode_cache_misses,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "pinned_operands": len(self._pinned) + len(self._pinned_matrices),
+            "reduce_plans": len(self._reduce_plans),
+        }
 
     # ------------------------------------------------------------------
     # Elementary fixed-point plumbing
@@ -212,7 +393,14 @@ class ApproxEngine:
         if isinstance(x, ResidentVector):
             self._check_fmt(x)
             return x.words, x.bounds()
-        return self.fmt.encode(np.asarray(x, dtype=np.float64)), None
+        arr = np.asarray(x, dtype=np.float64)
+        if self._operand_cache:
+            entry = self._operand_cache.get(id(arr))
+            if entry is not None and entry[0] is arr:
+                self.encode_cache_hits += 1
+                rv = entry[1]
+                return rv.words, rv.bounds()
+        return self.fmt.encode(arr), None
 
     def _check_fmt(self, rv: ResidentVector) -> None:
         if rv.fmt != self.fmt:
@@ -284,7 +472,10 @@ class ApproxEngine:
             overflowed = (true < lo) | (true > hi)
             if np.any(overflowed):
                 out = np.where(overflowed, np.clip(true, lo, hi), out)
-        n = int(np.broadcast(qa, qb).size)
+        if qa.shape == qb.shape:
+            n = int(qa.size)
+        else:
+            n = int(np.broadcast(qa, qb).size)
         self.ledger.charge(self.mode.name, n, self.mode.energy_per_add)
         return out
 
@@ -301,34 +492,55 @@ class ApproxEngine:
         if not self.fast_path:
             return self._reduce_words_concat(q)
         cur = np.asarray(q, dtype=np.int64)
-        n = cur.shape[0]
+        shape = cur.shape
+        if shape[0] <= 1:
+            return cur[0]
+        plan = self._reduce_plans.get(shape)
+        if plan is None:
+            plan = ReductionPlan(shape)
+            self._reduce_plans[shape] = plan
+            self.plan_cache_misses += 1
+        else:
+            self.plan_cache_hits += 1
         saturating = self.fmt.overflow == "saturate"
         # One min/max over the level bounds both operand halves for the
         # saturation precheck; carried forward level to level.
         bounds = None
-        if saturating and cur.size and n > 1:
+        if saturating and cur.size:
             bounds = (int(cur.min()), int(cur.max()))
-        buf = None  # allocated only if an odd level needs the tail moved
-        while n > 1:
-            half = n // 2
+        # With an exact adder and a saturating output stage every level
+        # output equals clip(true sum), so interval arithmetic on the
+        # operand bounds is a *sound* over-approximation and the
+        # per-level min/max rescans can be skipped.  Approximate adders
+        # can emit arbitrary width-bit words — their levels must rescan.
+        exact = self.mode.adder.is_exact
+        lo_w, hi_w = self._signed_lo, self._signed_hi
+        last = len(plan.levels) - 1
+        for i, (half, odd) in enumerate(plan.levels):
             folded = self._add_words(
                 cur[:half], cur[half : 2 * half], bounds_a=bounds, bounds_b=bounds
             )
-            if n % 2:
-                if buf is None:
-                    buf = np.empty_like(cur, shape=cur.shape)
-                nxt = buf[: half + 1]
+            if odd:
+                nxt = plan.buf[: half + 1]
                 # Tail first: buf may alias cur after an earlier odd
                 # level, and index 2*half sits above every write here.
                 nxt[half] = cur[2 * half]
                 nxt[:half] = folded
                 cur = nxt
-                n = half + 1
             else:
                 cur = folded
-                n = half
-            if bounds is not None and n > 1:
-                bounds = (int(cur[:n].min()), int(cur[:n].max()))
+            if bounds is not None and i < last:
+                if exact:
+                    lo = max(bounds[0] + bounds[0], lo_w)
+                    hi = min(bounds[1] + bounds[1], hi_w)
+                    if odd:
+                        # The carried tail word still has last level's
+                        # bounds; widen to cover it.
+                        lo = min(lo, bounds[0])
+                        hi = max(hi, bounds[1])
+                    bounds = (lo, hi)
+                else:
+                    bounds = (int(cur.min()), int(cur.max()))
         return cur[0]
 
     def _reduce_words_concat(self, q: np.ndarray) -> np.ndarray:
@@ -384,17 +596,29 @@ class ApproxEngine:
         """
         return self.add(x, alpha * self._to_float(d), resident=resident)
 
-    def sum(self, x, axis: int | None = None, *, resident: bool = False):
+    def sum(
+        self,
+        x,
+        axis: int | None = None,
+        *,
+        resident: bool = False,
+        assume_finite: bool = False,
+    ):
         """Tree-reduce ``x`` along ``axis`` (flattened when ``None``).
 
         Scalar reductions (``axis=None``) always return a float.
+        ``assume_finite=True`` skips the entry finiteness scan — only
+        pass it when finiteness is already proved (the pinned-operand
+        kernels do); the emitted words are identical either way.
         """
         scalar = axis is None
         if isinstance(x, ResidentVector):
             self._check_fmt(x)
             q = x.words
         else:
-            q = self.fmt.encode(np.asarray(x, dtype=np.float64))
+            q = self.fmt.encode(
+                np.asarray(x, dtype=np.float64), assume_finite=assume_finite
+            )
         if scalar:
             q = q.reshape(-1)
             axis = 0
@@ -423,30 +647,85 @@ class ApproxEngine:
             raise ValueError(f"dot shape mismatch: {a.shape} vs {b.shape}")
         return float(self.sum(a * b))
 
+    def _trusted_product(
+        self, constant: ResidentMatrix, varying: np.ndarray
+    ) -> bool:
+        """Whether ``constant * varying`` is provably finite.
+
+        ``varying`` is scanned once (``O(n)`` instead of the product's
+        ``O(rows × cols)``); a non-finite iterate raises the same error
+        the checked encode would.  A product of two finite maxima can
+        still overflow to ``inf``, so the proof also requires the bound
+        itself to be finite — otherwise the caller falls back to the
+        checked encode.  Legacy engines never trust (oracle stays
+        literal).
+        """
+        if not self.fast_path:
+            return False
+        if varying.size == 0:
+            return True
+        if not np.all(np.isfinite(varying)):
+            raise ValueError("cannot encode non-finite values into fixed point")
+        bound = constant.abs_max * float(np.abs(varying).max())
+        return bool(np.isfinite(bound))
+
     def matvec(self, matrix, vector, *, resident: bool = False):
-        """``matrix @ vector`` with approximate row accumulation."""
-        matrix = np.asarray(matrix, dtype=np.float64)
+        """``matrix @ vector`` with approximate row accumulation.
+
+        Pass a :class:`ResidentMatrix` (from :meth:`pin_matrix`) as
+        ``matrix`` to skip the per-call product finiteness scan; results
+        are bit-identical either way.
+        """
+        trusted = False
+        if isinstance(matrix, ResidentMatrix):
+            mat = matrix.array
+            pinned = matrix
+        else:
+            mat = np.asarray(matrix, dtype=np.float64)
+            pinned = None
         vector = self._to_float(vector).reshape(-1)
-        if matrix.ndim != 2 or matrix.shape[1] != vector.shape[0]:
+        if mat.ndim != 2 or mat.shape[1] != vector.shape[0]:
             raise ValueError(
-                f"matvec shape mismatch: {matrix.shape} vs {vector.shape}"
+                f"matvec shape mismatch: {mat.shape} vs {vector.shape}"
             )
-        return self.sum(matrix * vector[np.newaxis, :], axis=1, resident=resident)
+        if pinned is not None:
+            trusted = self._trusted_product(pinned, vector)
+        return self.sum(
+            mat * vector[np.newaxis, :],
+            axis=1,
+            resident=resident,
+            assume_finite=trusted,
+        )
 
     def weighted_sum(self, weights, points, *, resident: bool = False):
         """``sum_i weights[i] * points[i]`` over rows of ``points``.
 
         This is the M-step kernel of GMM/K-means mean updates — the
         computation the paper marks as the adder-impact site ("Mean
-        Value" in Table 2).
+        Value" in Table 2).  Pass a :class:`ResidentMatrix` (from
+        :meth:`pin_matrix`) as ``points`` to skip the per-call product
+        finiteness scan; results are bit-identical either way.
         """
+        trusted = False
+        if isinstance(points, ResidentMatrix):
+            pts = points.array
+            pinned = points
+        else:
+            pts = self._to_float(points)
+            pinned = None
         weights = self._to_float(weights).reshape(-1)
-        points = self._to_float(points)
-        if points.shape[0] != weights.shape[0]:
+        if pts.shape[0] != weights.shape[0]:
             raise ValueError(
-                f"weighted_sum shape mismatch: {weights.shape} vs {points.shape}"
+                f"weighted_sum shape mismatch: {weights.shape} vs {pts.shape}"
             )
-        return self.sum(weights[:, np.newaxis] * points, axis=0, resident=resident)
+        if pinned is not None:
+            trusted = self._trusted_product(pinned, weights)
+        return self.sum(
+            weights[:, np.newaxis] * pts,
+            axis=0,
+            resident=resident,
+            assume_finite=trusted,
+        )
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise product.

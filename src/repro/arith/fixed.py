@@ -74,8 +74,16 @@ class FixedPointFormat:
     # ------------------------------------------------------------------
     # Conversion
     # ------------------------------------------------------------------
-    def encode(self, values: np.ndarray) -> np.ndarray:
+    def encode(self, values: np.ndarray, *, assume_finite: bool = False) -> np.ndarray:
         """Quantize floats to fixed-point words (``int64``).
+
+        Args:
+            values: float data to quantize.
+            assume_finite: skip the finiteness scan.  Only pass ``True``
+                when finiteness has already been *proved* (e.g. the
+                values are products of operands whose absolute maxima
+                were checked) — the emitted words are identical either
+                way, this merely avoids a redundant full pass.
 
         Raises:
             ValueError: if any value is NaN or infinite — iterative
@@ -84,7 +92,7 @@ class FixedPointFormat:
                 silently clipped.
         """
         arr = np.asarray(values, dtype=np.float64)
-        if not np.all(np.isfinite(arr)):
+        if not assume_finite and not np.all(np.isfinite(arr)):
             raise ValueError("cannot encode non-finite values into fixed point")
         q = np.rint(arr * self.scale).astype(np.int64)
         if self.overflow == "saturate":

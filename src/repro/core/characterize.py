@@ -18,7 +18,12 @@ which is precisely what Definition 1 measures.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -119,6 +124,151 @@ class CharacterizationTable:
             raise ValueError(
                 f"serialized characterization is missing field {missing}"
             ) from None
+
+
+#: Bump whenever the characterization algorithm or the on-disk payload
+#: changes shape; older entries then miss instead of deserializing into
+#: a stale table.
+CACHE_SCHEMA = 1
+
+
+def characterization_cache_key(
+    method: IterativeMethod,
+    bank: ModeBank,
+    fmt: FixedPointFormat,
+    probe_iterations: int,
+) -> str:
+    """Content address of one characterization.
+
+    Everything :func:`characterize` reads goes into the digest: the
+    method fingerprint (class + problem data), the bank's constructor
+    config *and* energy vector (energies are derived, so two banks with
+    equal configs but different energy models must not share entries),
+    the fixed-point format and the probe count.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "method": method.fingerprint(),
+        "bank": bank.to_config(),
+        "energies": bank.energy_vector(),
+        "fmt": [fmt.width, fmt.frac_bits, fmt.overflow],
+        "probes": int(probe_iterations),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class CharacterizationCache:
+    """Content-addressed on-disk store of characterization tables.
+
+    One JSON file per key under ``root``; the key (see
+    :func:`characterization_cache_key`) covers every input of the
+    offline stage, so a hit is exactly a recomputation avoided — there
+    is nothing to invalidate by hand.  All failure modes degrade to a
+    miss: corrupt files, schema drift, truncated writes and unreadable
+    directories all answer ``None`` from :meth:`load` and the caller
+    recharacterizes.  Writes go through a temp file + ``os.replace`` so
+    concurrent workers can share one cache directory without ever
+    observing a half-written entry; write errors are swallowed (a cache
+    must never fail the computation it is caching).
+
+    Attributes:
+        root: cache directory (created lazily on first store).
+        hits / misses / stores: instance-lifetime counters.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def key(
+        self,
+        method: IterativeMethod,
+        bank: ModeBank,
+        fmt: FixedPointFormat,
+        probe_iterations: int,
+    ) -> str:
+        return characterization_cache_key(method, bank, fmt, probe_iterations)
+
+    def load(
+        self,
+        method: IterativeMethod,
+        bank: ModeBank,
+        fmt: FixedPointFormat,
+        probe_iterations: int,
+    ) -> CharacterizationTable | None:
+        """The cached table, or ``None`` on any kind of miss."""
+        path = self._path(self.key(method, bank, fmt, probe_iterations))
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"stale cache schema {payload.get('schema')}")
+            table = CharacterizationTable.from_dict(payload["table"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt, truncated or stale — all recharacterize.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return table
+
+    def store(
+        self,
+        method: IterativeMethod,
+        bank: ModeBank,
+        fmt: FixedPointFormat,
+        probe_iterations: int,
+        table: CharacterizationTable,
+    ) -> None:
+        """Persist a table (best effort, atomic)."""
+        payload = {"schema": CACHE_SCHEMA, "table": table.to_dict()}
+        path = self._path(self.key(method, bank, fmt, probe_iterations))
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return
+        self.stores += 1
+
+    def stats(self) -> dict[str, int]:
+        """Counters for metrics export."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+def characterize_cached(
+    method: IterativeMethod,
+    bank: ModeBank,
+    fmt: FixedPointFormat,
+    probe_iterations: int = 3,
+    cache: CharacterizationCache | None = None,
+) -> CharacterizationTable:
+    """:func:`characterize` behind an optional disk cache.
+
+    With ``cache=None`` this is exactly :func:`characterize`; otherwise
+    the cache is consulted first and fresh results are stored back.  The
+    cached table round-trips through plain data, so callers get
+    bit-equal epsilons and energies on hit and miss alike.
+    """
+    if cache is None:
+        return characterize(method, bank, fmt, probe_iterations)
+    table = cache.load(method, bank, fmt, probe_iterations)
+    if table is None:
+        table = characterize(method, bank, fmt, probe_iterations)
+        cache.store(method, bank, fmt, probe_iterations, table)
+    return table
 
 
 def _one_iteration(

@@ -35,7 +35,11 @@ import numpy as np
 from repro.arith.engine import ApproxEngine, EnergyLedger
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ModeBank, default_mode_bank
-from repro.core.characterize import CharacterizationTable, characterize
+from repro.core.characterize import (
+    CharacterizationCache,
+    CharacterizationTable,
+    characterize_cached,
+)
 from repro.core.strategies.adaptive import AdaptiveAngleStrategy
 from repro.core.strategies.base import (
     Decision,
@@ -146,6 +150,12 @@ class ApproxIt:
             The paper argues this is negligible; leaving the default 0
             reproduces that assumption, and the reconfiguration-cost
             ablation sweeps it.
+        char_cache: optional disk-backed
+            :class:`~repro.core.characterize.CharacterizationCache`; the
+            offline stage is looked up there before being recomputed and
+            fresh tables are stored back.  Cached tables round-trip
+            through plain data bit-exactly, so runs are identical with
+            and without the cache.
 
     Example:
         >>> framework = ApproxIt(method)                   # doctest: +SKIP
@@ -162,6 +172,7 @@ class ApproxIt:
         fmt: FixedPointFormat | None = None,
         probe_iterations: int = DEFAULT_PROBES,
         switch_energy: float = 0.0,
+        char_cache: CharacterizationCache | None = None,
     ):
         if switch_energy < 0:
             raise ValueError(f"switch_energy must be >= 0, got {switch_energy}")
@@ -180,16 +191,25 @@ class ApproxIt:
             )
         self.fmt = fmt
         self.probe_iterations = probe_iterations
+        self.char_cache = char_cache
         self._characterization: CharacterizationTable | None = None
 
     # ------------------------------------------------------------------
     # Offline stage
     # ------------------------------------------------------------------
     def characterization(self) -> CharacterizationTable:
-        """Run (or return the cached) offline characterization."""
+        """Run (or return the cached) offline characterization.
+
+        Consults the disk cache first when one was supplied; either way
+        the table is memoized on the instance afterwards.
+        """
         if self._characterization is None:
-            self._characterization = characterize(
-                self.method, self.bank, self.fmt, self.probe_iterations
+            self._characterization = characterize_cached(
+                self.method,
+                self.bank,
+                self.fmt,
+                self.probe_iterations,
+                cache=self.char_cache,
             )
         return self._characterization
 
@@ -271,7 +291,7 @@ class ApproxIt:
 
         policy.bind_observer(observer)
         try:
-            return self._run_loop(
+            result = self._run_loop(
                 policy,
                 budget,
                 epsilons,
@@ -283,6 +303,25 @@ class ApproxIt:
             )
         finally:
             policy.bind_observer(None)
+        if observer is not None:
+            self._export_cache_metrics(engines, observer)
+        return result
+
+    def _export_cache_metrics(
+        self, engines: dict[str, ApproxEngine], observer: Observer
+    ) -> None:
+        """Expose the run's cache effectiveness through the observer.
+
+        Gauges (not counters): each records the state at the end of this
+        run, so merging registries across runs keeps the latest reading
+        instead of double-counting.
+        """
+        for name, engine in engines.items():
+            for stat, value in engine.cache_stats().items():
+                observer.metrics.gauge(f"engine.{name}.{stat}", value)
+        if self.char_cache is not None:
+            for stat, value in self.char_cache.stats().items():
+                observer.metrics.gauge(f"char_cache.{stat}", value)
 
     def _run_loop(
         self,

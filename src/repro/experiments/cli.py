@@ -20,11 +20,18 @@ Beyond the paper's artifacts::
 processes (``0`` = all cores) before rendering table3/table4/figure4/all.
 ``--trace DIR`` exports JSONL run traces (see ``docs/observability.md``)
 for the ``run`` artifact and for every cell of a ``--parallel`` prewarm.
+
+Offline characterization is cached on disk by default (content
+addressed, so stale entries are impossible — see
+``docs/performance.md``).  The directory resolves as ``--cache-dir`` >
+``$REPRO_CHAR_CACHE`` > ``~/.cache/approxit/characterization``;
+``--no-cache`` disables the cache entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -85,9 +92,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--parallel)",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="characterization-cache directory (default: $REPRO_CHAR_CACHE "
+        "or ~/.cache/approxit/characterization)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk characterization cache",
+    )
+    parser.add_argument(
         "--out", default=None, help="write the report to this file instead of stdout"
     )
     return parser
+
+
+def resolve_cache_dir(
+    cache_dir: str | None = None, no_cache: bool = False
+) -> str | None:
+    """The characterization-cache directory the CLI should use.
+
+    Resolution order: ``--no-cache`` (→ ``None``) > ``--cache-dir`` >
+    ``$REPRO_CHAR_CACHE`` (empty disables) > the user cache directory.
+    """
+    if no_cache:
+        return None
+    if cache_dir:
+        return cache_dir
+    env = os.environ.get("REPRO_CHAR_CACHE")
+    if env is not None:
+        return env or None
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "approxit", "characterization"
+    )
 
 
 #: Artifacts whose underlying experiment matrix can be prewarmed in
@@ -101,15 +140,19 @@ _PARALLEL_ARTIFACTS = {
 
 
 def _prewarm(artifact: str, workers: int, trace_dir: str | None = None) -> None:
+    from repro.experiments.parallel import SweepPool
     from repro.experiments.runner import run_experiments_parallel
 
     if artifact not in _PARALLEL_ARTIFACTS:
         return
-    run_experiments_parallel(
-        dataset_keys=_PARALLEL_ARTIFACTS[artifact],
-        max_workers=workers if workers > 0 else None,
-        trace_dir=trace_dir,
-    )
+    # One persistent pool for the whole prewarm: workers spawn once and
+    # keep their warmed imports/memo caches across every sweep cell.
+    with SweepPool(max_workers=workers if workers > 0 else None) as pool:
+        run_experiments_parallel(
+            dataset_keys=_PARALLEL_ARTIFACTS[artifact],
+            trace_dir=trace_dir,
+            pool=pool,
+        )
 
 
 def _generate(
@@ -194,10 +237,10 @@ def _build_method(dataset_key: str):
 
 
 def _characterization_report(dataset_key: str) -> str:
-    from repro.core.framework import ApproxIt
     from repro.experiments.render import format_number, format_table
+    from repro.experiments.runner import _build_framework
 
-    framework = ApproxIt(_build_method(dataset_key))
+    framework, _ = _build_framework(dataset_key)
     table = framework.characterization()
     rows = [
         [
@@ -255,11 +298,11 @@ def _run_report(
 ) -> str:
     from pathlib import Path
 
-    from repro.core.framework import ApproxIt
     from repro.core.reporting import comparison_report, save_run
     from repro.obs import TraceRecorder, render_trace
+    from repro.experiments.runner import _build_framework
 
-    framework = ApproxIt(_build_method(dataset_key))
+    framework, _ = _build_framework(dataset_key)
     recorder = None
     if trace_dir is not None:
         recorder = TraceRecorder(label=f"{dataset_key}:{strategy}")
@@ -290,6 +333,11 @@ def _run_report(
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    from repro.experiments.runner import set_default_cache_dir
+
+    # Installed process-wide so the serial renderers, the run/
+    # characterize artifacts and every prewarm worker share one cache.
+    set_default_cache_dir(resolve_cache_dir(args.cache_dir, args.no_cache))
     if args.parallel is not None:
         _prewarm(args.artifact, args.parallel, args.trace)
     report = _generate(args.artifact, args.dataset, args.strategy, args.save, args.trace)

@@ -2,12 +2,20 @@
 
 Experiment sweep cells (one ``(dataset, run-label)`` pair each) are
 independent and CPU-bound, so they parallelize across processes with no
-shared state.  :func:`process_map` is the one primitive the runners use:
-it behaves exactly like ``[fn(item) for item in items]`` — same results,
-same ordering, same exceptions — but fans the calls out over a
-``concurrent.futures.ProcessPoolExecutor`` when one is available and
-worth spinning up.  Sandboxed or single-core environments silently fall
-back to the serial loop, so callers never need to care which one ran.
+shared state.  Two primitives are offered:
+
+* :class:`SweepPool` — a reusable executor wrapper.  Worker processes
+  are spawned once and survive across :meth:`SweepPool.map` calls, so a
+  CLI invocation that renders several tables pays process start-up (and
+  interpreter/import warm-up) once instead of per sweep, and per-process
+  memo caches stay warm between sweeps.
+* :func:`process_map` — the one-shot form, now a thin wrapper creating
+  a :class:`SweepPool` for a single map.  It behaves exactly like
+  ``[fn(item) for item in items]`` — same results, same ordering, same
+  exceptions.
+
+Sandboxed or single-core environments silently fall back to the serial
+loop, so callers never need to care which one ran.
 
 Failure handling draws a hard line between two very different events:
 
@@ -35,8 +43,17 @@ _R = TypeVar("_R")
 
 
 def default_workers() -> int:
-    """Worker count when the caller does not pin one (all cores)."""
-    return os.cpu_count() or 1
+    """Worker count when the caller does not pin one.
+
+    Prefers the process's CPU *affinity* mask over the raw core count:
+    CI containers and ``taskset``-restricted jobs often see all host
+    cores through ``os.cpu_count()`` while being allowed to run on a
+    few, and oversubscribing those thrashes instead of speeding up.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # platforms without affinity
+        return os.cpu_count() or 1
 
 
 class _WorkerFailure:
@@ -64,12 +81,105 @@ class _TrappedCall:
             return _WorkerFailure(exc)
 
 
+class SweepPool:
+    """A reusable process pool shared across many sweep ``map`` calls.
+
+    The underlying ``ProcessPoolExecutor`` is created lazily on the
+    first :meth:`map` that actually needs it and *reused* by every
+    later call until :meth:`close` (or the ``with`` block) tears it
+    down — workers keep their warmed imports and per-process memo
+    caches between sweeps.  Work is submitted in chunks so large cell
+    lists don't pay per-item IPC.
+
+    Failure semantics match :func:`process_map` exactly: a pool that
+    cannot be created or dies for environmental reasons degrades to the
+    serial loop with a warning (and stays serial — a broken environment
+    does not heal mid-invocation), while exceptions raised by ``fn``
+    itself come back as values and are re-raised at the call site,
+    never retried, never mistaken for pool failure.
+
+    Args:
+        max_workers: pool size; ``None`` uses :func:`default_workers`.
+            Values ``<= 1`` never touch multiprocessing.
+        chunk_size: items per worker submission; ``None`` derives one
+            from the work size and worker count per call.
+    """
+
+    def __init__(
+        self, max_workers: int | None = None, chunk_size: int | None = None
+    ):
+        self.max_workers = (
+            default_workers() if max_workers is None else int(max_workers)
+        )
+        self.chunk_size = chunk_size
+        self._pool = None
+        self._serial_fallback = False
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False)
+            except Exception:  # a dead pool may fail its own teardown
+                pass
+
+    # -- execution -----------------------------------------------------
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """``[fn(item) for item in items]`` over the persistent workers.
+
+        Results come back in submission order; see the class docstring
+        for the failure contract.
+        """
+        work: Sequence[_T] = list(items)
+        if self.max_workers <= 1 or len(work) <= 1 or self._serial_fallback:
+            return [fn(item) for item in work]
+        chunk = self.chunk_size or max(
+            1, len(work) // (self.max_workers * 4)
+        )
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            results = list(
+                self._pool.map(_TrappedCall(fn), work, chunksize=chunk)
+            )
+        except (BrokenProcessPool, OSError, PermissionError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._discard_pool()
+            self._serial_fallback = True
+            return [fn(item) for item in work]
+        for result in results:
+            if isinstance(result, _WorkerFailure):
+                raise result.exc
+        return results
+
+
 def process_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     max_workers: int | None = None,
 ) -> list[_R]:
     """``[fn(item) for item in items]``, fanned out over processes.
+
+    The one-shot form of :class:`SweepPool` — a pool is created for
+    this call and torn down after it.  Callers issuing several maps in
+    one invocation should hold a :class:`SweepPool` instead.
 
     Args:
         fn: a module-level (picklable) callable.
@@ -89,17 +199,5 @@ def process_map(
         max_workers = default_workers()
     if max_workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    try:
-        with ProcessPoolExecutor(max_workers=min(max_workers, len(work))) as pool:
-            results = list(pool.map(_TrappedCall(fn), work))
-    except (BrokenProcessPool, OSError, PermissionError) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); running serially",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return [fn(item) for item in work]
-    for result in results:
-        if isinstance(result, _WorkerFailure):
-            raise result.exc
-    return results
+    with SweepPool(max_workers=min(max_workers, len(work))) as pool:
+        return pool.map(fn, work)

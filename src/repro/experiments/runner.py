@@ -24,9 +24,10 @@ from pathlib import Path
 from repro.apps.autoregression import AutoRegression
 from repro.apps.gmm import GaussianMixtureEM
 from repro.apps.qem import cluster_assignment_hamming, weight_l2_error
+from repro.core.characterize import CharacterizationCache
 from repro.core.framework import ApproxIt, RunResult
 from repro.data.registry import DATASETS, load_dataset
-from repro.experiments.parallel import process_map
+from repro.experiments.parallel import SweepPool, process_map
 from repro.obs import TraceRecorder
 
 #: Single-mode configurations of the first experiment, ladder order.
@@ -113,15 +114,37 @@ class ApplicationResult:
         return (1.0 - self.energy_of(label)) * 100.0
 
 
-def _build_framework(dataset_key: str) -> tuple[ApproxIt, object]:
-    """Construct the framework (and its method) for one dataset."""
+#: Process-wide default characterization cache directory, set once by
+#: the CLI so *every* framework this module builds — serial table
+#: renderers included — shares one disk cache.  ``None`` = no cache.
+_default_cache_dir: str | None = None
+
+
+def set_default_cache_dir(cache_dir: str | Path | None) -> None:
+    """Install (or clear, with ``None``) the process-wide cache dir."""
+    global _default_cache_dir
+    _default_cache_dir = None if cache_dir is None else str(cache_dir)
+
+
+def _build_framework(
+    dataset_key: str, cache_dir: str | None = None
+) -> tuple[ApproxIt, object]:
+    """Construct the framework (and its method) for one dataset.
+
+    ``cache_dir`` (explicit, or the process-wide default installed via
+    :func:`set_default_cache_dir`) attaches a disk-backed
+    characterization cache to the framework.
+    """
+    if cache_dir is None:
+        cache_dir = _default_cache_dir
     spec = DATASETS[dataset_key]
     dataset = load_dataset(dataset_key)
     if spec.application == "gmm":
         method = GaussianMixtureEM.from_dataset(dataset)
     else:
         method = AutoRegression.from_dataset(dataset)
-    return ApproxIt(method), method
+    char_cache = CharacterizationCache(cache_dir) if cache_dir else None
+    return ApproxIt(method, char_cache=char_cache), method
 
 
 def _qem_fn(dataset_key: str, method):
@@ -187,10 +210,10 @@ def _run_cell(
 
 
 def _cell_worker(
-    cell: tuple[str, str, str | None],
+    cell: tuple[str, str, str | None, str | None],
 ) -> tuple[str, str, RunResult]:
-    """Process-pool entry point: run one ``(dataset, label, trace_dir)``
-    cell.
+    """Process-pool entry point: run one ``(dataset, label, trace_dir,
+    cache_dir)`` cell.
 
     Every worker rebuilds the framework from the dataset registry —
     methods are deterministic (fresh, seeded RNGs per call), so a cell
@@ -198,10 +221,13 @@ def _cell_worker(
     serially on a shared framework.  Each traced cell writes its own
     per-process recorder to its own file, so tracing stays safe under
     ``--parallel``; the paths come back merged into the results at
-    join.
+    join.  The cache dir rides in the cell tuple because workers are
+    fresh processes: the parent's process-wide default does not reach
+    them, and the disk cache (atomic writes, content-addressed) is the
+    one store they can all share.
     """
-    dataset_key, label, trace_dir = cell
-    framework, _ = _build_framework(dataset_key)
+    dataset_key, label, trace_dir, cache_dir = cell
+    framework, _ = _build_framework(dataset_key, cache_dir=cache_dir)
     return dataset_key, label, _run_cell(framework, label, trace_dir, dataset_key)
 
 
@@ -272,10 +298,27 @@ def _prepare_trace_dir(trace_dir: str | Path | None) -> str | None:
     return str(path)
 
 
+def _normalize_cache_dir(cache_dir: str | Path | None) -> str | None:
+    """Explicit cache dir, or the process-wide default (picklable)."""
+    if cache_dir is None:
+        return _default_cache_dir
+    return str(cache_dir)
+
+
+def _map_cells(cells, max_workers, pool: SweepPool | None):
+    """Fan the cells out over the supplied persistent pool, or a
+    one-shot :func:`process_map` when the caller holds none."""
+    if pool is not None:
+        return pool.map(_cell_worker, cells)
+    return process_map(_cell_worker, cells, max_workers=max_workers)
+
+
 def run_experiment_cells(
     dataset_key: str,
     max_workers: int | None = None,
     trace_dir: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    pool: SweepPool | None = None,
 ) -> ApplicationResult:
     """One dataset's experiment matrix, sweep cells fanned out.
 
@@ -284,11 +327,15 @@ def run_experiment_cells(
     execute concurrently across processes.  The assembled result is
     seeded into the memo cache for downstream reuse.  With ``trace_dir``
     every cell exports its JSONL trace there (one file per cell, written
-    by the worker that ran it).
+    by the worker that ran it).  ``cache_dir`` attaches the disk-backed
+    characterization cache in every worker (and in the serial
+    fallback); ``pool`` reuses a caller-held :class:`SweepPool` instead
+    of spinning one up per call.
     """
     trace_dir = _prepare_trace_dir(trace_dir)
-    cells = [(dataset_key, label, trace_dir) for label in CELL_LABELS]
-    rows = process_map(_cell_worker, cells, max_workers=max_workers)
+    cache_dir = _normalize_cache_dir(cache_dir)
+    cells = [(dataset_key, label, trace_dir, cache_dir) for label in CELL_LABELS]
+    rows = _map_cells(cells, max_workers, pool)
     result = _assemble(dataset_key, {label: run for _, label, run in rows})
     _seed_cache(dataset_key, result)
     return result
@@ -298,6 +345,8 @@ def run_experiments_parallel(
     dataset_keys: tuple[str, ...] | None = None,
     max_workers: int | None = None,
     trace_dir: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    pool: SweepPool | None = None,
 ) -> dict[str, ApplicationResult]:
     """Fan the whole (dataset × run-label) sweep out over a process pool.
 
@@ -309,6 +358,11 @@ def run_experiments_parallel(
             ``<trace_dir>/<dataset>_<label>.jsonl``; per-cell files are
             written by per-process recorders, so this is safe under the
             pool, and each ``RunResult.trace_path`` points at its file.
+        cache_dir: characterization-cache directory for every cell
+            (workers included); ``None`` takes the process-wide default
+            installed via :func:`set_default_cache_dir`.
+        pool: a caller-held persistent :class:`SweepPool` to submit to;
+            ``None`` creates a one-shot pool for this call.
 
     Returns:
         ``dataset_key -> ApplicationResult`` for every requested key,
@@ -318,8 +372,13 @@ def run_experiments_parallel(
     if dataset_keys is None:
         dataset_keys = (*GMM_DATASETS, *AR_DATASETS)
     trace_dir = _prepare_trace_dir(trace_dir)
-    cells = [(key, label, trace_dir) for key in dataset_keys for label in CELL_LABELS]
-    rows = process_map(_cell_worker, cells, max_workers=max_workers)
+    cache_dir = _normalize_cache_dir(cache_dir)
+    cells = [
+        (key, label, trace_dir, cache_dir)
+        for key in dataset_keys
+        for label in CELL_LABELS
+    ]
+    rows = _map_cells(cells, max_workers, pool)
     by_key: dict[str, dict[str, RunResult]] = {}
     for key, label, run in rows:
         by_key.setdefault(key, {})[label] = run

@@ -101,6 +101,29 @@ def popcount(value: int) -> int:
     return bin(value).count("1")
 
 
+def reduction_levels(n: int) -> tuple[tuple[int, bool], ...]:
+    """Level geometry of a balanced binary-tree reduction over ``n`` items.
+
+    Returns one ``(half, odd)`` pair per tree level, root-ward order:
+    ``half`` operand pairs fold at that level and, when ``odd`` is set,
+    one unpaired tail element is carried into the next level unchanged.
+    ``n`` items therefore cost exactly ``sum(half for half, _ in levels)
+    == n - 1`` elementary additions, whatever the shape.
+
+    Raises:
+        ValueError: if ``n`` is negative.
+    """
+    if n < 0:
+        raise ValueError(f"reduction size must be >= 0, got {n}")
+    levels = []
+    while n > 1:
+        half = n // 2
+        odd = bool(n % 2)
+        levels.append((half, odd))
+        n = half + 1 if odd else half
+    return tuple(levels)
+
+
 # ----------------------------------------------------------------------
 # Bit-parallel speculative-addition kernels
 # ----------------------------------------------------------------------

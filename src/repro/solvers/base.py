@@ -15,6 +15,7 @@ the error-sensitive (exact) portion of the platform.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -23,6 +24,60 @@ import numpy as np
 from repro.arith.engine import ApproxEngine
 
 _CONVERGENCE_KINDS = ("abs", "rel")
+
+#: Recursion ceiling for :func:`_hash_into`; instances nest problem data
+#: a couple of levels deep (method → dataset → arrays), never this deep.
+_FINGERPRINT_MAX_DEPTH = 8
+
+
+def _hash_into(h, value, depth: int = 0) -> None:
+    """Feed one value into a hash, structurally and type-tagged.
+
+    Covers everything an :class:`IterativeMethod` instance holds:
+    numpy arrays (dtype + shape + bytes), scalars, strings, containers,
+    and nested plain objects (recursed through ``__dict__``).  Type tags
+    and length prefixes keep distinct structures from colliding.
+    """
+    if depth > _FINGERPRINT_MAX_DEPTH:
+        raise ValueError(
+            "fingerprint recursion exceeded depth "
+            f"{_FINGERPRINT_MAX_DEPTH}: cyclic or pathological method state"
+        )
+    if isinstance(value, np.ndarray):
+        h.update(b"nd")
+        h.update(repr((value.dtype.str, value.shape)).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (bool, int, float, complex, str, bytes, type(None))):
+        h.update(type(value).__name__.encode())
+        h.update(repr(value).encode())
+    elif isinstance(value, (np.bool_, np.integer, np.floating)):
+        h.update(b"np-scalar")
+        h.update(repr(value.item()).encode())
+    elif isinstance(value, dict):
+        h.update(b"dict" + str(len(value)).encode())
+        for key in sorted(value, key=repr):
+            _hash_into(h, key, depth + 1)
+            _hash_into(h, value[key], depth + 1)
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        items = (
+            sorted(value, key=repr)
+            if isinstance(value, (set, frozenset))
+            else value
+        )
+        h.update(type(value).__name__.encode() + str(len(items)).encode())
+        for item in items:
+            _hash_into(h, item, depth + 1)
+    elif hasattr(value, "__dict__"):
+        h.update(b"obj")
+        h.update(
+            f"{type(value).__module__}.{type(value).__qualname__}".encode()
+        )
+        _hash_into(h, vars(value), depth + 1)
+    else:
+        # Slots-only helpers and other leaves: fall back to repr, which
+        # is stable for everything the solvers actually store.
+        h.update(b"repr")
+        h.update(repr(value).encode())
 
 
 @dataclass
@@ -135,6 +190,20 @@ class IterativeMethod(ABC):
         """Clean an iterate after the update (e.g. re-project structured
         parameters).  Identity by default."""
         return x
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this method instance.
+
+        Hashes the concrete class plus everything the instance holds
+        (problem data included), so two instances fingerprint equal
+        exactly when they would characterize identically — the key the
+        disk-backed characterization cache is addressed by.  Mutating
+        problem data changes the fingerprint; no manual invalidation.
+        """
+        h = hashlib.sha256()
+        h.update(f"{type(self).__module__}.{type(self).__qualname__}".encode())
+        _hash_into(h, vars(self))
+        return h.hexdigest()
 
     def describe(self) -> str:
         """One-line description for reports."""

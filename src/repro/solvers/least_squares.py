@@ -61,6 +61,10 @@ class LeastSquaresGD(IterativeMethod):
         self._n = design.shape[0]
         self._gram = design.T @ design / self._n + ridge * np.eye(design.shape[1])
         self._xty = design.T @ targets / self._n
+        # Negated once so the engine can pin it: the gradient subtract
+        # becomes an add of a cached constant, encoding the exact same
+        # ``-Xᵀy/n`` floats the un-pinned subtract encoded per call.
+        self._neg_xty = -self._xty
         if learning_rate is None:
             lam_max = float(np.linalg.eigvalsh(self._gram).max())
             if lam_max <= 0:
@@ -92,7 +96,11 @@ class LeastSquaresGD(IterativeMethod):
 
     def direction(self, w: np.ndarray, engine: ApproxEngine) -> np.ndarray:
         # Gram-form gradient: the p x p reduction runs on the engine.
-        grad = engine.sub(engine.matvec(self._gram, w, resident=True), self._xty)
+        # Constants are pinned — the Gram matrix is finiteness-profiled
+        # once and ``-Xᵀy/n`` encodes once per engine.
+        gram = engine.pin_matrix("gram", self._gram)
+        neg_xty = engine.pin("neg_xty", self._neg_xty)
+        grad = engine.add(engine.matvec(gram, w, resident=True), neg_xty)
         return -grad
 
     def step_size(self, w: np.ndarray, d: np.ndarray, iteration: int) -> float:

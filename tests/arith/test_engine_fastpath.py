@@ -192,3 +192,35 @@ class TestFrameworkParity:
         assert fast_run.energy == pytest.approx(legacy_run.energy)
         assert fast_run.steps_by_mode == legacy_run.steps_by_mode
         assert fast_run.mode_trace == legacy_run.mode_trace
+
+    def test_adaptive_run_identical_fast_vs_legacy(self):
+        # The adaptive strategy reconfigures modes mid-run (and may roll
+        # back), so it exercises pinned-operand reuse across engine
+        # switches — each mode's engine keeps its own caches.
+        from repro.core.framework import ApproxIt
+        from repro.solvers.linear import JacobiSolver
+
+        rng = np.random.default_rng(11)
+        n = 20
+        matrix = rng.uniform(-1.0, 1.0, size=(n, n))
+        matrix += np.diag(np.abs(matrix).sum(axis=1) + 1.0)
+        rhs = rng.uniform(-5.0, 5.0, size=n)
+
+        def run_once():
+            framework = ApproxIt(JacobiSolver(matrix, rhs, max_iter=60))
+            return framework.run(strategy="adaptive")
+
+        saved = ApproxEngine.default_fast_path
+        try:
+            ApproxEngine.default_fast_path = True
+            fast_run = run_once()
+            ApproxEngine.default_fast_path = False
+            legacy_run = run_once()
+        finally:
+            ApproxEngine.default_fast_path = saved
+
+        np.testing.assert_array_equal(fast_run.x, legacy_run.x)
+        assert fast_run.iterations == legacy_run.iterations
+        assert fast_run.energy == pytest.approx(legacy_run.energy)
+        assert fast_run.steps_by_mode == legacy_run.steps_by_mode
+        assert fast_run.mode_trace == legacy_run.mode_trace

@@ -1,10 +1,18 @@
 """Tests for the offline characterization stage."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.arith.fixed import FixedPointFormat
-from repro.core.characterize import characterize
+from repro.core.characterize import (
+    CharacterizationCache,
+    CharacterizationTable,
+    characterization_cache_key,
+    characterize,
+    characterize_cached,
+)
 from repro.solvers.functions import QuadraticFunction
 from repro.solvers.gradient_descent import GradientDescent
 
@@ -60,3 +68,114 @@ class TestCharacterize:
     def test_dict_views(self, method, bank32, fmt32):
         table = characterize(method, bank32, fmt32)
         assert set(table.epsilons()) == set(table.energies()) == set(bank32.names())
+
+
+def _assert_tables_bit_equal(got, want):
+    assert got.f_x0 == want.f_x0
+    assert got.f_x1 == want.f_x1
+    assert got.epsilons() == want.epsilons()
+    assert got.energies() == want.energies()
+    assert {n: i.probes for n, i in got.impacts.items()} == {
+        n: i.probes for n, i in want.impacts.items()
+    }
+
+
+class TestTablePersistence:
+    def test_round_trip_is_bit_equal(self, method, bank32, fmt32):
+        table = characterize(method, bank32, fmt32)
+        # Through JSON, not just to_dict: repr round-trips floats exactly.
+        revived = CharacterizationTable.from_dict(
+            json.loads(json.dumps(table.to_dict()))
+        )
+        _assert_tables_bit_equal(revived, table)
+
+    def test_from_dict_missing_field_raises(self, method, bank32, fmt32):
+        payload = characterize(method, bank32, fmt32).to_dict()
+        del payload["f_x1"]
+        with pytest.raises(ValueError, match="missing field"):
+            CharacterizationTable.from_dict(payload)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self, method, bank32, fmt32):
+        key = characterization_cache_key(method, bank32, fmt32, 3)
+        assert key == characterization_cache_key(method, bank32, fmt32, 3)
+        assert len(key) == 64  # sha256 hexdigest
+
+    def test_key_tracks_every_input(self, bank32, fmt32):
+        def build(seed=21, lr=0.05):
+            fn = QuadraticFunction.random_spd(dim=4, seed=seed, condition=15.0)
+            return GradientDescent(
+                fn,
+                x0=np.full(4, 3.0),
+                learning_rate=lr,
+                max_iter=500,
+                tolerance=1e-12,
+            )
+
+        base = characterization_cache_key(build(), bank32, fmt32, 3)
+        assert characterization_cache_key(build(), bank32, fmt32, 3) == base
+        # Different problem data, hyperparameters, format or probes.
+        assert characterization_cache_key(build(seed=22), bank32, fmt32, 3) != base
+        assert characterization_cache_key(build(lr=0.04), bank32, fmt32, 3) != base
+        other_fmt = FixedPointFormat(32, 20)
+        assert characterization_cache_key(build(), bank32, other_fmt, 3) != base
+        assert characterization_cache_key(build(), bank32, fmt32, 4) != base
+
+
+class TestCharacterizationCache:
+    def test_miss_then_hit_bit_equal(self, method, bank32, fmt32, tmp_path):
+        cache = CharacterizationCache(tmp_path / "char")
+        cold = characterize_cached(method, bank32, fmt32, cache=cache)
+        warm = characterize_cached(method, bank32, fmt32, cache=cache)
+        _assert_tables_bit_equal(warm, cold)
+        _assert_tables_bit_equal(cold, characterize(method, bank32, fmt32))
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_corrupt_entry_recharacterizes(self, method, bank32, fmt32, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        characterize_cached(method, bank32, fmt32, cache=cache)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{ not json")
+        table = characterize_cached(method, bank32, fmt32, cache=cache)
+        _assert_tables_bit_equal(table, characterize(method, bank32, fmt32))
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_stale_schema_is_a_miss(self, method, bank32, fmt32, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        characterize_cached(method, bank32, fmt32, cache=cache)
+        (entry,) = tmp_path.glob("*.json")
+        payload = json.loads(entry.read_text())
+        payload["schema"] = -1
+        entry.write_text(json.dumps(payload))
+        assert cache.load(method, bank32, fmt32, 3) is None
+
+    def test_truncated_entry_recharacterizes(self, method, bank32, fmt32, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        characterize_cached(method, bank32, fmt32, cache=cache)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text(entry.read_text()[: len(entry.read_text()) // 2])
+        table = characterize_cached(method, bank32, fmt32, cache=cache)
+        _assert_tables_bit_equal(table, characterize(method, bank32, fmt32))
+
+    def test_unwritable_root_never_crashes(self, method, bank32, fmt32, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        cache = CharacterizationCache(blocker / "nested")
+        table = characterize_cached(method, bank32, fmt32, cache=cache)
+        _assert_tables_bit_equal(table, characterize(method, bank32, fmt32))
+        assert cache.stores == 0
+
+    def test_probe_count_keys_separate_entries(self, method, bank32, fmt32, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        t3 = characterize_cached(method, bank32, fmt32, 3, cache=cache)
+        t5 = characterize_cached(method, bank32, fmt32, 5, cache=cache)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert all(i.probes == 3 for i in t3.impacts.values())
+        assert all(i.probes == 5 for i in t5.impacts.values())
+
+    def test_cached_none_is_plain_characterize(self, method, bank32, fmt32):
+        _assert_tables_bit_equal(
+            characterize_cached(method, bank32, fmt32),
+            characterize(method, bank32, fmt32),
+        )

@@ -22,7 +22,7 @@ import repro.data.registry as registry_module
 import repro.experiments.runner as runner_module
 from repro.data.clusters import make_cluster_dataset
 from repro.data.registry import DATASETS, DatasetSpec
-from repro.experiments.parallel import process_map
+from repro.experiments.parallel import SweepPool, default_workers, process_map
 from repro.experiments.runner import (
     CELL_LABELS,
     run_experiment,
@@ -61,8 +61,11 @@ class _InProcessPool:
     def __exit__(self, *exc_info):
         return False
 
-    def map(self, fn, items):
+    def map(self, fn, items, chunksize=1):
         return [fn(item) for item in items]
+
+    def shutdown(self, wait=True):
+        return None
 
 
 class TestProcessMap:
@@ -125,6 +128,129 @@ class TestProcessMap:
         )
         with pytest.warns(RuntimeWarning, match="process pool unavailable"):
             assert process_map(_square, [1, 2, 3], max_workers=2) == [1, 4, 9]
+
+
+class TestDefaultWorkers:
+    def test_prefers_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(
+            "os.sched_getaffinity", lambda pid: {0, 3}, raising=False
+        )
+        monkeypatch.setattr("os.cpu_count", lambda: 64)
+        assert default_workers() == 2
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        def no_affinity(pid):
+            raise AttributeError("no sched_getaffinity here")
+
+        monkeypatch.setattr("os.sched_getaffinity", no_affinity, raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 6)
+        assert default_workers() == 6
+
+    def test_never_returns_zero(self, monkeypatch):
+        monkeypatch.setattr("os.sched_getaffinity", lambda pid: set(), raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        assert default_workers() == 1
+
+
+class TestSweepPool:
+    def test_pool_is_reused_across_maps(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        built = []
+
+        def tracking_pool(*args, **kwargs):
+            built.append(kwargs)
+            return _InProcessPool(**kwargs)
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", tracking_pool)
+        with SweepPool(max_workers=2) as pool:
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert pool.map(_square, [4, 5]) == [16, 25]
+        assert len(built) == 1  # one executor for both maps
+
+    def test_serial_inputs_never_touch_multiprocessing(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        def exploding_pool(*args, **kwargs):
+            raise AssertionError("pool must not be created")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", exploding_pool)
+        with SweepPool(max_workers=1) as pool:
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+        with SweepPool(max_workers=4) as pool:
+            assert pool.map(_square, [7]) == [49]
+            assert pool.map(_square, []) == []
+
+    def test_fallback_is_sticky(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        attempts = []
+
+        def exploding_pool(*args, **kwargs):
+            attempts.append(1)
+            raise OSError("fork blocked")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", exploding_pool)
+        with SweepPool(max_workers=2) as pool:
+            with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+                assert pool.map(_square, [1, 2]) == [1, 4]
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # second map: no retry, no warning
+                assert pool.map(_square, [3, 4]) == [9, 16]
+        assert len(attempts) == 1
+
+    def test_worker_exception_reraised_not_retried(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        calls = []
+
+        def counting_boom(x):
+            calls.append(x)
+            raise OSError(f"fn-level os failure {x}")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _InProcessPool)
+        with SweepPool(max_workers=2) as pool:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                with pytest.raises(OSError, match="fn-level os failure"):
+                    pool.map(counting_boom, [1, 2, 3])
+            assert not pool._serial_fallback  # fn's error is not a pool failure
+        assert calls == [1, 2, 3]
+
+    def test_close_is_idempotent(self):
+        pool = SweepPool(max_workers=2)
+        pool.close()
+        pool.close()
+        with SweepPool(max_workers=2) as ctx_pool:
+            pass
+        ctx_pool.close()
+
+    def test_explicit_chunk_size_is_honored(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        seen = []
+
+        class ChunkRecordingPool(_InProcessPool):
+            def map(self, fn, items, chunksize=1):
+                seen.append(chunksize)
+                return super().map(fn, items, chunksize)
+
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", ChunkRecordingPool
+        )
+        with SweepPool(max_workers=2, chunk_size=5) as pool:
+            pool.map(_square, list(range(12)))
+        assert seen == [5]
+
+    def test_process_map_matches_pool_map(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _InProcessPool)
+        items = list(range(10))
+        with SweepPool(max_workers=3) as pool:
+            assert pool.map(_square, items) == process_map(
+                _square, items, max_workers=3
+            )
 
 
 @pytest.fixture()
@@ -225,3 +351,46 @@ class TestCellRunner:
             assert summary.mode_switches == run.mode_switches
         # The untraced assembly left no paths behind.
         assert plain.run_of("incremental").trace_path is None
+
+    def test_cache_dir_populates_and_stays_identical(
+        self, mini_gmm_registry, tmp_path
+    ):
+        plain = run_experiment_cells("minip", max_workers=1)
+        run_gmm_experiment.cache_clear()
+        cache_root = tmp_path / "char"
+        cold = run_experiment_cells("minip", max_workers=1, cache_dir=cache_root)
+        assert list(cache_root.glob("*.json")), "cache dir not populated"
+        run_gmm_experiment.cache_clear()
+        warm = run_experiment_cells("minip", max_workers=1, cache_dir=cache_root)
+        _assert_same_result(cold, plain)
+        _assert_same_result(warm, plain)
+
+    def test_default_cache_dir_reaches_serial_cells(
+        self, mini_gmm_registry, tmp_path
+    ):
+        from repro.experiments.runner import set_default_cache_dir
+
+        cache_root = tmp_path / "default-char"
+        set_default_cache_dir(cache_root)
+        try:
+            run_experiment_cells("minip", max_workers=1)
+        finally:
+            set_default_cache_dir(None)
+        assert list(cache_root.glob("*.json")), "default cache dir not honored"
+
+    def test_caller_held_pool_is_used(self, mini_gmm_registry, tmp_path):
+        class RecordingPool(SweepPool):
+            def __init__(self):
+                super().__init__(max_workers=1)
+                self.mapped = 0
+
+            def map(self, fn, items):
+                self.mapped += 1
+                return super().map(fn, items)
+
+        plain = run_experiment_cells("minip", max_workers=1)
+        run_gmm_experiment.cache_clear()
+        with RecordingPool() as pool:
+            pooled = run_experiment_cells("minip", pool=pool)
+        assert pool.mapped == 1
+        _assert_same_result(pooled, plain)
