@@ -1,0 +1,100 @@
+"""Batched lane-parallel execution vs the solo-loop baseline.
+
+One Jacobi system, one shared (pre-warmed) characterization table, B
+independent runs executed two ways: a Python loop of B solo
+``framework.run`` calls (the baseline schedule every sweep used before
+batching) and one ``framework.run_batch`` advancing all B lanes
+lock-step through the vectorized kernels.  Results are asserted
+bit-identical and per-lane energy exactly equal *inside the benchmark* —
+the speedup is only meaningful if the batched path is exact.
+
+The mixed-mode entry pins lanes to all four approximate levels, so
+every step issues one kernel call per mode group — the worst grouping
+case the sweep router produces.
+"""
+
+import numpy as np
+
+from repro.core.framework import ApproxIt
+from repro.solvers.linear import JacobiSolver
+
+
+def _make_framework(n=48, max_iter=80, seed=23):
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(-1.0, 1.0, size=(n, n))
+    matrix += np.diag(np.abs(matrix).sum(axis=1) + 1.0)
+    rhs = rng.uniform(-5.0, 5.0, size=n)
+    framework = ApproxIt(JacobiSolver(matrix, rhs, max_iter=max_iter))
+    framework.characterization()  # warm the shared table once, up front
+    return framework
+
+
+def _assert_batch_matches_solo(batch, solo):
+    for batch_run, solo_run in zip(batch, solo):
+        np.testing.assert_array_equal(batch_run.x, solo_run.x)
+        assert batch_run.iterations == solo_run.iterations
+        assert batch_run.energy == solo_run.energy  # exact, not approx
+        assert batch_run.energy_by_mode == solo_run.energy_by_mode
+        assert batch_run.steps_by_mode == solo_run.steps_by_mode
+
+
+def test_batched_jacobi_vs_solo_loop(perf):
+    framework = _make_framework()
+
+    def solo_loop(B):
+        return [framework.run(strategy="incremental") for _ in range(B)]
+
+    def batch(B):
+        return framework.run_batch(["incremental"] * B)
+
+    # B=1 is the degenerate case: one lane cannot amortize anything, so
+    # its ratio is informational (recorded, not gated) — the per-call
+    # overhead the lane-parallel machinery adds to a single run.
+    t_solo1 = perf.time(lambda: solo_loop(1), repeats=5)
+    t_batch1 = perf.time(lambda: batch(1), repeats=5)
+
+    for B, repeats, gate in ((8, 5, 1.0), (64, 3, 3.0)):
+        _assert_batch_matches_solo(batch(B), solo_loop(B))
+        t_batch = perf.time(lambda: batch(B), repeats=repeats)
+        t_solo = perf.time(lambda: solo_loop(B), repeats=repeats)
+        speedup = t_solo / t_batch
+        entry = {
+            "lanes": B,
+            "solo_loop_s": round(t_solo, 4),
+            "batched_s": round(t_batch, 4),
+            "speedup": round(speedup, 2),
+        }
+        if B == 8:
+            entry["b1_ratio"] = round(t_solo1 / t_batch1, 2)
+        perf.record(f"batched/jacobi_b{B}", **entry)
+        assert speedup >= gate, (
+            f"batched B={B} only {speedup:.2f}x over the solo loop "
+            f"(floor {gate}x)"
+        )
+
+
+def test_mixed_mode_batch_vs_solo_loop(perf):
+    """32 lanes pinned across level1..level4: four per-mode sub-batches
+    per step instead of one, the sweep router's worst grouping case."""
+    framework = _make_framework()
+    specs = [f"static:level{1 + i % 4}" for i in range(32)]
+
+    def solo_loop():
+        return [framework.run(strategy=spec) for spec in specs]
+
+    def batch():
+        return framework.run_batch(list(specs))
+
+    _assert_batch_matches_solo(batch(), solo_loop())
+    t_batch = perf.time(batch, repeats=3)
+    t_solo = perf.time(solo_loop, repeats=3)
+    speedup = t_solo / t_batch
+    perf.record(
+        "batched/mixed_mode_b32",
+        lanes=32,
+        mode_groups=4,
+        solo_loop_s=round(t_solo, 4),
+        batched_s=round(t_batch, 4),
+        speedup=round(speedup, 2),
+    )
+    assert speedup > 1.0

@@ -23,6 +23,16 @@ import json
 import sys
 from pathlib import Path
 
+#: Entries that must be present in every complete artifact.  A bench
+#: module that silently fails to run (import error, skipped test) would
+#: otherwise leave a stale-but-passing artifact; requiring the names
+#: turns "benchmark never ran" into a gate failure instead of a pass.
+REQUIRED_ENTRIES = (
+    "batched/jacobi_b8",
+    "batched/jacobi_b64",
+    "batched/mixed_mode_b32",
+)
+
 
 def check(path: Path, min_speedup: float) -> int:
     try:
@@ -36,6 +46,9 @@ def check(path: Path, min_speedup: float) -> int:
         return 2
 
     failures = []
+    for name in REQUIRED_ENTRIES:
+        if name not in benchmarks:
+            failures.append(f"{name}: required entry missing from artifact")
     for name in sorted(benchmarks):
         entry = benchmarks[name]
         speedup = entry.get("speedup")
@@ -48,7 +61,7 @@ def check(path: Path, min_speedup: float) -> int:
             failures.append(f"{name}: speedup {speedup} < floor {min_speedup}")
 
     if failures:
-        print(f"\n{len(failures)} regression(s) below the {min_speedup}x floor:")
+        print(f"\n{len(failures)} failure(s) (missing or below the {min_speedup}x floor):")
         for failure in failures:
             print(f"  - {failure}")
         return 1

@@ -13,6 +13,10 @@ methods in :mod:`repro.solvers` / :mod:`repro.apps`:
   chained engine kernels (pass ``resident=True`` to any kernel);
 * :class:`ResidentMatrix` — a pinned multiplicative constant whose
   products skip the per-call finiteness scan (``engine.pin_matrix``);
+* :class:`BatchedEngine` / :class:`LaneStack` /
+  :class:`BatchedEnergyLedger` — the lock-step lane-parallel variant:
+  one kernel call advances a whole stack of independent workloads with
+  bit-identical per-lane results and exact per-lane energy accounting;
 * :mod:`repro.arith.modes` — the quality-configurable mode registry
   (``level1`` .. ``level4`` + ``accurate``) mirroring the paper's
   experimental platform.
@@ -20,7 +24,10 @@ methods in :mod:`repro.solvers` / :mod:`repro.apps`:
 
 from repro.arith.engine import (
     ApproxEngine,
+    BatchedEnergyLedger,
+    BatchedEngine,
     EnergyLedger,
+    LaneStack,
     ReductionPlan,
     ResidentMatrix,
     ResidentVector,
@@ -31,8 +38,11 @@ from repro.arith.modes import ApproxMode, ModeBank, default_mode_bank
 __all__ = [
     "ApproxEngine",
     "ApproxMode",
+    "BatchedEnergyLedger",
+    "BatchedEngine",
     "EnergyLedger",
     "FixedPointFormat",
+    "LaneStack",
     "ModeBank",
     "ReductionPlan",
     "ResidentMatrix",

@@ -789,3 +789,624 @@ class ApproxEngine:
             f"ApproxEngine(mode={self.mode.name}, adder={self.mode.adder.describe()}, "
             f"fmt={self.fmt.describe()})"
         )
+
+
+# ----------------------------------------------------------------------
+# Batched (lane-parallel) execution
+# ----------------------------------------------------------------------
+class BatchedEnergyLedger:
+    """Exact per-lane energy accounting for lock-step batched execution.
+
+    One batched kernel call performs the same elementary additions for
+    every lane in the stack, so a single charge fans out to per-lane
+    accumulators: ``adds`` and ``energy`` are length-``lanes`` arrays,
+    and the per-mode breakdowns are dictionaries of such arrays.  The
+    per-lane cost of a charge is computed exactly as
+    :meth:`EnergyLedger.charge` computes it (``n_adds * energy_per_add``,
+    one float multiply, then one accumulate per charge), so
+    :meth:`lane_ledger` reconstructs an :class:`EnergyLedger` that is
+    *exactly equal* — not approximately — to the ledger the same lane
+    would have accumulated in a solo run.
+
+    Args:
+        lanes: number of lanes in the batch.
+        observer: optional observability hook; each batched charge is
+            forwarded once, aggregated over the charged lanes, to its
+            ``on_charge`` (per-lane attribution lives in the trace
+            events, not the metric counters).
+    """
+
+    __slots__ = (
+        "lanes",
+        "adds",
+        "energy",
+        "adds_by_mode",
+        "energy_by_mode",
+        "observer",
+    )
+
+    def __init__(self, lanes: int, observer: object | None = None):
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = int(lanes)
+        self.adds = np.zeros(self.lanes, dtype=np.int64)
+        self.energy = np.zeros(self.lanes, dtype=np.float64)
+        self.adds_by_mode: dict[str, np.ndarray] = {}
+        self.energy_by_mode: dict[str, np.ndarray] = {}
+        self.observer = observer
+
+    def charge_lanes(
+        self,
+        mode_name: str,
+        lane_ids: np.ndarray,
+        adds_per_lane: int,
+        energy_per_add: float,
+    ) -> None:
+        """Charge ``adds_per_lane`` additions to each lane in ``lane_ids``.
+
+        The cost is ``adds_per_lane * energy_per_add`` per lane — the
+        identical expression a solo :class:`EnergyLedger` evaluates —
+        accumulated elementwise, so per-lane float accumulation order
+        matches a solo run's charge sequence addition for addition.
+        """
+        if adds_per_lane < 0:
+            raise ValueError(f"adds_per_lane must be >= 0, got {adds_per_lane}")
+        ids = np.asarray(lane_ids, dtype=np.int64).reshape(-1)
+        cost = adds_per_lane * energy_per_add
+        self.adds[ids] += adds_per_lane
+        self.energy[ids] += cost
+        mode_adds = self.adds_by_mode.get(mode_name)
+        if mode_adds is None:
+            mode_adds = np.zeros(self.lanes, dtype=np.int64)
+            self.adds_by_mode[mode_name] = mode_adds
+            self.energy_by_mode[mode_name] = np.zeros(
+                self.lanes, dtype=np.float64
+            )
+        mode_adds[ids] += adds_per_lane
+        self.energy_by_mode[mode_name][ids] += cost
+        if self.observer is not None:
+            k = int(ids.size)
+            self.observer.on_charge(mode_name, adds_per_lane * k, cost * k)
+
+    def lane_ledger(self, lane: int) -> EnergyLedger:
+        """The per-run :class:`EnergyLedger` one lane accumulated.
+
+        Modes the lane never touched are omitted, matching a solo run
+        (dict equality ignores insertion order, so the reconstructed
+        ledger compares equal to the solo one even when the batch met
+        the modes in a different order).
+        """
+        ledger = EnergyLedger(
+            adds=int(self.adds[lane]), energy=float(self.energy[lane])
+        )
+        for mode_name, mode_adds in self.adds_by_mode.items():
+            n = int(mode_adds[lane])
+            if n > 0:
+                ledger.adds_by_mode[mode_name] = n
+                ledger.energy_by_mode[mode_name] = float(
+                    self.energy_by_mode[mode_name][lane]
+                )
+        return ledger
+
+    def totals(self) -> EnergyLedger:
+        """Aggregate ledger over every lane (for reporting only — the
+        float totals here sum per-lane accumulators, which is not the
+        charge order a single shared solo ledger would have seen)."""
+        ledger = EnergyLedger(
+            adds=int(self.adds.sum()), energy=float(self.energy.sum())
+        )
+        for mode_name, mode_adds in self.adds_by_mode.items():
+            ledger.adds_by_mode[mode_name] = int(mode_adds.sum())
+            ledger.energy_by_mode[mode_name] = float(
+                self.energy_by_mode[mode_name].sum()
+            )
+        return ledger
+
+
+class LaneStack:
+    """Per-lane fixed-point words resident between batched kernels.
+
+    The batched analogue of :class:`ResidentVector`: an ``int64`` word
+    array whose *leading* axis indexes lanes, plus lazily cached
+    per-lane ``(min, max)`` bound arrays feeding the batched saturation
+    precheck.  Each lane's slice holds exactly the words the solo
+    engine would hold for that lane.
+    """
+
+    __slots__ = ("words", "fmt", "_lo", "_hi")
+
+    def __init__(
+        self,
+        words: np.ndarray,
+        fmt: FixedPointFormat,
+        lo: np.ndarray | None = None,
+        hi: np.ndarray | None = None,
+    ):
+        self.words = np.asarray(words, dtype=np.int64)
+        if self.words.ndim < 1:
+            raise ValueError("LaneStack needs a leading lane axis")
+        self.fmt = fmt
+        self._lo = lo
+        self._hi = hi
+
+    @property
+    def lanes(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.words.shape
+
+    def lane_bounds(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Cached per-lane ``(min, max)`` arrays; ``None`` when empty."""
+        if self._lo is None and self.words.size:
+            flat = self.words.reshape(self.words.shape[0], -1)
+            self._lo = flat.min(axis=1)
+            self._hi = flat.max(axis=1)
+        if self._lo is None:
+            return None
+        return self._lo, self._hi
+
+    def decode(self) -> np.ndarray:
+        """The float values these words represent (all lanes)."""
+        return self.fmt.decode(self.words)
+
+    def lane(self, i: int) -> np.ndarray:
+        """Decoded floats of a single lane."""
+        return self.fmt.decode(self.words[i])
+
+    def __array__(self, dtype=None, copy=None):
+        if copy is False:
+            raise ValueError(
+                "LaneStack cannot be converted to an array without "
+                "copying (decode allocates); use copy=None or copy=True"
+            )
+        decoded = self.decode()
+        return decoded if dtype is None else decoded.astype(dtype)
+
+    def __repr__(self) -> str:
+        return f"LaneStack(shape={self.words.shape}, fmt={self.fmt.describe()})"
+
+
+def _lane_minmax(
+    q: np.ndarray, lane_axis: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-lane ``(min, max)`` over every non-lane axis (no copy)."""
+    axes = tuple(i for i in range(q.ndim) if i != lane_axis)
+    return q.min(axis=axes), q.max(axis=axes)
+
+
+class BatchedEngine:
+    """Lock-step lane-parallel variant of :class:`ApproxEngine`.
+
+    Executes the same additive kernels over a *stack* of independent
+    lanes: elementwise kernels take ``(L, ...)`` operands with the lane
+    axis leading, reductions fold a ``(n, L, ...)`` slab along axis 0 so
+    every lane's balanced tree is walked in one vectorized pass.  The
+    adders are elementwise bitwise operations and the tree geometry
+    depends only on the reduced axis length, so each lane's output words
+    are bit-identical to a solo :class:`ApproxEngine` run of that lane;
+    the per-lane saturation bounds only decide whether the true-sum
+    recompute executes, never what it produces.
+
+    Shared operands — a :class:`ResidentVector`, a
+    :class:`ResidentMatrix`, or a plain ``(N,)`` array common to every
+    lane — broadcast against the lane stacks via NumPy trailing-axis
+    alignment.
+
+    Call :meth:`select_lanes` before issuing kernels: charges go to the
+    selected lane ids of the shared :class:`BatchedEnergyLedger`, which
+    is how per-mode sub-batches of a larger run charge only their own
+    lanes.
+
+    Args:
+        mode: the approximation mode to execute on.
+        fmt: fixed-point format of the datapath.
+        ledger: the shared per-lane ledger; a private one sized for
+            ``lanes`` is created when omitted.
+        lanes: lane count used only when ``ledger`` is omitted.
+        fast_path: saturation-precheck / residency toggle; ``None``
+            takes :attr:`ApproxEngine.default_fast_path`.  Results are
+            bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        mode: ApproxMode,
+        fmt: FixedPointFormat,
+        ledger: BatchedEnergyLedger | None = None,
+        lanes: int | None = None,
+        fast_path: bool | None = None,
+    ):
+        if mode.adder.width != fmt.width:
+            raise ValueError(
+                f"mode width {mode.adder.width} != format width {fmt.width}"
+            )
+        self.mode = mode
+        self.fmt = fmt
+        if ledger is None:
+            ledger = BatchedEnergyLedger(lanes if lanes is not None else 1)
+        self.ledger = ledger
+        self.fast_path = (
+            ApproxEngine.default_fast_path if fast_path is None else bool(fast_path)
+        )
+        self._signed_lo, self._signed_hi = bitops.signed_range(fmt.width)
+        self.lane_ids: np.ndarray | None = None
+        self._pinned: dict[str, tuple[np.ndarray, ResidentVector]] = {}
+        self._pinned_matrices: dict[str, tuple[np.ndarray, ResidentMatrix]] = {}
+        self._reduce_plans: dict[tuple[int, ...], ReductionPlan] = {}
+        self.encode_cache_hits = 0
+        self.encode_cache_misses = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Lane selection and pinned operands
+    # ------------------------------------------------------------------
+    def select_lanes(self, lane_ids) -> None:
+        """Set the ledger lanes subsequent kernel calls charge to.
+
+        The order of ``lane_ids`` is the order of rows in every stacked
+        operand: row ``r`` of an ``(L, ...)`` stack belongs to ledger
+        lane ``lane_ids[r]``.
+        """
+        ids = np.asarray(lane_ids, dtype=np.int64).reshape(-1)
+        if ids.size == 0:
+            raise ValueError("select_lanes needs at least one lane")
+        self.lane_ids = ids
+
+    def pin(self, name: str, array: np.ndarray) -> ResidentVector:
+        """Encode a lane-shared additive constant once (see
+        :meth:`ApproxEngine.pin`; encoding charges no energy, so pinning
+        never perturbs parity with solo runs)."""
+        arr = np.asarray(array, dtype=np.float64)
+        entry = self._pinned.get(name)
+        if entry is not None and entry[0] is arr:
+            self.encode_cache_hits += 1
+            return entry[1]
+        rv = ResidentVector(self.fmt.encode(arr), self.fmt)
+        rv.bounds()
+        self._pinned[name] = (arr, rv)
+        self.encode_cache_misses += 1
+        return rv
+
+    def pin_matrix(self, name: str, matrix: np.ndarray) -> ResidentMatrix:
+        """Validate a lane-shared multiplicative constant once (see
+        :meth:`ApproxEngine.pin_matrix`)."""
+        arr = np.asarray(matrix, dtype=np.float64)
+        entry = self._pinned_matrices.get(name)
+        if entry is not None and entry[0] is arr:
+            self.encode_cache_hits += 1
+            return entry[1]
+        rm = ResidentMatrix(arr)
+        self._pinned_matrices[name] = (arr, rm)
+        self.encode_cache_misses += 1
+        return rm
+
+    def cache_stats(self) -> dict[str, int]:
+        """Counters for the pin/encode and reduction-plan caches."""
+        return {
+            "encode_cache_hits": self.encode_cache_hits,
+            "encode_cache_misses": self.encode_cache_misses,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "pinned_operands": len(self._pinned) + len(self._pinned_matrices),
+            "reduce_plans": len(self._reduce_plans),
+        }
+
+    # ------------------------------------------------------------------
+    # Fixed-point plumbing (lane-aware)
+    # ------------------------------------------------------------------
+    def _check_fmt(self, operand) -> None:
+        if operand.fmt != self.fmt:
+            raise ValueError(
+                f"operand format {operand.fmt.describe()} does not match "
+                f"engine format {self.fmt.describe()}"
+            )
+
+    def _coerce(self, x):
+        """Operand → ``(words, bounds)``.
+
+        Bounds are ``(lo, hi)`` where each side is a scalar (shared
+        resident) or a per-lane array (lane stack); both broadcast in
+        the precheck.
+        """
+        if isinstance(x, LaneStack):
+            self._check_fmt(x)
+            return x.words, x.lane_bounds()
+        if isinstance(x, ResidentVector):
+            self._check_fmt(x)
+            return x.words, x.bounds()
+        arr = np.asarray(x, dtype=np.float64)
+        return self.fmt.encode(arr), None
+
+    def _to_float(self, x) -> np.ndarray:
+        if isinstance(x, (LaneStack, ResidentVector)):
+            self._check_fmt(x)
+            return x.decode()
+        return np.asarray(x, dtype=np.float64)
+
+    def _emit(self, words: np.ndarray, resident: bool):
+        if resident and self.fast_path:
+            return LaneStack(words, self.fmt)
+        return self.fmt.decode(words)
+
+    def _saturation_needed(
+        self, qa, qb, bounds_a, bounds_b, lane_axis: int
+    ) -> bool:
+        """Global (any-lane) version of the solo range precheck.
+
+        The precheck only decides whether the true-sum recompute runs;
+        the recompute itself is per-element, so a conservative global
+        answer keeps per-lane results bit-identical.
+        """
+        if not self.fast_path:
+            return True
+        if qa.size == 0 or qb.size == 0:
+            return False
+        if bounds_a is None:
+            bounds_a = _lane_minmax(qa, lane_axis)
+        if bounds_b is None:
+            bounds_b = _lane_minmax(qb, lane_axis)
+        lo = np.asarray(bounds_a[0]) + np.asarray(bounds_b[0])
+        hi = np.asarray(bounds_a[1]) + np.asarray(bounds_b[1])
+        return bool(np.any(lo < self._signed_lo) or np.any(hi > self._signed_hi))
+
+    def _add_words(
+        self,
+        qa: np.ndarray,
+        qb: np.ndarray,
+        bounds_a=None,
+        bounds_b=None,
+        lane_axis: int = 0,
+    ) -> np.ndarray:
+        """Lane-stacked :meth:`ApproxEngine._add_words`: the adder and
+        the saturating output stage are elementwise, so each lane's
+        slice is bit-identical to a solo add; the charge fans out as
+        ``size // lanes`` adds to every selected lane."""
+        if self.lane_ids is None:
+            raise RuntimeError("call select_lanes() before issuing kernels")
+        out = self.mode.adder.add_signed(qa, qb)
+        if self.fmt.overflow == "saturate" and self._saturation_needed(
+            qa, qb, bounds_a, bounds_b, lane_axis
+        ):
+            true = qa.astype(np.int64) + qb.astype(np.int64)
+            lo, hi = self._signed_lo, self._signed_hi
+            overflowed = (true < lo) | (true > hi)
+            if np.any(overflowed):
+                out = np.where(overflowed, np.clip(true, lo, hi), out)
+        lanes = qa.shape[lane_axis]
+        if lanes != self.lane_ids.shape[0]:
+            raise ValueError(
+                f"operand has {lanes} lanes but {self.lane_ids.shape[0]} "
+                "are selected"
+            )
+        n_per_lane = int(qa.size) // lanes
+        self.ledger.charge_lanes(
+            self.mode.name, self.lane_ids, n_per_lane, self.mode.energy_per_add
+        )
+        return out
+
+    def _reduce_words(self, q: np.ndarray) -> np.ndarray:
+        """Balanced-tree reduction of axis 0 of a ``(n, L, ...)`` slab.
+
+        Walks the identical tree as :meth:`ApproxEngine._reduce_words`
+        (the level splits depend only on ``n``), with the incremental
+        saturation bounds kept per lane — exact adders propagate
+        interval arithmetic elementwise, approximate adders rescan.
+        """
+        cur = np.asarray(q, dtype=np.int64)
+        shape = cur.shape
+        if shape[0] <= 1:
+            return cur[0]
+        plan = self._reduce_plans.get(shape)
+        if plan is None:
+            plan = ReductionPlan(shape)
+            self._reduce_plans[shape] = plan
+            self.plan_cache_misses += 1
+        else:
+            self.plan_cache_hits += 1
+        saturating = self.fmt.overflow == "saturate"
+        bounds = None
+        if saturating and cur.size and self.fast_path:
+            bounds = _lane_minmax(cur, lane_axis=1)
+        exact = self.mode.adder.is_exact
+        lo_w, hi_w = self._signed_lo, self._signed_hi
+        last = len(plan.levels) - 1
+        for i, (half, odd) in enumerate(plan.levels):
+            folded = self._add_words(
+                cur[:half],
+                cur[half : 2 * half],
+                bounds_a=bounds,
+                bounds_b=bounds,
+                lane_axis=1,
+            )
+            if odd:
+                nxt = plan.buf[: half + 1]
+                nxt[half] = cur[2 * half]
+                nxt[:half] = folded
+                cur = nxt
+            else:
+                cur = folded
+            if bounds is not None and i < last:
+                if exact:
+                    lo = np.maximum(bounds[0] + bounds[0], lo_w)
+                    hi = np.minimum(bounds[1] + bounds[1], hi_w)
+                    if odd:
+                        lo = np.minimum(lo, bounds[0])
+                        hi = np.maximum(hi, bounds[1])
+                    bounds = (lo, hi)
+                else:
+                    bounds = _lane_minmax(cur, lane_axis=1)
+        return cur[0]
+
+    # ------------------------------------------------------------------
+    # Public kernels (lane axis leading)
+    # ------------------------------------------------------------------
+    def add(self, a, b, *, resident: bool = False):
+        """Elementwise ``a + b`` per lane; shared operands broadcast."""
+        qa, bounds_a = self._coerce(a)
+        qb, bounds_b = self._coerce(b)
+        if qa.shape != qb.shape:
+            qa, qb = np.broadcast_arrays(qa, qb)
+        out = self._add_words(qa, qb, bounds_a=bounds_a, bounds_b=bounds_b)
+        return self._emit(out, resident)
+
+    def sub(self, a, b, *, resident: bool = False):
+        """Elementwise ``a - b`` per lane (two's-complement negation)."""
+        if isinstance(b, LaneStack):
+            self._check_fmt(b)
+            neg = self.fmt.handle_overflow(-b.words)
+            bounds = b.lane_bounds()
+            lo = hi = None
+            if bounds is not None and bool(np.all(bounds[0] > self._signed_lo)):
+                lo, hi = -bounds[1], -bounds[0]
+            return self.add(
+                a, LaneStack(neg, self.fmt, lo=lo, hi=hi), resident=resident
+            )
+        if isinstance(b, ResidentVector):
+            self._check_fmt(b)
+            neg = self.fmt.handle_overflow(-b.words)
+            bounds = b.bounds()
+            if bounds is not None and bounds[0] > self._signed_lo:
+                bounds = (-bounds[1], -bounds[0])
+            else:
+                bounds = None
+            return self.add(
+                a, ResidentVector(neg, self.fmt, bounds), resident=resident
+            )
+        return self.add(a, -np.asarray(b, dtype=np.float64), resident=resident)
+
+    def scale_add(self, x, alpha, d, *, resident: bool = False):
+        """Per-lane update rule ``x + alpha * d``.
+
+        ``alpha`` may be a scalar or a per-lane ``(L,)`` array; a lane's
+        row is scaled by exactly the float multiply a solo run performs.
+        """
+        df = self._to_float(d)
+        alpha = np.asarray(alpha, dtype=np.float64)
+        if alpha.ndim == 1:
+            alpha = alpha.reshape((-1,) + (1,) * (df.ndim - 1))
+        return self.add(x, alpha * df, resident=resident)
+
+    def sum(
+        self,
+        x,
+        axis: int | None = None,
+        *,
+        resident: bool = False,
+        assume_finite: bool = False,
+    ):
+        """Per-lane tree reduction.
+
+        ``axis`` indexes each lane's shape (the lane axis is implicit
+        and always survives); ``axis=None`` flattens each lane and
+        returns a per-lane float array of shape ``(L,)``.
+        """
+        scalar = axis is None
+        if isinstance(x, LaneStack):
+            self._check_fmt(x)
+            q = x.words
+        else:
+            q = self.fmt.encode(
+                np.asarray(x, dtype=np.float64), assume_finite=assume_finite
+            )
+        if self.lane_ids is None:
+            raise RuntimeError("call select_lanes() before issuing kernels")
+        if q.ndim < 2 or q.shape[0] != self.lane_ids.shape[0]:
+            raise ValueError(
+                f"batched sum needs a leading lane axis of "
+                f"{self.lane_ids.shape[0]}, got shape {q.shape}"
+            )
+        if scalar:
+            q = q.reshape(q.shape[0], -1)
+            red_axis = 1
+        else:
+            if axis < 0:
+                axis += q.ndim - 1
+            red_axis = axis + 1
+        if q.shape[red_axis] == 0:
+            out = np.zeros(tuple(np.delete(q.shape, red_axis)))
+            if scalar:
+                return out.reshape(q.shape[0])
+            return self._emit(self.fmt.encode(out), resident)
+        reduced = self._reduce_words(np.moveaxis(q, red_axis, 0))
+        if scalar:
+            return self.fmt.decode(reduced)
+        return self._emit(reduced, resident)
+
+    def dot(self, a, b) -> np.ndarray:
+        """Per-lane inner products → ``(L,)`` floats."""
+        af = self._to_float(a)
+        bf = self._to_float(b)
+        af = af.reshape(af.shape[0], -1)
+        bf = bf.reshape(bf.shape[0], -1)
+        if af.shape != bf.shape:
+            raise ValueError(f"dot shape mismatch: {af.shape} vs {bf.shape}")
+        return self.sum(af * bf)
+
+    def _trusted_product(
+        self, constant: ResidentMatrix, varying: np.ndarray
+    ) -> bool:
+        """Any-lane version of :meth:`ApproxEngine._trusted_product`:
+        one global bound over the whole stack (sound per lane, and the
+        emitted words are identical with or without the trust)."""
+        if not self.fast_path:
+            return False
+        if varying.size == 0:
+            return True
+        if not np.all(np.isfinite(varying)):
+            raise ValueError("cannot encode non-finite values into fixed point")
+        bound = constant.abs_max * float(np.abs(varying).max())
+        return bool(np.isfinite(bound))
+
+    def matvec(self, matrix, x, *, resident: bool = False):
+        """Shared ``matrix @ x[lane]`` for every lane of a ``(L, N)``
+        stack, with approximate row accumulation."""
+        trusted = False
+        if isinstance(matrix, ResidentMatrix):
+            mat = matrix.array
+            pinned = matrix
+        else:
+            mat = np.asarray(matrix, dtype=np.float64)
+            pinned = None
+        xs = self._to_float(x)
+        if xs.ndim != 2 or mat.ndim != 2 or mat.shape[1] != xs.shape[1]:
+            raise ValueError(
+                f"batched matvec shape mismatch: {mat.shape} vs {xs.shape}"
+            )
+        if pinned is not None:
+            trusted = self._trusted_product(pinned, xs)
+        products = mat[np.newaxis, :, :] * xs[:, np.newaxis, :]
+        return self.sum(products, axis=1, resident=resident, assume_finite=trusted)
+
+    def weighted_sum(self, weights, points, *, resident: bool = False):
+        """Per-lane ``sum_i weights[lane, i] * points[i]`` over shared
+        rows of ``points``."""
+        trusted = False
+        if isinstance(points, ResidentMatrix):
+            pts = points.array
+            pinned = points
+        else:
+            pts = self._to_float(points)
+            pinned = None
+        w = self._to_float(weights)
+        if w.ndim != 2 or pts.ndim != 2 or pts.shape[0] != w.shape[1]:
+            raise ValueError(
+                f"batched weighted_sum shape mismatch: {w.shape} vs {pts.shape}"
+            )
+        if pinned is not None:
+            trusted = self._trusted_product(pinned, w)
+        products = w[:, :, np.newaxis] * pts[np.newaxis, :, :]
+        return self.sum(products, axis=0, resident=resident, assume_finite=trusted)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip values through the datapath format (no energy)."""
+        return self.fmt.quantize(np.asarray(x, dtype=np.float64))
+
+    def describe(self) -> str:
+        """One-line description of the engine configuration."""
+        return (
+            f"BatchedEngine(mode={self.mode.name}, "
+            f"adder={self.mode.adder.describe()}, fmt={self.fmt.describe()})"
+        )

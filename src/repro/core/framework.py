@@ -32,7 +32,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.arith.engine import ApproxEngine, EnergyLedger
+from repro.arith.engine import (
+    ApproxEngine,
+    BatchedEnergyLedger,
+    BatchedEngine,
+    EnergyLedger,
+)
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ModeBank, default_mode_bank
 from repro.core.characterize import (
@@ -49,8 +54,9 @@ from repro.core.strategies.base import (
 from repro.core.strategies.incremental import IncrementalStrategy
 from repro.core.strategies.static_mode import StaticModeStrategy
 from repro.obs.events import TraceEvent
-from repro.obs.observer import Observer
+from repro.obs.observer import LaneObserver, Observer
 from repro.solvers.base import IterationState, IterativeMethod
+from repro.solvers.batched import batched_kernels_for
 
 
 @dataclass
@@ -522,3 +528,382 @@ class ApproxIt:
     ) -> RunResult:
         """The fully accurate reference run (the paper's *Truth*)."""
         return self.run(strategy="truth", max_iter=max_iter, observer=observer)
+
+    # ------------------------------------------------------------------
+    # Batched (lane-parallel) online stage
+    # ------------------------------------------------------------------
+    def supports_batching(self) -> bool:
+        """Whether :meth:`run_batch` can drive this framework's method."""
+        from repro.solvers.batched import supports_batching
+
+        return supports_batching(self.method)
+
+    def run_batch(
+        self,
+        strategies,
+        max_iter: int | None = None,
+        collect_traces: bool = True,
+        collect_history: bool = False,
+        observer: Observer | None = None,
+    ) -> list[RunResult]:
+        """Run one lane per strategy, lock-step through batched kernels.
+
+        Each lane is an independent run of :attr:`method` under its own
+        strategy; all lanes share one characterization table and one
+        stacked kernel call per step.  Lanes currently on *different*
+        modes are grouped into per-mode sub-batches, so a mixed-mode
+        batch still issues one kernel call per mode per step.  A lane
+        that converges (or exhausts its budget) freezes: it leaves the
+        active set and is charged nothing further.
+
+        Per-lane results are bit-identical to ``self.run(strategy)``
+        solo runs and per-lane energy ledgers exactly equal — the solo
+        path is the regression oracle (see ``tests/core/
+        test_batched_parity.py``); ``run_batch`` only amortizes Python
+        and kernel-dispatch overhead across lanes.
+
+        Args:
+            strategies: one spec string or
+                :class:`~repro.core.strategies.ReconfigurationStrategy`
+                instance per lane (instances must be distinct objects —
+                strategies are stateful per run).
+            max_iter / collect_traces / collect_history / observer: as
+                in :meth:`run`, applied to every lane.  Events reach the
+                observer with the lane id in ``detail["lane"]``;
+                ``observer=None`` batches pay no tracing cost.
+
+        Returns:
+            One :class:`RunResult` per lane, in ``strategies`` order.
+
+        Raises:
+            ValueError: when the method has no batched kernels (see
+                :func:`repro.solvers.batched.supports_batching`) or a
+                strategy instance is repeated.
+        """
+        specs = list(strategies)
+        lanes = len(specs)
+        if lanes == 0:
+            raise ValueError("run_batch needs at least one strategy lane")
+        kernels = batched_kernels_for(self.method, lanes)
+        if kernels is None:
+            raise ValueError(
+                f"{type(self.method).__name__} has no batched kernels; "
+                "use the solo run() path (see repro.solvers.batched)"
+            )
+        policies = [self.resolve_strategy(spec) for spec in specs]
+        seen_ids = set()
+        for policy in policies:
+            if id(policy) in seen_ids:
+                raise ValueError(
+                    "the same strategy instance was passed for two lanes; "
+                    "strategies are stateful per run — pass distinct "
+                    "instances (or spec strings)"
+                )
+            seen_ids.add(id(policy))
+        budget = self.method.max_iter if max_iter is None else int(max_iter)
+        characterization = self.characterization()
+        epsilons = characterization.epsilons()
+
+        ledger = BatchedEnergyLedger(lanes, observer=observer)
+        engines = {
+            mode.name: BatchedEngine(mode, self.fmt, ledger)
+            for mode in self.bank
+        }
+        lane_observers: list[Observer | None] = [None] * lanes
+        if observer is not None:
+            lane_observers = [LaneObserver(observer, i) for i in range(lanes)]
+        for policy, lane_observer in zip(policies, lane_observers):
+            policy.bind_observer(lane_observer)
+        try:
+            results = self._run_batch_loop(
+                kernels,
+                policies,
+                budget,
+                epsilons,
+                ledger,
+                engines,
+                collect_traces,
+                collect_history,
+                observer,
+                lane_observers,
+            )
+        finally:
+            for policy in policies:
+                policy.bind_observer(None)
+        if observer is not None:
+            self._export_cache_metrics(engines, observer)
+        return results
+
+    def _run_batch_loop(
+        self,
+        kernels,
+        policies: list[ReconfigurationStrategy],
+        budget: int,
+        epsilons: dict[str, float],
+        ledger: BatchedEnergyLedger,
+        engines: dict[str, BatchedEngine],
+        collect_traces: bool,
+        collect_history: bool,
+        observer: Observer | None,
+        lane_observers: list[Observer | None],
+    ) -> list[RunResult]:
+        """The lane-parallel online loop of :meth:`run_batch`.
+
+        Per-lane control flow replicates :meth:`_run_loop` decision for
+        decision; only the ``direction`` / ``update`` kernel calls are
+        shared, stacked per mode group.
+        """
+        lanes = len(policies)
+        method = self.method
+        modes = [policy.start(self.bank, self.characterization()) for policy in policies]
+        x0 = method.postprocess(method.initial_state())
+        f0 = method.objective(x0)
+        g0 = method.gradient(x0)
+
+        xs = [np.asarray(x0, dtype=np.float64).copy() for _ in range(lanes)]
+        f_prev = [f0] * lanes
+        grad_prev = [g0] * lanes
+        steps_by_mode = [{m.name: 0 for m in self.bank} for _ in range(lanes)]
+        mode_trace: list[list[str]] = [[] for _ in range(lanes)]
+        objective_trace: list[list[float]] = [[] for _ in range(lanes)]
+        history: list[list[IterationState]] = [[] for _ in range(lanes)]
+        rollbacks = [0] * lanes
+        iterations = [0] * lanes
+        converged = [False] * lanes
+        executed = [0] * lanes
+        done = [budget <= 0] * lanes
+        last_mode: list[str | None] = [None] * lanes
+
+        while True:
+            active = [i for i in range(lanes) if not done[i]]
+            if not active:
+                break
+            groups: dict[str, list[int]] = {}
+            for i in active:
+                groups.setdefault(modes[i].name, []).append(i)
+            for mode_name, group in groups.items():
+                mode = self.bank.by_name(mode_name)
+                engine = engines[mode_name]
+                ids = np.asarray(group, dtype=np.int64)
+                switch_ids = [
+                    i
+                    for i in group
+                    if last_mode[i] is not None and last_mode[i] != mode_name
+                ]
+                if observer is not None:
+                    for i in switch_ids:
+                        observer.record(
+                            TraceEvent(
+                                "mode_switch",
+                                executed[i],
+                                mode_name,
+                                {"previous": last_mode[i], "lane": i},
+                            )
+                        )
+                if self.switch_energy and switch_ids:
+                    ledger.charge_lanes(
+                        "reconfig",
+                        np.asarray(switch_ids, dtype=np.int64),
+                        1,
+                        self.switch_energy,
+                    )
+                    if observer is not None:
+                        for i in switch_ids:
+                            observer.record(
+                                TraceEvent(
+                                    "reconfig_charge",
+                                    executed[i],
+                                    mode_name,
+                                    {"energy": self.switch_energy, "lane": i},
+                                )
+                            )
+                for i in group:
+                    last_mode[i] = mode_name
+                engine.select_lanes(ids)
+                X = np.stack([xs[i] for i in group])
+                if observer is None:
+                    D = kernels.direction(X, ids, engine)
+                    alphas = np.array(
+                        [
+                            method.step_size(X[row], D[row], iterations[i])
+                            for row, i in enumerate(group)
+                        ]
+                    )
+                    X_new = kernels.update(X, alphas, D, ids, engine)
+                else:
+                    with observer.metrics.time("direction"):
+                        D = kernels.direction(X, ids, engine)
+                    alphas = np.array(
+                        [
+                            method.step_size(X[row], D[row], iterations[i])
+                            for row, i in enumerate(group)
+                        ]
+                    )
+                    with observer.metrics.time("update"):
+                        X_new = kernels.update(X, alphas, D, ids, engine)
+
+                for row, i in enumerate(group):
+                    x_new = X_new[row].copy()
+                    if observer is None:
+                        f_new = method.objective(x_new)
+                    else:
+                        with observer.metrics.time("objective"):
+                            f_new = method.objective(x_new)
+                    grad_new = method.gradient(x_new)
+                    executed[i] += 1
+
+                    tolerance_pass = method.converged(f_prev[i], f_new)
+                    fixed_point = bool(np.array_equal(x_new, xs[i]))
+
+                    obs = Observation(
+                        iteration=executed[i] - 1,
+                        x_prev=xs[i],
+                        x_new=x_new,
+                        f_prev=f_prev[i],
+                        f_new=f_new,
+                        grad_prev=grad_prev[i],
+                        grad_new=grad_new,
+                        mode=mode,
+                        epsilon=epsilons[mode_name],
+                        converged=tolerance_pass,
+                    )
+                    decision: Decision = policies[i].decide(obs)
+                    lane_observer = lane_observers[i]
+
+                    if collect_traces:
+                        mode_trace[i].append(mode_name)
+                        objective_trace[i].append(f_new)
+
+                    if decision.rollback and not fixed_point:
+                        if lane_observer is not None:
+                            lane_observer.record(
+                                TraceEvent(
+                                    "iteration",
+                                    executed[i] - 1,
+                                    mode_name,
+                                    {
+                                        "objective": f_new,
+                                        "accepted": False,
+                                        "reason": decision.reason,
+                                    },
+                                )
+                            )
+                        if mode.is_accurate and decision.mode.is_accurate:
+                            converged[i] = True
+                            done[i] = True
+                        else:
+                            rollbacks[i] += 1
+                            if lane_observer is not None:
+                                lane_observer.record(
+                                    TraceEvent(
+                                        "rollback",
+                                        executed[i] - 1,
+                                        mode_name,
+                                        {"next_mode": decision.mode.name},
+                                    )
+                                )
+                            modes[i] = decision.mode
+                    else:
+                        # Iteration accepted.
+                        iterations[i] += 1
+                        steps_by_mode[i][mode_name] += 1
+                        if lane_observer is not None:
+                            lane_observer.record(
+                                TraceEvent(
+                                    "iteration",
+                                    executed[i] - 1,
+                                    mode_name,
+                                    {
+                                        "objective": f_new,
+                                        "accepted": True,
+                                        "reason": decision.reason,
+                                    },
+                                )
+                            )
+                        if collect_history:
+                            history[i].append(
+                                IterationState(
+                                    iteration=iterations[i] - 1,
+                                    x=x_new.copy(),
+                                    objective=f_new,
+                                    mode_name=mode_name,
+                                )
+                            )
+                        xs[i], f_prev[i], grad_prev[i] = x_new, f_new, grad_new
+
+                        if tolerance_pass or fixed_point:
+                            if (
+                                policies[i].verify_convergence
+                                and not mode.is_accurate
+                            ):
+                                next_mode = policies[i].on_premature_convergence(
+                                    mode
+                                )
+                                if lane_observer is not None:
+                                    lane_observer.record(
+                                        TraceEvent(
+                                            "convergence_handover",
+                                            executed[i] - 1,
+                                            mode_name,
+                                            {"next_mode": next_mode.name},
+                                        )
+                                    )
+                                modes[i] = next_mode
+                            else:
+                                converged[i] = True
+                                done[i] = True
+                        else:
+                            modes[i] = decision.mode
+
+                    if not done[i] and executed[i] >= budget:
+                        done[i] = True
+
+        return [
+            self._lane_result(
+                i,
+                policies[i],
+                ledger,
+                xs[i],
+                f_prev[i],
+                iterations[i],
+                rollbacks[i],
+                converged[i],
+                steps_by_mode[i],
+                mode_trace[i],
+                objective_trace[i],
+                history[i],
+            )
+            for i in range(lanes)
+        ]
+
+    @staticmethod
+    def _lane_result(
+        lane: int,
+        policy: ReconfigurationStrategy,
+        ledger: BatchedEnergyLedger,
+        x: np.ndarray,
+        objective: float,
+        iterations: int,
+        rollbacks: int,
+        converged: bool,
+        steps_by_mode: dict[str, int],
+        mode_trace: list[str],
+        objective_trace: list[float],
+        history: list[IterationState],
+    ) -> RunResult:
+        lane_ledger = ledger.lane_ledger(lane)
+        return RunResult(
+            x=x,
+            objective=objective,
+            iterations=iterations,
+            rollbacks=rollbacks,
+            converged=converged,
+            hit_max_iter=not converged,
+            steps_by_mode=steps_by_mode,
+            energy=lane_ledger.energy,
+            energy_by_mode=dict(lane_ledger.energy_by_mode),
+            strategy_name=policy.name,
+            mode_trace=mode_trace,
+            objective_trace=objective_trace,
+            history=history,
+        )

@@ -129,6 +129,7 @@ def sweep(
     strategies: Sequence[str | ReconfigurationStrategy] = ("incremental", "adaptive"),
     bank: ModeBank | None = None,
     quality_fn: Callable[[IterativeMethod, RunResult, RunResult], float] | None = None,
+    batch: bool = False,
     **framework_kwargs,
 ) -> SweepResult:
     """Run every strategy on every instance.
@@ -140,6 +141,14 @@ def sweep(
         strategies: strategy specs or instances.
         bank: shared mode ladder (the default platform when omitted).
         quality_fn: optional ``(method, run, truth) -> QEM``.
+        batch: advance each instance's runs (Truth plus every strategy)
+            lock-step through one
+            :meth:`~repro.core.framework.ApproxIt.run_batch` call — one
+            lane per strategy, one vectorized kernel call per mode per
+            step.  Per-lane results are bit-identical to the solo path
+            (the default, which remains the regression oracle), so this
+            only changes wall-clock time.  Instances whose method has
+            no batched kernels silently fall back to solo runs.
         **framework_kwargs: forwarded to :class:`ApproxIt`.
 
     Returns:
@@ -151,9 +160,15 @@ def sweep(
     for label, factory in instances.items():
         method = factory()
         framework = ApproxIt(method, bank, **framework_kwargs)
-        truth = framework.run_truth()
-        for strategy in strategies:
-            run = framework.run(strategy=strategy)
+        if batch and framework.supports_batching():
+            runs = framework.run_batch(["truth", *strategies])
+            truth, strategy_runs = runs[0], runs[1:]
+        else:
+            truth = framework.run_truth()
+            strategy_runs = [
+                framework.run(strategy=strategy) for strategy in strategies
+            ]
+        for strategy, run in zip(strategies, strategy_runs):
             quality = (
                 quality_fn(method, run, truth) if quality_fn is not None else None
             )

@@ -17,7 +17,10 @@ Beyond the paper's artifacts::
 
 ``--out PATH`` writes the report to a file instead of stdout.
 ``--parallel N`` prewarms the experiment matrix over ``N`` worker
-processes (``0`` = all cores) before rendering table3/table4/figure4/all.
+processes (``0`` = all cores) before rendering table3/table4/figure4/all;
+``--batch-size B`` additionally groups up to ``B`` compatible cells per
+dataset into one lane-parallel ``run_batch`` shard per worker (results
+stay bit-identical — see ``docs/performance.md``).
 ``--trace DIR`` exports JSONL run traces (see ``docs/observability.md``)
 for the ``run`` artifact and for every cell of a ``--parallel`` prewarm.
 
@@ -84,6 +87,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "before rendering (table3/table4/figure4/all; 0 = all cores)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="lane-parallel batching for --parallel prewarms: group up "
+        "to B compatible sweep cells per dataset into one lock-step "
+        "run_batch shard (bit-identical results; methods without "
+        "batched kernels fall back to solo cells)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="DIR",
@@ -139,7 +152,12 @@ _PARALLEL_ARTIFACTS = {
 }
 
 
-def _prewarm(artifact: str, workers: int, trace_dir: str | None = None) -> None:
+def _prewarm(
+    artifact: str,
+    workers: int,
+    trace_dir: str | None = None,
+    batch_size: int | None = None,
+) -> None:
     from repro.experiments.parallel import SweepPool
     from repro.experiments.runner import run_experiments_parallel
 
@@ -152,6 +170,7 @@ def _prewarm(artifact: str, workers: int, trace_dir: str | None = None) -> None:
             dataset_keys=_PARALLEL_ARTIFACTS[artifact],
             trace_dir=trace_dir,
             pool=pool,
+            batch_size=batch_size,
         )
 
 
@@ -339,7 +358,7 @@ def main(argv: list[str] | None = None) -> int:
     # characterize artifacts and every prewarm worker share one cache.
     set_default_cache_dir(resolve_cache_dir(args.cache_dir, args.no_cache))
     if args.parallel is not None:
-        _prewarm(args.artifact, args.parallel, args.trace)
+        _prewarm(args.artifact, args.parallel, args.trace, args.batch_size)
     report = _generate(args.artifact, args.dataset, args.strategy, args.save, args.trace)
     if args.out:
         with open(args.out, "w") as handle:

@@ -66,19 +66,56 @@ class _WorkerFailure:
         self.exc = exc
 
 
-class _TrappedCall:
-    """Picklable wrapper executing ``fn`` and trapping its exceptions."""
+class _ChunkedCall:
+    """Picklable wrapper running ``fn`` over one chunk of the work list.
+
+    Every item in the chunk is evaluated even after one fails — the
+    failure travels back as a :class:`_WorkerFailure` value in its slot,
+    keeping result positions aligned with submission order and matching
+    the pool contract that ``fn``'s errors are re-raised at the call
+    site after one full pass, never retried.
+    """
 
     __slots__ = ("fn",)
 
     def __init__(self, fn: Callable[[_T], _R]):
         self.fn = fn
 
-    def __call__(self, item: _T):
-        try:
-            return self.fn(item)
-        except Exception as exc:
-            return _WorkerFailure(exc)
+    def __call__(self, chunk: Sequence[_T]) -> list:
+        out: list = []
+        for item in chunk:
+            try:
+                out.append(self.fn(item))
+            except Exception as exc:
+                out.append(_WorkerFailure(exc))
+        return out
+
+
+def _balanced_chunks(
+    work: Sequence[_T], chunk_size: int | None, max_workers: int
+) -> list[list[_T]]:
+    """Split ``work`` into contiguous chunks whose sizes differ by ≤ 1.
+
+    ``chunk_size`` is an upper bound that fixes the chunk *count*
+    (``ceil(len(work) / chunk_size)``); the items are then spread
+    evenly, so 12 items at ``chunk_size=5`` become ``[4, 4, 4]`` rather
+    than ``[5, 5, 2]`` — no worker is left with a ragged tail chunk
+    while the rest idle.  Without ``chunk_size`` the count targets four
+    chunks per worker for latency smoothing.
+    """
+    n = len(work)
+    if chunk_size:
+        n_chunks = -(-n // int(chunk_size))  # ceil division
+    else:
+        n_chunks = min(n, max_workers * 4)
+    base, extra = divmod(n, n_chunks)
+    chunks: list[list[_T]] = []
+    start = 0
+    for idx in range(n_chunks):
+        size = base + (1 if idx < extra else 0)
+        chunks.append(list(work[start : start + size]))
+        start += size
+    return chunks
 
 
 class SweepPool:
@@ -101,8 +138,11 @@ class SweepPool:
     Args:
         max_workers: pool size; ``None`` uses :func:`default_workers`.
             Values ``<= 1`` never touch multiprocessing.
-        chunk_size: items per worker submission; ``None`` derives one
-            from the work size and worker count per call.
+        chunk_size: upper bound on items per worker submission; the
+            work list is split into size-balanced chunks (differing by
+            at most one item) so the final chunk is never a ragged
+            tail.  ``None`` derives a chunk count from the work size
+            and worker count per call.
     """
 
     def __init__(
@@ -146,15 +186,11 @@ class SweepPool:
         work: Sequence[_T] = list(items)
         if self.max_workers <= 1 or len(work) <= 1 or self._serial_fallback:
             return [fn(item) for item in work]
-        chunk = self.chunk_size or max(
-            1, len(work) // (self.max_workers * 4)
-        )
+        chunks = _balanced_chunks(work, self.chunk_size, self.max_workers)
         try:
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-            results = list(
-                self._pool.map(_TrappedCall(fn), work, chunksize=chunk)
-            )
+            nested = list(self._pool.map(_ChunkedCall(fn), chunks))
         except (BrokenProcessPool, OSError, PermissionError) as exc:
             warnings.warn(
                 f"process pool unavailable ({exc!r}); running serially",
@@ -164,6 +200,7 @@ class SweepPool:
             self._discard_pool()
             self._serial_fallback = True
             return [fn(item) for item in work]
+        results: list = [item for chunk in nested for item in chunk]
         for result in results:
             if isinstance(result, _WorkerFailure):
                 raise result.exc

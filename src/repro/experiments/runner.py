@@ -209,6 +209,98 @@ def _run_cell(
     return run
 
 
+def _label_spec(label: str) -> str:
+    """The ``run``/``run_batch`` strategy spec of one cell label."""
+    if label == "truth":
+        return "truth"
+    if label in SINGLE_MODES:
+        return f"static:{label}"
+    if label in ONLINE_STRATEGIES:
+        return label
+    raise KeyError(f"unknown cell label {label!r}; known: {CELL_LABELS}")
+
+
+def _run_shard(
+    framework: ApproxIt,
+    labels: tuple[str, ...],
+    trace_dir: str | None = None,
+    dataset_key: str = "",
+) -> list[RunResult]:
+    """Execute one batched shard: one ``run_batch`` lane per cell label.
+
+    All lanes share the dataset's method, number format and adder bank,
+    so they are compatible by construction, and per-lane results are
+    bit-identical to the solo :func:`_run_cell` path (the parity
+    guarantee of :meth:`~repro.core.framework.ApproxIt.run_batch`).
+    With ``trace_dir`` set the whole shard records into one lane-tagged
+    trace file, ``<dataset>_batch_<first>_<last>.jsonl``, every lane's
+    ``trace_path`` points at it, and single-lane views come back via
+    ``summarize_trace(path, lane=i)``.
+    """
+    specs = [_label_spec(label) for label in labels]
+    observer = None
+    if trace_dir is not None:
+        tag = f"{dataset_key}:batch" if dataset_key else "batch"
+        observer = TraceRecorder(label=tag)
+    runs = framework.run_batch(specs, observer=observer)
+    if observer is not None:
+        stem = f"batch_{labels[0]}_{labels[-1]}"
+        if dataset_key:
+            stem = f"{dataset_key}_{stem}"
+        path = Path(trace_dir) / f"{stem}.jsonl"
+        observer.save(
+            path,
+            meta={
+                "dataset": dataset_key,
+                "run_labels": list(labels),
+                "lanes": len(labels),
+            },
+        )
+        for run in runs:
+            run.trace_path = str(path)
+    return runs
+
+
+def _shard_worker(
+    shard: tuple[str, tuple[str, ...], str | None, str | None],
+) -> list[tuple[str, str, RunResult]]:
+    """Process-pool entry point: run one ``(dataset, labels, trace_dir,
+    cache_dir)`` shard of compatible cells.
+
+    The framework is rebuilt in-worker exactly as :func:`_cell_worker`
+    does.  Shards whose method has no batched kernels (GMM — see
+    :func:`repro.solvers.batched.supports_batching`) fall back to the
+    solo per-cell loop, so routing through shards never changes
+    results — only the execution schedule.
+    """
+    dataset_key, labels, trace_dir, cache_dir = shard
+    framework, _ = _build_framework(dataset_key, cache_dir=cache_dir)
+    if len(labels) > 1 and framework.supports_batching():
+        runs = _run_shard(framework, labels, trace_dir, dataset_key)
+    else:
+        runs = [
+            _run_cell(framework, label, trace_dir, dataset_key)
+            for label in labels
+        ]
+    return [(dataset_key, label, run) for label, run in zip(labels, runs)]
+
+
+def _shard_cells(
+    dataset_keys,
+    batch_size: int,
+    trace_dir: str | None,
+    cache_dir: str | None,
+) -> list[tuple[str, tuple[str, ...], str | None, str | None]]:
+    """Split every dataset's cell labels into shards of ``<= batch_size``
+    lanes.  Shards never cross datasets — lanes of one ``run_batch``
+    must share a method, format and adder bank."""
+    return [
+        (key, CELL_LABELS[start : start + batch_size], trace_dir, cache_dir)
+        for key in dataset_keys
+        for start in range(0, len(CELL_LABELS), batch_size)
+    ]
+
+
 def _cell_worker(
     cell: tuple[str, str, str | None, str | None],
 ) -> tuple[str, str, RunResult]:
@@ -305,12 +397,37 @@ def _normalize_cache_dir(cache_dir: str | Path | None) -> str | None:
     return str(cache_dir)
 
 
-def _map_cells(cells, max_workers, pool: SweepPool | None):
+def _map_cells(cells, max_workers, pool: SweepPool | None, fn=_cell_worker):
     """Fan the cells out over the supplied persistent pool, or a
     one-shot :func:`process_map` when the caller holds none."""
     if pool is not None:
-        return pool.map(_cell_worker, cells)
-    return process_map(_cell_worker, cells, max_workers=max_workers)
+        return pool.map(fn, cells)
+    return process_map(fn, cells, max_workers=max_workers)
+
+
+def _map_rows(
+    dataset_keys,
+    max_workers,
+    trace_dir: str | None,
+    cache_dir: str | None,
+    pool: SweepPool | None,
+    batch_size: int | None,
+) -> list[tuple[str, str, RunResult]]:
+    """All ``(dataset, label, run)`` rows of the requested datasets.
+
+    ``batch_size > 1`` routes each dataset's cells through batched
+    shards (:func:`_shard_worker`); otherwise one solo cell per task.
+    """
+    if batch_size and int(batch_size) > 1:
+        shards = _shard_cells(dataset_keys, int(batch_size), trace_dir, cache_dir)
+        groups = _map_cells(shards, max_workers, pool, fn=_shard_worker)
+        return [row for group in groups for row in group]
+    cells = [
+        (key, label, trace_dir, cache_dir)
+        for key in dataset_keys
+        for label in CELL_LABELS
+    ]
+    return _map_cells(cells, max_workers, pool)
 
 
 def run_experiment_cells(
@@ -319,6 +436,7 @@ def run_experiment_cells(
     trace_dir: str | Path | None = None,
     cache_dir: str | Path | None = None,
     pool: SweepPool | None = None,
+    batch_size: int | None = None,
 ) -> ApplicationResult:
     """One dataset's experiment matrix, sweep cells fanned out.
 
@@ -330,12 +448,19 @@ def run_experiment_cells(
     by the worker that ran it).  ``cache_dir`` attaches the disk-backed
     characterization cache in every worker (and in the serial
     fallback); ``pool`` reuses a caller-held :class:`SweepPool` instead
-    of spinning one up per call.
+    of spinning one up per call.  ``batch_size > 1`` groups the cells
+    into lane-parallel shards of at most that many lanes, each advanced
+    lock-step by :meth:`~repro.core.framework.ApproxIt.run_batch` —
+    results are bit-identical to solo cells (methods without batched
+    kernels fall back to solo execution inside the shard), and traced
+    shards export one lane-tagged ``<dataset>_batch_*.jsonl`` per shard
+    instead of per-cell files.
     """
     trace_dir = _prepare_trace_dir(trace_dir)
     cache_dir = _normalize_cache_dir(cache_dir)
-    cells = [(dataset_key, label, trace_dir, cache_dir) for label in CELL_LABELS]
-    rows = _map_cells(cells, max_workers, pool)
+    rows = _map_rows(
+        (dataset_key,), max_workers, trace_dir, cache_dir, pool, batch_size
+    )
     result = _assemble(dataset_key, {label: run for _, label, run in rows})
     _seed_cache(dataset_key, result)
     return result
@@ -347,6 +472,7 @@ def run_experiments_parallel(
     trace_dir: str | Path | None = None,
     cache_dir: str | Path | None = None,
     pool: SweepPool | None = None,
+    batch_size: int | None = None,
 ) -> dict[str, ApplicationResult]:
     """Fan the whole (dataset × run-label) sweep out over a process pool.
 
@@ -363,6 +489,18 @@ def run_experiments_parallel(
             installed via :func:`set_default_cache_dir`.
         pool: a caller-held persistent :class:`SweepPool` to submit to;
             ``None`` creates a one-shot pool for this call.
+        batch_size: lanes per batched shard.  ``> 1`` groups each
+            dataset's compatible cells (same method, number format and
+            adder bank) into shards of at most this many lanes and
+            advances each shard lock-step through
+            :meth:`~repro.core.framework.ApproxIt.run_batch`; each pool
+            worker executes one whole shard.  Per-lane results are
+            bit-identical to solo cells; methods without batched
+            kernels (GMM) fall back to solo execution inside their
+            shard.  Traced shards export one lane-tagged
+            ``<dataset>_batch_*.jsonl`` per shard (filter per lane with
+            ``summarize_trace(path, lane=i)``).  ``None``/``0``/``1``
+            keeps the one-cell-per-task solo path.
 
     Returns:
         ``dataset_key -> ApplicationResult`` for every requested key,
@@ -373,12 +511,9 @@ def run_experiments_parallel(
         dataset_keys = (*GMM_DATASETS, *AR_DATASETS)
     trace_dir = _prepare_trace_dir(trace_dir)
     cache_dir = _normalize_cache_dir(cache_dir)
-    cells = [
-        (key, label, trace_dir, cache_dir)
-        for key in dataset_keys
-        for label in CELL_LABELS
-    ]
-    rows = _map_cells(cells, max_workers, pool)
+    rows = _map_rows(
+        dataset_keys, max_workers, trace_dir, cache_dir, pool, batch_size
+    )
     by_key: dict[str, dict[str, RunResult]] = {}
     for key, label, run in rows:
         by_key.setdefault(key, {})[label] = run

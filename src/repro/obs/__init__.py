@@ -16,11 +16,12 @@ See ``docs/observability.md`` for the schema and usage.
 from repro.obs.events import EVENT_KINDS, TraceEvent
 from repro.obs.io import TRACE_SCHEMA_VERSION, TraceFile, load_trace, save_trace
 from repro.obs.metrics import MetricsRegistry, TimerStat
-from repro.obs.observer import Observer, TraceRecorder
+from repro.obs.observer import LaneObserver, Observer, TraceRecorder
 from repro.obs.report import TraceSummary, render_trace, summarize_trace
 
 __all__ = [
     "EVENT_KINDS",
+    "LaneObserver",
     "MetricsRegistry",
     "Observer",
     "TRACE_SCHEMA_VERSION",

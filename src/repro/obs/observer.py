@@ -44,6 +44,36 @@ class Observer:
         self.metrics.inc(f"energy.{mode_name}", cost)
 
 
+class LaneObserver(Observer):
+    """Per-lane view of a shared observer, for batched runs.
+
+    ``ApproxIt.run_batch`` binds one of these per lane so every event a
+    lane's strategy (or the batched loop itself) emits carries the lane
+    id in its ``detail`` — which is what lets
+    :func:`~repro.obs.report.summarize_trace` reconstruct a single
+    lane's counters from a batch trace.  Charges and metrics forward to
+    the shared parent untouched.
+    """
+
+    def __init__(self, parent: Observer, lane: int):
+        self.parent = parent
+        self.lane = int(lane)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.parent.metrics
+
+    def record(self, event: TraceEvent) -> None:
+        detail = dict(event.detail)
+        detail["lane"] = self.lane
+        self.parent.record(
+            TraceEvent(event.kind, event.iteration, event.mode, detail)
+        )
+
+    def on_charge(self, mode_name: str, n_adds: int, cost: float) -> None:
+        self.parent.on_charge(mode_name, n_adds, cost)
+
+
 class TraceRecorder(Observer):
     """Buffers the full event stream for export and analysis.
 

@@ -66,15 +66,23 @@ class TraceSummary:
 
 def summarize_trace(
     trace: "str | Path | TraceFile | Iterable[TraceEvent]",
+    lane: int | None = None,
 ) -> TraceSummary:
     """Fold a trace back into its run's decision counters.
 
     Args:
         trace: a JSONL trace path, a loaded :class:`TraceFile`, or an
             iterable of :class:`TraceEvent`.
+        lane: restrict to one lane of a batched (``run_batch``) trace —
+            only events whose ``detail["lane"]`` matches are counted,
+            reconstructing that lane's solo counters exactly.  ``None``
+            (default) counts every event, which on a batch trace
+            aggregates all lanes.
     """
     summary = TraceSummary()
     for event in _coerce_events(trace):
+        if lane is not None and event.detail.get("lane") != lane:
+            continue
         if event.kind == "iteration":
             summary.executed_iterations += 1
             if event.detail.get("accepted"):
@@ -101,6 +109,7 @@ def render_trace(
     trace: "str | Path | TraceFile | Iterable[TraceEvent]",
     width: int = 72,
     mode_order: Sequence[str] | None = None,
+    lane: int | None = None,
 ) -> str:
     """ASCII mode timeline of a run (the paper's Figure-3-style view).
 
@@ -116,8 +125,12 @@ def render_trace(
         mode_order: row order, top to bottom (e.g. a bank's names
             reversed so the accurate mode sits on top); first-seen
             order when omitted.
+        lane: restrict to one lane of a batched trace (see
+            :func:`summarize_trace`).
     """
     events = _coerce_events(trace)
+    if lane is not None:
+        events = [e for e in events if e.detail.get("lane") == lane]
     steps = [e for e in events if e.kind == "iteration"]
     if not steps:
         return "(empty trace: no executed iterations)"

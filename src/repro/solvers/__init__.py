@@ -19,9 +19,18 @@ Provided solvers:
   — stationary splittings for linear systems;
 * :class:`LeastSquaresGD` — batch gradient descent on
   ``||X w - y||^2`` (the substrate of the AutoRegression benchmark).
+
+:mod:`repro.solvers.batched` restates the engine-facing hooks of the
+supported methods over lane stacks for ``ApproxIt.run_batch`` —
+:func:`supports_batching` reports whether a method qualifies.
 """
 
 from repro.solvers.base import IterationState, IterativeMethod
+from repro.solvers.batched import (
+    BatchedKernels,
+    batched_kernels_for,
+    supports_batching,
+)
 from repro.solvers.conjugate_gradient import ConjugateGradient
 from repro.solvers.coordinate import CoordinateDescent
 from repro.solvers.functions import (
@@ -40,6 +49,7 @@ from repro.solvers.stochastic import StochasticLeastSquaresGD
 
 __all__ = [
     "BacktrackingLineSearch",
+    "BatchedKernels",
     "ConjugateGradient",
     "CoordinateDescent",
     "GaussSeidelSolver",
@@ -56,4 +66,6 @@ __all__ = [
     "RosenbrockFunction",
     "SorSolver",
     "StochasticLeastSquaresGD",
+    "batched_kernels_for",
+    "supports_batching",
 ]

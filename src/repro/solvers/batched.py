@@ -1,0 +1,227 @@
+"""Batched (lane-parallel) kernels for the supported iterative methods.
+
+``ApproxIt.run_batch`` advances B independent lanes lock-step: one
+stacked ``(L, N)`` iterate array per vectorized adder call instead of L
+separate Python loops.  Of the :class:`~repro.solvers.base.IterativeMethod`
+hooks only ``direction`` and ``update`` route through the approximate
+engine — everything else (``objective``, ``gradient``, ``step_size``,
+``postprocess``, ``converged``) is exact float and runs per lane
+unchanged — so a *batched kernel adapter* only has to restate those two
+hooks over a :class:`~repro.arith.engine.BatchedEngine`.
+
+Every adapter performs, per lane, the identical sequence of engine
+kernel calls the solo method performs (same operands, same order), so
+per-lane iterates are bit-identical to solo runs and per-lane energy
+ledgers exactly equal.  Methods whose direction involves computations
+that are not lane-vectorizable bit-exactly (the triangular solves of
+Gauss–Seidel/SOR, stateful momentum, subclasses overriding loop hooks)
+report unsupported and fall back to the solo path.
+
+Adapters are stateful per batch (CG carries per-lane direction caches)
+— create one per ``run_batch`` call via :func:`batched_kernels_for`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.engine import BatchedEngine
+from repro.solvers.base import IterativeMethod
+from repro.solvers.conjugate_gradient import ConjugateGradient
+from repro.solvers.functions import (
+    ObjectiveFunction,
+    QuadraticFunction,
+    RosenbrockFunction,
+)
+from repro.solvers.gradient_descent import GradientDescent
+from repro.solvers.least_squares import LeastSquaresGD
+from repro.solvers.linear import JacobiSolver
+
+#: The hooks the framework's iteration loop calls.  A method may be
+#: batched only when it inherits every one of these from the base class
+#: its adapter was written against — a subclass overriding any loop
+#: hook changes semantics the adapter does not know about.
+_LOOP_HOOKS = (
+    "initial_state",
+    "objective",
+    "gradient",
+    "direction",
+    "step_size",
+    "update",
+    "converged",
+    "postprocess",
+)
+
+
+def _inherits_loop_hooks(method: IterativeMethod, base: type) -> bool:
+    return all(
+        getattr(type(method), hook) is getattr(base, hook)
+        for hook in _LOOP_HOOKS
+    )
+
+
+class BatchedKernels:
+    """Engine-facing hooks of one method, restated over a lane stack.
+
+    ``direction`` / ``update`` take the stacked iterates ``X`` of shape
+    ``(rows, N)`` plus ``lane_ids`` — the ledger lane each row belongs
+    to (rows regroup across steps as lanes converge or switch modes, so
+    stateful adapters key their state by lane id, never by row).  The
+    engine passed in already has ``lane_ids`` selected.
+    """
+
+    def __init__(self, method: IterativeMethod, lanes: int):
+        self.method = method
+        self.lanes = int(lanes)
+
+    def direction(
+        self, X: np.ndarray, lane_ids: np.ndarray, engine: BatchedEngine
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def update(
+        self,
+        X: np.ndarray,
+        alphas: np.ndarray,
+        D: np.ndarray,
+        lane_ids: np.ndarray,
+        engine: BatchedEngine,
+    ) -> np.ndarray:
+        """Default Eq. 2 update, ``X[r] + alphas[r] * D[r]`` per row."""
+        return engine.scale_add(X, alphas, D)
+
+
+class _BatchedJacobi(BatchedKernels):
+    """``d = (b - A x) / diag(A)`` per lane, constants pinned as solo."""
+
+    def direction(self, X, lane_ids, engine):
+        m = self.method
+        rhs = engine.pin("rhs", m.rhs)
+        matrix = engine.pin_matrix("matrix", m.matrix)
+        residual = engine.sub(rhs, engine.matvec(matrix, X, resident=True))
+        return residual / m._diag
+
+
+class _BatchedCG(BatchedKernels):
+    """Hestenes–Stiefel CG with the direction cache kept *per lane*.
+
+    The solo method keys its previous-direction cache by iterate bytes
+    inside one per-run dictionary; here each lane owns such a
+    dictionary (indexed by ledger lane id), so lanes that happen to
+    visit identical iterates can never observe each other's state.
+    """
+
+    def __init__(self, method, lanes):
+        super().__init__(method, lanes)
+        self._prev: list[dict[bytes, np.ndarray]] = [{} for _ in range(lanes)]
+
+    def direction(self, X, lane_ids, engine):
+        m = self.method
+        R = engine.sub(m.rhs, engine.matvec(m.matrix, X, resident=True))
+        D = np.array(R, dtype=np.float64, copy=True)
+        sub_rows: list[int] = []
+        scaled: list[np.ndarray] = []
+        for row, lane in enumerate(lane_ids):
+            prev = self._prev[lane].get(
+                np.asarray(X[row], dtype=np.float64).tobytes()
+            )
+            if prev is None:
+                continue
+            denom = float(prev @ m.matrix @ prev)
+            beta = float(R[row] @ m.matrix @ prev) / denom if denom > 0 else 0.0
+            sub_rows.append(row)
+            scaled.append(beta * prev)
+        if sub_rows:
+            # One engine call for the rows that carry a previous
+            # direction — exactly the rows a solo run would charge.
+            engine.select_lanes(lane_ids[sub_rows])
+            D[sub_rows] = engine.sub(R[sub_rows], np.stack(scaled))
+            engine.select_lanes(lane_ids)
+        return D
+
+    def update(self, X, alphas, D, lane_ids, engine):
+        X_new = engine.scale_add(X, alphas, D)
+        for row, lane in enumerate(lane_ids):
+            cache = self._prev[lane]
+            if len(cache) > 8:
+                cache.clear()
+            cache[np.asarray(X_new[row], dtype=np.float64).tobytes()] = D[row]
+        return X_new
+
+
+class _BatchedGD(BatchedKernels):
+    """Steepest descent; the gradient kernel dispatches on the function."""
+
+    @staticmethod
+    def supports_function(function: ObjectiveFunction) -> bool:
+        if type(function) in (QuadraticFunction, RosenbrockFunction):
+            return True
+        # Any function using the conservative default approximate
+        # gradient (quantize-the-exact-gradient) batches trivially.
+        return (
+            type(function).gradient_approx is ObjectiveFunction.gradient_approx
+        )
+
+    def direction(self, X, lane_ids, engine):
+        fn = self.method.function
+        if type(fn) is QuadraticFunction:
+            grad = engine.sub(
+                engine.matvec(fn.matrix, X, resident=True), fn.rhs
+            )
+        elif type(fn) is RosenbrockFunction:
+            head, tail = X[:, :-1], X[:, 1:]
+            left = np.zeros_like(X)
+            right = np.zeros_like(X)
+            left[:, :-1] = -4 * fn.a * head * (tail - head**2) - 2 * (1 - head)
+            right[:, 1:] = 2 * fn.a * (tail - head**2)
+            grad = engine.add(left, right)
+        else:
+            G = np.stack([fn.gradient(X[row]) for row in range(X.shape[0])])
+            grad = engine.add(G, np.zeros_like(G))
+        return -grad
+
+
+class _BatchedLeastSquares(BatchedKernels):
+    """Gram-form least-squares gradient, constants pinned as solo.
+
+    Covers :class:`LeastSquaresGD` and subclasses that override no loop
+    hook — notably the AutoRegression application, whose additions are
+    all inherited.
+    """
+
+    def direction(self, X, lane_ids, engine):
+        m = self.method
+        gram = engine.pin_matrix("gram", m._gram)
+        neg_xty = engine.pin("neg_xty", m._neg_xty)
+        grad = engine.add(engine.matvec(gram, X, resident=True), neg_xty)
+        return -grad
+
+
+def _make_gd(method: GradientDescent, lanes: int) -> BatchedKernels | None:
+    if not _BatchedGD.supports_function(method.function):
+        return None
+    return _BatchedGD(method, lanes)
+
+
+_REGISTRY: tuple = (
+    (JacobiSolver, _BatchedJacobi),
+    (ConjugateGradient, _BatchedCG),
+    (GradientDescent, _make_gd),
+    (LeastSquaresGD, _BatchedLeastSquares),
+)
+
+
+def batched_kernels_for(
+    method: IterativeMethod, lanes: int
+) -> BatchedKernels | None:
+    """A fresh batched adapter for ``method``, or ``None`` if the method
+    cannot be batched bit-exactly."""
+    for base, factory in _REGISTRY:
+        if isinstance(method, base) and _inherits_loop_hooks(method, base):
+            return factory(method, lanes)
+    return None
+
+
+def supports_batching(method: IterativeMethod) -> bool:
+    """Whether ``run_batch`` can drive this method (see module docs)."""
+    return batched_kernels_for(method, 1) is not None

@@ -1,0 +1,260 @@
+"""Batched engine: per-lane bit-identity and exact ledger parity.
+
+The batched path's contract is strict: for every kernel, lane ``i`` of
+the stacked call must produce *bit-identical* output words to a solo
+:class:`~repro.arith.engine.ApproxEngine` issuing the same call on that
+lane's operands, and the per-lane ledger reconstructed by
+:meth:`~repro.arith.engine.BatchedEnergyLedger.lane_ledger` must be
+*exactly equal* (dataclass ``==``, no tolerance) to the solo ledger.
+These tests enforce the contract against the solo engine as the oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith.engine import (
+    ApproxEngine,
+    BatchedEnergyLedger,
+    BatchedEngine,
+    EnergyLedger,
+    LaneStack,
+)
+from repro.arith.fixed import FixedPointFormat
+from repro.obs import Observer
+
+LANES = 6
+DIM = 17
+
+
+@pytest.fixture()
+def lane_vectors(rng):
+    return [rng.uniform(-40.0, 40.0, DIM) for _ in range(LANES)]
+
+
+def make_pair(bank32, fmt32, mode_name):
+    """A batched engine over LANES lanes plus per-lane solo engines."""
+    mode = bank32.by_name(mode_name)
+    batched = BatchedEngine(mode, fmt32, BatchedEnergyLedger(LANES))
+    batched.select_lanes(np.arange(LANES))
+    solos = [ApproxEngine(mode, fmt32, EnergyLedger()) for _ in range(LANES)]
+    return batched, solos
+
+
+class TestBatchedEnergyLedger:
+    def test_charge_fans_out_to_selected_lanes_only(self):
+        ledger = BatchedEnergyLedger(4)
+        ledger.charge_lanes("level1", np.array([0, 2]), 10, 0.5)
+        assert list(ledger.adds) == [10, 0, 10, 0]
+        assert ledger.energy[0] == 10 * 0.5
+        assert ledger.energy[1] == 0.0
+        assert list(ledger.adds_by_mode["level1"]) == [10, 0, 10, 0]
+
+    def test_lane_ledger_exactly_equals_solo_charge_sequence(self):
+        """Same charges, same order → exact ``==`` on the dataclass."""
+        batched = BatchedEnergyLedger(3)
+        solo = EnergyLedger()
+        for mode, n, e in (
+            ("level1", 17, 0.3),
+            ("acc", 5, 1.0),
+            ("level1", 17, 0.3),
+            ("reconfig", 1, 0.7),
+        ):
+            batched.charge_lanes(mode, np.array([1]), n, e)
+            solo.charge(mode, n, e)
+        assert batched.lane_ledger(1) == solo
+
+    def test_untouched_lane_reconstructs_as_empty_ledger(self):
+        batched = BatchedEnergyLedger(2)
+        batched.charge_lanes("level2", np.array([0]), 4, 0.25)
+        assert batched.lane_ledger(1) == EnergyLedger()
+        # Modes a lane never touched are omitted from its breakdown.
+        assert batched.lane_ledger(1).adds_by_mode == {}
+
+    def test_totals_aggregates_all_lanes(self):
+        batched = BatchedEnergyLedger(2)
+        batched.charge_lanes("m", np.array([0, 1]), 3, 1.0)
+        totals = batched.totals()
+        assert totals.adds == 6
+        assert totals.energy == pytest.approx(6.0)
+        assert totals.adds_by_mode == {"m": 6}
+
+    def test_rejects_negative_adds_and_zero_lanes(self):
+        with pytest.raises(ValueError):
+            BatchedEnergyLedger(0)
+        with pytest.raises(ValueError):
+            BatchedEnergyLedger(1).charge_lanes("m", np.array([0]), -1, 1.0)
+
+    def test_observer_receives_one_aggregate_charge(self):
+        observer = Observer()
+        batched = BatchedEnergyLedger(4, observer=observer)
+        batched.charge_lanes("level1", np.array([0, 2, 3]), 10, 0.5)
+        assert observer.metrics.counters["adds.level1"] == 30
+        assert observer.metrics.counters["energy.level1"] == pytest.approx(15.0)
+
+
+class TestLaneStack:
+    def test_lane_and_decode(self, fmt32):
+        words = fmt32.encode(np.array([[1.5, -2.0], [0.25, 4.0]]))
+        stack = LaneStack(words, fmt32)
+        assert stack.lanes == 2
+        np.testing.assert_array_equal(stack.lane(1), [0.25, 4.0])
+        np.testing.assert_array_equal(stack.decode()[0], [1.5, -2.0])
+
+    def test_lane_bounds_are_per_lane(self, fmt32):
+        words = np.array([[5, -3, 2], [100, 7, -1]], dtype=np.int64)
+        lo, hi = LaneStack(words, fmt32).lane_bounds()
+        assert list(lo) == [-3, -1]
+        assert list(hi) == [5, 100]
+
+    def test_rejects_zero_dim_and_nocopy_array(self, fmt32):
+        with pytest.raises(ValueError):
+            LaneStack(np.int64(3), fmt32)
+        stack = LaneStack(np.zeros((2, 3), dtype=np.int64), fmt32)
+        with pytest.raises(ValueError):
+            np.asarray(stack, copy=False)
+
+
+@pytest.mark.parametrize("mode_name", ["acc", "level1", "level3"])
+class TestKernelParityVsSolo:
+    """Every batched kernel, bit-identical to solo per lane, with
+    exactly equal per-lane ledgers."""
+
+    def assert_ledgers_equal(self, batched, solos):
+        for i, solo in enumerate(solos):
+            assert batched.ledger.lane_ledger(i) == solo.ledger
+
+    def test_add_sub_scale_add(self, bank32, fmt32, mode_name, lane_vectors, rng):
+        batched, solos = make_pair(bank32, fmt32, mode_name)
+        X = np.stack(lane_vectors)
+        Y = np.stack([rng.uniform(-30.0, 30.0, DIM) for _ in range(LANES)])
+        alphas = rng.uniform(0.1, 1.5, LANES)
+
+        got_add = batched.add(X, Y)
+        got_sub = batched.sub(X, Y)
+        got_sa = batched.scale_add(X, alphas, Y)
+        for i, solo in enumerate(solos):
+            np.testing.assert_array_equal(got_add[i], solo.add(X[i], Y[i]))
+            np.testing.assert_array_equal(got_sub[i], solo.sub(X[i], Y[i]))
+            np.testing.assert_array_equal(
+                got_sa[i], solo.scale_add(X[i], float(alphas[i]), Y[i])
+            )
+        self.assert_ledgers_equal(batched, solos)
+
+    def test_sum_dot_matvec_weighted_sum(
+        self, bank32, fmt32, mode_name, lane_vectors, rng
+    ):
+        batched, solos = make_pair(bank32, fmt32, mode_name)
+        X = np.stack(lane_vectors)
+        Y = np.stack([rng.uniform(-3.0, 3.0, DIM) for _ in range(LANES)])
+        A = rng.uniform(-1.0, 1.0, (DIM, DIM))
+        W = rng.uniform(0.0, 1.0, (LANES, 9))
+        P = rng.uniform(-5.0, 5.0, (9, 4))
+
+        got_sum = batched.sum(X)
+        got_dot = batched.dot(X, Y)
+        got_mv = batched.matvec(A, X)
+        got_ws = batched.weighted_sum(W, P)
+        for i, solo in enumerate(solos):
+            assert got_sum[i] == solo.sum(X[i])
+            assert got_dot[i] == solo.dot(X[i], Y[i])
+            np.testing.assert_array_equal(got_mv[i], solo.matvec(A, X[i]))
+            np.testing.assert_array_equal(
+                got_ws[i], solo.weighted_sum(W[i], P)
+            )
+        self.assert_ledgers_equal(batched, solos)
+
+    def test_resident_chain_with_pinned_operands(
+        self, bank32, fmt32, mode_name, lane_vectors, rng
+    ):
+        """The Jacobi-style chain: pinned rhs/matrix, resident matvec,
+        sub on the LaneStack — the exact shape ``run_batch`` issues."""
+        batched, solos = make_pair(bank32, fmt32, mode_name)
+        X = np.stack(lane_vectors)
+        A = rng.uniform(-0.5, 0.5, (DIM, DIM)) + DIM * np.eye(DIM)
+        b = rng.uniform(-5.0, 5.0, DIM)
+
+        rhs = batched.pin("rhs", b)
+        mat = batched.pin_matrix("matrix", A)
+        got = batched.sub(rhs, batched.matvec(mat, X, resident=True))
+        for i, solo in enumerate(solos):
+            s_rhs = solo.pin("rhs", b)
+            s_mat = solo.pin_matrix("matrix", A)
+            want = solo.sub(s_rhs, solo.matvec(s_mat, X[i], resident=True))
+            np.testing.assert_array_equal(got[i], want)
+        self.assert_ledgers_equal(batched, solos)
+        stats = batched.cache_stats()
+        assert stats["pinned_operands"] == 2
+
+    def test_lane_subset_charges_only_selected_lanes(
+        self, bank32, fmt32, mode_name, lane_vectors
+    ):
+        batched, solos = make_pair(bank32, fmt32, mode_name)
+        ids = np.array([4, 1, 2])
+        batched.select_lanes(ids)
+        X = np.stack([lane_vectors[i] for i in ids])
+        got = batched.add(X, X)
+        for row, lane in enumerate(ids):
+            np.testing.assert_array_equal(
+                got[row], solos[lane].add(X[row], X[row])
+            )
+        for lane in (0, 3, 5):  # untouched lanes: zero adds, zero energy
+            assert batched.ledger.lane_ledger(lane) == EnergyLedger()
+        for row, lane in enumerate(ids):
+            assert batched.ledger.lane_ledger(lane) == solos[lane].ledger
+
+    def test_fast_path_off_is_still_bit_identical(
+        self, bank32, fmt32, mode_name, lane_vectors, rng
+    ):
+        mode = bank32.by_name(mode_name)
+        fast = BatchedEngine(mode, fmt32, BatchedEnergyLedger(LANES))
+        slow = BatchedEngine(
+            mode, fmt32, BatchedEnergyLedger(LANES), fast_path=False
+        )
+        fast.select_lanes(np.arange(LANES))
+        slow.select_lanes(np.arange(LANES))
+        X = np.stack(lane_vectors)
+        A = rng.uniform(-1.0, 1.0, (DIM, DIM))
+        np.testing.assert_array_equal(
+            fast.matvec(A, X), slow.matvec(A, X)
+        )
+        np.testing.assert_array_equal(fast.sum(X), slow.sum(X))
+        for i in range(LANES):
+            assert fast.ledger.lane_ledger(i) == slow.ledger.lane_ledger(i)
+
+
+class TestBatchedEngineErrors:
+    def test_kernels_require_lane_selection(self, bank32, fmt32):
+        engine = BatchedEngine(bank32.accurate, fmt32, BatchedEnergyLedger(2))
+        with pytest.raises(RuntimeError, match="select_lanes"):
+            engine.add(np.zeros((2, 3)), np.ones((2, 3)))
+        with pytest.raises(RuntimeError, match="select_lanes"):
+            engine.sum(np.zeros((2, 3)))
+
+    def test_empty_lane_selection_rejected(self, bank32, fmt32):
+        engine = BatchedEngine(bank32.accurate, fmt32, BatchedEnergyLedger(2))
+        with pytest.raises(ValueError, match="at least one lane"):
+            engine.select_lanes(np.array([], dtype=np.int64))
+
+    def test_lane_count_mismatch_rejected(self, bank32, fmt32):
+        engine = BatchedEngine(bank32.accurate, fmt32, BatchedEnergyLedger(3))
+        engine.select_lanes(np.array([0, 1, 2]))
+        with pytest.raises(ValueError, match="lanes"):
+            engine.add(np.zeros((2, 4)), np.ones((2, 4)))
+
+    def test_mode_format_width_mismatch_rejected(self, bank32):
+        with pytest.raises(ValueError, match="width"):
+            BatchedEngine(bank32.accurate, FixedPointFormat(16, 8))
+
+    def test_sum_requires_leading_lane_axis(self, bank32, fmt32):
+        engine = BatchedEngine(bank32.accurate, fmt32, BatchedEnergyLedger(2))
+        engine.select_lanes(np.array([0, 1]))
+        with pytest.raises(ValueError, match="lane axis"):
+            engine.sum(np.zeros(5))
+
+    def test_foreign_format_operand_rejected(self, bank32, fmt32):
+        engine = BatchedEngine(bank32.accurate, fmt32, BatchedEnergyLedger(2))
+        engine.select_lanes(np.array([0, 1]))
+        other = FixedPointFormat(32, 8)
+        stack = LaneStack(np.zeros((2, 3), dtype=np.int64), other)
+        with pytest.raises(ValueError, match="format"):
+            engine.add(stack, np.zeros((2, 3)))

@@ -1,0 +1,264 @@
+"""Full-run parity: ``run_batch`` vs B solo ``run`` calls.
+
+The batched lane-parallel engine promises *exact* equivalence, not
+approximate: per-lane iterates bit-identical (``assert_array_equal``,
+no tolerance), per-lane energy ledgers equal as floats (``==``), and
+identical decision traces.  Solo runs are the regression oracle — every
+assertion here compares against a fresh ``framework.run(spec)``.
+
+Coverage crosses the incremental strategy with mixed convergence times
+(a ``static:level2`` CG lane hits MAX_ITER while its neighbours
+converge and freeze) and at least two adder modes per batch, plus the
+lane-tagged trace events (`detail["lane"]`) that let
+``summarize_trace(..., lane=i)`` reconstruct a single lane's counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import ApproxIt
+from repro.obs import TraceRecorder, render_trace, summarize_trace
+from repro.solvers import (
+    ConjugateGradient,
+    GaussSeidelSolver,
+    GradientDescent,
+    JacobiSolver,
+    LeastSquaresGD,
+    QuadraticFunction,
+    RosenbrockFunction,
+)
+
+#: Lane specs crossing both online strategies, Truth, and a static
+#: approximate mode — at least two adder modes active in every batch,
+#: with "incremental" appearing twice to exercise distinct policy
+#: instances of the same spec.
+SPECS = ("incremental", "truth", "static:level2", "adaptive", "incremental")
+
+
+def _jacobi_framework(**kwargs):
+    rng = np.random.default_rng(11)
+    n = 28
+    A = rng.uniform(-1.0, 1.0, (n, n))
+    A += n * np.eye(n)
+    b = rng.uniform(-5.0, 5.0, n)
+    return ApproxIt(JacobiSolver(A, b, max_iter=150), **kwargs)
+
+
+def _cg_framework():
+    rng = np.random.default_rng(5)
+    n = 20
+    A = rng.uniform(-1.0, 1.0, (n, n))
+    A = A @ A.T + n * np.eye(n)
+    b = rng.uniform(-3.0, 3.0, n)
+    return ApproxIt(ConjugateGradient(A, b, max_iter=80))
+
+
+def _gd_quadratic_framework():
+    rng = np.random.default_rng(9)
+    n = 12
+    A = rng.uniform(-0.5, 0.5, (n, n))
+    A = A @ A.T + n * np.eye(n)
+    return ApproxIt(
+        GradientDescent(
+            QuadraticFunction(A, rng.uniform(-2.0, 2.0, n)),
+            learning_rate=0.02,
+            max_iter=120,
+        )
+    )
+
+
+def _gd_rosenbrock_framework():
+    return ApproxIt(
+        GradientDescent(
+            RosenbrockFunction(dim=4),
+            x0=np.full(4, 0.3),
+            learning_rate=0.002,
+            max_iter=100,
+        )
+    )
+
+
+def _lsq_framework():
+    rng = np.random.default_rng(21)
+    X = rng.uniform(-1.0, 1.0, (60, 6))
+    w = rng.uniform(-2.0, 2.0, 6)
+    y = X @ w + rng.normal(0, 0.01, 60)
+    return ApproxIt(LeastSquaresGD(X, y, max_iter=200))
+
+
+def assert_lane_matches_solo(batch_run, solo_run):
+    np.testing.assert_array_equal(batch_run.x, solo_run.x)
+    assert batch_run.objective == solo_run.objective
+    assert batch_run.iterations == solo_run.iterations
+    assert batch_run.rollbacks == solo_run.rollbacks
+    assert batch_run.converged == solo_run.converged
+    assert batch_run.hit_max_iter == solo_run.hit_max_iter
+    assert batch_run.steps_by_mode == solo_run.steps_by_mode
+    # Energy is exact float equality, not approx — the ledger contract.
+    assert batch_run.energy == solo_run.energy
+    assert batch_run.energy_by_mode == solo_run.energy_by_mode
+    assert batch_run.strategy_name == solo_run.strategy_name
+    assert batch_run.mode_trace == solo_run.mode_trace
+    assert batch_run.objective_trace == solo_run.objective_trace
+
+
+@pytest.mark.parametrize(
+    "make_framework",
+    [
+        _jacobi_framework,
+        _cg_framework,
+        _gd_quadratic_framework,
+        _gd_rosenbrock_framework,
+        _lsq_framework,
+    ],
+    ids=["jacobi", "cg", "gd-quadratic", "gd-rosenbrock", "least-squares"],
+)
+def test_run_batch_matches_solo_runs_exactly(make_framework):
+    framework = make_framework()
+    batch = framework.run_batch(list(SPECS))
+    assert len(batch) == len(SPECS)
+    for spec, batch_run in zip(SPECS, batch):
+        assert_lane_matches_solo(batch_run, framework.run(strategy=spec))
+
+
+def test_parity_with_reconfiguration_energy():
+    """Mode switches charge reconfiguration energy per lane, exactly as
+    a solo run charges it."""
+    framework = _jacobi_framework(switch_energy=0.5)
+    batch = framework.run_batch(list(SPECS))
+    for spec, batch_run in zip(SPECS, batch):
+        assert_lane_matches_solo(batch_run, framework.run(strategy=spec))
+
+
+def test_mixed_convergence_freezes_finished_lanes():
+    """Lanes converging at different steps: under a tight budget the
+    incremental CG lane runs to MAX_ITER while Truth converges early,
+    freezes, and stops being charged — every lane still matches its
+    solo run exactly."""
+    framework = _cg_framework()
+    batch = framework.run_batch(list(SPECS), max_iter=10)
+    by_spec = dict(zip(SPECS, batch))
+    assert by_spec["incremental"].hit_max_iter
+    assert by_spec["truth"].converged
+    assert (
+        by_spec["truth"].executed_iterations
+        < by_spec["incremental"].executed_iterations
+    )
+    for spec, batch_run in zip(SPECS, batch):
+        assert_lane_matches_solo(
+            batch_run, framework.run(strategy=spec, max_iter=10)
+        )
+
+
+def test_history_collection_matches_solo():
+    framework = _jacobi_framework()
+    batch = framework.run_batch(["incremental", "truth"], collect_history=True)
+    for spec, batch_run in zip(("incremental", "truth"), batch):
+        solo = framework.run(strategy=spec, collect_history=True)
+        assert len(batch_run.history) == len(solo.history)
+        for got, want in zip(batch_run.history, solo.history):
+            np.testing.assert_array_equal(got.x, want.x)
+            assert got.mode_name == want.mode_name
+
+
+class TestBatchTracing:
+    def test_events_carry_lane_ids(self):
+        framework = _jacobi_framework()
+        recorder = TraceRecorder(label="batch")
+        batch = framework.run_batch(list(SPECS), observer=recorder)
+        lanes_seen = {
+            event.detail.get("lane")
+            for event in recorder.events
+            if event.kind == "iteration"
+        }
+        assert lanes_seen == set(range(len(SPECS)))
+        assert len(batch) == len(SPECS)
+
+    def test_summarize_trace_reconstructs_each_lane(self):
+        framework = _jacobi_framework(switch_energy=0.25)
+        recorder = TraceRecorder(label="batch")
+        batch = framework.run_batch(list(SPECS), observer=recorder)
+        for lane, run in enumerate(batch):
+            summary = summarize_trace(recorder.events, lane=lane)
+            assert summary.iterations == run.iterations
+            assert summary.rollbacks == run.rollbacks
+            assert summary.mode_switches == run.mode_switches
+            # summarize_trace only sees modes that accepted iterations;
+            # RunResult carries zero entries for the whole bank.
+            assert summary.steps_by_mode == {
+                m: c for m, c in run.steps_by_mode.items() if c
+            }
+            # A final rolled-back-on-accurate iteration is executed but
+            # counted in neither RunResult.iterations nor .rollbacks
+            # (solo runs trace the same way), so the event count may
+            # exceed the RunResult total by at most one.
+            assert (
+                run.executed_iterations
+                <= summary.executed_iterations
+                <= run.executed_iterations + 1
+            )
+
+    def test_lane_filtered_summary_matches_solo_trace(self):
+        """Filtering the batch trace to one lane yields the same
+        counters as tracing that lane's solo run."""
+        framework = _jacobi_framework()
+        recorder = TraceRecorder(label="batch")
+        framework.run_batch(list(SPECS), observer=recorder)
+        solo_recorder = TraceRecorder(label="solo")
+        framework.run(strategy="incremental", observer=solo_recorder)
+        batch_summary = summarize_trace(recorder.events, lane=0)
+        solo_summary = summarize_trace(solo_recorder.events)
+        assert batch_summary == solo_summary
+
+    def test_render_trace_lane_filter(self):
+        framework = _jacobi_framework()
+        recorder = TraceRecorder(label="batch")
+        batch = framework.run_batch(["incremental", "truth"], observer=recorder)
+        text = render_trace(recorder.events, lane=1)
+        assert f"{batch[1].executed_iterations} executed iterations" in text
+
+    def test_observed_run_is_bit_identical_to_unobserved(self):
+        framework = _jacobi_framework()
+        plain = framework.run_batch(list(SPECS))
+        observed = framework.run_batch(
+            list(SPECS), observer=TraceRecorder(label="x")
+        )
+        for p, o in zip(plain, observed):
+            np.testing.assert_array_equal(p.x, o.x)
+            assert p.energy == o.energy
+            assert p.energy_by_mode == o.energy_by_mode
+
+
+class TestRunBatchValidation:
+    def test_supports_batching_reflects_method(self):
+        assert _jacobi_framework().supports_batching()
+        rng = np.random.default_rng(2)
+        n = 10
+        A = rng.uniform(-1, 1, (n, n)) + n * np.eye(n)
+        gs = ApproxIt(GaussSeidelSolver(A, rng.uniform(-1, 1, n)))
+        assert not gs.supports_batching()
+        with pytest.raises(ValueError, match="no batched kernels"):
+            gs.run_batch(["incremental"])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            _jacobi_framework().run_batch([])
+
+    def test_repeated_strategy_instance_rejected(self):
+        framework = _jacobi_framework()
+        policy = framework.resolve_strategy("incremental")
+        with pytest.raises(ValueError, match="same strategy instance"):
+            framework.run_batch([policy, policy])
+
+    def test_max_iter_override_matches_solo(self):
+        framework = _jacobi_framework()
+        batch = framework.run_batch(["static:level4"], max_iter=7)
+        solo = framework.run(strategy="static:level4", max_iter=7)
+        assert_lane_matches_solo(batch[0], solo)
+
+    def test_single_lane_batch(self):
+        framework = _lsq_framework()
+        batch = framework.run_batch(["incremental"])
+        assert_lane_matches_solo(
+            batch[0], framework.run(strategy="incremental")
+        )

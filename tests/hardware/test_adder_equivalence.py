@@ -55,6 +55,22 @@ def test_vectorized_matches_reference_exhaustively(adder):
     )
 
 
+@pytest.mark.parametrize(
+    "adder", [a for _, a in _configs()], ids=[name for name, _ in _configs()]
+)
+def test_kernels_are_shape_agnostic_over_a_leading_batch_axis(adder):
+    """The bit-parallel kernels must treat a stacked ``(B, N)`` operand
+    array exactly like the flat ``(B*N,)`` one — the batched execution
+    engine feeds whole lane stacks through one kernel call and relies
+    on elementwise semantics being independent of array shape."""
+    stacked_a = ALL_A.reshape(256, 256)
+    stacked_b = ALL_B.reshape(256, 256)
+    got = adder.add_unsigned(stacked_a, stacked_b)
+    assert got.shape == (256, 256)
+    flat = adder.add_unsigned(ALL_A, ALL_B)
+    np.testing.assert_array_equal(got.ravel(), flat)
+
+
 def test_gear_uses_both_layouts():
     # Guard against the cost model collapsing to one layout, which would
     # silently drop coverage of the other kernel.

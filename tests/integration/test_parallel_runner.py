@@ -225,22 +225,63 @@ class TestSweepPool:
             pass
         ctx_pool.close()
 
-    def test_explicit_chunk_size_is_honored(self, monkeypatch):
+    def test_explicit_chunk_size_balances_chunks(self, monkeypatch):
+        """``chunk_size`` fixes the chunk *count*; items spread evenly.
+
+        12 items at ``chunk_size=5`` used to ship as ``[5, 5, 2]`` —
+        one worker finished early while another held a full chunk.  The
+        balanced split is ``[4, 4, 4]``: same chunk count, sizes
+        differing by at most one.
+        """
         import repro.experiments.parallel as parallel_module
 
         seen = []
 
         class ChunkRecordingPool(_InProcessPool):
             def map(self, fn, items, chunksize=1):
-                seen.append(chunksize)
+                seen.extend(len(chunk) for chunk in items)
                 return super().map(fn, items, chunksize)
 
         monkeypatch.setattr(
             parallel_module, "ProcessPoolExecutor", ChunkRecordingPool
         )
         with SweepPool(max_workers=2, chunk_size=5) as pool:
-            pool.map(_square, list(range(12)))
-        assert seen == [5]
+            assert pool.map(_square, list(range(12))) == [
+                x * x for x in range(12)
+            ]
+        assert seen == [4, 4, 4]
+
+    def test_uneven_chunks_stay_balanced_and_ordered(self, monkeypatch):
+        """When the work list does not divide evenly, chunk sizes differ
+        by at most one and flattened results keep submission order."""
+        import repro.experiments.parallel as parallel_module
+
+        seen = []
+
+        class ChunkRecordingPool(_InProcessPool):
+            def map(self, fn, items, chunksize=1):
+                seen.extend(len(chunk) for chunk in items)
+                return super().map(fn, items, chunksize)
+
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor", ChunkRecordingPool
+        )
+        with SweepPool(max_workers=3, chunk_size=4) as pool:
+            assert pool.map(_square, list(range(11))) == [
+                x * x for x in range(11)
+            ]
+        assert seen == [4, 4, 3]  # ceil(11/4)=3 chunks, sizes differ by <= 1
+        assert max(seen) - min(seen) <= 1
+
+    def test_default_chunking_covers_all_items_in_order(self, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _InProcessPool)
+        for n in (2, 3, 7, 9, 17, 40):
+            with SweepPool(max_workers=2) as pool:
+                assert pool.map(_square, list(range(n))) == [
+                    x * x for x in range(n)
+                ]
 
     def test_process_map_matches_pool_map(self, monkeypatch):
         import repro.experiments.parallel as parallel_module
@@ -377,6 +418,74 @@ class TestCellRunner:
         finally:
             set_default_cache_dir(None)
         assert list(cache_root.glob("*.json")), "default cache dir not honored"
+
+    def test_unbatchable_dataset_falls_back_to_solo_cells(
+        self, mini_gmm_registry, monkeypatch
+    ):
+        """GMM has no batched kernels: a batch_size request must fall
+        back to per-cell solo runs inside the shard, never call
+        run_batch, and produce identical results."""
+        from repro.core.framework import ApproxIt
+
+        plain = run_experiment_cells("minip", max_workers=1)
+        run_gmm_experiment.cache_clear()
+
+        def exploding_run_batch(self, *args, **kwargs):
+            raise AssertionError("run_batch must not be called for GMM")
+
+        monkeypatch.setattr(ApproxIt, "run_batch", exploding_run_batch)
+        sharded = run_experiment_cells("minip", max_workers=1, batch_size=7)
+        _assert_same_result(sharded, plain)
+
+    def test_batched_shards_match_solo_cells_exactly(
+        self, tmp_path, monkeypatch
+    ):
+        """An AR dataset routes through run_batch: bit-identical runs,
+        exactly equal energy, and one lane-tagged trace per shard."""
+        from repro.core.framework import ApproxIt
+        from repro.experiments.runner import run_ar_experiment
+        from repro.obs import load_trace, summarize_trace
+
+        run_ar_experiment.cache_clear()
+        try:
+            plain = run_experiment_cells("hangseng", max_workers=1)
+            run_ar_experiment.cache_clear()
+
+            calls = []
+            solo_run_batch = ApproxIt.run_batch
+
+            def counting_run_batch(self, strategies, *args, **kwargs):
+                calls.append(len(list(strategies)))
+                return solo_run_batch(self, strategies, *args, **kwargs)
+
+            monkeypatch.setattr(ApproxIt, "run_batch", counting_run_batch)
+            sharded = run_experiment_cells(
+                "hangseng",
+                max_workers=1,
+                batch_size=7,
+                trace_dir=tmp_path / "traces",
+            )
+            assert calls == [7]  # one shard, all seven cells as lanes
+            _assert_same_result(sharded, plain)
+            for label in CELL_LABELS:
+                # The parity contract is exact equality, not approx.
+                assert sharded.run_of(label).energy == plain.run_of(label).energy
+                assert (
+                    sharded.run_of(label).energy_by_mode
+                    == plain.run_of(label).energy_by_mode
+                )
+
+            path = sharded.run_of("incremental").trace_path
+            assert path.endswith("hangseng_batch_truth_adaptive.jsonl")
+            trace = load_trace(path)
+            assert trace.meta["lanes"] == 7
+            assert trace.meta["run_labels"] == list(CELL_LABELS)
+            lane = CELL_LABELS.index("incremental")
+            summary = summarize_trace(trace, lane=lane)
+            assert summary.iterations == sharded.run_of("incremental").iterations
+            assert summary.rollbacks == sharded.run_of("incremental").rollbacks
+        finally:
+            run_ar_experiment.cache_clear()
 
     def test_caller_held_pool_is_used(self, mini_gmm_registry, tmp_path):
         class RecordingPool(SweepPool):
