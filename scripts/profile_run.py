@@ -1,0 +1,126 @@
+"""cProfile a solo ApproxIt run and print the hottest call sites.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_run.py \
+        [--solver jacobi] [--n 80] [--strategy incremental] \
+        [--max-iter 150] [--repeats 3] [--top 20] [--out profile.pstats] \
+        [--no-capture]
+
+The offline characterization is warmed (and one full run executed)
+before profiling, so the numbers describe the steady-state iteration
+loop — the same region the ``e2e/replay_*`` benchmarks time.  The CI
+perf-smoke job uploads the ``--out`` dump next to ``BENCH_perf.json``;
+load it locally with ``python -m pstats profile.pstats`` to attribute
+an end-to-end regression to the call site that caused it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+import numpy as np
+
+from repro.core.framework import ApproxIt
+from repro.solvers import (
+    ConjugateGradient,
+    GaussSeidelSolver,
+    JacobiSolver,
+    LeastSquaresGD,
+    SorSolver,
+)
+
+
+def _laplacian(n: int) -> tuple[np.ndarray, np.ndarray]:
+    # Weakly dominant 1D Laplacian: slow convergence keeps the loop
+    # busy for the whole iteration budget (see the replay benchmarks).
+    matrix = 2.05 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+    rhs = np.random.default_rng(17).uniform(-2.0, 2.0, n)
+    return matrix, rhs
+
+
+def build_framework(solver: str, n: int, max_iter: int) -> ApproxIt:
+    if solver in ("jacobi", "gauss-seidel", "sor"):
+        matrix, rhs = _laplacian(n)
+        cls = {
+            "jacobi": JacobiSolver,
+            "gauss-seidel": GaussSeidelSolver,
+            "sor": SorSolver,
+        }[solver]
+        return ApproxIt(cls(matrix, rhs, max_iter=max_iter, tolerance=1e-9))
+    if solver == "cg":
+        rng = np.random.default_rng(5)
+        matrix = rng.uniform(-1.0, 1.0, (n, n))
+        matrix = matrix @ matrix.T + 2.0 * np.eye(n)
+        rhs = rng.uniform(-3.0, 3.0, n)
+        return ApproxIt(
+            ConjugateGradient(matrix, rhs, max_iter=max_iter, tolerance=1e-300)
+        )
+    if solver == "lsq":
+        rng = np.random.default_rng(21)
+        design = rng.uniform(-1.0, 1.0, (max(2 * n, 16), 8))
+        weights = rng.uniform(-2.0, 2.0, 8)
+        targets = design @ weights + rng.normal(0, 0.01, design.shape[0])
+        return ApproxIt(
+            LeastSquaresGD(
+                design,
+                targets,
+                learning_rate=0.02,
+                max_iter=max_iter,
+                tolerance=1e-300,
+            )
+        )
+    raise SystemExit(f"unknown solver {solver!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--solver",
+        default="jacobi",
+        choices=("jacobi", "gauss-seidel", "sor", "cg", "lsq"),
+    )
+    parser.add_argument("--n", type=int, default=80, help="problem size")
+    parser.add_argument("--strategy", default="incremental")
+    parser.add_argument("--max-iter", type=int, default=150)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="profiled run count"
+    )
+    parser.add_argument("--top", type=int, default=20)
+    parser.add_argument("--out", default=None, help="write pstats dump here")
+    parser.add_argument(
+        "--no-capture",
+        action="store_true",
+        help="profile the interpreted path (program_capture=False)",
+    )
+    args = parser.parse_args(argv)
+
+    framework = build_framework(args.solver, args.n, args.max_iter)
+    framework.characterization()
+    capture = not args.no_capture
+    run = framework.run(strategy=args.strategy, program_capture=capture)
+    print(
+        f"{args.solver} n={args.n} strategy={args.strategy} "
+        f"capture={'on' if capture else 'off'}: {run.iterations} iterations, "
+        f"{run.rollbacks} rollbacks, energy {run.energy:.3g}"
+    )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.repeats):
+        framework.run(strategy=args.strategy, program_capture=capture)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"profile written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

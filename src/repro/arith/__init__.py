@@ -17,6 +17,11 @@ methods in :mod:`repro.solvers` / :mod:`repro.apps`:
   :class:`BatchedEnergyLedger` — the lock-step lane-parallel variant:
   one kernel call advances a whole stack of independent workloads with
   bit-identical per-lane results and exact per-lane energy accounting;
+* :class:`ProgramEngine` / :class:`IterationProgram` — CUDA-graph-style
+  capture/replay for the solo online loop: one interpreted iteration is
+  recorded into a compiled program that later iterations replay with
+  bit-identical iterates and a float-equal energy ledger
+  (:mod:`repro.arith.program`);
 * :mod:`repro.arith.modes` — the quality-configurable mode registry
   (``level1`` .. ``level4`` + ``accurate``) mirroring the paper's
   experimental platform.
@@ -34,6 +39,12 @@ from repro.arith.engine import (
 )
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ApproxMode, ModeBank, default_mode_bank
+from repro.arith.program import (
+    IterationProgram,
+    ProgramEngine,
+    ProgramExecutor,
+    ProgramRecorder,
+)
 
 __all__ = [
     "ApproxEngine",
@@ -42,8 +53,12 @@ __all__ = [
     "BatchedEngine",
     "EnergyLedger",
     "FixedPointFormat",
+    "IterationProgram",
     "LaneStack",
     "ModeBank",
+    "ProgramEngine",
+    "ProgramExecutor",
+    "ProgramRecorder",
     "ReductionPlan",
     "ResidentMatrix",
     "ResidentVector",

@@ -203,6 +203,22 @@ class EnergyLedger:
         if self.observer is not None:
             self.observer.on_charge(mode_name, n_adds, cost)
 
+    def charge_many(
+        self, charges: "list[tuple[str, int, float]]"
+    ) -> None:
+        """Apply a sequence of ``(mode_name, n_adds, energy_per_add)``
+        charges in order.
+
+        Exactly equivalent — float accumulation for float accumulation —
+        to calling :meth:`charge` once per tuple: a replayed iteration
+        (see :mod:`repro.arith.program`) flushes its deferred charge list
+        through one call without perturbing the accumulation order the
+        interpreted execution would have used, so ledgers stay equal as
+        floats, not merely approximately.
+        """
+        for mode_name, n_adds, energy_per_add in charges:
+            self.charge(mode_name, n_adds, energy_per_add)
+
     def reset(self) -> None:
         """Zero every counter."""
         self.adds = 0
@@ -316,6 +332,7 @@ class ApproxEngine:
         self.encode_cache_misses = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        self.mul_overflow_skips = 0
 
     # ------------------------------------------------------------------
     # Pinned (cached) constant operands
@@ -382,6 +399,7 @@ class ApproxEngine:
             "plan_cache_misses": self.plan_cache_misses,
             "pinned_operands": len(self._pinned) + len(self._pinned_matrices),
             "reduce_plans": len(self._reduce_plans),
+            "mul_overflow_skips": self.mul_overflow_skips,
         }
 
     # ------------------------------------------------------------------
@@ -476,8 +494,18 @@ class ApproxEngine:
             n = int(qa.size)
         else:
             n = int(np.broadcast(qa, qb).size)
-        self.ledger.charge(self.mode.name, n, self.mode.energy_per_add)
+        self._charge(self.mode.name, n, self.mode.energy_per_add)
         return out
+
+    def _charge(self, mode_name: str, n_adds: int, energy_per_add: float) -> None:
+        """Ledger-charge hook for every kernel-issued charge.
+
+        Plain engines forward straight to the ledger; the capture/replay
+        engine (:class:`repro.arith.program.ProgramEngine`) overrides
+        this to log charges while recording and to defer them to one
+        ordered end-of-iteration flush while replaying.
+        """
+        self.ledger.charge(mode_name, n_adds, energy_per_add)
 
     def _reduce_words(self, q: np.ndarray) -> np.ndarray:
         """Balanced-tree reduction of axis 0 down to a single slice.
@@ -742,11 +770,20 @@ class ApproxEngine:
         each (the product then carries ``frac_bits`` and fits the word
         whenever ``|a*b| <= max_value``), and products that would
         overflow saturate at the output stage.
+
+        When an operand carries a cached absolute bound (a
+        :class:`ResidentMatrix`, or a :class:`ResidentVector` whose word
+        bounds are scanned) and the bound product provably fits the
+        word, the full ``|a*b| > max_value`` overflow scan and the
+        ``np.where`` clamp are skipped — the mask would have been
+        all-``False``, so the emitted words are identical.
         """
+        if not self.approximate_multiplier:
+            return np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64)
+        amax_a = self._cached_abs_max(a) if self.fast_path else None
+        amax_b = self._cached_abs_max(b) if self.fast_path else None
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
-        if not self.approximate_multiplier:
-            return a * b
         if self._multiplier is None:
             from repro.hardware.energy import EnergyModel
             from repro.hardware.multipliers import ApproxArrayMultiplier
@@ -765,8 +802,18 @@ class ApproxEngine:
         qa, qb = np.broadcast_arrays(qa, qb)
         raw = self._multiplier.multiply_signed(qa, qb)
         n = int(np.broadcast(qa, qb).size)
-        self.ledger.charge(f"{self.mode.name}:mul", n, self._mul_energy)
+        self._charge(f"{self.mode.name}:mul", n, self._mul_energy)
         product = np.asarray(raw, dtype=np.float64) / self._half_fmt.scale**2
+        if (
+            amax_a is not None
+            and amax_b is not None
+            and amax_a * amax_b <= self.fmt.max_value
+        ):
+            # The cached operand bounds prove |a*b| <= max_value
+            # everywhere: the overflow mask below would be all-False, so
+            # skip the full product scan and the clamp.
+            self.mul_overflow_skips += 1
+            return self.fmt.quantize(product)
         # Saturating output stage: the masked multiplier wraps when the
         # true product leaves the word; clamp those lanes instead.
         true = a * b
@@ -778,6 +825,23 @@ class ApproxEngine:
                 product,
             )
         return self.fmt.quantize(product)
+
+    def _cached_abs_max(self, x) -> float | None:
+        """A proven ``max(|x|)`` available without scanning the floats.
+
+        :class:`ResidentMatrix` carries one from pinning;
+        :class:`ResidentVector` word bounds convert exactly (words are
+        ``value * scale``).  ``None`` for anything else — plain arrays
+        would need the very scan the caller is trying to skip.
+        """
+        if isinstance(x, ResidentMatrix):
+            return x.abs_max
+        if isinstance(x, ResidentVector) and x.fmt == self.fmt:
+            bounds = x.bounds()
+            if bounds is None:
+                return 0.0
+            return max(abs(bounds[0]), abs(bounds[1])) / self.fmt.scale
+        return None
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
         """Round-trip values through the datapath format (no energy)."""

@@ -40,6 +40,7 @@ from repro.arith.engine import (
 )
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ModeBank, default_mode_bank
+from repro.arith.program import ProgramEngine
 from repro.core.characterize import (
     CharacterizationCache,
     CharacterizationTable,
@@ -171,6 +172,13 @@ class ApproxIt:
         0.45
     """
 
+    #: Class-wide default for :meth:`run`'s ``program_capture`` — when
+    #: on, solo runs record each (solver, mode) iteration's engine op
+    #: sequence once and replay it compiled (see
+    #: :mod:`repro.arith.program`).  Results and ledgers are identical
+    #: either way; flip off to force the interpreted oracle everywhere.
+    default_program_capture: bool = True
+
     def __init__(
         self,
         method: IterativeMethod,
@@ -258,6 +266,7 @@ class ApproxIt:
         collect_traces: bool = True,
         collect_history: bool = False,
         observer: Observer | None = None,
+        program_capture: bool | None = None,
     ) -> RunResult:
         """Drive the method to convergence under a strategy.
 
@@ -279,6 +288,13 @@ class ApproxIt:
                 observed run's :class:`RunResult` is bit-identical to an
                 unobserved one, and ``None`` (the default) skips every
                 hook site entirely.
+            program_capture: record each (solver, mode) iteration's
+                engine op sequence once and replay it compiled on later
+                iterations (:mod:`repro.arith.program`); iterates stay
+                bit-identical and the ledger float-equal, enforced by a
+                parity suite.  ``None`` (default) takes
+                :attr:`default_program_capture`; ``False`` forces the
+                interpreted oracle.
 
         Returns:
             A :class:`RunResult`.
@@ -288,11 +304,17 @@ class ApproxIt:
         characterization = self.characterization()
         epsilons = characterization.epsilons()
 
+        capture = (
+            self.default_program_capture
+            if program_capture is None
+            else bool(program_capture)
+        )
+        engine_cls = ProgramEngine if capture else ApproxEngine
         ledger = EnergyLedger()
         if observer is not None:
             ledger.observer = observer
         engines = {
-            mode.name: ApproxEngine(mode, self.fmt, ledger) for mode in self.bank
+            mode.name: engine_cls(mode, self.fmt, ledger) for mode in self.bank
         }
 
         policy.bind_observer(observer)
@@ -306,6 +328,7 @@ class ApproxIt:
                 collect_traces,
                 collect_history,
                 observer,
+                capture,
             )
         finally:
             policy.bind_observer(None)
@@ -339,6 +362,7 @@ class ApproxIt:
         collect_traces: bool,
         collect_history: bool,
         observer: Observer | None,
+        capture: bool = False,
     ) -> RunResult:
         """The online loop of :meth:`run` (observer already bound)."""
         mode = policy.start(self.bank, self.characterization())
@@ -382,8 +406,19 @@ class ApproxIt:
                     )
             last_mode_name = mode.name
             engine = engines[mode.name]
+            if capture:
+                # A reconfiguration is a structure-divergence point: the
+                # switched-to engine re-records rather than trusting a
+                # program captured under a different control regime.
+                if switched:
+                    engine.invalidate_program()
+                slots = {"x": x}
+                slots.update(self.method.replay_operands(x))
+                engine.begin_iteration(slots)
             if observer is None:
                 d = self.method.direction(x, engine)
+                if capture:
+                    engine.bind_slot("d", d)
                 alpha = self.method.step_size(x, d, iterations)
                 x_new = self.method.postprocess(
                     self.method.update(x, alpha, d, engine)
@@ -392,6 +427,8 @@ class ApproxIt:
             else:
                 with observer.metrics.time("direction"):
                     d = self.method.direction(x, engine)
+                if capture:
+                    engine.bind_slot("d", d)
                 alpha = self.method.step_size(x, d, iterations)
                 with observer.metrics.time("update"):
                     x_new = self.method.postprocess(
@@ -399,6 +436,38 @@ class ApproxIt:
                     )
                 with observer.metrics.time("objective"):
                     f_new = self.method.objective(x_new)
+            execution: str | None = None
+            if capture:
+                execution, bail_reason = engine.end_iteration()
+                if observer is not None:
+                    if execution == "captured":
+                        observer.metrics.inc("program.captures")
+                        observer.record(
+                            TraceEvent(
+                                "program_capture",
+                                executed,
+                                mode.name,
+                                {
+                                    "steps": (
+                                        len(engine.program)
+                                        if engine.program is not None
+                                        else 0
+                                    )
+                                },
+                            )
+                        )
+                    elif execution == "replayed":
+                        observer.metrics.inc("program.replays")
+                    if bail_reason is not None:
+                        observer.metrics.inc("program.bailouts")
+                        observer.record(
+                            TraceEvent(
+                                "program_bailout",
+                                executed,
+                                mode.name,
+                                {"reason": bail_reason},
+                            )
+                        )
             grad_new = self.method.gradient(x_new)
             executed += 1
 
@@ -425,18 +494,23 @@ class ApproxIt:
 
             if decision.rollback and not fixed_point:
                 if observer is not None:
+                    detail = {
+                        "objective": f_new,
+                        "accepted": False,
+                        "reason": decision.reason,
+                    }
+                    if execution is not None:
+                        detail["execution"] = execution
                     observer.record(
-                        TraceEvent(
-                            "iteration",
-                            executed - 1,
-                            mode.name,
-                            {
-                                "objective": f_new,
-                                "accepted": False,
-                                "reason": decision.reason,
-                            },
-                        )
+                        TraceEvent("iteration", executed - 1, mode.name, detail)
                     )
+                if capture:
+                    # The retried iteration starts from the same x on an
+                    # escalated mode; recorded saturation envelopes no
+                    # longer describe the regime, so every engine
+                    # re-records its next iteration.
+                    for eng in engines.values():
+                        eng.invalidate_program()
                 if mode.is_accurate and decision.mode.is_accurate:
                     # Retrying the exact mode from the same state would
                     # reproduce the same objective uptick forever: the
@@ -461,17 +535,15 @@ class ApproxIt:
             iterations += 1
             steps_by_mode[mode.name] += 1
             if observer is not None:
+                detail = {
+                    "objective": f_new,
+                    "accepted": True,
+                    "reason": decision.reason,
+                }
+                if execution is not None:
+                    detail["execution"] = execution
                 observer.record(
-                    TraceEvent(
-                        "iteration",
-                        executed - 1,
-                        mode.name,
-                        {
-                            "objective": f_new,
-                            "accepted": True,
-                            "reason": decision.reason,
-                        },
-                    )
+                    TraceEvent("iteration", executed - 1, mode.name, detail)
                 )
             if collect_history:
                 history.append(

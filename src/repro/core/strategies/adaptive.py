@@ -28,6 +28,13 @@ is refreshed to the latest observed decrease and the LP re-solved —
 ``update_period=1`` (the paper's ``f=1``) greedily re-optimizes each
 iteration.
 
+Because the angle LUT reconfigures in both directions, runs under this
+strategy bounce between modes more than incremental ones; program
+capture/replay (:mod:`repro.arith.program`) caches one iteration
+program *per mode*, so revisiting a mode replays its existing program
+rather than re-recording, and LUT refreshes never touch the cache
+(only rollbacks invalidate it).
+
 The function scheme's rollback is retained as the recovery safety net,
 and premature convergence in an approximate mode hands over to the
 accurate mode, preserving the quality guarantee.

@@ -12,6 +12,15 @@ three schemes of :mod:`repro.core.schemes`:
 Because escalation is monotone and the ladder is finite, the accurate
 mode is eventually applied whenever approximation keeps misbehaving,
 which is what underwrites the paper's convergence guarantee.
+
+Interaction with program capture/replay (:mod:`repro.arith.program`):
+each escalation switches to a different per-mode engine, whose own
+iteration program (if previously captured) replays unchanged — the
+switch itself never invalidates programs.  A function-scheme rollback
+does: the rolled-back iterate makes every cached op trace stale, so the
+framework drops all programs and the next iteration on any mode
+re-records.  Both paths are bit-identical to the interpreted loop, so
+the strategy's decisions are unaffected by capture.
 """
 
 from __future__ import annotations

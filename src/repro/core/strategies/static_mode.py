@@ -6,6 +6,12 @@ is off: the run stops the moment the tolerance test passes, which is how
 over-approximated runs "falsely stop" (3cluster under level1 converging
 after 4 iterations to a 2-cluster answer) or burn the whole ``MAX_ITER``
 budget (4cluster under level1).
+
+This is the best case for program capture/replay
+(:mod:`repro.arith.program`): with no reconfigurations and no
+rollbacks, the single mode's iteration program records once and every
+later iteration replays it, so the run spends its time in the compiled
+vectorized kernels rather than the interpreted op dispatch.
 """
 
 from __future__ import annotations

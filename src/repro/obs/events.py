@@ -14,7 +14,9 @@ Event kinds
     One executed iteration (accepted or rolled back).  Emitted by
     :meth:`ApproxIt.run` after every pass through the online loop.
     ``detail``: ``objective`` (exact f at the new iterate), ``accepted``
-    (bool), ``reason`` (the strategy's decision label).
+    (bool), ``reason`` (the strategy's decision label) and — on
+    program-capturing runs — ``execution`` (``captured`` / ``replayed``
+    / ``interpreted``: how the iteration's engine ops were driven).
 ``scheme_fired``
     A reconfiguration trigger fired inside a strategy's ``decide``:
     ``detail["scheme"]`` is ``function`` / ``gradient`` / ``quality`` /
@@ -39,6 +41,17 @@ Event kinds
     The adaptive strategy re-solved the Eq.-5 LP and rebuilt its angle
     LUT.  ``detail``: ``budget`` and the new ``shares``.  The offline
     initialization in ``start()`` is emitted with ``iteration == -1``.
+``program_capture``
+    The capture/replay layer (:mod:`repro.arith.program`) compiled this
+    iteration's interpreted op trace into an :class:`IterationProgram`
+    for the current mode.  ``detail["steps"]`` is the program length.
+``program_bailout``
+    A replayed iteration diverged from its program's structure and fell
+    back to the interpreted path; the program was dropped and the next
+    iteration on this mode re-records.  ``detail["reason"]``:
+    ``structure`` / ``shorter-iteration`` (op sequence changed),
+    ``shape`` / ``operand`` (an operand changed shape or kind), or
+    ``saturation`` (an add left the recorded saturation envelope).
 """
 
 from __future__ import annotations
@@ -55,6 +68,8 @@ EVENT_KINDS = frozenset(
         "reconfig_charge",
         "convergence_handover",
         "lut_refresh",
+        "program_capture",
+        "program_bailout",
     }
 )
 

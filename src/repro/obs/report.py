@@ -51,6 +51,12 @@ class TraceSummary:
         lut_refreshes: adaptive LUT rebuilds (offline init included).
         convergence_handovers: premature-convergence escalations.
         reconfig_energy: total switch-energy units charged.
+        program_captures: iteration programs compiled
+            (``program_capture`` events).
+        program_replays: iterations whose engine ops were driven by a
+            compiled program (``detail["execution"] == "replayed"``).
+        program_bailouts: replays that diverged and fell back to the
+            interpreted path (``program_bailout`` events).
     """
 
     iterations: int = 0
@@ -62,6 +68,9 @@ class TraceSummary:
     lut_refreshes: int = 0
     convergence_handovers: int = 0
     reconfig_energy: float = 0.0
+    program_captures: int = 0
+    program_replays: int = 0
+    program_bailouts: int = 0
 
 
 def summarize_trace(
@@ -85,6 +94,8 @@ def summarize_trace(
             continue
         if event.kind == "iteration":
             summary.executed_iterations += 1
+            if event.detail.get("execution") == "replayed":
+                summary.program_replays += 1
             if event.detail.get("accepted"):
                 summary.iterations += 1
                 mode = event.mode or "?"
@@ -102,6 +113,10 @@ def summarize_trace(
             summary.convergence_handovers += 1
         elif event.kind == "reconfig_charge":
             summary.reconfig_energy += float(event.detail.get("energy", 0.0))
+        elif event.kind == "program_capture":
+            summary.program_captures += 1
+        elif event.kind == "program_bailout":
+            summary.program_bailouts += 1
     return summary
 
 
@@ -115,9 +130,13 @@ def render_trace(
 
     One row per mode, columns spanning the executed iterations (bucketed
     when the run is longer than ``width``): ``#`` marks buckets whose
-    iterations ran (mostly) on that mode, ``x`` marks buckets containing
-    a rollback on it.  A footer lists the aggregate counters from
-    :func:`summarize_trace`.
+    iterations ran (mostly) on that mode, ``=`` marks owned buckets
+    whose every iteration on that mode was driven by a compiled
+    iteration program (capture/replay, :mod:`repro.arith.program`) —
+    so a replayed run reads as ``=`` where an interpreted one reads
+    ``#`` — and ``x`` marks buckets containing a rollback on it.  A
+    footer lists the aggregate counters from :func:`summarize_trace`,
+    including program captures/replays/bailouts when the run captured.
 
     Args:
         trace: a JSONL trace path, :class:`TraceFile` or event iterable.
@@ -144,17 +163,26 @@ def render_trace(
         if name not in modes:
             modes.append(name)
 
-    # Majority mode per bucket, plus rollback flags per (mode, bucket).
+    # Majority mode per bucket, plus rollback / all-replayed flags per
+    # (mode, bucket).
     owner: list[str] = []
     rolled: set[tuple[str, int]] = set()
+    replayed: set[tuple[str, int]] = set()
     for col in range(columns):
         chunk = steps[col * bucket : (col + 1) * bucket]
         counts: dict[str, int] = {}
+        all_replayed: dict[str, bool] = {}
         for event in chunk:
             name = event.mode or "?"
             counts[name] = counts.get(name, 0) + 1
             if not event.detail.get("accepted"):
                 rolled.add((name, col))
+            all_replayed[name] = all_replayed.get(name, True) and (
+                event.detail.get("execution") == "replayed"
+            )
+        for name, full in all_replayed.items():
+            if full:
+                replayed.add((name, col))
         owner.append(max(counts, key=lambda name: counts[name]))
 
     label_width = max(len(name) for name in modes)
@@ -168,7 +196,7 @@ def render_trace(
             if (name, col) in rolled:
                 cells.append("x")
             elif owner[col] == name:
-                cells.append("#")
+                cells.append("=" if (name, col) in replayed else "#")
             else:
                 cells.append(".")
         lines.append(f"{name:>{label_width}} |{''.join(cells)}|")
@@ -177,10 +205,18 @@ def render_trace(
     firings = ", ".join(
         f"{scheme}:{count}" for scheme, count in sorted(summary.scheme_firings.items())
     )
+    program = ""
+    if summary.program_captures or summary.program_replays or summary.program_bailouts:
+        program = (
+            f"; program [captured:{summary.program_captures} "
+            f"replayed:{summary.program_replays} "
+            f"bailouts:{summary.program_bailouts}]"
+        )
     lines.append(
         f"{summary.iterations} accepted, {summary.rollbacks} rollbacks, "
         f"{summary.mode_switches} switches, {summary.lut_refreshes} LUT refreshes, "
         f"{summary.convergence_handovers} handovers"
         + (f"; fired [{firings}]" if firings else "")
+        + program
     )
     return "\n".join(lines)

@@ -191,6 +191,22 @@ class IterativeMethod(ABC):
         parameters).  Identity by default."""
         return x
 
+    def replay_operands(self, x: np.ndarray) -> dict[str, object]:
+        """Iteration-varying operands for program capture/replay.
+
+        The capture layer (:mod:`repro.arith.program`) classifies an
+        engine operand it saw during recording as *constant* when the
+        very same object shows up again at replay — sound for the
+        ``pin``-style convention that arrays handed to the engine are
+        immutable.  A method that keeps a mutable scratch array across
+        iterations and feeds it to the engine (e.g. a direction buffer
+        updated in place) must declare it here so the recorder treats it
+        as varying and re-encodes it every replay.  The framework always
+        declares the iterate ``x`` and the direction ``d``; the default
+        declares nothing extra.
+        """
+        return {}
+
     def fingerprint(self) -> str:
         """Stable content hash of this method instance.
 

@@ -200,12 +200,18 @@ class TestBatchTracing:
 
     def test_lane_filtered_summary_matches_solo_trace(self):
         """Filtering the batch trace to one lane yields the same
-        counters as tracing that lane's solo run."""
+        counters as tracing that lane's solo run.  The solo run is
+        interpreted (capture off): the batched engine has no program
+        capture, so its lanes carry no program_* events."""
         framework = _jacobi_framework()
         recorder = TraceRecorder(label="batch")
         framework.run_batch(list(SPECS), observer=recorder)
         solo_recorder = TraceRecorder(label="solo")
-        framework.run(strategy="incremental", observer=solo_recorder)
+        framework.run(
+            strategy="incremental",
+            observer=solo_recorder,
+            program_capture=False,
+        )
         batch_summary = summarize_trace(recorder.events, lane=0)
         solo_summary = summarize_trace(solo_recorder.events)
         assert batch_summary == solo_summary

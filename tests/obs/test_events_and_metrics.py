@@ -15,6 +15,8 @@ class TestTraceEvent:
             "reconfig_charge",
             "convergence_handover",
             "lut_refresh",
+            "program_capture",
+            "program_bailout",
         }
 
     def test_unknown_kind_rejected(self):
