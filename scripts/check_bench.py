@@ -30,6 +30,9 @@ REQUIRED_ENTRIES = (
     "batched/jacobi_b8",
     "batched/jacobi_b64",
     "batched/mixed_mode_b32",
+    "batched/replay_jacobi_b64",
+    "batched/replay_gs_rb32",
+    "batched/replay_gmm_b16",
     "e2e/jacobi80_adaptive",
     "e2e/replay_jacobi80",
     "e2e/replay_cg64",
@@ -39,9 +42,16 @@ REQUIRED_ENTRIES = (
 #: Per-entry floors overriding ``--min-speedup`` where an optimization
 #: carries a stronger promise than "not a regression".  The program
 #: capture/replay executor must at least double the legacy solo path on
-#: its headline workload (ROADMAP's solo e2e gap).
+#: its headline workload (ROADMAP's solo e2e gap), and the lane-group
+#: replay path must beat the solo interpreted loop by the batched
+#: contract's margins (its ``speedup`` field; the tighter
+#: vs-interpreted-batch gate is asserted inside the benchmark itself,
+#: where the two batched paths run back to back).
 ENTRY_FLOORS = {
     "e2e/replay_jacobi80": 2.0,
+    "batched/replay_jacobi_b64": 7.0,
+    "batched/replay_gs_rb32": 4.0,
+    "batched/replay_gmm_b16": 1.6,
 }
 
 

@@ -1,18 +1,21 @@
-"""cProfile a solo ApproxIt run and print the hottest call sites.
+"""cProfile an ApproxIt run (solo or batched) and print the hot sites.
 
 Usage::
 
     PYTHONPATH=src python scripts/profile_run.py \
         [--solver jacobi] [--n 80] [--strategy incremental] \
         [--max-iter 150] [--repeats 3] [--top 20] [--out profile.pstats] \
-        [--no-capture]
+        [--no-capture] [--batch-size 0]
 
-The offline characterization is warmed (and one full run executed)
-before profiling, so the numbers describe the steady-state iteration
-loop — the same region the ``e2e/replay_*`` benchmarks time.  The CI
-perf-smoke job uploads the ``--out`` dump next to ``BENCH_perf.json``;
-load it locally with ``python -m pstats profile.pstats`` to attribute
-an end-to-end regression to the call site that caused it.
+With ``--batch-size B`` (B >= 1) the profiled region is one
+``run_batch`` call advancing B identical lanes lock-step — the region
+the ``batched/replay_*`` benchmarks time; the default 0 profiles the
+solo ``run`` loop.  The offline characterization is warmed (and one
+full run executed) before profiling, so the numbers describe the
+steady-state iteration loop.  The CI perf-smoke job uploads the
+``--out`` dump next to ``BENCH_perf.json``; load it locally with
+``python -m pstats profile.pstats`` to attribute an end-to-end
+regression to the call site that caused it.
 """
 
 from __future__ import annotations
@@ -24,12 +27,15 @@ import sys
 
 import numpy as np
 
+from repro.apps import GaussianMixtureEM
 from repro.core.framework import ApproxIt
 from repro.solvers import (
     ConjugateGradient,
     GaussSeidelSolver,
     JacobiSolver,
     LeastSquaresGD,
+    RedBlackGaussSeidelSolver,
+    RedBlackSorSolver,
     SorSolver,
 )
 
@@ -43,14 +49,35 @@ def _laplacian(n: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 def build_framework(solver: str, n: int, max_iter: int) -> ApproxIt:
-    if solver in ("jacobi", "gauss-seidel", "sor"):
+    if solver in (
+        "jacobi",
+        "gauss-seidel",
+        "sor",
+        "gauss-seidel-rb",
+        "sor-rb",
+    ):
         matrix, rhs = _laplacian(n)
         cls = {
             "jacobi": JacobiSolver,
             "gauss-seidel": GaussSeidelSolver,
             "sor": SorSolver,
+            "gauss-seidel-rb": RedBlackGaussSeidelSolver,
+            "sor-rb": RedBlackSorSolver,
         }[solver]
         return ApproxIt(cls(matrix, rhs, max_iter=max_iter, tolerance=1e-9))
+    if solver == "gmm":
+        rng = np.random.default_rng(31)
+        points = np.concatenate(
+            [
+                rng.normal(-0.5, 1.0, (max(n, 8), 2)),
+                rng.normal(0.5, 1.0, (max(n, 8), 2)),
+            ]
+        )
+        return ApproxIt(
+            GaussianMixtureEM(
+                points, n_clusters=3, max_iter=max_iter, tolerance=1e-300
+            )
+        )
     if solver == "cg":
         rng = np.random.default_rng(5)
         matrix = rng.uniform(-1.0, 1.0, (n, n))
@@ -81,7 +108,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--solver",
         default="jacobi",
-        choices=("jacobi", "gauss-seidel", "sor", "cg", "lsq"),
+        choices=(
+            "jacobi",
+            "gauss-seidel",
+            "sor",
+            "gauss-seidel-rb",
+            "sor-rb",
+            "cg",
+            "lsq",
+            "gmm",
+        ),
     )
     parser.add_argument("--n", type=int, default=80, help="problem size")
     parser.add_argument("--strategy", default="incremental")
@@ -96,14 +132,42 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="profile the interpreted path (program_capture=False)",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="profile one run_batch over this many lock-step lanes "
+        "instead of the solo loop (default: 0, solo)",
+    )
     args = parser.parse_args(argv)
 
     framework = build_framework(args.solver, args.n, args.max_iter)
     framework.characterization()
     capture = not args.no_capture
-    run = framework.run(strategy=args.strategy, program_capture=capture)
+
+    if args.batch_size > 0:
+        specs = [args.strategy] * args.batch_size
+        support = framework.batching_support()
+        if not support:
+            raise SystemExit(
+                f"--batch-size: {args.solver} refuses the batched path "
+                f"[{support.reason.value}] {support.message}"
+            )
+
+        def profiled():
+            return framework.run_batch(list(specs), program_capture=capture)
+
+        run = profiled()[0]
+        region = f"batch of {args.batch_size} lanes"
+    else:
+
+        def profiled():
+            return framework.run(strategy=args.strategy, program_capture=capture)
+
+        run = profiled()
+        region = "solo run"
     print(
-        f"{args.solver} n={args.n} strategy={args.strategy} "
+        f"{args.solver} n={args.n} strategy={args.strategy} {region} "
         f"capture={'on' if capture else 'off'}: {run.iterations} iterations, "
         f"{run.rollbacks} rollbacks, energy {run.energy:.3g}"
     )
@@ -111,7 +175,7 @@ def main(argv: list[str] | None = None) -> int:
     profiler = cProfile.Profile()
     profiler.enable()
     for _ in range(args.repeats):
-        framework.run(strategy=args.strategy, program_capture=capture)
+        profiled()
     profiler.disable()
 
     stats = pstats.Stats(profiler, stream=sys.stdout)

@@ -932,6 +932,20 @@ class BatchedEnergyLedger:
             k = int(ids.size)
             self.observer.on_charge(mode_name, adds_per_lane * k, cost * k)
 
+    def charge_many_lanes(
+        self, lane_ids: np.ndarray, charges: list[tuple[str, int, float]]
+    ) -> None:
+        """Fan a deferred per-lane charge list out to ``lane_ids``.
+
+        The batched analogue of :meth:`EnergyLedger.charge_many`: each
+        ``(mode_name, adds_per_lane, energy_per_add)`` entry is applied
+        through :meth:`charge_lanes` in list order, so every lane's
+        float accumulation sequence is identical to charging the ops
+        live — which is itself identical to a solo run's sequence.
+        """
+        for mode_name, adds_per_lane, energy_per_add in charges:
+            self.charge_lanes(mode_name, lane_ids, adds_per_lane, energy_per_add)
+
     def lane_ledger(self, lane: int) -> EnergyLedger:
         """The per-run :class:`EnergyLedger` one lane accumulated.
 
@@ -1246,10 +1260,20 @@ class BatchedEngine:
                 "are selected"
             )
         n_per_lane = int(qa.size) // lanes
-        self.ledger.charge_lanes(
-            self.mode.name, self.lane_ids, n_per_lane, self.mode.energy_per_add
+        self._charge_lanes(
+            self.mode.name, n_per_lane, self.mode.energy_per_add
         )
         return out
+
+    def _charge_lanes(
+        self, mode_name: str, adds_per_lane: int, energy_per_add: float
+    ) -> None:
+        """Ledger indirection, mirroring :meth:`ApproxEngine._charge`:
+        the batched program engine overrides this to record charges while
+        capturing and defer them while replaying."""
+        self.ledger.charge_lanes(
+            mode_name, self.lane_ids, adds_per_lane, energy_per_add
+        )
 
     def _reduce_words(self, q: np.ndarray) -> np.ndarray:
         """Balanced-tree reduction of axis 0 of a ``(n, L, ...)`` slab.

@@ -57,6 +57,8 @@ import numpy as np
 
 from repro.arith.engine import (
     ApproxEngine,
+    BatchedEngine,
+    LaneStack,
     ReductionPlan,
     ResidentMatrix,
     ResidentVector,
@@ -1108,4 +1110,680 @@ _BASE_IMPLS = {
     "dot": ApproxEngine.dot,
     "matvec": ApproxEngine.matvec,
     "weighted_sum": ApproxEngine.weighted_sum,
+}
+
+
+# ======================================================================
+# Batched (lane-group) capture & replay
+# ======================================================================
+#
+# A lock-step lane group walks the *same* op structure every iteration:
+# the only thing that changes between iterations — or between lane-group
+# compositions, as lanes converge out of the active set — is the leading
+# lane dimension of the stacked operands.  The batched resolvers below
+# therefore validate lane-stacked operands on their *trailing* (per-
+# lane) dims only, which is what lets one captured program replay across
+# a shrinking lane group without re-capture: the program is a property
+# of the (solver, mode) pair, not of the lane count.
+#
+# Replay arithmetic is shared with the solo path: ``_replay_add_words``
+# and ``_replay_reduce`` are shape-agnostic (the adders are elementwise
+# and the tree geometry depends only on the reduced-axis length).  The
+# per-lane bound arrays a ``LaneStack`` carries collapse to their global
+# (min-over-lanes, max-over-lanes) envelope first — the interpreted
+# batched precheck is already global any-lane, and a conservative
+# precheck can only trigger the true-sum recompute more often, never
+# change the emitted words.
+#
+# Charges are recorded as lane-count-independent
+# ``(mode, adds_per_lane, energy_per_add)`` tuples and flushed at
+# ``end_iteration`` through one ordered
+# :meth:`~repro.arith.engine.BatchedEnergyLedger.charge_many_lanes`
+# call over the lanes the iteration ran on — per-lane accumulation
+# order matches the interpreted batched run (and hence the solo oracle)
+# addition for addition.
+
+
+def _b_word_operand(engine, operand, slots, lanes, negate=False):
+    """Compile a lane-aware resolver: operand -> ``(words, bounds)``.
+
+    The batched analogue of :func:`_word_operand` with two differences:
+    a :class:`LaneStack` takes the role of :class:`ResidentVector` for
+    lane-stacked residents, and any operand whose leading dim equalled
+    the capture-time lane count is validated on trailing dims only (so
+    the program survives active-set shrinkage).  Bounds collapse to the
+    scalar global envelope (sound: see module notes above).
+    """
+    fmt = engine.fmt
+    signed_lo = engine._signed_lo
+    if isinstance(operand, LaneStack):
+        trail = operand.words.shape[1:]
+        ndim = operand.words.ndim
+
+        def resolve(op):
+            if (
+                not isinstance(op, LaneStack)
+                or op.fmt != fmt
+                or op.words.ndim != ndim
+                or op.words.shape[1:] != trail
+            ):
+                raise ProgramBailout("operand")
+            bounds = op.lane_bounds()
+            if negate:
+                words = fmt.handle_overflow(-op.words)
+                if bounds is not None and bool(np.all(bounds[0] > signed_lo)):
+                    return words, (-int(bounds[1].max()), -int(bounds[0].min()))
+                return words, None
+            if bounds is None:
+                return op.words, None
+            return op.words, (int(bounds[0].min()), int(bounds[1].max()))
+
+        return resolve
+    if isinstance(operand, ResidentVector):
+        # Lane-shared resident: identical semantics to the solo path.
+        return _word_operand(engine, operand, slots, negate=negate)
+
+    arr = np.asarray(operand, dtype=np.float64)
+    lane_stacked = arr.ndim >= 1 and arr.shape[0] == lanes
+    shape = arr.shape
+    trail = arr.shape[1:]
+    ndim = arr.ndim
+
+    def check_shape(a):
+        if lane_stacked:
+            if a.ndim != ndim or a.shape[1:] != trail:
+                raise ProgramBailout("shape")
+        elif a.shape != shape:
+            raise ProgramBailout("shape")
+
+    if _is_slot(operand, arr, slots):
+
+        def resolve(op):
+            if isinstance(op, (LaneStack, ResidentVector)):
+                raise ProgramBailout("operand")
+            a = np.asarray(op, dtype=np.float64)
+            check_shape(a)
+            return fmt.encode(-a if negate else a), None
+
+        return resolve
+
+    obj = operand if isinstance(operand, np.ndarray) else arr
+    words = fmt.encode(-arr if negate else arr)
+    bounds = (int(words.min()), int(words.max())) if words.size else None
+
+    def resolve(op):
+        if op is obj:
+            return words, bounds
+        if isinstance(op, (LaneStack, ResidentVector)):
+            raise ProgramBailout("operand")
+        a = np.asarray(op, dtype=np.float64)
+        check_shape(a)
+        return fmt.encode(-a if negate else a), None
+
+    return resolve
+
+
+def _b_float_operand(engine, operand, slots, lanes):
+    """Compile a lane-aware resolver: operand -> float array."""
+    fmt = engine.fmt
+    if isinstance(operand, LaneStack):
+        trail = operand.words.shape[1:]
+        ndim = operand.words.ndim
+
+        def resolve(op):
+            if (
+                not isinstance(op, LaneStack)
+                or op.fmt != fmt
+                or op.words.ndim != ndim
+                or op.words.shape[1:] != trail
+            ):
+                raise ProgramBailout("operand")
+            return op.decode()
+
+        return resolve
+    if isinstance(operand, ResidentVector):
+        return _float_operand(engine, operand, slots)
+
+    arr = np.asarray(operand, dtype=np.float64)
+    lane_stacked = arr.ndim >= 1 and arr.shape[0] == lanes
+    shape = arr.shape
+    trail = arr.shape[1:]
+    ndim = arr.ndim
+
+    def check_shape(a):
+        if lane_stacked:
+            if a.ndim != ndim or a.shape[1:] != trail:
+                raise ProgramBailout("shape")
+        elif a.shape != shape:
+            raise ProgramBailout("shape")
+
+    if _is_slot(operand, arr, slots):
+
+        def resolve(op):
+            if isinstance(op, (LaneStack, ResidentVector)):
+                raise ProgramBailout("operand")
+            a = np.asarray(op, dtype=np.float64)
+            check_shape(a)
+            return a
+
+        return resolve
+
+    obj = operand if isinstance(operand, np.ndarray) else arr
+
+    def resolve(op):
+        if op is obj:
+            return arr
+        if isinstance(op, (LaneStack, ResidentVector)):
+            raise ProgramBailout("operand")
+        a = np.asarray(op, dtype=np.float64)
+        check_shape(a)
+        return a
+
+    return resolve
+
+
+class _BScaleAddStep:
+    """Batched ``scale_add``: per-lane alpha broadcast, alpha live."""
+
+    __slots__ = ("kind", "params", "charges", "sat", "res_x", "res_d", "resident")
+
+    def __init__(self, params, charges, sat, res_x, res_d):
+        self.kind = "scale_add"
+        self.params = params
+        self.charges = charges
+        self.sat = sat
+        self.res_x = res_x
+        self.res_d = res_d
+        self.resident = params["resident"]
+
+    def replay(self, engine, args):
+        x, alpha, d = args
+        qa, bounds_a = self.res_x(x)
+        df = self.res_d(d)
+        alpha = np.asarray(alpha, dtype=np.float64)
+        if alpha.ndim == 1:
+            alpha = alpha.reshape((-1,) + (1,) * (df.ndim - 1))
+        qb = engine.fmt.encode(alpha * df)
+        out = _replay_add_words(engine, qa, qb, bounds_a, None, self.sat)
+        return engine._emit(out, self.resident)
+
+
+class _BSumStep:
+    """Batched ``sum``: the lane axis is implicit and always survives.
+
+    The reduce slab's leading dim is the per-lane reduced-axis length —
+    fixed by the program — while the surviving lane dim floats with the
+    active group, so the reduction plan is fetched per replay (a dict
+    hit after the first call at each group size).
+    """
+
+    __slots__ = (
+        "kind",
+        "params",
+        "charges",
+        "sat",
+        "is_stack",
+        "trail",
+        "scalar",
+        "axis",
+        "assume_finite",
+        "resident",
+    )
+
+    def __init__(self, op, lanes):
+        (x,) = op.args
+        self.kind = "sum"
+        self.params = op.params
+        self.charges = tuple(op.charges)
+        self.sat = any(op.sat)
+        self.assume_finite = op.params["assume_finite"]
+        self.resident = op.params["resident"]
+        axis = op.params["axis"]
+        self.scalar = axis is None
+        if isinstance(x, LaneStack):
+            self.is_stack = True
+            self.trail = x.words.shape[1:]
+        else:
+            self.is_stack = False
+            self.trail = np.asarray(x, dtype=np.float64).shape[1:]
+        if not self.scalar:
+            if axis < 0:
+                axis += len(self.trail)
+        self.axis = axis
+
+    def replay(self, engine, args):
+        (x,) = args
+        if self.is_stack:
+            if (
+                not isinstance(x, LaneStack)
+                or x.fmt != engine.fmt
+                or x.words.shape[1:] != self.trail
+            ):
+                raise ProgramBailout("operand")
+            q = x.words
+        else:
+            if isinstance(x, (LaneStack, ResidentVector)):
+                raise ProgramBailout("operand")
+            arr = np.asarray(x, dtype=np.float64)
+            if arr.shape[1:] != self.trail:
+                raise ProgramBailout("shape")
+            q = engine.fmt.encode(arr, assume_finite=self.assume_finite)
+        if self.scalar:
+            q = q.reshape(q.shape[0], -1)
+            red_axis = 1
+        else:
+            red_axis = self.axis + 1
+        if q.shape[red_axis] == 0:
+            out = np.zeros(tuple(np.delete(q.shape, red_axis)))
+            if self.scalar:
+                return out.reshape(q.shape[0])
+            return engine._emit(engine.fmt.encode(out), self.resident)
+        slab = np.moveaxis(q, red_axis, 0)
+        plan = _get_plan(engine, slab.shape)
+        reduced = _replay_reduce(engine, slab, plan, self.sat)
+        if self.scalar:
+            return engine.fmt.decode(reduced)
+        return engine._emit(reduced, self.resident)
+
+
+class _BMatvecStep:
+    """Batched ``matvec``: shared matrix × ``(L, N)`` iterate stack."""
+
+    __slots__ = ("kind", "params", "charges", "sat", "res_mat", "res_vec", "rows", "cols", "resident")
+
+    def __init__(self, engine, op, slots, lanes):
+        matrix, vector = op.args
+        self.kind = "matvec"
+        self.params = op.params
+        self.charges = tuple(op.charges)
+        self.sat = any(op.sat)
+        self.resident = op.params["resident"]
+        self.res_mat = _matrix_operand(engine, matrix, slots)
+        self.res_vec = _b_float_operand(engine, vector, slots, lanes)
+        mat = np.asarray(matrix, dtype=np.float64)
+        self.rows, self.cols = mat.shape
+
+    def replay(self, engine, args):
+        matrix, vector = args
+        mat, abs_max, strict = self.res_mat(matrix)
+        xs = self.res_vec(vector)
+        if self.cols == 0:
+            zeros = engine.fmt.encode(np.zeros((xs.shape[0], self.rows)))
+            return engine._emit(zeros, self.resident)
+        products = mat[np.newaxis, :, :] * xs[:, np.newaxis, :]
+        q = _trusted_encode(engine, products, xs, abs_max, strict)
+        slab = np.moveaxis(q, 2, 0)
+        plan = _get_plan(engine, slab.shape)
+        reduced = _replay_reduce(engine, slab, plan, self.sat)
+        return engine._emit(reduced, self.resident)
+
+
+class _BWeightedSumStep:
+    """Batched ``weighted_sum``: per-lane weights × shared points."""
+
+    __slots__ = ("kind", "params", "charges", "sat", "res_w", "res_pts", "n", "resident")
+
+    def __init__(self, engine, op, slots, lanes):
+        weights, points = op.args
+        self.kind = "weighted_sum"
+        self.params = op.params
+        self.charges = tuple(op.charges)
+        self.sat = any(op.sat)
+        self.resident = op.params["resident"]
+        self.res_w = _b_float_operand(engine, weights, slots, lanes)
+        self.res_pts = _matrix_operand(engine, points, slots)
+        pts = np.asarray(points, dtype=np.float64)
+        self.n = pts.shape[0]
+
+    def replay(self, engine, args):
+        weights, points = args
+        w = self.res_w(weights)
+        pts, abs_max, strict = self.res_pts(points)
+        if self.n == 0:
+            zeros = engine.fmt.encode(
+                np.zeros((w.shape[0],) + pts.shape[1:])
+            )
+            return engine._emit(zeros, self.resident)
+        products = w[:, :, np.newaxis] * pts[np.newaxis, :, :]
+        q = _trusted_encode(engine, products, w, abs_max, strict)
+        slab = np.moveaxis(q, 1, 0)
+        plan = _get_plan(engine, slab.shape)
+        reduced = _replay_reduce(engine, slab, plan, self.sat)
+        return engine._emit(reduced, self.resident)
+
+
+def _b_compile_add(engine, op, slots, lanes):
+    a, b = op.args
+    return _AddStep(
+        "add",
+        op.params,
+        tuple(op.charges),
+        any(op.sat),
+        _b_word_operand(engine, a, slots, lanes),
+        _b_word_operand(engine, b, slots, lanes),
+    )
+
+
+def _b_compile_sub(engine, op, slots, lanes):
+    a, b = op.args
+    return _AddStep(
+        "sub",
+        op.params,
+        tuple(op.charges),
+        any(op.sat),
+        _b_word_operand(engine, a, slots, lanes),
+        _b_word_operand(engine, b, slots, lanes, negate=True),
+    )
+
+
+def _b_compile_scale_add(engine, op, slots, lanes):
+    x, _alpha, d = op.args
+    return _BScaleAddStep(
+        op.params,
+        tuple(op.charges),
+        any(op.sat),
+        _b_word_operand(engine, x, slots, lanes),
+        _b_float_operand(engine, d, slots, lanes),
+    )
+
+
+def _b_compile_sum(engine, op, slots, lanes):
+    return _BSumStep(op, lanes)
+
+
+_B_COMPILERS = {
+    "add": _b_compile_add,
+    "sub": _b_compile_sub,
+    "scale_add": _b_compile_scale_add,
+    "sum": _b_compile_sum,
+    "matvec": _BMatvecStep,
+    "weighted_sum": _BWeightedSumStep,
+}
+
+
+def _finalize_batched(recorder, engine, slots, lanes) -> IterationProgram:
+    """Compile a batched recording against the end-of-iteration slots."""
+    return IterationProgram(
+        _B_COMPILERS[op.kind](engine, op, slots, lanes) for op in recorder.ops
+    )
+
+
+class BatchedProgramEngine(BatchedEngine):
+    """A :class:`~repro.arith.engine.BatchedEngine` with lane-group
+    iteration-program capture/replay.
+
+    One program per (solver, mode) pair, captured from the first
+    lock-step iteration this engine's mode group runs and replayed over
+    the ``(L, ...)``-stacked buffers of every later one.  Lane-stacked
+    operands validate trailing dims only, so per-lane convergence
+    masking — the active group shrinking as lanes finish or switch
+    modes — replays the same program at any group size.  Replayed
+    charges defer to the executor's pending list and flush through one
+    ordered ``charge_many_lanes`` call per iteration.
+
+    Only *uniform* batched kernel adapters may drive this engine: every
+    lane must issue the identical op sequence over the full selected
+    lane set with no mid-iteration ``select_lanes`` (adapters declare
+    this via ``BatchedKernels.replayable``).  The interpreted batched
+    path stays untouched as the oracle: capture off *is* the plain
+    batched engine.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._pstate = _IDLE
+        self._depth = 0
+        self._slots: dict[str, object] = {}
+        self._recorder: ProgramRecorder | None = None
+        self._executor: ProgramExecutor | None = None
+        self._iter_lane_ids: np.ndarray | None = None
+        self._capture_lanes = 0
+        self.program: IterationProgram | None = None
+        self.program_captures = 0
+        self.program_replays = 0
+        self.program_bailouts = 0
+        self._program_unsupported = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called by the framework's batched loop, per mode group)
+    # ------------------------------------------------------------------
+    def begin_iteration(self, slots: dict[str, object]) -> str:
+        """Open a lane-group iteration window (after ``select_lanes``).
+
+        Returns ``"replay"`` / ``"record"`` / ``"off"`` exactly as
+        :meth:`ProgramEngine.begin_iteration` does.
+        """
+        if not self.fast_path or self._program_unsupported:
+            self._pstate = _IDLE
+            return "off"
+        if self.lane_ids is None:
+            raise RuntimeError("call select_lanes() before begin_iteration()")
+        self._slots = dict(slots)
+        self._iter_lane_ids = self.lane_ids
+        if self.program is not None:
+            self._executor = ProgramExecutor(self.program)
+            self._pstate = _REPLAY
+            return "replay"
+        self._recorder = ProgramRecorder()
+        self._capture_lanes = int(self.lane_ids.shape[0])
+        self._pstate = _RECORD
+        return "record"
+
+    def bind_slot(self, name: str, value) -> None:
+        """Declare an iteration-varying operand discovered mid-iteration
+        (the framework binds the stacked direction ``D``)."""
+        if self._pstate is not _IDLE:
+            self._slots[name] = value
+
+    def invalidate_program(self) -> None:
+        """Drop the cached program (rollback re-record)."""
+        self.program = None
+
+    def end_iteration(self) -> tuple[str, str | None]:
+        """Close the lane-group iteration window.
+
+        Returns ``(execution, bailout_reason)`` as the solo engine does,
+        flushing a replay's deferred charges through one ordered
+        ``charge_many_lanes`` call over the lanes the window opened on.
+        """
+        state = self._pstate
+        execution = "interpreted"
+        reason = None
+        if state is _RECORD:
+            recorder = self._recorder
+            self._recorder = None
+            if recorder is not None:
+                try:
+                    self.program = _finalize_batched(
+                        recorder, self, self._slots, self._capture_lanes
+                    )
+                except Exception:
+                    # Structure the batched compiler cannot express:
+                    # stay interpreted for good rather than re-fail
+                    # every iteration.
+                    self.program = None
+                    self._program_unsupported = True
+                else:
+                    self.program_captures += 1
+                    execution = "captured"
+        elif state is _REPLAY or state is _BAILED:
+            executor = self._executor
+            self._executor = None
+            if (
+                state is _REPLAY
+                and self.program is not None
+                and executor.cursor != len(self.program.steps)
+            ):
+                executor.bailed_reason = "shorter-iteration"
+            if executor.bailed_reason is None:
+                execution = "replayed"
+                self.program_replays += 1
+            else:
+                reason = executor.bailed_reason
+                self.program_bailouts += 1
+                self.program = None
+            if executor.pending:
+                self.ledger.charge_many_lanes(
+                    self._iter_lane_ids, executor.pending
+                )
+        self._pstate = _IDLE
+        self._slots = {}
+        self._iter_lane_ids = None
+        return execution, reason
+
+    # ------------------------------------------------------------------
+    # Hook plumbing
+    # ------------------------------------------------------------------
+    def _charge_lanes(self, mode_name, adds_per_lane, energy_per_add):
+        state = self._pstate
+        if state is _RECORD:
+            recorder = self._recorder
+            if recorder is not None:
+                recorder.on_charge(mode_name, adds_per_lane, energy_per_add)
+            BatchedEngine._charge_lanes(
+                self, mode_name, adds_per_lane, energy_per_add
+            )
+        elif state is _REPLAY or state is _BAILED:
+            self._executor.pending.append(
+                (mode_name, adds_per_lane, energy_per_add)
+            )
+        else:
+            BatchedEngine._charge_lanes(
+                self, mode_name, adds_per_lane, energy_per_add
+            )
+
+    def _saturation_needed(self, qa, qb, bounds_a, bounds_b, lane_axis):
+        needed = super()._saturation_needed(
+            qa, qb, bounds_a, bounds_b, lane_axis
+        )
+        if self._pstate is _RECORD:
+            recorder = self._recorder
+            if recorder is not None:
+                recorder.on_saturation(needed)
+        return needed
+
+    def _dispatch(self, kind, args, params):
+        if self._pstate is _RECORD:
+            recorder = self._recorder
+            recorder.open_op(kind, args, params)
+            self._depth += 1
+            try:
+                out = _B_BASE_IMPLS[kind](self, *args, **params)
+            except BaseException:
+                self._recorder = None
+                self._pstate = _IDLE
+                raise
+            finally:
+                self._depth -= 1
+            recorder.close_op()
+            return out
+        # _REPLAY
+        executor = self._executor
+        step = executor.next_step(kind, params)
+        if step is None:
+            return self._bail_and_run(kind, args, params, "structure")
+        self._depth += 1
+        try:
+            out = step.replay(self, args)
+        except ProgramBailout as bail:
+            self._depth -= 1
+            return self._bail_and_run(kind, args, params, bail.reason)
+        except BaseException:
+            self._depth -= 1
+            raise
+        self._depth -= 1
+        executor.pending.extend(step.charges)
+        return out
+
+    def _bail_and_run(self, kind, args, params, reason):
+        executor = self._executor
+        if executor.bailed_reason is None:
+            executor.bailed_reason = reason
+        self._pstate = _BAILED
+        return _B_BASE_IMPLS[kind](self, *args, **params)
+
+    # ------------------------------------------------------------------
+    # Hooked public kernels (record/replay at depth 0 only)
+    # ------------------------------------------------------------------
+    def add(self, a, b, *, resident: bool = False):
+        if self._depth == 0 and (
+            self._pstate is _RECORD or self._pstate is _REPLAY
+        ):
+            return self._dispatch("add", (a, b), {"resident": resident})
+        return BatchedEngine.add(self, a, b, resident=resident)
+
+    def sub(self, a, b, *, resident: bool = False):
+        if self._depth == 0 and (
+            self._pstate is _RECORD or self._pstate is _REPLAY
+        ):
+            return self._dispatch("sub", (a, b), {"resident": resident})
+        return BatchedEngine.sub(self, a, b, resident=resident)
+
+    def scale_add(self, x, alpha, d, *, resident: bool = False):
+        if self._depth == 0 and (
+            self._pstate is _RECORD or self._pstate is _REPLAY
+        ):
+            return self._dispatch(
+                "scale_add", (x, alpha, d), {"resident": resident}
+            )
+        return BatchedEngine.scale_add(self, x, alpha, d, resident=resident)
+
+    def sum(
+        self,
+        x,
+        axis: int | None = None,
+        *,
+        resident: bool = False,
+        assume_finite: bool = False,
+    ):
+        if self._depth == 0 and (
+            self._pstate is _RECORD or self._pstate is _REPLAY
+        ):
+            return self._dispatch(
+                "sum",
+                (x,),
+                {"axis": axis, "resident": resident, "assume_finite": assume_finite},
+            )
+        return BatchedEngine.sum(
+            self, x, axis, resident=resident, assume_finite=assume_finite
+        )
+
+    def matvec(self, matrix, x, *, resident: bool = False):
+        if self._depth == 0 and (
+            self._pstate is _RECORD or self._pstate is _REPLAY
+        ):
+            return self._dispatch("matvec", (matrix, x), {"resident": resident})
+        return BatchedEngine.matvec(self, matrix, x, resident=resident)
+
+    def weighted_sum(self, weights, points, *, resident: bool = False):
+        if self._depth == 0 and (
+            self._pstate is _RECORD or self._pstate is _REPLAY
+        ):
+            return self._dispatch(
+                "weighted_sum", (weights, points), {"resident": resident}
+            )
+        return BatchedEngine.weighted_sum(
+            self, weights, points, resident=resident
+        )
+
+    def cache_stats(self) -> dict[str, int]:
+        stats = super().cache_stats()
+        stats["program_captures"] = self.program_captures
+        stats["program_replays"] = self.program_replays
+        stats["program_bailouts"] = self.program_bailouts
+        stats["program_cached"] = int(self.program is not None)
+        return stats
+
+
+#: Interpreted batched implementations the dispatcher records through
+#: and bails out to — the plain BatchedEngine methods, never the hooks.
+#: ``dot`` is deliberately absent: the batched ``dot`` is un-hooked and
+#: funnels into the hooked ``sum`` at depth 0.
+_B_BASE_IMPLS = {
+    "add": BatchedEngine.add,
+    "sub": BatchedEngine.sub,
+    "scale_add": BatchedEngine.scale_add,
+    "sum": BatchedEngine.sum,
+    "matvec": BatchedEngine.matvec,
+    "weighted_sum": BatchedEngine.weighted_sum,
 }

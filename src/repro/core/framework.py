@@ -40,7 +40,7 @@ from repro.arith.engine import (
 )
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ModeBank, default_mode_bank
-from repro.arith.program import ProgramEngine
+from repro.arith.program import BatchedProgramEngine, ProgramEngine
 from repro.core.characterize import (
     CharacterizationCache,
     CharacterizationTable,
@@ -606,9 +606,18 @@ class ApproxIt:
     # ------------------------------------------------------------------
     def supports_batching(self) -> bool:
         """Whether :meth:`run_batch` can drive this framework's method."""
-        from repro.solvers.batched import supports_batching
+        return bool(self.batching_support())
 
-        return supports_batching(self.method)
+    def batching_support(self):
+        """Structured batchability verdict for this framework's method.
+
+        Returns a :class:`~repro.solvers.batched.BatchSupport`; when the
+        method cannot be batched, its ``reason`` /``message`` say *why*
+        (surfaced by sweep/CLI fallbacks instead of a silent solo path).
+        """
+        from repro.solvers.batched import batching_support
+
+        return batching_support(self.method)
 
     def run_batch(
         self,
@@ -617,6 +626,7 @@ class ApproxIt:
         collect_traces: bool = True,
         collect_history: bool = False,
         observer: Observer | None = None,
+        program_capture: bool | None = None,
     ) -> list[RunResult]:
         """Run one lane per strategy, lock-step through batched kernels.
 
@@ -643,6 +653,16 @@ class ApproxIt:
                 in :meth:`run`, applied to every lane.  Events reach the
                 observer with the lane id in ``detail["lane"]``;
                 ``observer=None`` batches pay no tracing cost.
+            program_capture: capture one
+                :class:`~repro.arith.program.IterationProgram` per
+                (solver, mode) from the first lock-step iteration of
+                each mode group and replay it over the stacked lanes on
+                later iterations — per-lane results stay bit-identical
+                and ledgers float-equal, the same contract as solo
+                capture.  ``None`` (default) takes
+                :attr:`default_program_capture`; only adapters declaring
+                ``replayable`` capture (CG's mid-iteration lane
+                sub-selection keeps it interpreted).
 
         Returns:
             One :class:`RunResult` per lane, in ``strategies`` order.
@@ -676,9 +696,15 @@ class ApproxIt:
         characterization = self.characterization()
         epsilons = characterization.epsilons()
 
+        capture = (
+            self.default_program_capture
+            if program_capture is None
+            else bool(program_capture)
+        ) and bool(getattr(kernels, "replayable", False))
+        engine_cls = BatchedProgramEngine if capture else BatchedEngine
         ledger = BatchedEnergyLedger(lanes, observer=observer)
         engines = {
-            mode.name: BatchedEngine(mode, self.fmt, ledger)
+            mode.name: engine_cls(mode, self.fmt, ledger)
             for mode in self.bank
         }
         lane_observers: list[Observer | None] = [None] * lanes
@@ -698,6 +724,7 @@ class ApproxIt:
                 collect_history,
                 observer,
                 lane_observers,
+                capture,
             )
         finally:
             for policy in policies:
@@ -718,12 +745,20 @@ class ApproxIt:
         collect_history: bool,
         observer: Observer | None,
         lane_observers: list[Observer | None],
+        capture: bool = False,
     ) -> list[RunResult]:
         """The lane-parallel online loop of :meth:`run_batch`.
 
         Per-lane control flow replicates :meth:`_run_loop` decision for
         decision; only the ``direction`` / ``update`` kernel calls are
-        shared, stacked per mode group.
+        shared, stacked per mode group.  With ``capture`` on, each mode
+        group's engine records its first lock-step iteration and
+        replays it thereafter — group recomposition (lanes converging
+        out, switching in, or the final remainder group shrinking) does
+        *not* invalidate a program, because the compiled steps validate
+        per-lane trailing dims only and charge in lane-count-independent
+        units; a rollback invalidates every engine's program, mirroring
+        the solo loop.
         """
         lanes = len(policies)
         method = self.method
@@ -793,8 +828,14 @@ class ApproxIt:
                     last_mode[i] = mode_name
                 engine.select_lanes(ids)
                 X = np.stack([xs[i] for i in group])
+                if capture:
+                    slots = {"X": X}
+                    slots.update(kernels.replay_slots(X))
+                    engine.begin_iteration(slots)
                 if observer is None:
                     D = kernels.direction(X, ids, engine)
+                    if capture:
+                        engine.bind_slot("D", D)
                     alphas = np.array(
                         [
                             method.step_size(X[row], D[row], iterations[i])
@@ -805,6 +846,8 @@ class ApproxIt:
                 else:
                     with observer.metrics.time("direction"):
                         D = kernels.direction(X, ids, engine)
+                    if capture:
+                        engine.bind_slot("D", D)
                     alphas = np.array(
                         [
                             method.step_size(X[row], D[row], iterations[i])
@@ -813,9 +856,54 @@ class ApproxIt:
                     )
                     with observer.metrics.time("update"):
                         X_new = kernels.update(X, alphas, D, ids, engine)
+                execution: str | None = None
+                if capture:
+                    execution, bail_reason = engine.end_iteration()
+                    if observer is not None:
+                        if execution == "captured":
+                            observer.metrics.inc("program.captures")
+                            observer.metrics.inc(
+                                f"program.group.{mode_name}.captures"
+                            )
+                            steps_n = (
+                                len(engine.program)
+                                if engine.program is not None
+                                else 0
+                            )
+                            for i in group:
+                                lane_observers[i].record(
+                                    TraceEvent(
+                                        "program_capture",
+                                        executed[i],
+                                        mode_name,
+                                        {"steps": steps_n, "lanes": len(group)},
+                                    )
+                                )
+                        elif execution == "replayed":
+                            observer.metrics.inc("program.replays")
+                            observer.metrics.inc(
+                                f"program.group.{mode_name}.replays"
+                            )
+                        if bail_reason is not None:
+                            observer.metrics.inc("program.bailouts")
+                            observer.metrics.inc(
+                                "program.lane_bailouts", len(group)
+                            )
+                            for i in group:
+                                lane_observers[i].record(
+                                    TraceEvent(
+                                        "program_bailout",
+                                        executed[i],
+                                        mode_name,
+                                        {
+                                            "reason": bail_reason,
+                                            "lanes": len(group),
+                                        },
+                                    )
+                                )
 
                 for row, i in enumerate(group):
-                    x_new = X_new[row].copy()
+                    x_new = method.postprocess(X_new[row].copy())
                     if observer is None:
                         f_new = method.objective(x_new)
                     else:
@@ -848,18 +936,29 @@ class ApproxIt:
 
                     if decision.rollback and not fixed_point:
                         if lane_observer is not None:
+                            detail = {
+                                "objective": f_new,
+                                "accepted": False,
+                                "reason": decision.reason,
+                            }
+                            if execution is not None:
+                                detail["execution"] = execution
                             lane_observer.record(
                                 TraceEvent(
                                     "iteration",
                                     executed[i] - 1,
                                     mode_name,
-                                    {
-                                        "objective": f_new,
-                                        "accepted": False,
-                                        "reason": decision.reason,
-                                    },
+                                    detail,
                                 )
                             )
+                        if capture:
+                            # Mirror the solo loop: the retried iteration
+                            # starts from the same X on an escalated
+                            # mode, so recorded saturation envelopes no
+                            # longer describe the regime — every engine
+                            # re-records its next lock-step iteration.
+                            for eng in engines.values():
+                                eng.invalidate_program()
                         if mode.is_accurate and decision.mode.is_accurate:
                             converged[i] = True
                             done[i] = True
@@ -880,16 +979,19 @@ class ApproxIt:
                         iterations[i] += 1
                         steps_by_mode[i][mode_name] += 1
                         if lane_observer is not None:
+                            detail = {
+                                "objective": f_new,
+                                "accepted": True,
+                                "reason": decision.reason,
+                            }
+                            if execution is not None:
+                                detail["execution"] = execution
                             lane_observer.record(
                                 TraceEvent(
                                     "iteration",
                                     executed[i] - 1,
                                     mode_name,
-                                    {
-                                        "objective": f_new,
-                                        "accepted": True,
-                                        "reason": decision.reason,
-                                    },
+                                    detail,
                                 )
                             )
                         if collect_history:

@@ -10,7 +10,7 @@ new applications.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.arith.modes import ModeBank
@@ -57,6 +57,11 @@ class SweepResult:
     """All cells of one sweep."""
 
     cells: list[SweepCell]
+    #: Instance label → refusal notice for instances that were asked to
+    #: batch (``sweep(batch=True)``) but fell back to solo runs because
+    #: their method refused the batched path.  Empty when every
+    #: instance batched (or batching was never requested).
+    batch_fallbacks: dict[str, str] = field(default_factory=dict)
 
     def table(self) -> str:
         """Render the sweep as a comparison table."""
@@ -72,11 +77,17 @@ class SweepResult:
                     f"{cell.savings_percent:+.1f} %",
                 ]
             )
-        return format_table(
+        text = format_table(
             ["Instance", "Strategy", "Iterations", "QEM", "Energy", "Savings"],
             rows,
             title="Strategy sweep (energy normalized per-instance to Truth)",
         )
+        if self.batch_fallbacks:
+            notes = "\n".join(
+                f"  {label}: {why}" for label, why in self.batch_fallbacks.items()
+            )
+            text += f"\nSolo fallbacks (batch refused):\n{notes}"
+        return text
 
     def best_strategy(
         self, instance: str, max_quality: float | None = None
@@ -147,8 +158,11 @@ def sweep(
             lane per strategy, one vectorized kernel call per mode per
             step.  Per-lane results are bit-identical to the solo path
             (the default, which remains the regression oracle), so this
-            only changes wall-clock time.  Instances whose method has
-            no batched kernels silently fall back to solo runs.
+            only changes wall-clock time.  Instances whose method
+            refuses the batched path fall back to solo runs, with the
+            structured refusal recorded in
+            :attr:`SweepResult.batch_fallbacks` (and appended to the
+            rendered table).
         **framework_kwargs: forwarded to :class:`ApproxIt`.
 
     Returns:
@@ -157,13 +171,19 @@ def sweep(
     if not instances:
         raise ValueError("sweep needs at least one instance")
     cells: list[SweepCell] = []
+    batch_fallbacks: dict[str, str] = {}
     for label, factory in instances.items():
         method = factory()
         framework = ApproxIt(method, bank, **framework_kwargs)
-        if batch and framework.supports_batching():
+        support = framework.batching_support() if batch else None
+        if batch and support:
             runs = framework.run_batch(["truth", *strategies])
             truth, strategy_runs = runs[0], runs[1:]
         else:
+            if batch and support is not None:
+                batch_fallbacks[label] = (
+                    f"[{support.reason.value}] {support.message}"
+                )
             truth = framework.run_truth()
             strategy_runs = [
                 framework.run(strategy=strategy) for strategy in strategies
@@ -182,4 +202,4 @@ def sweep(
                     quality=quality,
                 )
             )
-    return SweepResult(cells=cells)
+    return SweepResult(cells=cells, batch_fallbacks=batch_fallbacks)

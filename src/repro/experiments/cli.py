@@ -93,8 +93,9 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="B",
         help="lane-parallel batching for --parallel prewarms: group up "
         "to B compatible sweep cells per dataset into one lock-step "
-        "run_batch shard (bit-identical results; methods without "
-        "batched kernels fall back to solo cells)",
+        "run_batch shard (bit-identical results; methods that refuse "
+        "the batched path fall back to solo cells, with the refusal "
+        "reason printed on stderr)",
     )
     parser.add_argument(
         "--trace",

@@ -18,6 +18,7 @@ serial table/figure code downstream reuses them transparently.
 from __future__ import annotations
 
 import functools
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -263,26 +264,33 @@ def _run_shard(
 
 def _shard_worker(
     shard: tuple[str, tuple[str, ...], str | None, str | None],
-) -> list[tuple[str, str, RunResult]]:
+) -> tuple[list[tuple[str, str, RunResult]], str | None]:
     """Process-pool entry point: run one ``(dataset, labels, trace_dir,
     cache_dir)`` shard of compatible cells.
 
     The framework is rebuilt in-worker exactly as :func:`_cell_worker`
-    does.  Shards whose method has no batched kernels (GMM — see
-    :func:`repro.solvers.batched.supports_batching`) fall back to the
+    does.  Shards whose method refuses the batched path (see
+    :func:`repro.solvers.batched.batching_support`) fall back to the
     solo per-cell loop, so routing through shards never changes
-    results — only the execution schedule.
+    results — only the execution schedule.  The second return element
+    is the structured refusal notice (``None`` when the shard batched
+    or was single-lane), surfaced by the parent on stderr.
     """
     dataset_key, labels, trace_dir, cache_dir = shard
     framework, _ = _build_framework(dataset_key, cache_dir=cache_dir)
-    if len(labels) > 1 and framework.supports_batching():
+    support = framework.batching_support()
+    fallback = None
+    if len(labels) > 1 and support:
         runs = _run_shard(framework, labels, trace_dir, dataset_key)
     else:
+        if len(labels) > 1 and not support:
+            fallback = f"[{support.reason.value}] {support.message}"
         runs = [
             _run_cell(framework, label, trace_dir, dataset_key)
             for label in labels
         ]
-    return [(dataset_key, label, run) for label, run in zip(labels, runs)]
+    rows = [(dataset_key, label, run) for label, run in zip(labels, runs)]
+    return rows, fallback
 
 
 def _shard_cells(
@@ -417,11 +425,21 @@ def _map_rows(
 
     ``batch_size > 1`` routes each dataset's cells through batched
     shards (:func:`_shard_worker`); otherwise one solo cell per task.
+    Shards that refused to batch surface their structured refusal once
+    per dataset on stderr (``batch fallback: <dataset>: [<reason>] …``).
     """
     if batch_size and int(batch_size) > 1:
         shards = _shard_cells(dataset_keys, int(batch_size), trace_dir, cache_dir)
-        groups = _map_cells(shards, max_workers, pool, fn=_shard_worker)
-        return [row for group in groups for row in group]
+        results = _map_cells(shards, max_workers, pool, fn=_shard_worker)
+        fallbacks: dict[str, str] = {}
+        rows = []
+        for group, fallback in results:
+            rows.extend(group)
+            if fallback is not None:
+                fallbacks.setdefault(group[0][0], fallback)
+        for key, notice in sorted(fallbacks.items()):
+            sys.stderr.write(f"batch fallback: {key}: {notice}\n")
+        return rows
     cells = [
         (key, label, trace_dir, cache_dir)
         for key in dataset_keys
@@ -451,10 +469,11 @@ def run_experiment_cells(
     of spinning one up per call.  ``batch_size > 1`` groups the cells
     into lane-parallel shards of at most that many lanes, each advanced
     lock-step by :meth:`~repro.core.framework.ApproxIt.run_batch` —
-    results are bit-identical to solo cells (methods without batched
-    kernels fall back to solo execution inside the shard), and traced
-    shards export one lane-tagged ``<dataset>_batch_*.jsonl`` per shard
-    instead of per-cell files.
+    results are bit-identical to solo cells (methods that refuse the
+    batched path fall back to solo execution inside the shard, with the
+    structured refusal reported on stderr), and traced shards export
+    one lane-tagged ``<dataset>_batch_*.jsonl`` per shard instead of
+    per-cell files.
     """
     trace_dir = _prepare_trace_dir(trace_dir)
     cache_dir = _normalize_cache_dir(cache_dir)
@@ -495,9 +514,10 @@ def run_experiments_parallel(
             advances each shard lock-step through
             :meth:`~repro.core.framework.ApproxIt.run_batch`; each pool
             worker executes one whole shard.  Per-lane results are
-            bit-identical to solo cells; methods without batched
-            kernels (GMM) fall back to solo execution inside their
-            shard.  Traced shards export one lane-tagged
+            bit-identical to solo cells; methods that refuse the
+            batched path fall back to solo execution inside their
+            shard, with the structured refusal reported once per
+            dataset on stderr.  Traced shards export one lane-tagged
             ``<dataset>_batch_*.jsonl`` per shard (filter per lane with
             ``summarize_trace(path, lane=i)``).  ``None``/``0``/``1``
             keeps the one-cell-per-task solo path.

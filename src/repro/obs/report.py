@@ -57,6 +57,10 @@ class TraceSummary:
             compiled program (``detail["execution"] == "replayed"``).
         program_bailouts: replays that diverged and fell back to the
             interpreted path (``program_bailout`` events).
+        program_lane_bailouts: lane-weighted bailout count of a batched
+            (``run_batch``) trace — each lane of a bailing lane-group
+            contributes one (its ``program_bailout`` event carries the
+            group size in ``detail["lanes"]``).  Zero on solo traces.
     """
 
     iterations: int = 0
@@ -71,6 +75,7 @@ class TraceSummary:
     program_captures: int = 0
     program_replays: int = 0
     program_bailouts: int = 0
+    program_lane_bailouts: int = 0
 
 
 def summarize_trace(
@@ -117,6 +122,8 @@ def summarize_trace(
             summary.program_captures += 1
         elif event.kind == "program_bailout":
             summary.program_bailouts += 1
+            if "lanes" in event.detail:
+                summary.program_lane_bailouts += 1
     return summary
 
 
@@ -207,10 +214,15 @@ def render_trace(
     )
     program = ""
     if summary.program_captures or summary.program_replays or summary.program_bailouts:
+        lanes = (
+            f" lane-bailouts:{summary.program_lane_bailouts}"
+            if summary.program_lane_bailouts
+            else ""
+        )
         program = (
             f"; program [captured:{summary.program_captures} "
             f"replayed:{summary.program_replays} "
-            f"bailouts:{summary.program_bailouts}]"
+            f"bailouts:{summary.program_bailouts}{lanes}]"
         )
     lines.append(
         f"{summary.iterations} accepted, {summary.rollbacks} rollbacks, "

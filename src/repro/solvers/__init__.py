@@ -17,18 +17,27 @@ Provided solvers:
 * :class:`ConjugateGradient` — Krylov solver for SPD systems;
 * :class:`JacobiSolver`, :class:`GaussSeidelSolver`, :class:`SorSolver`
   — stationary splittings for linear systems;
+* :class:`RedBlackGaussSeidelSolver`, :class:`RedBlackSorSolver` —
+  the same relaxations in red-black (odd-even) ordering, expressible
+  as two rectangular half sweeps and therefore lane-batchable and
+  program-replayable;
 * :class:`LeastSquaresGD` — batch gradient descent on
   ``||X w - y||^2`` (the substrate of the AutoRegression benchmark).
 
 :mod:`repro.solvers.batched` restates the engine-facing hooks of the
 supported methods over lane stacks for ``ApproxIt.run_batch`` —
-:func:`supports_batching` reports whether a method qualifies.
+:func:`batching_support` returns a structured
+:class:`BatchSupport` verdict (with a :class:`BatchRefusal` reason on
+refusal); :func:`supports_batching` is its boolean wrapper.
 """
 
 from repro.solvers.base import IterationState, IterativeMethod
 from repro.solvers.batched import (
     BatchedKernels,
+    BatchRefusal,
+    BatchSupport,
     batched_kernels_for,
+    batching_support,
     supports_batching,
 )
 from repro.solvers.conjugate_gradient import ConjugateGradient
@@ -41,7 +50,13 @@ from repro.solvers.functions import (
 )
 from repro.solvers.gradient_descent import GradientDescent
 from repro.solvers.least_squares import LeastSquaresGD
-from repro.solvers.linear import GaussSeidelSolver, JacobiSolver, SorSolver
+from repro.solvers.linear import (
+    GaussSeidelSolver,
+    JacobiSolver,
+    RedBlackGaussSeidelSolver,
+    RedBlackSorSolver,
+    SorSolver,
+)
 from repro.solvers.linesearch import BacktrackingLineSearch
 from repro.solvers.momentum import MomentumGradientDescent
 from repro.solvers.newton import NewtonMethod
@@ -49,6 +64,8 @@ from repro.solvers.stochastic import StochasticLeastSquaresGD
 
 __all__ = [
     "BacktrackingLineSearch",
+    "BatchRefusal",
+    "BatchSupport",
     "BatchedKernels",
     "ConjugateGradient",
     "CoordinateDescent",
@@ -63,9 +80,12 @@ __all__ = [
     "NewtonMethod",
     "ObjectiveFunction",
     "QuadraticFunction",
+    "RedBlackGaussSeidelSolver",
+    "RedBlackSorSolver",
     "RosenbrockFunction",
     "SorSolver",
     "StochasticLeastSquaresGD",
     "batched_kernels_for",
+    "batching_support",
     "supports_batching",
 ]

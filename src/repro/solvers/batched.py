@@ -12,10 +12,30 @@ hooks over a :class:`~repro.arith.engine.BatchedEngine`.
 Every adapter performs, per lane, the identical sequence of engine
 kernel calls the solo method performs (same operands, same order), so
 per-lane iterates are bit-identical to solo runs and per-lane energy
-ledgers exactly equal.  Methods whose direction involves computations
-that are not lane-vectorizable bit-exactly (the triangular solves of
-Gauss–Seidel/SOR, stateful momentum, subclasses overriding loop hooks)
-report unsupported and fall back to the solo path.
+ledgers exactly equal.  The covered methods:
+
+* Jacobi, gradient descent (quadratic / Rosenbrock / default-gradient
+  functions), least squares — stacked directly;
+* conjugate gradient — stacked, with per-lane direction caches (its
+  mid-iteration lane sub-selection keeps it off the program-replay fast
+  path: ``replayable = False``);
+* Gauss–Seidel and SOR — the O(n²) residual accumulation is stacked
+  through the engine; the exact triangular solve runs per lane with
+  byte-identical inputs, so per-lane outputs match solo runs exactly;
+* red-black Gauss–Seidel / SOR
+  (:class:`~repro.solvers.linear.RedBlackGaussSeidelSolver` /
+  :class:`~repro.solvers.linear.RedBlackSorSolver`) — the half-sweep
+  direction is written against the polymorphic kernel API, so the
+  adapter passes the lane stack straight through;
+* Gaussian-mixture EM — responsibilities and the variance/weight tail
+  are exact per lane; the k per-component weighted mean sums stack into
+  k batched ``weighted_sum`` calls in solo charge order.
+
+A method that cannot be batched gets a structured
+:class:`BatchSupport` refusal from :func:`batching_support` saying
+*why* (no adapter registered, loop hooks overridden, unsupported
+objective function); :func:`supports_batching` stays as the
+bool-returning wrapper.
 
 Adapters are stateful per batch (CG carries per-lane direction caches)
 — create one per ``run_batch`` call via :func:`batched_kernels_for`.
@@ -23,8 +43,12 @@ Adapters are stateful per batch (CG carries per-lane direction caches)
 
 from __future__ import annotations
 
+import enum
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.apps.gmm import _VAR_FLOOR, _WEIGHT_FLOOR, GaussianMixtureEM, GmmParams
 from repro.arith.engine import BatchedEngine
 from repro.solvers.base import IterativeMethod
 from repro.solvers.conjugate_gradient import ConjugateGradient
@@ -35,7 +59,12 @@ from repro.solvers.functions import (
 )
 from repro.solvers.gradient_descent import GradientDescent
 from repro.solvers.least_squares import LeastSquaresGD
-from repro.solvers.linear import JacobiSolver
+from repro.solvers.linear import (
+    GaussSeidelSolver,
+    JacobiSolver,
+    SorSolver,
+    _RedBlackSplittingSolver,
+)
 
 #: The hooks the framework's iteration loop calls.  A method may be
 #: batched only when it inherits every one of these from the base class
@@ -60,6 +89,38 @@ def _inherits_loop_hooks(method: IterativeMethod, base: type) -> bool:
     )
 
 
+class BatchRefusal(enum.Enum):
+    """Why a method cannot take the batched path."""
+
+    #: No batched kernel adapter is registered for the method's class.
+    NO_ADAPTER = "no-adapter"
+    #: An adapter exists for a base class, but the method overrides loop
+    #: hooks the adapter was written against.
+    OVERRIDDEN_HOOKS = "overridden-hooks"
+    #: The adapter refused this particular configuration (e.g. a
+    #: gradient-descent objective function with a custom approximate
+    #: gradient the stacked kernels cannot reproduce bit-exactly).
+    UNSUPPORTED_FUNCTION = "unsupported-function"
+
+
+@dataclass(frozen=True)
+class BatchSupport:
+    """Structured batchability verdict for one method instance.
+
+    Truthy exactly when ``supported`` — existing ``if
+    framework.supports_batching():`` call sites keep working, while
+    sweep/CLI fallbacks surface ``reason`` / ``message`` instead of
+    silently running solo.
+    """
+
+    supported: bool
+    reason: BatchRefusal | None = None
+    message: str = ""
+
+    def __bool__(self) -> bool:
+        return self.supported
+
+
 class BatchedKernels:
     """Engine-facing hooks of one method, restated over a lane stack.
 
@@ -68,11 +129,27 @@ class BatchedKernels:
     to (rows regroup across steps as lanes converge or switch modes, so
     stateful adapters key their state by lane id, never by row).  The
     engine passed in already has ``lane_ids`` selected.
+
+    ``replayable`` declares the iteration *uniform*: every lane issues
+    the identical engine-op sequence over the full selected lane set,
+    with no mid-iteration ``select_lanes``.  Only uniform adapters may
+    drive a :class:`~repro.arith.program.BatchedProgramEngine`;
+    ``replay_slots`` lets an adapter declare extra iteration-varying
+    operands (beyond the stacked ``X`` and ``D`` the framework binds)
+    for program capture.
     """
+
+    #: Safe default: the four original adapters and all new ones are
+    #: uniform; CG opts out below.
+    replayable = True
 
     def __init__(self, method: IterativeMethod, lanes: int):
         self.method = method
         self.lanes = int(lanes)
+
+    def replay_slots(self, X: np.ndarray) -> dict[str, object]:
+        """Iteration-varying operands to declare at program capture."""
+        return {}
 
     def direction(
         self, X: np.ndarray, lane_ids: np.ndarray, engine: BatchedEngine
@@ -102,6 +179,60 @@ class _BatchedJacobi(BatchedKernels):
         return residual / m._diag
 
 
+class _BatchedGaussSeidel(BatchedKernels):
+    """Stacked residual + per-lane exact forward substitution.
+
+    The residual rows are bit-identical to solo residuals (the batched
+    engine contract), and each lane's ``solve_triangular`` call then
+    receives byte-identical inputs to its solo counterpart — the solve
+    is exact float control logic, so per-lane directions match solo
+    bit for bit.  One rectangular residual is the O(n²) bulk; the L
+    small solves are the cheap tail.
+    """
+
+    def direction(self, X, lane_ids, engine):
+        m = self.method
+        R = m.residual(X, engine)
+        lower = np.tril(m.matrix)
+        from scipy.linalg import solve_triangular
+
+        return np.stack(
+            [
+                solve_triangular(lower, R[row], lower=True)
+                for row in range(R.shape[0])
+            ]
+        )
+
+
+class _BatchedSor(BatchedKernels):
+    """SOR analogue of :class:`_BatchedGaussSeidel`."""
+
+    def direction(self, X, lane_ids, engine):
+        m = self.method
+        R = m.residual(X, engine)
+        diag = np.diag(np.diag(m.matrix))
+        lower = np.tril(m.matrix, k=-1)
+        mm = diag / m.omega + lower
+        from scipy.linalg import solve_triangular
+
+        return np.stack(
+            [
+                solve_triangular(mm, R[row], lower=True)
+                for row in range(R.shape[0])
+            ]
+        )
+
+
+class _BatchedRedBlack(BatchedKernels):
+    """Passthrough: the red-black half sweeps are written against the
+    polymorphic kernel API, so the solver's own ``direction`` runs the
+    ``(L, n)`` stack unchanged (see
+    :class:`~repro.solvers.linear._RedBlackSplittingSolver`)."""
+
+    def direction(self, X, lane_ids, engine):
+        return self.method.direction(X, engine)
+
+
 class _BatchedCG(BatchedKernels):
     """Hestenes–Stiefel CG with the direction cache kept *per lane*.
 
@@ -109,7 +240,13 @@ class _BatchedCG(BatchedKernels):
     inside one per-run dictionary; here each lane owns such a
     dictionary (indexed by ledger lane id), so lanes that happen to
     visit identical iterates can never observe each other's state.
+
+    Not ``replayable``: the previous-direction correction below runs an
+    engine call over a *sub-selection* of lanes that varies iteration
+    to iteration, which a fixed per-group program cannot express.
     """
+
+    replayable = False
 
     def __init__(self, method, lanes):
         super().__init__(method, lanes)
@@ -197,17 +334,86 @@ class _BatchedLeastSquares(BatchedKernels):
         return -grad
 
 
+class _BatchedGmm(BatchedKernels):
+    """EM over per-component lane stacking.
+
+    The E-step (responsibilities) and the M-step's variance/weight tail
+    are exact float and run per lane with the identical expressions of
+    :meth:`~repro.apps.gmm.GaussianMixtureEM.em_step`; only the k
+    weighted mean sums touch the approximate datapath, and they stack
+    into k batched ``weighted_sum`` calls — per lane, the charge
+    sequence (component 0, 1, …, then the mean-block ``scale_add`` of
+    the update) is exactly the solo order.  Components stack across the
+    *op sequence*, never across ledger rows, so no lane id is ever
+    selected twice in one call (``charge_lanes`` is fancy-indexed and
+    would drop duplicate charges).
+    """
+
+    def direction(self, X, lane_ids, engine):
+        m = self.method
+        L = X.shape[0]
+        resps: list[np.ndarray] = []
+        counts: list[np.ndarray] = []
+        for row in range(L):
+            resp = m.responsibilities(X[row])
+            resps.append(resp)
+            counts.append(
+                np.maximum(resp.sum(axis=0), _WEIGHT_FLOOR * m._n)
+            )
+        points = engine.pin_matrix("points", m.points)
+        k, dim = m.n_clusters, m._d
+        new_means = np.empty((L, k, dim))
+        for comp in range(k):
+            weights = np.stack([resp[:, comp] for resp in resps])
+            sums = engine.weighted_sum(weights, points)
+            comp_counts = np.array([c[comp] for c in counts])
+            new_means[:, comp, :] = sums / comp_counts[:, None]
+        D = np.empty_like(X)
+        for row in range(L):
+            diff = m.points[:, None, :] - new_means[row][None, :, :]
+            new_vars = (resps[row][:, :, None] * diff**2).sum(axis=0) / counts[
+                row
+            ][:, None]
+            new_vars = np.maximum(new_vars, _VAR_FLOOR)
+            new_weights = counts[row] / counts[row].sum()
+            packed = GmmParams(
+                weights=new_weights,
+                means=new_means[row],
+                variances=new_vars,
+            ).pack()
+            D[row] = packed - X[row]
+        return D
+
+    def update(self, X, alphas, D, lane_ids, engine):
+        m = self.method
+        k, dim = m.n_clusters, m._d
+        X = np.asarray(X, dtype=np.float64)
+        D = np.asarray(D, dtype=np.float64)
+        new = X + alphas[:, None] * D
+        mean_lo, mean_hi = k, k + k * dim
+        new[:, mean_lo:mean_hi] = engine.scale_add(
+            X[:, mean_lo:mean_hi], alphas, D[:, mean_lo:mean_hi]
+        )
+        return new
+
+
 def _make_gd(method: GradientDescent, lanes: int) -> BatchedKernels | None:
     if not _BatchedGD.supports_function(method.function):
         return None
     return _BatchedGD(method, lanes)
 
 
+#: Adapter registry, matched by ``isinstance`` in order — subclasses
+#: with their own entry (none today) must precede their base.
 _REGISTRY: tuple = (
     (JacobiSolver, _BatchedJacobi),
+    (_RedBlackSplittingSolver, _BatchedRedBlack),
+    (GaussSeidelSolver, _BatchedGaussSeidel),
+    (SorSolver, _BatchedSor),
     (ConjugateGradient, _BatchedCG),
     (GradientDescent, _make_gd),
     (LeastSquaresGD, _BatchedLeastSquares),
+    (GaussianMixtureEM, _BatchedGmm),
 )
 
 
@@ -222,6 +428,42 @@ def batched_kernels_for(
     return None
 
 
+def batching_support(method: IterativeMethod) -> BatchSupport:
+    """Structured batchability verdict (see :class:`BatchSupport`)."""
+    for base, factory in _REGISTRY:
+        if not isinstance(method, base):
+            continue
+        if not _inherits_loop_hooks(method, base):
+            overridden = sorted(
+                hook
+                for hook in _LOOP_HOOKS
+                if getattr(type(method), hook) is not getattr(base, hook)
+            )
+            return BatchSupport(
+                False,
+                BatchRefusal.OVERRIDDEN_HOOKS,
+                f"{type(method).__name__} overrides loop hooks "
+                f"({', '.join(overridden)}) the {base.__name__} adapter "
+                "was written against",
+            )
+        if factory(method, 1) is None:
+            fn = getattr(method, "function", None)
+            what = type(fn).__name__ if fn is not None else "configuration"
+            return BatchSupport(
+                False,
+                BatchRefusal.UNSUPPORTED_FUNCTION,
+                f"{type(method).__name__} over {what} is not "
+                "lane-vectorizable bit-exactly (custom approximate "
+                "gradient)",
+            )
+        return BatchSupport(True)
+    return BatchSupport(
+        False,
+        BatchRefusal.NO_ADAPTER,
+        f"no batched kernel adapter registered for {type(method).__name__}",
+    )
+
+
 def supports_batching(method: IterativeMethod) -> bool:
     """Whether ``run_batch`` can drive this method (see module docs)."""
-    return batched_kernels_for(method, 1) is not None
+    return bool(batching_support(method))

@@ -16,6 +16,7 @@ lane-tagged trace events (`detail["lane"]`) that let
 import numpy as np
 import pytest
 
+from repro.apps import GaussianMixtureEM
 from repro.core.framework import ApproxIt
 from repro.obs import TraceRecorder, render_trace, summarize_trace
 from repro.solvers import (
@@ -25,7 +26,10 @@ from repro.solvers import (
     JacobiSolver,
     LeastSquaresGD,
     QuadraticFunction,
+    RedBlackGaussSeidelSolver,
+    RedBlackSorSolver,
     RosenbrockFunction,
+    SorSolver,
 )
 
 #: Lane specs crossing both online strategies, Truth, and a static
@@ -200,12 +204,13 @@ class TestBatchTracing:
 
     def test_lane_filtered_summary_matches_solo_trace(self):
         """Filtering the batch trace to one lane yields the same
-        counters as tracing that lane's solo run.  The solo run is
-        interpreted (capture off): the batched engine has no program
-        capture, so its lanes carry no program_* events."""
+        counters as tracing that lane's solo run.  Both runs are
+        interpreted (capture off) so neither side carries program_*
+        events; capture-on parity is covered by
+        ``TestBatchedReplayParity``."""
         framework = _jacobi_framework()
         recorder = TraceRecorder(label="batch")
-        framework.run_batch(list(SPECS), observer=recorder)
+        framework.run_batch(list(SPECS), observer=recorder, program_capture=False)
         solo_recorder = TraceRecorder(label="solo")
         framework.run(
             strategy="incremental",
@@ -241,10 +246,26 @@ class TestRunBatchValidation:
         rng = np.random.default_rng(2)
         n = 10
         A = rng.uniform(-1, 1, (n, n)) + n * np.eye(n)
-        gs = ApproxIt(GaussSeidelSolver(A, rng.uniform(-1, 1, n)))
-        assert not gs.supports_batching()
+        b = rng.uniform(-1, 1, n)
+
+        # Lexicographic Gauss–Seidel is batchable since the per-lane
+        # triangular-solve adapter landed; an unknown subclass that
+        # overrides a loop hook is the canonical refusal.
+        assert ApproxIt(GaussSeidelSolver(A, b)).supports_batching()
+
+        class DampedJacobi(JacobiSolver):
+            def direction(self, x, engine):
+                return 0.5 * super().direction(x, engine)
+
+        damped = ApproxIt(DampedJacobi(A, b))
+        assert not damped.supports_batching()
+        support = damped.batching_support()
+        assert not support
+        assert support.reason is not None
+        assert support.reason.value == "overridden-hooks"
+        assert "direction" in support.message
         with pytest.raises(ValueError, match="no batched kernels"):
-            gs.run_batch(["incremental"])
+            damped.run_batch(["incremental"])
 
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError, match="at least one"):
@@ -268,3 +289,221 @@ class TestRunBatchValidation:
         assert_lane_matches_solo(
             batch[0], framework.run(strategy="incremental")
         )
+
+
+# ----------------------------------------------------------------------
+# Batched program capture & replay (the perf path over run_batch)
+# ----------------------------------------------------------------------
+
+
+def _linear_system(seed, n):
+    rng = np.random.default_rng(seed)
+    A = rng.uniform(-1.0, 1.0, (n, n))
+    A += n * np.eye(n)
+    b = rng.uniform(-5.0, 5.0, n)
+    return A, b
+
+
+def _gs_framework():
+    A, b = _linear_system(3, 16)
+    return ApproxIt(GaussSeidelSolver(A, b, max_iter=80))
+
+
+def _sor_framework():
+    A, b = _linear_system(7, 16)
+    return ApproxIt(SorSolver(A, b, omega=1.2, max_iter=80))
+
+
+def _gs_rb_framework():
+    A, b = _linear_system(3, 16)
+    return ApproxIt(RedBlackGaussSeidelSolver(A, b, max_iter=80))
+
+
+def _sor_rb_framework():
+    A, b = _linear_system(7, 17)
+    return ApproxIt(RedBlackSorSolver(A, b, omega=1.3, max_iter=80))
+
+
+def _gmm_framework():
+    rng = np.random.default_rng(31)
+    points = np.concatenate(
+        [
+            rng.normal(-2.0, 0.4, (40, 2)),
+            rng.normal(2.0, 0.5, (40, 2)),
+        ]
+    )
+    return ApproxIt(GaussianMixtureEM(points, n_clusters=2, max_iter=30))
+
+
+#: Every batchable solver family (the newly admitted GS/SOR/red-black/
+#: GMM included) that also takes the replay path.
+REPLAY_FACTORIES = {
+    "jacobi": _jacobi_framework,
+    "gauss-seidel": _gs_framework,
+    "sor": _sor_framework,
+    "gauss-seidel-rb": _gs_rb_framework,
+    "sor-rb": _sor_rb_framework,
+    "gd-quadratic": _gd_quadratic_framework,
+    "least-squares": _lsq_framework,
+    "gmm": _gmm_framework,
+}
+
+
+class TestBatchedReplayParity:
+    """Capture-on ``run_batch`` vs the solo *interpreted* oracle.
+
+    The replay engine's contract is the strongest in the repo: per-lane
+    results bit-identical to a solo ``run(program_capture=False)`` and
+    per-lane energy ledgers equal as floats — capture and replay must be
+    perfectly invisible, across mode switches, lane-group regrouping,
+    and rollback invalidation."""
+
+    @pytest.mark.parametrize("strategy", ["incremental", "adaptive"])
+    @pytest.mark.parametrize(
+        "solver", sorted(REPLAY_FACTORIES), ids=sorted(REPLAY_FACTORIES)
+    )
+    def test_every_batchable_solver_matches_interpreted_solo(
+        self, solver, strategy
+    ):
+        framework = REPLAY_FACTORIES[solver]()
+        specs = [strategy, "truth", "static:level2"]
+        batch = framework.run_batch(specs, program_capture=True)
+        for spec, batch_run in zip(specs, batch):
+            solo = framework.run(strategy=spec, program_capture=False)
+            assert_lane_matches_solo(batch_run, solo)
+
+    def test_full_spec_cross_matches_interpreted_solo(self):
+        """The five-spec mixed batch (two adder modes, duplicate
+        incremental lanes) under capture, vs interpreted solo lanes."""
+        for make in (_jacobi_framework, _gs_rb_framework):
+            framework = make()
+            batch = framework.run_batch(list(SPECS), program_capture=True)
+            for spec, batch_run in zip(SPECS, batch):
+                assert_lane_matches_solo(
+                    batch_run,
+                    framework.run(strategy=spec, program_capture=False),
+                )
+
+    def test_replays_actually_happen_per_mode_group(self):
+        """Vacuous-parity guard: the lock-step loop must capture once
+        per (mode) lane-group and drive later iterations by replay."""
+        framework = _jacobi_framework()
+        recorder = TraceRecorder(label="replay")
+        framework.run_batch(list(SPECS), observer=recorder, program_capture=True)
+        counters = recorder.metrics.counters
+        assert counters.get("program.captures", 0) >= 1
+        assert counters.get("program.replays", 0) >= counters["program.captures"]
+        group_captures = {
+            name: count
+            for name, count in counters.items()
+            if name.startswith("program.group.") and name.endswith(".captures")
+        }
+        group_replays = {
+            name: count
+            for name, count in counters.items()
+            if name.startswith("program.group.") and name.endswith(".replays")
+        }
+        assert group_captures, "expected per-lane-group capture counters"
+        assert sum(group_captures.values()) == counters["program.captures"]
+        assert sum(group_replays.values()) == counters["program.replays"]
+
+    def test_mode_switches_under_capture_stay_exact(self):
+        """Mid-run reconfigurations (switch energy charged) regroup the
+        lanes across per-mode programs without breaking parity."""
+        framework = _jacobi_framework(switch_energy=0.5)
+        batch = framework.run_batch(list(SPECS), program_capture=True)
+        switched = [run for run in batch if run.mode_switches >= 1]
+        assert switched, "expected at least one lane to reconfigure"
+        for spec, batch_run in zip(SPECS, batch):
+            assert_lane_matches_solo(
+                batch_run, framework.run(strategy=spec, program_capture=False)
+            )
+
+    def test_rollback_re_records_under_batching(self):
+        """A lane-group rollback invalidates every engine's program; the
+        next iteration on any mode re-records instead of replaying a
+        stale program, and parity holds through the rollback."""
+        framework = _jacobi_framework()
+        recorder = TraceRecorder(label="rb")
+        batch = framework.run_batch(
+            list(SPECS), observer=recorder, program_capture=True
+        )
+        assert any(run.rollbacks >= 1 for run in batch), (
+            "workload must roll back naturally"
+        )
+        assert recorder.metrics.counters.get("program.captures", 0) >= 2, (
+            "post-rollback iterations must re-record, not replay stale "
+            "programs"
+        )
+        for spec, batch_run in zip(SPECS, batch):
+            assert_lane_matches_solo(
+                batch_run, framework.run(strategy=spec, program_capture=False)
+            )
+
+    def test_remainder_lane_group_reuses_program(self):
+        """Satellite: when a lane-group's membership changes — lanes
+        join as the incremental lane climbs onto the accurate mode,
+        lanes leave as they converge and freeze — the remaining
+        (partial) group keeps replaying the program captured at the
+        original group size.  The program's charges are lane-count
+        independent, so no re-capture is needed."""
+        framework = _lsq_framework()
+        recorder = TraceRecorder(label="remainder")
+        specs = ["truth", "incremental"]
+        batch = framework.run_batch(
+            specs, observer=recorder, program_capture=True
+        )
+        assert all(run.rollbacks == 0 for run in batch), (
+            "workload must not roll back (rollbacks legitimately "
+            "invalidate programs)"
+        )
+        executed = {run.executed_iterations for run in batch}
+        assert len(executed) > 1, "lanes must converge at different times"
+        counters = recorder.metrics.counters
+        # The accurate mode's group gains the incremental lane mid-run
+        # and loses the truth lane when it freezes, yet the mode's
+        # program is captured exactly once for the whole run.
+        assert counters.get("program.group.acc.captures", 0) == 1
+        assert counters.get("program.group.acc.replays", 0) >= 10
+        for spec, batch_run in zip(specs, batch):
+            assert_lane_matches_solo(
+                batch_run, framework.run(strategy=spec, program_capture=False)
+            )
+
+    def test_cg_stays_interpreted_under_capture(self):
+        """CG's mid-iteration lane sub-selection makes its kernels
+        non-replayable: a capture-on batch must run interpreted (no
+        program events) and still match solo exactly."""
+        framework = _cg_framework()
+        recorder = TraceRecorder(label="cg")
+        batch = framework.run_batch(
+            list(SPECS), observer=recorder, program_capture=True
+        )
+        assert recorder.metrics.counters.get("program.captures", 0) == 0
+        for spec, batch_run in zip(SPECS, batch):
+            assert_lane_matches_solo(
+                batch_run, framework.run(strategy=spec, program_capture=False)
+            )
+
+    def test_lane_trace_carries_program_events(self):
+        """Batched program events are lane-tagged: each lane of a
+        capturing group records a program_capture event carrying the
+        group size, and summarize_trace folds them per lane."""
+        framework = _jacobi_framework()
+        recorder = TraceRecorder(label="events")
+        batch = framework.run_batch(
+            ["static:level2", "static:level2"], observer=recorder,
+            program_capture=True,
+        )
+        for lane in range(2):
+            summary = summarize_trace(recorder.events, lane=lane)
+            assert summary.program_captures >= 1
+            assert summary.program_replays >= 1
+        captures = [
+            e for e in recorder.events if e.kind == "program_capture"
+        ]
+        assert captures and all(
+            e.detail.get("lanes") == 2 and e.detail.get("steps", 0) > 0
+            for e in captures
+        )
+        assert len(batch) == 2

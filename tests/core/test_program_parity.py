@@ -30,6 +30,8 @@ from repro.solvers import (
     MomentumGradientDescent,
     NewtonMethod,
     QuadraticFunction,
+    RedBlackGaussSeidelSolver,
+    RedBlackSorSolver,
     RosenbrockFunction,
     SorSolver,
     StochasticLeastSquaresGD,
@@ -69,6 +71,16 @@ def _gauss_seidel():
 def _sor():
     A, b = _linear_system(7, 16)
     return ApproxIt(SorSolver(A, b, omega=1.2, max_iter=80))
+
+
+def _gauss_seidel_rb():
+    A, b = _linear_system(3, 16)
+    return ApproxIt(RedBlackGaussSeidelSolver(A, b, max_iter=80))
+
+
+def _sor_rb():
+    A, b = _linear_system(7, 17)
+    return ApproxIt(RedBlackSorSolver(A, b, omega=1.3, max_iter=80))
 
 
 def _cg():
@@ -180,7 +192,9 @@ def _pagerank():
 FACTORIES = {
     "jacobi": _jacobi,
     "gauss-seidel": _gauss_seidel,
+    "gauss-seidel-rb": _gauss_seidel_rb,
     "sor": _sor,
+    "sor-rb": _sor_rb,
     "cg": _cg,
     "gd-quadratic": _gd_quadratic,
     "gd-rosenbrock": _gd_rosenbrock,

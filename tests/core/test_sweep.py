@@ -86,3 +86,48 @@ class TestSweep:
     def test_empty_instances_rejected(self, bank32):
         with pytest.raises(ValueError, match="at least one"):
             sweep(instances={}, bank=bank32)
+
+
+class TestSweepBatching:
+    def test_batched_sweep_matches_solo_and_records_no_fallbacks(
+        self, bank32
+    ):
+        solo = sweep(
+            instances={"q91": make_factory(91)},
+            strategies=("incremental",),
+            bank=bank32,
+        )
+        batched = sweep(
+            instances={"q91": make_factory(91)},
+            strategies=("incremental",),
+            bank=bank32,
+            batch=True,
+        )
+        assert batched.batch_fallbacks == {}
+        for got, want in zip(batched.cells, solo.cells):
+            np.testing.assert_array_equal(got.run.x, want.run.x)
+            assert got.run.energy == want.run.energy
+
+    def test_refused_instance_falls_back_with_recorded_reason(self, bank32):
+        from repro.solvers.momentum import MomentumGradientDescent
+
+        def momentum_factory():
+            fn = QuadraticFunction.random_spd(dim=4, seed=93, condition=15.0)
+            return MomentumGradientDescent(
+                fn, learning_rate=0.05, max_iter=500
+            )
+
+        result = sweep(
+            instances={"gd": make_factory(92), "mom": momentum_factory},
+            strategies=("incremental",),
+            bank=bank32,
+            batch=True,
+        )
+        assert set(result.batch_fallbacks) == {"mom"}
+        assert result.batch_fallbacks["mom"].startswith("[no-adapter]")
+        assert "MomentumGradientDescent" in result.batch_fallbacks["mom"]
+        assert "Solo fallbacks (batch refused):" in result.table()
+        assert len(result.cells) == 2
+
+    def test_unbatched_sweep_records_nothing(self, result):
+        assert result.batch_fallbacks == {}

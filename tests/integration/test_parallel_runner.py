@@ -420,22 +420,33 @@ class TestCellRunner:
         assert list(cache_root.glob("*.json")), "default cache dir not honored"
 
     def test_unbatchable_dataset_falls_back_to_solo_cells(
-        self, mini_gmm_registry, monkeypatch
+        self, mini_gmm_registry, monkeypatch, capsys
     ):
-        """GMM has no batched kernels: a batch_size request must fall
-        back to per-cell solo runs inside the shard, never call
-        run_batch, and produce identical results."""
+        """A method that refuses the batched path (GMM batches natively
+        now, so the refusal is injected) must fall back to per-cell
+        solo runs inside the shard, never call run_batch, produce
+        identical results, and surface the structured refusal on
+        stderr."""
         from repro.core.framework import ApproxIt
+        from repro.solvers.batched import BatchRefusal, BatchSupport
 
         plain = run_experiment_cells("minip", max_workers=1)
         run_gmm_experiment.cache_clear()
 
         def exploding_run_batch(self, *args, **kwargs):
-            raise AssertionError("run_batch must not be called for GMM")
+            raise AssertionError("run_batch must not be called when refused")
+
+        def refusing_support(self):
+            return BatchSupport(
+                False, BatchRefusal.NO_ADAPTER, "injected refusal"
+            )
 
         monkeypatch.setattr(ApproxIt, "run_batch", exploding_run_batch)
+        monkeypatch.setattr(ApproxIt, "batching_support", refusing_support)
         sharded = run_experiment_cells("minip", max_workers=1, batch_size=7)
         _assert_same_result(sharded, plain)
+        err = capsys.readouterr().err
+        assert "batch fallback: minip: [no-adapter] injected refusal" in err
 
     def test_batched_shards_match_solo_cells_exactly(
         self, tmp_path, monkeypatch
@@ -484,6 +495,17 @@ class TestCellRunner:
             summary = summarize_trace(trace, lane=lane)
             assert summary.iterations == sharded.run_of("incremental").iterations
             assert summary.rollbacks == sharded.run_of("incremental").rollbacks
+
+            # A batch size that does not divide the seven cells leaves a
+            # remainder shard — both shards (full and partial) must still
+            # match the solo oracle exactly.
+            run_ar_experiment.cache_clear()
+            calls.clear()
+            remainder = run_experiment_cells(
+                "hangseng", max_workers=1, batch_size=4
+            )
+            assert calls == [4, 3]  # full shard + remainder shard
+            _assert_same_result(remainder, plain)
         finally:
             run_ar_experiment.cache_clear()
 

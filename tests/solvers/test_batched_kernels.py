@@ -2,16 +2,19 @@
 
 ``supports_batching`` must admit exactly the methods whose engine-facing
 hooks are restated bit-exactly by an adapter — and refuse everything
-else (triangular-solve splittings, stateful momentum, subclasses that
-override loop hooks, functions with bespoke approximate gradients).  A
-false positive here would silently change results under ``run_batch``;
-a false negative only costs speed, so the gate errs conservative.
+else (stateful momentum, subclasses that override loop hooks, functions
+with bespoke approximate gradients).  A false positive here would
+silently change results under ``run_batch``; a false negative only
+costs speed, so the gate errs conservative.  Refusals come back as a
+structured :class:`~repro.solvers.batched.BatchSupport` naming the
+reason, so sweep callers can report *why* a method fell back to solo.
 """
 
 import numpy as np
 import pytest
 
 from repro.solvers import (
+    BatchRefusal,
     ConjugateGradient,
     GaussSeidelSolver,
     GradientDescent,
@@ -19,16 +22,23 @@ from repro.solvers import (
     LeastSquaresGD,
     MomentumGradientDescent,
     QuadraticFunction,
+    RedBlackGaussSeidelSolver,
+    RedBlackSorSolver,
     RosenbrockFunction,
     SorSolver,
     batched_kernels_for,
+    batching_support,
     supports_batching,
 )
 from repro.solvers.batched import (
     _BatchedCG,
+    _BatchedGaussSeidel,
     _BatchedGD,
+    _BatchedGmm,
     _BatchedJacobi,
     _BatchedLeastSquares,
+    _BatchedRedBlack,
+    _BatchedSor,
 )
 from repro.solvers.functions import ObjectiveFunction
 
@@ -71,22 +81,37 @@ class TestSupportsBatching:
         kernels = batched_kernels_for(method, 4)
         assert isinstance(kernels, _BatchedLeastSquares)
 
-    def test_triangular_solve_splittings_refused(self):
+    def test_triangular_solve_splittings_admitted(self):
+        """GS/SOR batch via a per-lane exact triangular solve on the
+        batched approximate residual."""
         A, b = _spd()
-        assert not supports_batching(GaussSeidelSolver(A, b))
-        assert not supports_batching(SorSolver(A, b))
+        assert supports_batching(GaussSeidelSolver(A, b))
+        assert supports_batching(SorSolver(A, b))
+        assert isinstance(
+            batched_kernels_for(GaussSeidelSolver(A, b), 3), _BatchedGaussSeidel
+        )
+        assert isinstance(batched_kernels_for(SorSolver(A, b), 3), _BatchedSor)
+
+    def test_red_black_splittings_admitted(self):
+        A, b = _spd()
+        assert supports_batching(RedBlackGaussSeidelSolver(A, b))
+        assert supports_batching(RedBlackSorSolver(A, b))
+        kernels = batched_kernels_for(RedBlackGaussSeidelSolver(A, b), 4)
+        assert isinstance(kernels, _BatchedRedBlack)
+        assert kernels.replayable
 
     def test_momentum_refused(self):
         assert not supports_batching(
             MomentumGradientDescent(_quadratic())
         )
 
-    def test_gmm_refused(self):
+    def test_gmm_admitted(self):
         from repro.apps.gmm import GaussianMixtureEM
         from repro.data.registry import load_dataset
 
         method = GaussianMixtureEM.from_dataset(load_dataset("3cluster"))
-        assert not supports_batching(method)
+        assert supports_batching(method)
+        assert isinstance(batched_kernels_for(method, 2), _BatchedGmm)
 
     def test_subclass_overriding_a_loop_hook_refused(self):
         A, b = _spd()
@@ -134,6 +159,66 @@ class TestSupportsBatching:
         assert isinstance(batched_kernels_for(method, 2), _BatchedGD)
 
 
+class TestBatchingSupportReasons:
+    """Structured refusals: every ``False`` carries a reason enum and a
+    human-readable message, and every admission carries neither."""
+
+    def test_admitted_support_is_truthy_and_reasonless(self):
+        A, b = _spd()
+        support = batching_support(JacobiSolver(A, b))
+        assert support
+        assert support.supported
+        assert support.reason is None
+        assert support.message == ""
+
+    def test_no_adapter_reason(self):
+        support = batching_support(MomentumGradientDescent(_quadratic()))
+        assert not support
+        assert support.reason is BatchRefusal.NO_ADAPTER
+        assert "MomentumGradientDescent" in support.message
+
+    def test_overridden_hooks_reason_names_the_hooks(self):
+        A, b = _spd()
+
+        class DampedJacobi(JacobiSolver):
+            def direction(self, x, engine):
+                return 0.5 * super().direction(x, engine)
+
+            def update(self, x, alpha, d, engine):
+                return super().update(x, alpha, d, engine)
+
+        support = batching_support(DampedJacobi(A, b))
+        assert not support
+        assert support.reason is BatchRefusal.OVERRIDDEN_HOOKS
+        assert "direction" in support.message
+        assert "update" in support.message
+
+    def test_unsupported_function_reason(self):
+        class Noisy(ObjectiveFunction):
+            def value(self, x):
+                return float(np.sum(np.asarray(x) ** 2))
+
+            def gradient(self, x):
+                return 2.0 * np.asarray(x, dtype=np.float64)
+
+            def gradient_approx(self, x, engine):
+                return engine.quantize(self.gradient(x)) * 0.99
+
+        support = batching_support(GradientDescent(Noisy(dim=3)))
+        assert not support
+        assert support.reason is BatchRefusal.UNSUPPORTED_FUNCTION
+        assert "Noisy" in support.message
+
+    def test_bool_wrapper_agrees_with_structured_gate(self):
+        A, b = _spd()
+        for method in (
+            JacobiSolver(A, b),
+            SorSolver(A, b),
+            MomentumGradientDescent(_quadratic()),
+        ):
+            assert supports_batching(method) == bool(batching_support(method))
+
+
 class TestAdapterConstruction:
     def test_registry_picks_the_matching_adapter(self):
         A, b = _spd()
@@ -148,8 +233,7 @@ class TestAdapterConstruction:
         )
 
     def test_unsupported_returns_none(self):
-        A, b = _spd()
-        assert batched_kernels_for(GaussSeidelSolver(A, b), 2) is None
+        assert batched_kernels_for(MomentumGradientDescent(_quadratic()), 2) is None
 
     def test_adapters_are_fresh_and_sized_per_call(self):
         A, b = _spd()
