@@ -20,8 +20,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -31,6 +29,7 @@ from repro.arith.engine import ApproxEngine, EnergyLedger
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ModeBank
 from repro.core.quality import quality_error
+from repro.ioutil import atomic_write_text
 from repro.solvers.base import IterativeMethod
 
 
@@ -228,17 +227,7 @@ class CharacterizationCache:
         payload = {"schema": CACHE_SCHEMA, "table": table.to_dict()}
         path = self._path(self.key(method, bank, fmt, probe_iterations))
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=self.root, prefix=path.stem, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle)
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            atomic_write_text(path, json.dumps(payload))
         except OSError:
             return
         self.stores += 1

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.framework import RunResult
 from repro.experiments.render import format_number, format_table
+from repro.ioutil import atomic_write_text
 from repro.solvers.base import IterationState
 
 #: Schema tag written into every serialized run.  Version 2 added the
@@ -109,10 +110,12 @@ def run_from_dict(payload: dict) -> RunResult:
 
 
 def save_run(result: RunResult, path: str | Path) -> Path:
-    """Write a run to ``path`` as JSON; returns the path."""
-    path = Path(path)
-    path.write_text(json.dumps(run_to_dict(result), indent=2))
-    return path
+    """Write a run to ``path`` as JSON; returns the path.
+
+    The write is atomic (temp file + ``os.replace``), so a reader — or
+    a crash — never observes a truncated run file.
+    """
+    return atomic_write_text(path, json.dumps(run_to_dict(result), indent=2))
 
 
 def load_run(path: str | Path) -> RunResult:

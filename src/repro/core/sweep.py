@@ -135,6 +135,54 @@ class SweepResult:
         ]
 
 
+def cells_from_runs(
+    instance: str,
+    truth: RunResult,
+    strategy_runs: "dict[str, RunResult] | Sequence[tuple[str, RunResult]]",
+    method: IterativeMethod | None = None,
+    quality_fn: Callable[[IterativeMethod, RunResult, RunResult], float] | None = None,
+) -> list[SweepCell]:
+    """Assemble one instance's sweep cells from already-executed runs.
+
+    This is the shared assembly step of :func:`sweep`, split out so
+    callers that obtained the runs elsewhere — the service layer runs
+    each (instance, strategy) as its own content-addressed job and
+    rebuilds the sweep view from stored results — render identically to
+    an in-process sweep.
+
+    Args:
+        instance: instance label for the cells.
+        truth: the instance's Truth run (energy normalizer).
+        strategy_runs: strategy spec → its run (a mapping, or an
+            iterable of ``(spec, run)`` pairs when duplicate specs must
+            be preserved), in display order.
+        method: the instance's method; required when ``quality_fn`` is
+            given.
+        quality_fn: optional ``(method, run, truth) -> QEM``; cells get
+            ``quality=None`` without one.
+    """
+    if quality_fn is not None and method is None:
+        raise ValueError("quality_fn requires the instance's method")
+    pairs = (
+        strategy_runs.items() if hasattr(strategy_runs, "items") else strategy_runs
+    )
+    cells = []
+    for spec, run in pairs:
+        quality = (
+            quality_fn(method, run, truth) if quality_fn is not None else None
+        )
+        cells.append(
+            SweepCell(
+                instance=instance,
+                strategy=spec,
+                run=run,
+                truth=truth,
+                quality=quality,
+            )
+        )
+    return cells
+
+
 def sweep(
     instances: dict[str, MethodFactory],
     strategies: Sequence[str | ReconfigurationStrategy] = ("incremental", "adaptive"),
@@ -188,18 +236,13 @@ def sweep(
             strategy_runs = [
                 framework.run(strategy=strategy) for strategy in strategies
             ]
-        for strategy, run in zip(strategies, strategy_runs):
-            quality = (
-                quality_fn(method, run, truth) if quality_fn is not None else None
+        spec_runs = [
+            (strategy if isinstance(strategy, str) else strategy.name, run)
+            for strategy, run in zip(strategies, strategy_runs)
+        ]
+        cells.extend(
+            cells_from_runs(
+                label, truth, spec_runs, method=method, quality_fn=quality_fn
             )
-            spec = strategy if isinstance(strategy, str) else strategy.name
-            cells.append(
-                SweepCell(
-                    instance=label,
-                    strategy=spec,
-                    run=run,
-                    truth=truth,
-                    quality=quality,
-                )
-            )
+        )
     return SweepResult(cells=cells, batch_fallbacks=batch_fallbacks)

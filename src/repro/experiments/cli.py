@@ -29,6 +29,19 @@ addressed, so stale entries are impossible — see
 ``docs/performance.md``).  The directory resolves as ``--cache-dir`` >
 ``$REPRO_CHAR_CACHE`` > ``~/.cache/approxit/characterization``;
 ``--no-cache`` disables the cache entirely.
+
+The solver also runs as a long-lived service (see ``docs/service.md``)::
+
+    approxit serve --port 8080                 # start the job server
+    approxit submit --dataset 3cluster         # submit + wait + print
+    approxit submit --sweep incremental,adaptive --dataset hangseng
+
+``serve`` keeps a persistent run store (``--store-dir`` >
+``$REPRO_RUN_STORE`` > ``~/.cache/approxit/service``): resubmitting an
+identical request is served from disk with zero solver iterations.
+``submit`` talks to a running server over HTTP (``--url``), waits for
+completion and prints the result (``--json`` for machine-readable
+output, e.g. in CI).
 """
 
 from __future__ import annotations
@@ -59,8 +72,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "extensions",
             "motivation",
             "run",
+            "serve",
+            "submit",
         ],
-        help="which artifact to regenerate",
+        help="which artifact to regenerate (or service verb: serve/submit)",
     )
     parser.add_argument(
         "--dataset",
@@ -120,6 +135,54 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", default=None, help="write the report to this file instead of stdout"
     )
+    service = parser.add_argument_group("service (serve/submit)")
+    service.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address"
+    )
+    service.add_argument(
+        "--port", type=int, default=8080, help="serve: bind port (0 = ephemeral)"
+    )
+    service.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="serve: run-store directory (default: $REPRO_RUN_STORE or "
+        "~/.cache/approxit/service)",
+    )
+    service.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="submit: server base URL",
+    )
+    service.add_argument(
+        "--tenant", default="default", help="submit: tenant identifier"
+    )
+    service.add_argument(
+        "--max-iter",
+        type=int,
+        default=None,
+        metavar="N",
+        help="submit: iteration-budget override",
+    )
+    service.add_argument(
+        "--sweep",
+        default=None,
+        metavar="SPECS",
+        help="submit: comma-separated strategy specs — submit a sweep "
+        "(Truth implicit) instead of a single solve",
+    )
+    service.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECS",
+        help="submit: give up waiting after this long (default: 300)",
+    )
+    service.add_argument(
+        "--json",
+        action="store_true",
+        help="submit: print the raw job/sweep JSON instead of a summary",
+    )
     return parser
 
 
@@ -141,6 +204,155 @@ def resolve_cache_dir(
     return os.path.join(
         os.path.expanduser("~"), ".cache", "approxit", "characterization"
     )
+
+
+def resolve_store_dir(store_dir: str | None = None) -> str:
+    """The run-store directory ``approxit serve`` should use.
+
+    Resolution order: ``--store-dir`` > ``$REPRO_RUN_STORE`` > the user
+    cache directory.
+    """
+    if store_dir:
+        return store_dir
+    env = os.environ.get("REPRO_RUN_STORE")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "approxit", "service")
+
+
+def _serve(args) -> int:
+    """Run the solver service until interrupted."""
+    import asyncio
+
+    from repro.service import JobQueue, RunStore, ServiceServer
+
+    store_dir = resolve_store_dir(args.store_dir)
+    queue = JobQueue(
+        RunStore(store_dir),
+        max_workers=(args.parallel or None) if args.parallel != 0 else None,
+        batch_size=args.batch_size,
+        cache_dir=resolve_cache_dir(args.cache_dir, args.no_cache),
+    )
+    server = ServiceServer(queue, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"approxit service on {server.url} (store: {store_dir})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _http_json(method: str, url: str, body: dict | None = None, timeout: float = 60.0):
+    """One JSON request to a running service; returns (status, payload)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _submit(args) -> int:
+    """Submit one solve (or sweep) to a running server and wait."""
+    import urllib.error
+
+    try:
+        return _submit_inner(args)
+    except urllib.error.URLError as exc:
+        sys.stderr.write(f"cannot reach server at {args.url}: {exc.reason}\n")
+        return 1
+
+
+def _submit_inner(args) -> int:
+    import json
+    import time
+
+    url = args.url.rstrip("/")
+    deadline = time.monotonic() + args.timeout
+    if args.sweep:
+        body = {
+            "dataset": args.dataset,
+            "strategies": [s.strip() for s in args.sweep.split(",") if s.strip()],
+            "tenant": args.tenant,
+            "max_iter": args.max_iter,
+        }
+        status, payload = _http_json("POST", f"{url}/sweeps", body)
+        if status not in (200, 202):
+            sys.stderr.write(f"submit failed ({status}): {payload.get('error')}\n")
+            return 1
+        while payload["state"] not in ("done", "failed"):
+            if time.monotonic() > deadline:
+                sys.stderr.write(f"timed out waiting for {payload['id']}\n")
+                return 1
+            time.sleep(0.2)
+            status, payload = _http_json("GET", f"{url}/sweeps/{payload['id']}")
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        elif payload["state"] == "done":
+            print(payload["table"])
+        if payload["state"] == "failed":
+            for label, job in payload["jobs"].items():
+                if job["error"]:
+                    sys.stderr.write(f"lane {label} failed: {job['error']}\n")
+            return 1
+        return 0
+
+    body = {
+        "dataset": args.dataset,
+        "strategy": args.strategy,
+        "tenant": args.tenant,
+        "max_iter": args.max_iter,
+    }
+    status, payload = _http_json("POST", f"{url}/jobs", body)
+    if status not in (200, 202):
+        sys.stderr.write(f"submit failed ({status}): {payload.get('error')}\n")
+        return 1
+    while payload["state"] not in ("done", "failed"):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            sys.stderr.write(f"timed out waiting for {payload['id']}\n")
+            return 1
+        status, payload = _http_json(
+            "GET",
+            f"{url}/jobs/{payload['id']}?wait={min(remaining, 30):.0f}",
+            timeout=min(remaining, 30) + 30,
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    elif payload["state"] == "done":
+        result = payload["result"]
+        source = "run store (cached)" if payload["cached"] else "fresh computation"
+        print(
+            f"{payload['id']}: {args.dataset} / {result['strategy']} — "
+            f"{'converged' if result['converged'] else 'NOT converged'} in "
+            f"{result['iterations']} iterations, objective "
+            f"{result['objective']:.6g}, energy {result['energy']:.6g} "
+            f"[{source}, {payload['executed_iterations']} iterations executed]"
+        )
+    if payload["state"] == "failed":
+        sys.stderr.write(f"{payload['id']} failed: {payload['error']}\n")
+        return 1
+    return 0
 
 
 #: Artifacts whose underlying experiment matrix can be prewarmed in
@@ -353,6 +565,10 @@ def _run_report(
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.artifact == "serve":
+        return _serve(args)
+    if args.artifact == "submit":
+        return _submit(args)
     from repro.experiments.runner import set_default_cache_dir
 
     # Installed process-wide so the serial renderers, the run/

@@ -33,6 +33,7 @@ Failure handling draws a hard line between two very different events:
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -154,6 +155,12 @@ class SweepPool:
         self.chunk_size = chunk_size
         self._pool = None
         self._serial_fallback = False
+        # One map at a time: the service dispatcher submits from its
+        # own thread while the owning CLI/tests may also map, and the
+        # executor's lazy creation + sticky-fallback state is not safe
+        # under interleaving.  Concurrent callers serialize here (their
+        # cells still fan out across the worker processes).
+        self._map_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "SweepPool":
@@ -181,25 +188,27 @@ class SweepPool:
         """``[fn(item) for item in items]`` over the persistent workers.
 
         Results come back in submission order; see the class docstring
-        for the failure contract.
+        for the failure contract.  Safe to call from multiple threads
+        (maps serialize on an internal lock).
         """
         work: Sequence[_T] = list(items)
-        if self.max_workers <= 1 or len(work) <= 1 or self._serial_fallback:
-            return [fn(item) for item in work]
-        chunks = _balanced_chunks(work, self.chunk_size, self.max_workers)
-        try:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-            nested = list(self._pool.map(_ChunkedCall(fn), chunks))
-        except (BrokenProcessPool, OSError, PermissionError) as exc:
-            warnings.warn(
-                f"process pool unavailable ({exc!r}); running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            self._discard_pool()
-            self._serial_fallback = True
-            return [fn(item) for item in work]
+        with self._map_lock:
+            if self.max_workers <= 1 or len(work) <= 1 or self._serial_fallback:
+                return [fn(item) for item in work]
+            chunks = _balanced_chunks(work, self.chunk_size, self.max_workers)
+            try:
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+                nested = list(self._pool.map(_ChunkedCall(fn), chunks))
+            except (BrokenProcessPool, OSError, PermissionError) as exc:
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._discard_pool()
+                self._serial_fallback = True
+                return [fn(item) for item in work]
         results: list = [item for chunk in nested for item in chunk]
         for result in results:
             if isinstance(result, _WorkerFailure):

@@ -127,14 +127,18 @@ def set_default_cache_dir(cache_dir: str | Path | None) -> None:
     _default_cache_dir = None if cache_dir is None else str(cache_dir)
 
 
-def _build_framework(
+def build_framework(
     dataset_key: str, cache_dir: str | None = None
 ) -> tuple[ApproxIt, object]:
     """Construct the framework (and its method) for one dataset.
 
     ``cache_dir`` (explicit, or the process-wide default installed via
     :func:`set_default_cache_dir`) attaches a disk-backed
-    characterization cache to the framework.
+    characterization cache to the framework.  This is the one
+    registry-dataset → framework constructor; the sweep workers, the
+    CLI artifacts and the service executor all build through it, so a
+    service job and a CLI run of the same request are the same
+    computation.
     """
     if cache_dir is None:
         cache_dir = _default_cache_dir
@@ -146,6 +150,10 @@ def _build_framework(
         method = AutoRegression.from_dataset(dataset)
     char_cache = CharacterizationCache(cache_dir) if cache_dir else None
     return ApproxIt(method, char_cache=char_cache), method
+
+
+#: Backward-compatible alias (pre-service name).
+_build_framework = build_framework
 
 
 def _qem_fn(dataset_key: str, method):
@@ -413,6 +421,30 @@ def _map_cells(cells, max_workers, pool: SweepPool | None, fn=_cell_worker):
     return process_map(fn, cells, max_workers=max_workers)
 
 
+def _collect_shard_rows(
+    results,
+) -> tuple[list[tuple[str, str, RunResult]], dict[str, list[str]]]:
+    """Flatten shard results into rows, aggregating refusal notices.
+
+    Every *distinct* refusal notice of a dataset's shards is kept, in
+    first-seen order — different shards of one dataset can refuse for
+    different reasons (e.g. after a mid-sweep registry change, or when
+    shards route through differently-configured workers), and dropping
+    all but the first would hide the extra causes from the operator.
+    Duplicate notices (the common case: every shard refuses identically)
+    collapse to one.
+    """
+    rows: list[tuple[str, str, RunResult]] = []
+    fallbacks: dict[str, list[str]] = {}
+    for group, fallback in results:
+        rows.extend(group)
+        if fallback is not None:
+            notices = fallbacks.setdefault(group[0][0], [])
+            if fallback not in notices:
+                notices.append(fallback)
+    return rows, fallbacks
+
+
 def _map_rows(
     dataset_keys,
     max_workers,
@@ -425,20 +457,17 @@ def _map_rows(
 
     ``batch_size > 1`` routes each dataset's cells through batched
     shards (:func:`_shard_worker`); otherwise one solo cell per task.
-    Shards that refused to batch surface their structured refusal once
-    per dataset on stderr (``batch fallback: <dataset>: [<reason>] …``).
+    Shards that refused to batch surface every distinct structured
+    refusal per dataset on stderr
+    (``batch fallback: <dataset>: [<reason>] …``).
     """
     if batch_size and int(batch_size) > 1:
         shards = _shard_cells(dataset_keys, int(batch_size), trace_dir, cache_dir)
         results = _map_cells(shards, max_workers, pool, fn=_shard_worker)
-        fallbacks: dict[str, str] = {}
-        rows = []
-        for group, fallback in results:
-            rows.extend(group)
-            if fallback is not None:
-                fallbacks.setdefault(group[0][0], fallback)
-        for key, notice in sorted(fallbacks.items()):
-            sys.stderr.write(f"batch fallback: {key}: {notice}\n")
+        rows, fallbacks = _collect_shard_rows(results)
+        for key in sorted(fallbacks):
+            for notice in fallbacks[key]:
+                sys.stderr.write(f"batch fallback: {key}: {notice}\n")
         return rows
     cells = [
         (key, label, trace_dir, cache_dir)

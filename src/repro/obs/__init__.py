@@ -14,9 +14,20 @@ See ``docs/observability.md`` for the schema and usage.
 """
 
 from repro.obs.events import EVENT_KINDS, TraceEvent
-from repro.obs.io import TRACE_SCHEMA_VERSION, TraceFile, load_trace, save_trace
+from repro.obs.io import (
+    TRACE_SCHEMA_VERSION,
+    TraceFile,
+    TraceWriter,
+    load_trace,
+    save_trace,
+)
 from repro.obs.metrics import MetricsRegistry, TimerStat
-from repro.obs.observer import LaneObserver, Observer, TraceRecorder
+from repro.obs.observer import (
+    LaneObserver,
+    Observer,
+    StreamingRecorder,
+    TraceRecorder,
+)
 from repro.obs.report import TraceSummary, render_trace, summarize_trace
 
 __all__ = [
@@ -24,12 +35,14 @@ __all__ = [
     "LaneObserver",
     "MetricsRegistry",
     "Observer",
+    "StreamingRecorder",
     "TRACE_SCHEMA_VERSION",
     "TimerStat",
     "TraceEvent",
     "TraceFile",
     "TraceRecorder",
     "TraceSummary",
+    "TraceWriter",
     "load_trace",
     "render_trace",
     "save_trace",

@@ -11,8 +11,21 @@ A trace file is newline-delimited JSON, schema-versioned like
   line carrying a :class:`~repro.obs.metrics.MetricsRegistry` dump.
 
 JSONL keeps traces streamable and appendable: a sweep can ``cat``
-per-cell files together for ad-hoc analysis, and a crashed run's
-partial trace is still loadable line by line.
+per-cell files together for ad-hoc analysis, and a crashed or still
+running run's partial trace is recoverable line by line.
+
+Durability comes in two flavors:
+
+* :func:`save_trace` writes the whole file **atomically** (temp file +
+  ``os.replace``, via :func:`repro.ioutil.atomic_write_text`): a reader
+  racing the writer — or a crash mid-save — observes either the
+  previous complete snapshot or the new one, never a truncated file.
+* :class:`TraceWriter` **streams**: the header goes out immediately and
+  every record is appended (and flushed) as it arrives, so a live run's
+  trace can be tailed from another process while it grows.  A crash can
+  leave at most one partial final line; ``load_trace(...,
+  partial=True)`` recovers every complete record before it and reports
+  the truncation.
 """
 
 from __future__ import annotations
@@ -22,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from repro.ioutil import atomic_write_text
 from repro.obs.events import TraceEvent
 from repro.obs.metrics import MetricsRegistry
 
@@ -39,12 +53,35 @@ class TraceFile:
         events: the event stream in emission order.
         metrics: the run's metrics registry; empty when the file
             carried none.
+        truncated: only ever ``True`` for ``load_trace(...,
+            partial=True)`` loads — the file ended in (or contained) a
+            malformed record, everything before it was recovered, and
+            the stream is in progress or was cut by a crash.
     """
 
     schema: int
     meta: dict = field(default_factory=dict)
     events: list[TraceEvent] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    truncated: bool = False
+
+
+def _encode_header(meta: dict | None) -> str:
+    return json.dumps(
+        {
+            "record": "header",
+            "schema": TRACE_SCHEMA_VERSION,
+            "meta": dict(meta or {}),
+        }
+    )
+
+
+def _encode_event(event: TraceEvent) -> str:
+    return json.dumps({"record": "event", **event.to_dict()})
+
+
+def _encode_metrics(metrics: MetricsRegistry) -> str:
+    return json.dumps({"record": "metrics", "metrics": metrics.to_dict()})
 
 
 def save_trace(
@@ -55,43 +92,118 @@ def save_trace(
 ) -> Path:
     """Write a trace to ``path`` as JSONL; returns the path.
 
+    The write is atomic: the lines are assembled in memory and land via
+    a temp file + ``os.replace``, so a crash mid-save leaves the
+    previous complete snapshot in place (strict :func:`load_trace`
+    keeps working) and a concurrent reader never sees a partial file.
+    Runs that need their trace on disk *while still executing* should
+    stream through a :class:`TraceWriter` instead.
+
     Args:
         path: destination file (parent directories are created).
         events: the event stream, in order.
         metrics: optional registry appended as a trailing record.
         meta: optional header metadata (JSON-ready values only).
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    lines = [
-        json.dumps(
-            {
-                "record": "header",
-                "schema": TRACE_SCHEMA_VERSION,
-                "meta": dict(meta or {}),
-            }
-        )
-    ]
+    lines = [_encode_header(meta)]
     for event in events:
-        lines.append(json.dumps({"record": "event", **event.to_dict()}))
+        lines.append(_encode_event(event))
     if metrics is not None:
-        lines.append(json.dumps({"record": "metrics", "metrics": metrics.to_dict()}))
-    path.write_text("\n".join(lines) + "\n")
-    return path
+        lines.append(_encode_metrics(metrics))
+    return atomic_write_text(path, "\n".join(lines) + "\n")
 
 
-def load_trace(path: str | Path) -> TraceFile:
-    """Read a trace previously written by :func:`save_trace`.
+class TraceWriter:
+    """Append-mode streaming writer for live traces.
+
+    The header record is written (and flushed) on construction; every
+    :meth:`write_event` / :meth:`write_metrics` appends one complete
+    line and flushes it, so another process can tail the file with
+    ``load_trace(path, partial=True)`` while the run is still going.
+
+    Unlike :func:`save_trace` the file is built in place, so a crash
+    mid-record leaves a partial final line — but only the final line:
+    every earlier record was flushed whole.  ``partial=True`` loads
+    recover all of them and flag the truncation; re-running the job
+    rewrites the file from scratch.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+
+    Args:
+        path: destination file (parent directories are created).
+        meta: optional header metadata (JSON-ready values only).
+    """
+
+    def __init__(self, path: str | Path, meta: dict | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.events_written = 0
+        self._closed = False
+        self._write_line(_encode_header(meta))
+
+    def _write_line(self, line: str) -> None:
+        if self._closed:
+            raise ValueError(f"trace writer for {self.path} is closed")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def write_event(self, event: TraceEvent) -> None:
+        """Append one event record and flush it to the OS."""
+        self._write_line(_encode_event(event))
+        self.events_written += 1
+
+    def write_metrics(self, metrics: MetricsRegistry) -> None:
+        """Append the trailing metrics record (normally right before
+        :meth:`close`)."""
+        self._write_line(_encode_metrics(metrics))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def load_trace(path: str | Path, partial: bool = False) -> TraceFile:
+    """Read a trace previously written by :func:`save_trace` or a
+    :class:`TraceWriter`.
+
+    Args:
+        path: the trace file.
+        partial: best-effort mode for in-progress or crash-truncated
+            streams.  Instead of raising on the first malformed or
+            incomplete record, parsing stops there: every complete
+            record up to that point comes back and
+            :attr:`TraceFile.truncated` is set.  The header line must
+            still be complete and valid — without it the schema (and
+            hence the meaning of every later line) is unknown.
 
     Raises:
         ValueError: on a missing/invalid header, an unsupported schema,
-            or an unknown record type.
+            or — in strict mode only — a malformed line or unknown
+            record type.
     """
     lines = [line for line in Path(path).read_text().splitlines() if line.strip()]
     if not lines:
         raise ValueError(f"trace file {path} is empty")
-    header = json.loads(lines[0])
-    if header.get("record") != "header":
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise ValueError(
+            f"trace file {path} does not start with a header record"
+        ) from None
+    if not isinstance(header, dict) or header.get("record") != "header":
         raise ValueError(f"trace file {path} does not start with a header record")
     schema = header.get("schema")
     if schema != TRACE_SCHEMA_VERSION:
@@ -100,12 +212,26 @@ def load_trace(path: str | Path) -> TraceFile:
         )
     trace = TraceFile(schema=int(schema), meta=dict(header.get("meta", {})))
     for line in lines[1:]:
-        record = json.loads(line)
-        kind = record.get("record")
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError(f"non-object trace record {record!r}")
+            kind = record.get("record")
+            if kind == "event":
+                event = TraceEvent.from_dict(record)
+            elif kind != "metrics":
+                raise ValueError(f"unknown trace record type {kind!r}")
+        except (json.JSONDecodeError, ValueError) as exc:
+            if partial:
+                trace.truncated = True
+                break
+            if isinstance(exc, json.JSONDecodeError):
+                raise ValueError(
+                    f"malformed trace record in {path}: {line[:80]!r}"
+                ) from None
+            raise
         if kind == "event":
-            trace.events.append(TraceEvent.from_dict(record))
-        elif kind == "metrics":
-            trace.metrics = MetricsRegistry.from_dict(record.get("metrics", {}))
+            trace.events.append(event)
         else:
-            raise ValueError(f"unknown trace record type {kind!r}")
+            trace.metrics = MetricsRegistry.from_dict(record.get("metrics", {}))
     return trace

@@ -21,7 +21,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.obs.events import TraceEvent
-from repro.obs.io import save_trace
+from repro.obs.io import TraceWriter, save_trace
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -103,3 +103,68 @@ class TraceRecorder(Observer):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         tag = f" label={self.label!r}" if self.label else ""
         return f"TraceRecorder({len(self.events)} events{tag})"
+
+
+class StreamingRecorder(Observer):
+    """Observer that streams every event to disk as it happens.
+
+    Where :class:`TraceRecorder` buffers in memory and persists once at
+    the end, this one opens a :class:`~repro.obs.io.TraceWriter`
+    immediately and appends (and flushes) each event the moment it is
+    recorded — which is what lets another process tail a *running*
+    job's trace with ``load_trace(path, partial=True)``.  The service
+    layer attaches one per computed job.
+
+    Observation stays passive either way: a run observed by a
+    streaming recorder is bit-identical to an unobserved run.
+
+    :meth:`close` appends the trailing metrics record and closes the
+    file; it is idempotent and also invoked by ``with``-block exit.
+
+    Args:
+        path: destination JSONL file (parents created).
+        label: free-form tag stored in the trace header.
+        meta: extra header metadata (JSON-ready values only).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        label: str | None = None,
+        meta: dict | None = None,
+    ):
+        super().__init__()
+        self.label = label
+        merged_meta = {} if label is None else {"label": label}
+        merged_meta.update(meta or {})
+        self._writer = TraceWriter(path, meta=merged_meta)
+
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    @property
+    def events_written(self) -> int:
+        return self._writer.events_written
+
+    def record(self, event: TraceEvent) -> None:
+        self._writer.write_event(event)
+
+    def close(self) -> None:
+        """Append the metrics record and close the stream (idempotent)."""
+        if not self._writer.closed:
+            self._writer.write_metrics(self.metrics)
+            self._writer.close()
+
+    def __enter__(self) -> "StreamingRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" label={self.label!r}" if self.label else ""
+        return (
+            f"StreamingRecorder({self._writer.events_written} events "
+            f"-> {self._writer.path}{tag})"
+        )

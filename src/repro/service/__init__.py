@@ -1,0 +1,47 @@
+"""Solver-as-a-service job layer.
+
+The package turns the library's solve/sweep machinery into a long-lived
+multi-tenant service:
+
+* :mod:`repro.service.requests` — typed, content-addressed request
+  surface (:class:`SolveRequest`, :class:`SweepRequest`);
+* :mod:`repro.service.store` — persistent run store serving repeat
+  requests from disk (:class:`RunStore`, :class:`RunRecord`);
+* :mod:`repro.service.scheduler` — tenant-fair scheduling and
+  cross-job batch coalescing;
+* :mod:`repro.service.jobs` — the asyncio :class:`JobQueue` tying
+  store, scheduler and the shared sweep pool together;
+* :mod:`repro.service.http` — a thin stdlib HTTP front
+  (:class:`ServiceServer`) plus the ``approxit serve`` / ``approxit
+  submit`` CLI entry points one layer up.
+
+See ``docs/service.md`` for the end-to-end tour.
+"""
+
+from repro.service.http import ServiceServer
+from repro.service.jobs import Job, JobQueue, SweepJob
+from repro.service.requests import (
+    DEFAULT_TENANT,
+    REQUEST_SCHEMA,
+    SolveRequest,
+    SweepRequest,
+)
+from repro.service.scheduler import FairScheduler, coalesce, distinct_tenants
+from repro.service.store import RUN_STORE_SCHEMA, RunRecord, RunStore
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "FairScheduler",
+    "Job",
+    "JobQueue",
+    "REQUEST_SCHEMA",
+    "RUN_STORE_SCHEMA",
+    "RunRecord",
+    "RunStore",
+    "ServiceServer",
+    "SolveRequest",
+    "SweepJob",
+    "SweepRequest",
+    "coalesce",
+    "distinct_tenants",
+]

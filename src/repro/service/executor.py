@@ -1,0 +1,161 @@
+"""Worker-side execution of service job groups.
+
+The :class:`~repro.service.jobs.JobQueue` dispatcher turns a round of
+jobs into *group payloads* — plain picklable dicts — and fans them out
+over the shared :class:`~repro.experiments.parallel.SweepPool`.  Each
+group runs entirely inside one worker process through
+:func:`run_job_group`:
+
+* a single-lane group is one solo ``ApproxIt.run``;
+* a multi-lane group advances all lanes lock-step through one
+  ``ApproxIt.run_batch`` call (the scheduler only coalesces jobs whose
+  engine configuration is identical, so lanes are compatible by
+  construction); methods that refuse the batched path fall back to the
+  solo loop *inside the worker*, with the structured refusal notice
+  carried back per lane — the same discipline as
+  :func:`repro.experiments.runner._shard_worker`.
+
+Traced lanes stream through a
+:class:`~repro.obs.observer.StreamingRecorder`, so a client can tail a
+*running* job's trace from the serving process while the worker is
+still iterating.
+
+Errors never propagate as exceptions: a group (or a lane of its solo
+fallback) that raises comes back as an ``{"error": ...}`` value, so one
+poison job cannot take down the results of every other group in the
+same pool map.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.core.reporting import run_to_dict
+from repro.experiments.runner import build_framework
+from repro.obs import StreamingRecorder
+
+
+def _error_text(exc: BaseException) -> str:
+    """Compact one-line error description plus the final frame."""
+    frames = traceback.extract_tb(exc.__traceback__)
+    where = f" at {frames[-1].filename}:{frames[-1].lineno}" if frames else ""
+    return f"{type(exc).__name__}: {exc}{where}"
+
+
+def _solo_lane(framework, spec, group, trace):
+    """One lane executed solo; returns the lane's result dict."""
+    recorder = None
+    if trace is not None:
+        recorder = StreamingRecorder(
+            trace["abs"],
+            meta={**group.get("meta", {}), "strategy": spec},
+        )
+    start = time.perf_counter()
+    try:
+        run = framework.run(
+            strategy=spec,
+            max_iter=group.get("max_iter"),
+            observer=recorder,
+            program_capture=group.get("program_capture"),
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
+    elapsed = time.perf_counter() - start
+    if recorder is not None:
+        run.trace_path = trace["abs"]
+    return {
+        "run": run_to_dict(run),
+        "trace_path": None if trace is None else trace["rel"],
+        "trace_lane": None,
+        "executed_iterations": run.executed_iterations,
+        "elapsed_s": elapsed,
+        "fallback": None,
+    }
+
+
+def run_job_group(group: dict) -> list[dict] | dict:
+    """Process-pool entry point: execute one coalesced job group.
+
+    Args:
+        group: picklable payload with ``dataset``, per-lane ``specs``,
+            shared engine knobs (``max_iter``, ``program_capture``,
+            ``cache_dir``), optional ``shard_trace`` / ``lane_traces``
+            destinations (``{"abs", "rel"}`` path pairs) and header
+            ``meta``.
+
+    Returns:
+        One result dict per lane (in ``specs`` order), or a single
+        ``{"error": ...}`` dict when the whole group failed before any
+        lane could run.  Lane dicts carry the serialized run, trace
+        location, executed-iteration count, elapsed wall-clock and the
+        batch-fallback notice (``None`` unless the shard refused).
+    """
+    try:
+        framework, _ = build_framework(
+            group["dataset"], cache_dir=group.get("cache_dir")
+        )
+    except Exception as exc:  # noqa: BLE001 - errors travel as values
+        return {"error": _error_text(exc)}
+
+    specs = list(group["specs"])
+    lane_traces = group.get("lane_traces") or [None] * len(specs)
+    fallback = None
+
+    if len(specs) > 1:
+        support = framework.batching_support()
+        if support:
+            shard_trace = group.get("shard_trace")
+            recorder = None
+            if shard_trace is not None:
+                recorder = StreamingRecorder(
+                    shard_trace["abs"],
+                    meta={
+                        **group.get("meta", {}),
+                        "strategies": specs,
+                        "lanes": len(specs),
+                    },
+                )
+            start = time.perf_counter()
+            try:
+                runs = framework.run_batch(
+                    specs,
+                    max_iter=group.get("max_iter"),
+                    observer=recorder,
+                    program_capture=group.get("program_capture"),
+                )
+            except Exception as exc:  # noqa: BLE001
+                return {"error": _error_text(exc)}
+            finally:
+                if recorder is not None:
+                    recorder.close()
+            elapsed = time.perf_counter() - start
+            out = []
+            for lane, run in enumerate(runs):
+                if recorder is not None:
+                    run.trace_path = shard_trace["abs"]
+                out.append(
+                    {
+                        "run": run_to_dict(run),
+                        "trace_path": (
+                            None if shard_trace is None else shard_trace["rel"]
+                        ),
+                        "trace_lane": None if shard_trace is None else lane,
+                        "executed_iterations": run.executed_iterations,
+                        "elapsed_s": elapsed,
+                        "fallback": None,
+                    }
+                )
+            return out
+        fallback = f"[{support.reason.value}] {support.message}"
+
+    out = []
+    for spec, trace in zip(specs, lane_traces):
+        try:
+            lane = _solo_lane(framework, spec, group, trace)
+        except Exception as exc:  # noqa: BLE001
+            lane = {"error": _error_text(exc)}
+        lane["fallback"] = fallback if "error" not in lane else None
+        out.append(lane)
+    return out

@@ -1,0 +1,279 @@
+"""Thin stdlib HTTP front over the :class:`~repro.service.jobs.JobQueue`.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+framework, no dependency — exposing the queue as JSON endpoints:
+
+====================  =====================================================
+``GET /healthz``      liveness probe (also reports queue depth)
+``GET /metrics``      queue + store counters
+``POST /jobs``        submit a solve request (body: SolveRequest JSON)
+``GET /jobs``         list all jobs (summaries)
+``GET /jobs/{id}``    one job; ``?wait=<seconds>`` long-polls completion
+``GET /jobs/{id}/result``  the full stored record of a finished job
+``GET /jobs/{id}/trace``   tail of the job's streamed JSONL trace
+``POST /sweeps``      submit a sweep request (body: SweepRequest JSON)
+``GET /sweeps/{id}``  sweep status; includes rows + table when done
+====================  =====================================================
+
+Every response is JSON with ``Connection: close`` semantics — each
+request is one short-lived connection, which keeps the parser honest
+(request line, headers, ``Content-Length`` body) and the server free of
+keep-alive state.  Malformed client input maps to 400 with an
+``{"error": ...}`` body; nothing a client sends can take the serving
+loop down.
+
+The trace endpoint reads with ``load_trace(..., partial=True)``: a
+trace being streamed *right now* ends, at worst, in one incomplete
+line, and partial mode returns every complete record plus the
+``truncated`` flag — exactly the tail-following contract the streaming
+writer (:class:`~repro.obs.io.TraceWriter`) guarantees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.io import load_trace
+from repro.service.jobs import JobQueue
+from repro.service.requests import SolveRequest, SweepRequest
+
+#: Largest request body the server will read (1 MiB — requests are a
+#: few hundred bytes; anything bigger is a client bug or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Request-scoped failure rendered as a JSON error response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response_bytes(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload, indent=2).encode()
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode()
+    return head + body
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request: (method, path, query-dict, body-dict|None)."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise _HttpError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _HttpError(400, "invalid Content-Length header") from None
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(400, f"request body over {MAX_BODY_BYTES} bytes")
+    body = None
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}") from None
+    split = urlsplit(target)
+    query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+    return method.upper(), split.path.rstrip("/") or "/", query, body
+
+
+class ServiceServer:
+    """The solver service's network face.
+
+    Owns nothing but the listening socket: the queue (and through it
+    the pool and the store) is constructed by the caller, so tests can
+    drive the same queue through the HTTP face and the in-process API
+    interchangeably.
+    """
+
+    def __init__(self, queue: JobQueue, host: str = "127.0.0.1", port: int = 0):
+        self.queue = queue
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "ServiceServer":
+        """Bind and start serving; updates ``port`` when bound to 0."""
+        await self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling -------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                status, payload = await self._route(*request)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # noqa: BLE001 - server must not die
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            try:
+                data = _response_bytes(status, payload)
+            except (TypeError, ValueError) as exc:
+                data = _response_bytes(
+                    500, {"error": f"unserializable response: {exc}"}
+                )
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    # -- routing -------------------------------------------------------
+    async def _route(self, method: str, path: str, query: dict, body):
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "pending": len(self.queue._scheduler)}
+        if path == "/metrics" and method == "GET":
+            return 200, self.queue.stats()
+        if path == "/jobs":
+            if method == "POST":
+                return await self._submit_job(body)
+            if method == "GET":
+                return 200, {
+                    "jobs": [job.to_dict() for job in self.queue.jobs.values()]
+                }
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path == "/sweeps" and method == "POST":
+            return await self._submit_sweep(body)
+        parts = path.strip("/").split("/")
+        if parts[0] == "jobs" and len(parts) in (2, 3):
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            return await self._job_view(parts, query)
+        if parts[0] == "sweeps" and len(parts) == 2:
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            sweep = self.queue.get_sweep(parts[1])
+            if sweep is None:
+                raise _HttpError(404, f"no such sweep {parts[1]!r}")
+            return 200, sweep.to_dict()
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _submit_job(self, body):
+        try:
+            request = SolveRequest.from_dict(body)
+        except (ValueError, TypeError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        job = await self.queue.submit(request)
+        return (200 if job.done else 202), job.to_dict()
+
+    async def _submit_sweep(self, body):
+        try:
+            request = SweepRequest.from_dict(body)
+        except (ValueError, TypeError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        sweep = await self.queue.submit_sweep(request)
+        return (200 if sweep.state == "done" else 202), sweep.to_dict()
+
+    async def _job_view(self, parts: list[str], query: dict):
+        job = self.queue.get(parts[1])
+        if job is None:
+            raise _HttpError(404, f"no such job {parts[1]!r}")
+        if len(parts) == 2:
+            wait = query.get("wait")
+            if wait is not None and not job.done:
+                try:
+                    timeout = max(0.0, float(wait))
+                except ValueError:
+                    raise _HttpError(400, f"invalid wait value {wait!r}") from None
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(job.wait()), timeout=timeout
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            return 200, job.to_dict()
+        if parts[2] == "result":
+            if not job.done:
+                raise _HttpError(409, f"job {job.id} is {job.state}, not done")
+            if job.record is None:
+                raise _HttpError(409, f"job {job.id} failed: {job.error}")
+            return 200, job.to_dict(include_result=True)
+        if parts[2] == "trace":
+            return 200, self._trace_tail(job)
+        raise _HttpError(404, f"no route for jobs/{parts[1]}/{parts[2]}")
+
+    def _trace_tail(self, job) -> dict:
+        if job.record is None or job.record.trace_path is None:
+            # A running job streams to a deterministic location; serve
+            # whatever is there so clients can tail before completion.
+            path = self.queue.store.trace_path_for(f"traces/{job.key}.jsonl")
+        else:
+            path = self.queue.store.trace_path_for(job.record.trace_path)
+        if not path.exists():
+            raise _HttpError(404, f"no trace on disk for job {job.id}")
+        trace = load_trace(path, partial=True)
+        return {
+            "job": job.id,
+            "truncated": trace.truncated,
+            "meta": trace.meta,
+            "lane": None if job.record is None else job.record.trace_lane,
+            "events": [asdict(event) for event in trace.events],
+            "metrics": (
+                None if trace.metrics is None else trace.metrics.to_dict()
+            ),
+        }

@@ -1,0 +1,454 @@
+"""Asyncio job layer: long-lived queue over the sweep infrastructure.
+
+:class:`JobQueue` is the heart of ``repro.service``.  It accepts
+:class:`~repro.service.requests.SolveRequest` /
+:class:`~repro.service.requests.SweepRequest` submissions from any
+number of tenants and serves each one along the cheapest correct path:
+
+1. **Run-store hit** — the request's content key is already in the
+   :class:`~repro.service.store.RunStore`: the job completes
+   immediately with the stored record and *zero* solver iterations
+   executed.  Stored results are bit-identical to a fresh run (the
+   durability suite asserts it), so a hit is indistinguishable from a
+   recomputation — except in cost.
+2. **In-flight dedupe** — an identical request is already computing:
+   the new job attaches to it and both complete from the same result.
+3. **Compute** — the job enters the tenant-fair scheduler
+   (:class:`~repro.service.scheduler.FairScheduler`).  The dispatcher
+   drains fair rounds, coalesces same-engine jobs into
+   ``run_batch`` shards (:func:`~repro.service.scheduler.coalesce`) and
+   fans the groups out over one shared
+   :class:`~repro.experiments.parallel.SweepPool`.  Each computed job
+   streams its trace to disk as it runs
+   (:class:`~repro.obs.observer.StreamingRecorder`), so clients can
+   tail progress mid-solve; results are checkpointed into the run
+   store (and failures into its failure log) before the job resolves.
+
+The queue is single-loop asyncio: ``submit`` / ``wait`` are
+coroutines, the blocking pool map runs in a thread executor, and all
+queue state is touched only from the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from pathlib import Path
+
+from repro.core.sweep import SweepResult, cells_from_runs
+from repro.experiments.parallel import SweepPool
+from repro.obs.metrics import MetricsRegistry
+from repro.service.executor import run_job_group
+from repro.service.requests import SolveRequest, SweepRequest
+from repro.service.scheduler import FairScheduler, coalesce
+from repro.service.store import RunRecord, RunStore
+
+#: States a job moves through (terminal: ``done`` / ``failed``).
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+class Job:
+    """One submitted solve request and its lifecycle.
+
+    Attributes:
+        id: queue-unique identifier (``job-000001`` ...).
+        request: the submitted :class:`SolveRequest`.
+        key: the request's content address.
+        state: one of :data:`JOB_STATES`.
+        cached: the result came from the run store (or an in-flight
+            duplicate) — no solver iterations were executed for *this*
+            job.
+        deduped: this job attached to an identical in-flight job.
+        record: the :class:`RunRecord` backing the result (``None``
+            until done).
+        error: failure description when ``state == "failed"``.
+        batch_fallback: structured refusal notice when the job was
+            coalesced into a shard that fell back to solo execution.
+    """
+
+    def __init__(self, job_id: str, request: SolveRequest):
+        self.id = job_id
+        self.request = request
+        self.key = request.key()
+        self.state = "pending"
+        self.cached = False
+        self.deduped = False
+        self.record: RunRecord | None = None
+        self.error: str | None = None
+        self.batch_fallback: str | None = None
+        self.created = time.time()
+        self.finished: float | None = None
+        self._done = asyncio.Event()
+        self._followers: list["Job"] = []
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    @property
+    def executed_iterations(self) -> int:
+        """Solver iterations executed *for this job* (0 on any hit)."""
+        if self.cached or self.record is None:
+            return 0
+        return self.record.executed_iterations
+
+    async def wait(self) -> "Job":
+        """Block until the job reaches a terminal state."""
+        await self._done.wait()
+        return self
+
+    # -- lifecycle (queue-internal) ------------------------------------
+    def _attach(self, follower: "Job") -> None:
+        follower.deduped = True
+        self._followers.append(follower)
+
+    def _resolve(
+        self,
+        record: RunRecord | None,
+        error: str | None,
+        cached: bool,
+    ) -> None:
+        self.record = record
+        self.error = error
+        self.cached = cached or self.deduped
+        self.state = "failed" if error is not None else "done"
+        self.finished = time.time()
+        self._done.set()
+        for follower in self._followers:
+            follower.batch_fallback = self.batch_fallback
+            follower._resolve(record, error, cached=True)
+        self._followers.clear()
+
+    # -- wire format ---------------------------------------------------
+    def to_dict(self, include_result: bool = False) -> dict:
+        """Client-facing JSON view; summary numbers always, the full
+        serialized run only with ``include_result``."""
+        payload = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "executed_iterations": self.executed_iterations,
+            "error": self.error,
+            "batch_fallback": self.batch_fallback,
+            "created": self.created,
+            "finished": self.finished,
+            "request": self.request.to_dict(),
+            "trace_path": None if self.record is None else self.record.trace_path,
+            "trace_lane": None if self.record is None else self.record.trace_lane,
+        }
+        if self.record is not None:
+            run = self.record.run
+            payload["result"] = {
+                "iterations": run["iterations"],
+                "rollbacks": run["rollbacks"],
+                "converged": run["converged"],
+                "hit_max_iter": run["hit_max_iter"],
+                "objective": run["objective"],
+                "energy": run["energy"],
+                "strategy": run["strategy"],
+            }
+            if include_result:
+                payload["record"] = self.record.to_dict()
+        return payload
+
+
+class SweepJob:
+    """One submitted sweep: Truth plus every strategy, as child jobs.
+
+    Each lane is an ordinary content-addressed :class:`Job` (so lanes
+    hit the run store and coalesce into shards like any other request);
+    the sweep completes when every lane does and renders through the
+    same cell assembly as an in-process :func:`repro.core.sweep.sweep`.
+    """
+
+    def __init__(self, sweep_id: str, request: SweepRequest, jobs: dict[str, Job]):
+        self.id = sweep_id
+        self.request = request
+        self.jobs = jobs  # label ("truth" or strategy spec) -> Job
+        self.created = time.time()
+
+    @property
+    def state(self) -> str:
+        states = {job.state for job in self.jobs.values()}
+        if "failed" in states:
+            return "failed"
+        if states == {"done"}:
+            return "done"
+        if "running" in states:
+            return "running"
+        return "pending"
+
+    async def wait(self) -> "SweepJob":
+        await asyncio.gather(*(job.wait() for job in self.jobs.values()))
+        return self
+
+    def result(self) -> SweepResult:
+        """Assemble the finished lanes into a :class:`SweepResult`.
+
+        Raises:
+            RuntimeError: when any lane is unfinished or failed.
+        """
+        if self.state != "done":
+            raise RuntimeError(f"sweep {self.id} is {self.state}, not done")
+        truth = self.jobs["truth"].record.result()
+        pairs = [
+            (spec, self.jobs[spec].record.result())
+            for spec in self.request.strategies
+        ]
+        cells = cells_from_runs(self.request.dataset, truth, pairs)
+        return SweepResult(cells=cells)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "id": self.id,
+            "state": self.state,
+            "request": self.request.to_dict(),
+            "jobs": {
+                label: job.to_dict() for label, job in self.jobs.items()
+            },
+            "created": self.created,
+        }
+        if self.state == "done":
+            result = self.result()
+            payload["rows"] = result.rows()
+            payload["table"] = result.table()
+        return payload
+
+
+class JobQueue:
+    """The service's job queue, scheduler front and run-store gate.
+
+    Args:
+        store: the persistent :class:`RunStore`.
+        pool: a caller-held :class:`SweepPool` to execute on; the queue
+            creates (and owns) one when ``None``.
+        max_workers: pool size when the queue creates its own pool.
+        batch_size: lanes per coalesced ``run_batch`` shard; ``<= 1``
+            disables cross-job coalescing.
+        cache_dir: characterization-cache directory handed to every
+            worker (the two stores compose: a run-store miss that is a
+            characterization-cache hit still skips the offline stage).
+        round_size: jobs drained per fair scheduling round; defaults to
+            one shard per worker.
+        stream_traces: stream every computed job's trace into
+            ``store.traces_dir`` (on by default — it is what makes jobs
+            tailable; flip off for minimum-overhead bulk loads).
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        pool: SweepPool | None = None,
+        max_workers: int | None = None,
+        batch_size: int | None = None,
+        cache_dir: str | Path | None = None,
+        round_size: int | None = None,
+        stream_traces: bool = True,
+    ):
+        self.store = store
+        self._own_pool = pool is None
+        self.pool = pool if pool is not None else SweepPool(max_workers=max_workers)
+        self.batch_size = max(1, int(batch_size or 1))
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.round_size = (
+            int(round_size)
+            if round_size
+            else max(1, self.pool.max_workers) * self.batch_size
+        )
+        self.stream_traces = stream_traces
+        self.metrics = MetricsRegistry()
+        self.jobs: dict[str, Job] = {}
+        self.sweeps: dict[str, SweepJob] = {}
+        self._scheduler = FairScheduler()
+        self._inflight: dict[str, Job] = {}
+        self._wake = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._closing = False
+        self._counter = 0
+        self._sweep_counter = 0
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "JobQueue":
+        """Start the dispatcher task (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def close(self) -> None:
+        """Drain pending jobs, stop the dispatcher, release the pool."""
+        self._closing = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        if self._own_pool:
+            self.pool.close()
+
+    async def __aenter__(self) -> "JobQueue":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- submission ----------------------------------------------------
+    def _next_job_id(self) -> str:
+        self._counter += 1
+        return f"job-{self._counter:06d}"
+
+    async def submit(self, request: SolveRequest) -> Job:
+        """Accept one solve request; returns its (possibly already
+        completed) :class:`Job`.  ``await job.wait()`` for the result."""
+        if self._closing:
+            raise RuntimeError("job queue is closing; no new submissions")
+        job = Job(self._next_job_id(), request)
+        self.jobs[job.id] = job
+        self.metrics.inc("service.submitted")
+        self.metrics.inc(f"service.tenant.{request.tenant}.submitted")
+
+        record = self.store.load(job.key)
+        if record is not None:
+            job._resolve(record, None, cached=True)
+            self.metrics.inc("service.cache_hits")
+            return job
+
+        primary = self._inflight.get(job.key)
+        if primary is not None and not primary.done:
+            primary._attach(job)
+            self.metrics.inc("service.deduped")
+            return job
+
+        self._inflight[job.key] = job
+        self._scheduler.push(job)
+        self._wake.set()
+        return job
+
+    async def submit_sweep(self, request: SweepRequest) -> SweepJob:
+        """Accept one sweep request; lanes become ordinary jobs."""
+        jobs: dict[str, Job] = {}
+        for solve in request.solve_requests():
+            label = "truth" if solve.strategy == "truth" else solve.strategy
+            jobs[label] = await self.submit(solve)
+        self._sweep_counter += 1
+        sweep = SweepJob(f"sweep-{self._sweep_counter:04d}", request, jobs)
+        self.sweeps[sweep.id] = sweep
+        self.metrics.inc("service.sweeps")
+        return sweep
+
+    def get(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def get_sweep(self, sweep_id: str) -> SweepJob | None:
+        return self.sweeps.get(sweep_id)
+
+    def stats(self) -> dict:
+        """Queue + store counters for the metrics endpoint."""
+        return {
+            "jobs": len(self.jobs),
+            "pending": len(self._scheduler),
+            "store": self.store.stats(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    # -- trace destinations -------------------------------------------
+    def _lane_trace(self, job: Job) -> dict | None:
+        if not self.stream_traces:
+            return None
+        rel = f"traces/{job.key}.jsonl"
+        return {"rel": rel, "abs": str(self.store.trace_path_for(rel))}
+
+    def _shard_trace(self, group: list[Job]) -> dict | None:
+        if not self.stream_traces:
+            return None
+        digest = hashlib.sha256(
+            "\n".join(job.key for job in group).encode()
+        ).hexdigest()[:16]
+        rel = f"traces/shard-{digest}.jsonl"
+        return {"rel": rel, "abs": str(self.store.trace_path_for(rel))}
+
+    # -- dispatch ------------------------------------------------------
+    def _group_payload(self, group: list[Job]) -> dict:
+        request = group[0].request
+        return {
+            "dataset": request.dataset,
+            "specs": [job.request.strategy for job in group],
+            "max_iter": request.max_iter,
+            "program_capture": request.program_capture,
+            "cache_dir": self.cache_dir,
+            "shard_trace": self._shard_trace(group) if len(group) > 1 else None,
+            "lane_traces": [self._lane_trace(job) for job in group],
+            "meta": {"dataset": request.dataset, "service": "approxit"},
+        }
+
+    def _pool_map(self, payloads: list[dict]) -> list:
+        return self.pool.map(run_job_group, payloads)
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if len(self._scheduler) == 0:
+                if self._closing:
+                    return
+                self._wake.clear()
+                # Re-check after clearing: a submit may have landed
+                # between the len() check and the clear.
+                if len(self._scheduler) == 0 and not self._closing:
+                    await self._wake.wait()
+                continue
+            round_jobs = self._scheduler.take(self.round_size)
+            groups = coalesce(round_jobs, self.batch_size)
+            for job in round_jobs:
+                job.state = "running"
+            payloads = [self._group_payload(group) for group in groups]
+            try:
+                results = await loop.run_in_executor(
+                    None, self._pool_map, payloads
+                )
+            except Exception as exc:  # noqa: BLE001 - dispatch must not die
+                for group in groups:
+                    self._fail_group(group, f"dispatch failed: {exc}")
+                continue
+            for group, result in zip(groups, results):
+                self._fulfill_group(group, result)
+
+    # -- fulfilment ----------------------------------------------------
+    def _fail_group(self, group: list[Job], error: str) -> None:
+        for job in group:
+            self._fail_job(job, error)
+
+    def _fail_job(self, job: Job, error: str) -> None:
+        self.store.record_failure(job.key, job.request.payload(), error)
+        self.metrics.inc("service.failed")
+        self._inflight.pop(job.key, None)
+        job._resolve(None, error, cached=False)
+
+    def _fulfill_group(self, group: list[Job], result) -> None:
+        if isinstance(result, dict):  # whole group failed before running
+            self._fail_group(group, result.get("error", "unknown group failure"))
+            return
+        for job, lane in zip(group, result):
+            if "error" in lane:
+                self._fail_job(job, lane["error"])
+                continue
+            job.batch_fallback = lane.get("fallback")
+            if job.batch_fallback:
+                self.metrics.inc("service.batch_fallbacks")
+            record = RunRecord(
+                key=job.key,
+                request=job.request.payload(),
+                run=lane["run"],
+                trace_path=lane.get("trace_path"),
+                trace_lane=lane.get("trace_lane"),
+                executed_iterations=int(lane.get("executed_iterations", 0)),
+                elapsed_s=float(lane.get("elapsed_s", 0.0)),
+                batch_fallback=job.batch_fallback,
+            )
+            self.store.store(record)
+            self.metrics.inc("service.computed")
+            self.metrics.inc(
+                "service.solver_iterations", record.executed_iterations
+            )
+            self._inflight.pop(job.key, None)
+            job._resolve(record, None, cached=False)

@@ -1,0 +1,231 @@
+"""Typed request surface of the solver service.
+
+A service request is *data*: a registry dataset key, a strategy spec
+and a handful of engine knobs.  Everything the solve reads — including
+the default platform configuration (mode bank, energy model, probe
+count) that the request does not spell out — is folded into a canonical
+payload, and the sha256 of that payload is the request's **content
+address**.  Two requests with equal keys are the same computation, so
+the :class:`~repro.service.store.RunStore` can serve the second one
+from disk without running a single solver iteration; the tenant
+deliberately stays *out* of the key (cache entries are shared across
+tenants — the work is identical no matter who asked).
+
+This mirrors :func:`repro.core.characterize.characterization_cache_key`
+one layer up: that key addresses the offline stage, this one addresses
+the whole run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.arith.modes import default_mode_bank
+from repro.core.framework import DEFAULT_PROBES
+from repro.data.registry import DATASETS
+
+#: Bump whenever the solve algorithm or the payload shape changes;
+#: older run-store entries then miss instead of serving stale results.
+REQUEST_SCHEMA = 1
+
+#: Default tenant for requests that do not name one.
+DEFAULT_TENANT = "default"
+
+
+@lru_cache(maxsize=None)
+def _platform_config() -> str:
+    """Canonical JSON of the default platform every solve runs on.
+
+    The bank's constructor config *and* derived energy vector ride in
+    the content address (exactly as the characterization cache key
+    does), so a change to the energy model re-keys every request
+    instead of serving results computed under the old model.
+    """
+    bank = default_mode_bank()
+    return json.dumps(
+        {"bank": bank.to_config(), "energies": bank.energy_vector()},
+        sort_keys=True,
+    )
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve job: run ``strategy`` on a registry dataset.
+
+    Attributes:
+        dataset: dataset registry key (must exist in ``DATASETS``).
+        strategy: strategy spec string (see
+            :meth:`repro.core.framework.ApproxIt.resolve_strategy`) —
+            ``"truth"``, ``"incremental"``, ``"adaptive"``,
+            ``"adaptive:f=<n>"`` or ``"static:<mode>"``.
+        tenant: who asked; used only for fair scheduling, never keying.
+        max_iter: optional iteration-budget override.
+        program_capture: optional capture/replay override (``None`` =
+            framework default; results are bit-identical either way,
+            but the knob rides in the key so an operator pinning it
+            gets a dedicated entry).
+    """
+
+    dataset: str
+    strategy: str = "incremental"
+    tenant: str = DEFAULT_TENANT
+    max_iter: int | None = None
+    program_capture: bool | None = None
+
+    def __post_init__(self):
+        if self.dataset not in DATASETS:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; known: {sorted(DATASETS)}"
+            )
+        if not self.strategy:
+            raise ValueError("strategy spec must be non-empty")
+        if self.max_iter is not None and int(self.max_iter) < 1:
+            raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def payload(self) -> dict:
+        """Canonical plain-data view of everything the solve reads."""
+        spec = DATASETS[self.dataset]
+        return {
+            "schema": REQUEST_SCHEMA,
+            "dataset": self.dataset,
+            "application": spec.application,
+            "strategy": self.strategy,
+            "max_iter": None if self.max_iter is None else int(self.max_iter),
+            "program_capture": self.program_capture,
+            "probes": DEFAULT_PROBES,
+            "platform": json.loads(_platform_config()),
+        }
+
+    def key(self) -> str:
+        """sha256 content address of :meth:`payload`."""
+        blob = json.dumps(self.payload(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def engine_key(self) -> str:
+        """Content address of the payload *minus the strategy*.
+
+        Jobs sharing an engine key differ only in strategy, which is
+        exactly the compatibility requirement of
+        :meth:`~repro.core.framework.ApproxIt.run_batch` lanes — the
+        scheduler coalesces same-engine-key jobs into one shard.
+        """
+        payload = self.payload()
+        payload.pop("strategy")
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Client-facing plain-data view (includes the tenant)."""
+        return {
+            "dataset": self.dataset,
+            "strategy": self.strategy,
+            "tenant": self.tenant,
+            "max_iter": self.max_iter,
+            "program_capture": self.program_capture,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolveRequest":
+        """Build from a client JSON body.
+
+        Raises:
+            ValueError: on unknown fields or invalid values, so a typo
+                in a client payload fails loudly instead of silently
+                keying a different computation.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"request body must be an object, got {payload!r}")
+        known = {"dataset", "strategy", "tenant", "max_iter", "program_capture"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown request fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "dataset" not in payload:
+            raise ValueError("request is missing required field 'dataset'")
+        max_iter = payload.get("max_iter")
+        capture = payload.get("program_capture")
+        return cls(
+            dataset=str(payload["dataset"]),
+            strategy=str(payload.get("strategy", "incremental")),
+            tenant=str(payload.get("tenant", DEFAULT_TENANT)),
+            max_iter=None if max_iter is None else int(max_iter),
+            program_capture=None if capture is None else bool(capture),
+        )
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One sweep job: Truth plus every strategy on one dataset.
+
+    Decomposes into one :class:`SolveRequest` per lane (Truth included,
+    as the energy normalizer), each individually content-addressed —
+    lanes already served by the run store are not recomputed, and the
+    fresh ones coalesce into ``run_batch`` shards.
+    """
+
+    dataset: str
+    strategies: tuple[str, ...] = ("incremental", "adaptive")
+    tenant: str = DEFAULT_TENANT
+    max_iter: int | None = None
+
+    def __post_init__(self):
+        if not self.strategies:
+            raise ValueError("sweep needs at least one strategy")
+        if "truth" in self.strategies:
+            raise ValueError(
+                "'truth' is implicit in every sweep; list only the "
+                "strategies to compare against it"
+            )
+
+    def solve_requests(self) -> list[SolveRequest]:
+        """The sweep's lanes: Truth first, then every strategy."""
+        return [
+            SolveRequest(
+                dataset=self.dataset,
+                strategy=spec,
+                tenant=self.tenant,
+                max_iter=self.max_iter,
+            )
+            for spec in ("truth", *self.strategies)
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "strategies": list(self.strategies),
+            "tenant": self.tenant,
+            "max_iter": self.max_iter,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepRequest":
+        if not isinstance(payload, dict):
+            raise ValueError(f"request body must be an object, got {payload!r}")
+        known = {"dataset", "strategies", "tenant", "max_iter"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown request fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "dataset" not in payload:
+            raise ValueError("request is missing required field 'dataset'")
+        strategies = payload.get("strategies", ("incremental", "adaptive"))
+        if isinstance(strategies, str):
+            raise ValueError("'strategies' must be a list of spec strings")
+        max_iter = payload.get("max_iter")
+        return cls(
+            dataset=str(payload["dataset"]),
+            strategies=tuple(str(s) for s in strategies),
+            tenant=str(payload.get("tenant", DEFAULT_TENANT)),
+            max_iter=None if max_iter is None else int(max_iter),
+        )

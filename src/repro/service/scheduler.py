@@ -1,0 +1,107 @@
+"""Tenant-fair scheduling and cross-job batch coalescing.
+
+Two pure scheduling pieces, kept free of asyncio so they are trivially
+testable:
+
+* :class:`FairScheduler` — per-tenant FIFO queues drained round-robin.
+  A tenant that floods the queue with a thousand jobs cannot starve a
+  tenant that submitted one: each take-round visits every tenant with
+  pending work once before revisiting any, and the starting tenant
+  rotates between rounds so the first position is not sticky either.
+* :func:`coalesce` — groups a round's jobs into ``run_batch`` shards.
+  Jobs sharing an *engine key* (identical request payload minus the
+  strategy — same dataset, budget, capture setting, platform) are
+  compatible lanes by construction, so up to ``batch_size`` of them
+  advance lock-step through one vectorized ``run_batch`` call, even
+  when they came from different tenants or different sweep requests.
+  Everything else runs as a single-lane group.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Iterable, Sequence
+
+
+class FairScheduler:
+    """Round-robin fair queue over per-tenant FIFOs.
+
+    Items must expose ``item.request.tenant`` (the service's
+    :class:`~repro.service.jobs.Job` does); everything else about them
+    is opaque.
+    """
+
+    def __init__(self):
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._next_tenant = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def push(self, item) -> None:
+        """Enqueue one item under its tenant."""
+        tenant = item.request.tenant
+        self._queues.setdefault(tenant, deque()).append(item)
+
+    def take(self, limit: int) -> list:
+        """Dequeue up to ``limit`` items, fairly across tenants.
+
+        Tenants with pending work are visited round-robin — one item
+        per tenant per pass — starting from a pointer that advances
+        between calls, so no tenant permanently owns the front of the
+        round.  Empty tenant queues are dropped.
+        """
+        if limit <= 0:
+            return []
+        taken: list = []
+        while len(taken) < limit and self._queues:
+            tenants = list(self._queues)
+            start = self._next_tenant % len(tenants)
+            ordered = tenants[start:] + tenants[:start]
+            progressed = False
+            for tenant in ordered:
+                queue = self._queues.get(tenant)
+                if not queue:
+                    self._queues.pop(tenant, None)
+                    continue
+                taken.append(queue.popleft())
+                progressed = True
+                if not queue:
+                    self._queues.pop(tenant, None)
+                if len(taken) >= limit:
+                    break
+            self._next_tenant += 1
+            if not progressed:
+                break
+        return taken
+
+
+def coalesce(jobs: Sequence, batch_size: int) -> list[list]:
+    """Group a round's jobs into batched shards of compatible lanes.
+
+    Jobs with equal ``job.request.engine_key()`` form shards of at most
+    ``batch_size`` lanes, preserving the fair round order within each
+    shard; ``batch_size <= 1`` (batching off) yields one single-lane
+    group per job.  The executor still re-checks the method's
+    structured batch support inside the worker and falls back to solo
+    lanes when the method refuses — coalescing is a scheduling hint,
+    never a correctness assumption.
+    """
+    if batch_size <= 1:
+        return [[job] for job in jobs]
+    by_engine: "OrderedDict[str, list]" = OrderedDict()
+    for job in jobs:
+        by_engine.setdefault(job.request.engine_key(), []).append(job)
+    groups: list[list] = []
+    for lanes in by_engine.values():
+        for start in range(0, len(lanes), batch_size):
+            groups.append(lanes[start : start + batch_size])
+    return groups
+
+
+def distinct_tenants(jobs: Iterable) -> list[str]:
+    """Tenants represented in a job collection, first-seen order."""
+    seen: "OrderedDict[str, None]" = OrderedDict()
+    for job in jobs:
+        seen.setdefault(job.request.tenant)
+    return list(seen)

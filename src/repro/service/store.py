@@ -1,0 +1,235 @@
+"""Content-addressed persistent store of completed runs.
+
+One JSON file per request key under ``root/runs/``; streamed traces
+live next to it under ``root/traces/`` and failure checkpoints under
+``root/failures/``.  The key (see
+:meth:`repro.service.requests.SolveRequest.key`) covers every input of
+the solve, so a hit is exactly a recomputation avoided — nothing to
+invalidate by hand, the same design as
+:class:`repro.core.characterize.CharacterizationCache` one layer down.
+
+Durability contract:
+
+* records are written atomically (temp file + fsync + ``os.replace``
+  via :func:`repro.ioutil.atomic_write_text`), so concurrent service
+  workers — or a crash mid-store — never leave a half-written entry;
+* every failure mode of :meth:`RunStore.load` (missing, corrupt,
+  truncated, schema drift) degrades to a miss and the caller
+  recomputes;
+* a cached :class:`RunRecord` round-trips the run through plain JSON
+  bit-exactly — Python floats serialize shortest-round-trip — so a
+  stored result equals the fresh computation bit for bit (asserted by
+  the durability suite).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.framework import RunResult
+from repro.core.reporting import run_from_dict, run_to_dict
+from repro.ioutil import atomic_write_text
+
+#: Bump whenever the record payload changes shape; older entries then
+#: miss instead of deserializing into a stale record.
+RUN_STORE_SCHEMA = 1
+
+
+@dataclass
+class RunRecord:
+    """One stored run: the request, its result and its trace location.
+
+    Attributes:
+        key: content address of the request (file name under ``runs/``).
+        request: the canonical request payload that produced the run.
+        run: the serialized :class:`~repro.core.framework.RunResult`
+            (see :func:`repro.core.reporting.run_to_dict`).
+        trace_path: path of the streamed JSONL trace, relative to the
+            store root (``None`` for untraced runs).
+        trace_lane: lane index inside a shared shard trace; ``None``
+            when the trace file belongs to this run alone.
+        executed_iterations: solver iterations actually executed to
+            produce this record (rollbacks included).  A cache hit
+            serves the record with **zero** further iterations.
+        elapsed_s: wall-clock seconds of the producing computation.
+        batch_fallback: structured refusal notice when this run was
+            scheduled into a shard that fell back to solo execution.
+        created: unix timestamp of the store.
+    """
+
+    key: str
+    request: dict
+    run: dict
+    trace_path: str | None = None
+    trace_lane: int | None = None
+    executed_iterations: int = 0
+    elapsed_s: float = 0.0
+    batch_fallback: str | None = None
+    created: float = field(default_factory=time.time)
+
+    def result(self) -> RunResult:
+        """The stored run, rebuilt bit-exactly."""
+        return run_from_dict(self.run)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RUN_STORE_SCHEMA,
+            "key": self.key,
+            "request": dict(self.request),
+            "run": dict(self.run),
+            "trace_path": self.trace_path,
+            "trace_lane": self.trace_lane,
+            "executed_iterations": int(self.executed_iterations),
+            "elapsed_s": float(self.elapsed_s),
+            "batch_fallback": self.batch_fallback,
+            "created": float(self.created),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: on schema drift or missing fields (the store
+                turns these into misses).
+        """
+        if payload.get("schema") != RUN_STORE_SCHEMA:
+            raise ValueError(
+                f"unsupported run-store schema {payload.get('schema')!r}"
+            )
+        try:
+            record = cls(
+                key=str(payload["key"]),
+                request=dict(payload["request"]),
+                run=dict(payload["run"]),
+                trace_path=payload.get("trace_path"),
+                trace_lane=payload.get("trace_lane"),
+                executed_iterations=int(payload.get("executed_iterations", 0)),
+                elapsed_s=float(payload.get("elapsed_s", 0.0)),
+                batch_fallback=payload.get("batch_fallback"),
+                created=float(payload.get("created", 0.0)),
+            )
+        except KeyError as missing:
+            raise ValueError(
+                f"run record is missing field {missing}"
+            ) from None
+        # Fail early on an undeserializable run so load() misses now
+        # instead of a client exploding later.
+        record.result()
+        return record
+
+    @classmethod
+    def for_run(
+        cls,
+        key: str,
+        request: dict,
+        run: RunResult,
+        **kwargs,
+    ) -> "RunRecord":
+        """Build a record from a live :class:`RunResult`."""
+        return cls(key=key, request=request, run=run_to_dict(run), **kwargs)
+
+
+class RunStore:
+    """Content-addressed on-disk store of :class:`RunRecord` entries.
+
+    Attributes:
+        root: store directory (created lazily on first write).
+        hits / misses / stores / failures: instance-lifetime counters.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.failures = 0
+
+    # -- layout --------------------------------------------------------
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    @property
+    def traces_dir(self) -> Path:
+        return self.root / "traces"
+
+    @property
+    def failures_dir(self) -> Path:
+        return self.root / "failures"
+
+    def path_for(self, key: str) -> Path:
+        return self.runs_dir / f"{key}.json"
+
+    def trace_path_for(self, name: str) -> Path:
+        """Absolute path of a trace file by store-relative name."""
+        return self.root / name
+
+    # -- access --------------------------------------------------------
+    def load(self, key: str) -> RunRecord | None:
+        """The stored record, or ``None`` on any kind of miss."""
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+            record = RunRecord.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, record: RunRecord) -> bool:
+        """Persist a record (best effort, atomic); ``True`` on success.
+
+        Write errors are swallowed — a store that cannot persist must
+        not fail the job whose result it is checkpointing — but the
+        caller can see the outcome and the counters record it.
+        """
+        try:
+            atomic_write_text(
+                self.path_for(record.key), json.dumps(record.to_dict())
+            )
+        except OSError:
+            return False
+        self.stores += 1
+        return True
+
+    def record_failure(self, key: str, request: dict, error: str) -> None:
+        """Checkpoint a failed computation for postmortem (best effort).
+
+        Failures are *not* served as cache hits — a resubmitted request
+        recomputes — but the checkpoint survives the process, so a
+        poison request can be diagnosed after the fact.
+        """
+        payload = {
+            "schema": RUN_STORE_SCHEMA,
+            "key": key,
+            "request": dict(request),
+            "error": str(error),
+            "created": time.time(),
+        }
+        try:
+            atomic_write_text(
+                self.failures_dir / f"{key}.json", json.dumps(payload)
+            )
+        except OSError:
+            return
+        self.failures += 1
+
+    def keys(self) -> list[str]:
+        """Keys of every stored run (empty when the store is empty)."""
+        try:
+            return sorted(p.stem for p in self.runs_dir.glob("*.json"))
+        except OSError:
+            return []
+
+    def stats(self) -> dict[str, int]:
+        """Counters for metrics export."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "failures": self.failures,
+        }

@@ -62,3 +62,58 @@ class TestMain:
         trace = load_trace(trace_dir / "3cluster_incremental.jsonl")
         assert trace.meta["dataset"] == "3cluster"
         assert summarize_trace(trace).iterations > 0
+
+
+class TestServiceCli:
+    def test_serve_and_submit_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["serve", "--port", "0", "--store-dir", "/tmp/s", "--batch-size", "4"]
+        )
+        assert args.artifact == "serve"
+        assert args.port == 0
+        assert args.store_dir == "/tmp/s"
+        args = _build_parser().parse_args(
+            [
+                "submit",
+                "--url",
+                "http://127.0.0.1:9",
+                "--dataset",
+                "hangseng",
+                "--sweep",
+                "incremental,adaptive",
+                "--tenant",
+                "t1",
+                "--json",
+            ]
+        )
+        assert args.artifact == "submit"
+        assert args.sweep == "incremental,adaptive"
+        assert args.tenant == "t1"
+        assert args.json is True
+
+    def test_store_dir_resolution(self, monkeypatch):
+        from repro.experiments.cli import resolve_store_dir
+
+        monkeypatch.delenv("REPRO_RUN_STORE", raising=False)
+        assert resolve_store_dir("/explicit") == "/explicit"
+        assert resolve_store_dir(None).endswith("approxit/service")
+        monkeypatch.setenv("REPRO_RUN_STORE", "/from-env")
+        assert resolve_store_dir(None) == "/from-env"
+        assert resolve_store_dir("/explicit") == "/explicit"
+
+    def test_submit_against_dead_server_fails_cleanly(self, capsys):
+        # Nothing listens on this port: the client must exit non-zero
+        # with an error on stderr, not a traceback.
+        code = main(
+            [
+                "submit",
+                "--url",
+                "http://127.0.0.1:9",
+                "--dataset",
+                "3cluster",
+                "--timeout",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "cannot reach server" in capsys.readouterr().err

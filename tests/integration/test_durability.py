@@ -1,0 +1,269 @@
+"""Cross-process durability: concurrent writers, kill-mid-write, equality.
+
+These tests exercise the on-disk stores the way a multi-process service
+deployment does: several workers hammering the same key at once, and a
+worker dying (SIGKILL — no cleanup handlers) in the middle of a write.
+The contract under test: a reader never sees a half-written artifact —
+either the previous complete snapshot, the new one, or (for streamed
+traces) every complete record up to the cut.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+ENV = {**os.environ, "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src")}
+
+
+def _run(script: str, *argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-c", script, *argv],
+        env=ENV,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+_RACE_RUNSTORE = """
+import sys
+from repro.experiments.runner import build_framework
+from repro.service.requests import SolveRequest
+from repro.service.store import RunRecord, RunStore
+
+store_dir, cache_dir, worker = sys.argv[1:4]
+request = SolveRequest(dataset="3cluster", strategy="incremental")
+framework, _ = build_framework("3cluster", cache_dir=cache_dir)
+run = framework.run(strategy="incremental")
+store = RunStore(store_dir)
+record = RunRecord.for_run(
+    request.key(), request.payload(), run,
+    executed_iterations=run.executed_iterations,
+)
+# Hammer the same key repeatedly to maximize replace overlap.
+for _ in range(25):
+    assert store.store(record)
+print("stored", worker)
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_workers_racing_one_run_store_key(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        cache_dir = str(tmp_path / "cache")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _RACE_RUNSTORE, store_dir, cache_dir, str(i)],
+                env=ENV,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for i in range(2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=180)
+            assert proc.returncode == 0, err
+            assert "stored" in out
+
+        # Whichever writer won, the surviving entry is complete and
+        # valid — and identical to what either would have written.
+        from repro.service.requests import SolveRequest
+        from repro.service.store import RunStore
+
+        store = RunStore(store_dir)
+        record = store.load(SolveRequest(dataset="3cluster").key())
+        assert record is not None
+        assert record.result().converged
+        # No temp litter left behind by either racer.
+        assert [p for p in store.runs_dir.iterdir() if p.suffix != ".json"] == []
+
+    def test_two_workers_racing_one_characterization_key(self, tmp_path):
+        script = """
+import sys
+import numpy as np
+from repro.arith.modes import default_mode_bank
+from repro.core.characterize import CharacterizationCache, characterize
+from repro.arith.fixed import FixedPointFormat
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+cache_dir = sys.argv[1]
+fn = QuadraticFunction.random_spd(dim=4, seed=31, condition=25.0)
+method = GradientDescent(fn, x0=np.full(4, 2.0), learning_rate=0.05)
+bank = default_mode_bank()
+fmt = FixedPointFormat(width=32, frac_bits=16)
+table = characterize(method, bank, fmt, probe_iterations=2)
+cache = CharacterizationCache(cache_dir)
+for _ in range(25):
+    cache.store(method, bank, fmt, 2, table)
+assert cache.load(method, bank, fmt, 2) is not None
+print("ok")
+"""
+        cache_dir = str(tmp_path / "char-cache")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, cache_dir],
+                env=ENV,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=180)
+            assert proc.returncode == 0, err
+
+        # Every cache file on disk parses cleanly.
+        entries = list(Path(cache_dir).glob("*.json"))
+        assert entries
+        for entry in entries:
+            json.loads(entry.read_text())
+
+
+class TestKillMidWrite:
+    def test_sigkill_mid_stream_recovers_all_complete_records(self, tmp_path):
+        # A worker streaming a trace is SIGKILLed mid-run.  The file on
+        # disk must never be unparseable: partial load recovers every
+        # complete record, and the header is always intact because the
+        # writer emits it first.
+        script = """
+import sys
+from repro.obs.events import TraceEvent
+from repro.obs.io import TraceWriter
+
+writer = TraceWriter(sys.argv[1], meta={"label": "victim"})
+print("ready", flush=True)
+i = 0
+while True:
+    writer.write_event(
+        TraceEvent(kind="iteration", iteration=i, detail={"objective": 0.5})
+    )
+    i += 1
+"""
+        path = tmp_path / "victim.jsonl"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            env=ENV,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            # Let it stream for a moment, then kill without warning.
+            deadline = time.monotonic() + 10
+            while path.stat().st_size < 4096:
+                assert time.monotonic() < deadline, "writer produced no output"
+                time.sleep(0.01)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        from repro.obs.io import load_trace
+
+        trace = load_trace(path, partial=True)
+        assert trace.meta == {"label": "victim"}
+        assert len(trace.events) > 0
+        # Events form the uninterrupted prefix of the stream.
+        assert [e.iteration for e in trace.events] == list(
+            range(len(trace.events))
+        )
+
+    def test_sigkill_mid_snapshot_keeps_previous_generation(self, tmp_path):
+        # A worker atomically re-snapshotting a trace in a tight loop is
+        # SIGKILLed.  Strict load must still parse: the destination only
+        # ever holds a complete generation.
+        script = """
+import sys
+from repro.obs.events import TraceEvent
+from repro.obs.io import save_trace
+
+path = sys.argv[1]
+print("ready", flush=True)
+generation = 0
+while True:
+    events = [
+        TraceEvent(kind="iteration", iteration=i) for i in range(50)
+    ]
+    save_trace(path, events, meta={"generation": generation})
+    generation += 1
+"""
+        path = tmp_path / "snapshot.jsonl"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            env=ENV,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            deadline = time.monotonic() + 10
+            while not path.exists():
+                assert time.monotonic() < deadline, "no snapshot appeared"
+                time.sleep(0.01)
+            time.sleep(0.2)  # let a few generations land
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        from repro.obs.io import load_trace
+
+        trace = load_trace(path)  # strict: must be a complete snapshot
+        assert len(trace.events) == 50
+        assert isinstance(trace.meta["generation"], int)
+
+
+class TestServedEqualsFresh:
+    @pytest.mark.slow
+    def test_store_round_trip_equals_fresh_solo_run(self, tmp_path):
+        # The acceptance contract end to end: compute through the
+        # service executor, persist, reload in a *different* process,
+        # and compare against a fresh solo-oracle run — bit-identical
+        # solver state, float-equal energy ledger.
+        script = """
+import json, sys
+from repro.experiments.runner import build_framework
+from repro.core.reporting import run_to_dict
+from repro.service.requests import SolveRequest
+from repro.service.store import RunStore
+
+store_dir, cache_dir = sys.argv[1:3]
+request = SolveRequest(dataset="3cluster", strategy="incremental")
+record = RunStore(store_dir).load(request.key())
+assert record is not None, "expected a stored run"
+framework, _ = build_framework("3cluster", cache_dir=cache_dir)
+fresh = run_to_dict(framework.run(strategy="incremental"))
+stored = dict(record.run)
+stored.pop("trace_path"); fresh.pop("trace_path")
+print(json.dumps({"equal": stored == fresh}))
+"""
+        import asyncio
+
+        from repro.service.jobs import JobQueue
+        from repro.service.requests import SolveRequest
+        from repro.service.store import RunStore
+
+        store_dir = tmp_path / "store"
+        cache_dir = str(tmp_path / "cache")
+
+        async def fill():
+            async with JobQueue(
+                RunStore(store_dir), max_workers=1, cache_dir=cache_dir
+            ) as queue:
+                job = await queue.submit(
+                    SolveRequest(dataset="3cluster", strategy="incremental")
+                )
+                await job.wait()
+                assert job.state == "done", job.error
+
+        asyncio.run(fill())
+        result = _run(script, str(store_dir), cache_dir)
+        assert result.returncode == 0, result.stderr
+        assert json.loads(result.stdout)["equal"] is True

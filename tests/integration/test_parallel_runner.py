@@ -525,3 +525,64 @@ class TestCellRunner:
             pooled = run_experiment_cells("minip", pool=pool)
         assert pool.mapped == 1
         _assert_same_result(pooled, plain)
+
+
+class TestShardFallbackAggregation:
+    """Regression: `_collect_shard_rows` must keep *every* distinct
+    refusal notice per dataset.  The pre-fix code used
+    ``fallbacks.setdefault(key, fallback)``, which silently dropped all
+    but the first shard's reason — a dataset whose shards refused for
+    different causes reported only one of them."""
+
+    @staticmethod
+    def _shard(dataset, labels, fallback):
+        return ([(dataset, label, object()) for label in labels], fallback)
+
+    def test_all_distinct_notices_survive(self):
+        from repro.experiments.runner import _collect_shard_rows
+
+        results = [
+            self._shard("alpha", ["t", "inc"], "[no-adapter] first reason"),
+            self._shard("alpha", ["ada"], "[lut-refresh] second reason"),
+            self._shard("beta", ["t"], None),
+        ]
+        rows, fallbacks = _collect_shard_rows(results)
+        assert len(rows) == 4
+        assert fallbacks == {
+            "alpha": [
+                "[no-adapter] first reason",
+                "[lut-refresh] second reason",
+            ]
+        }
+
+    def test_identical_notices_dedupe(self):
+        from repro.experiments.runner import _collect_shard_rows
+
+        results = [
+            self._shard("alpha", ["t"], "[no-adapter] same"),
+            self._shard("alpha", ["inc"], "[no-adapter] same"),
+        ]
+        _, fallbacks = _collect_shard_rows(results)
+        assert fallbacks == {"alpha": ["[no-adapter] same"]}
+
+    def test_no_fallbacks_yields_empty_mapping(self):
+        from repro.experiments.runner import _collect_shard_rows
+
+        results = [self._shard("alpha", ["t", "inc"], None)]
+        rows, fallbacks = _collect_shard_rows(results)
+        assert len(rows) == 2
+        assert fallbacks == {}
+
+    def test_rows_preserve_shard_order(self):
+        from repro.experiments.runner import _collect_shard_rows
+
+        results = [
+            self._shard("alpha", ["t", "inc"], None),
+            self._shard("beta", ["t"], "[no-adapter] reason"),
+        ]
+        rows, _ = _collect_shard_rows(results)
+        assert [(dataset, label) for dataset, label, _ in rows] == [
+            ("alpha", "t"),
+            ("alpha", "inc"),
+            ("beta", "t"),
+        ]

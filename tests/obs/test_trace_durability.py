@@ -1,0 +1,194 @@
+"""Durability of trace IO: atomic snapshots, partial recovery, streaming."""
+
+import json
+
+import pytest
+
+from repro.obs.events import TraceEvent
+from repro.obs.io import TRACE_SCHEMA_VERSION, TraceWriter, load_trace, save_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import StreamingRecorder
+
+
+def _event(iteration=0, kind="iteration"):
+    return TraceEvent(
+        kind=kind, iteration=iteration, mode="acc", detail={"objective": 1.0}
+    )
+
+
+def _events(n):
+    return [_event(i) for i in range(n)]
+
+
+class TestAtomicSaveTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        metrics = MetricsRegistry()
+        metrics.inc("adds", 3)
+        save_trace(path, _events(4), metrics=metrics, meta={"label": "t"})
+        trace = load_trace(path)
+        assert trace.schema == TRACE_SCHEMA_VERSION
+        assert trace.meta == {"label": "t"}
+        assert len(trace.events) == 4
+        assert trace.metrics.counters["adds"] == 3
+        assert trace.truncated is False
+
+    def test_failed_save_keeps_previous_snapshot(self, tmp_path, monkeypatch):
+        # A crash mid-save must leave the previous complete snapshot in
+        # place: the write goes through a temp file + os.replace, so a
+        # failure before the replace leaves the destination untouched.
+        import repro.ioutil as ioutil
+
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, _events(2), meta={"generation": 1})
+
+        real_replace = ioutil.os.replace
+
+        def crash(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(ioutil.os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_trace(path, _events(9), meta={"generation": 2})
+        monkeypatch.setattr(ioutil.os, "replace", real_replace)
+
+        trace = load_trace(path)  # strict load still succeeds
+        assert trace.meta == {"generation": 1}
+        assert len(trace.events) == 2
+
+    def test_no_temp_litter_after_failed_save(self, tmp_path, monkeypatch):
+        import repro.ioutil as ioutil
+
+        path = tmp_path / "trace.jsonl"
+
+        def crash(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(ioutil.os, "replace", crash)
+        with pytest.raises(OSError):
+            save_trace(path, _events(1))
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestPartialLoad:
+    def test_mid_line_truncation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, _events(5))
+        text = path.read_text()
+        cut = path.with_name("cut.jsonl")
+        cut.write_text(text[: len(text) - 25])  # cut into the last event
+
+        with pytest.raises(ValueError, match="malformed trace record"):
+            load_trace(cut)
+
+        trace = load_trace(cut, partial=True)
+        assert trace.truncated is True
+        assert len(trace.events) == 4  # every complete record recovered
+        assert [e.iteration for e in trace.events] == [0, 1, 2, 3]
+
+    def test_partial_on_complete_file_is_not_truncated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, _events(3))
+        trace = load_trace(path, partial=True)
+        assert trace.truncated is False
+        assert len(trace.events) == 3
+
+    def test_corrupt_middle_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, _events(4))
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # corrupt event #1
+        path.write_text("\n".join(lines) + "\n")
+
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace(path)
+        trace = load_trace(path, partial=True)
+        # Recovery stops at the first bad record: a trace is a stream,
+        # not a set, so later records are not trustworthy context.
+        assert trace.truncated is True
+        assert len(trace.events) == 1
+
+    def test_header_must_be_intact_even_in_partial_mode(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"record": "hea')
+        with pytest.raises(ValueError, match="header"):
+            load_trace(path, partial=True)
+
+    def test_schema_drift_rejected_in_partial_mode(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        header = {"record": "header", "schema": 999, "meta": {}}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(path, partial=True)
+
+
+class TestTraceWriter:
+    def test_streams_line_by_line(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with TraceWriter(path, meta={"label": "live"}) as writer:
+            # Header is on disk before any event: a tail-follower can
+            # validate the schema immediately.
+            early = load_trace(path, partial=True)
+            assert early.meta == {"label": "live"}
+            assert early.events == []
+
+            writer.write_event(_event(0))
+            mid = load_trace(path, partial=True)
+            assert len(mid.events) == 1  # visible before close
+
+            writer.write_event(_event(1))
+            metrics = MetricsRegistry()
+            metrics.inc("adds")
+            writer.write_metrics(metrics)
+
+        final = load_trace(path)  # strict load of the finished stream
+        assert len(final.events) == 2
+        assert final.metrics.counters["adds"] == 1
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = TraceWriter(tmp_path / "stream.jsonl")
+        writer.close()
+        assert writer.closed
+        with pytest.raises(ValueError, match="closed"):
+            writer.write_event(_event())
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = TraceWriter(tmp_path / "stream.jsonl")
+        writer.close()
+        writer.close()
+
+    def test_simulated_crash_loses_at_most_the_partial_tail(self, tmp_path):
+        # A streaming writer that dies mid-line leaves every previously
+        # flushed record intact; partial load recovers all of them.
+        path = tmp_path / "stream.jsonl"
+        writer = TraceWriter(path, meta={"label": "crashy"})
+        for i in range(3):
+            writer.write_event(_event(i))
+        # Simulate the crash: append half a record, never close.
+        with open(path, "a") as handle:
+            handle.write('{"record": "event", "kind": "iter')
+
+        trace = load_trace(path, partial=True)
+        assert trace.truncated is True
+        assert [e.iteration for e in trace.events] == [0, 1, 2]
+        writer.close()
+
+
+class TestStreamingRecorder:
+    def test_records_and_finalizes(self, tmp_path):
+        path = tmp_path / "rec.jsonl"
+        with StreamingRecorder(path, label="unit", meta={"k": "v"}) as recorder:
+            recorder.record(_event(0))
+            recorder.record(_event(1))
+            assert recorder.events_written == 2
+        trace = load_trace(path)
+        assert trace.meta["label"] == "unit"
+        assert trace.meta["k"] == "v"
+        assert len(trace.events) == 2
+
+    def test_close_idempotent(self, tmp_path):
+        recorder = StreamingRecorder(tmp_path / "rec.jsonl")
+        recorder.record(_event(0))
+        recorder.close()
+        recorder.close()
+        assert load_trace(tmp_path / "rec.jsonl").events

@@ -1,0 +1,255 @@
+"""HTTP front: routing, validation, long-poll, trace tailing."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+from repro.service.http import ServiceServer
+from repro.service.jobs import JobQueue
+from repro.service.requests import SolveRequest
+from repro.service.store import RunStore
+
+
+def _request(method, url, body=None, timeout=60.0):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+async def _with_server(tmp_path, client, **queue_kwargs):
+    """Run blocking `client(url)` in a thread against a live server."""
+    queue_kwargs.setdefault("max_workers", 1)
+    queue_kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    server = ServiceServer(
+        JobQueue(RunStore(tmp_path / "store"), **queue_kwargs)
+    )
+    await server.start()
+    try:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, client, server.url)
+    finally:
+        await server.close()
+
+
+class TestLifecycleEndpoints:
+    def test_healthz_and_metrics(self, tmp_path):
+        def client(url):
+            return _request("GET", f"{url}/healthz"), _request(
+                "GET", f"{url}/metrics"
+            )
+
+        (hs, health), (ms, metrics) = asyncio.run(_with_server(tmp_path, client))
+        assert hs == 200 and health["ok"] is True
+        assert ms == 200
+        assert metrics["store"] == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "failures": 0,
+        }
+
+    def test_unknown_route_is_404(self, tmp_path):
+        def client(url):
+            return _request("GET", f"{url}/nope")
+
+        status, payload = asyncio.run(_with_server(tmp_path, client))
+        assert status == 404
+        assert "no route" in payload["error"]
+
+    def test_wrong_method_is_405(self, tmp_path):
+        def client(url):
+            return _request("DELETE", f"{url}/jobs")
+
+        status, _ = asyncio.run(_with_server(tmp_path, client))
+        assert status == 405
+
+
+class TestJobEndpoints:
+    def test_submit_wait_resubmit_cached(self, tmp_path):
+        def client(url):
+            status, job = _request(
+                "POST",
+                f"{url}/jobs",
+                {"dataset": "3cluster", "strategy": "incremental", "tenant": "a"},
+            )
+            assert status == 202, job
+            assert job["state"] in ("pending", "running")
+            status, done = _request("GET", f"{url}/jobs/{job['id']}?wait=120")
+            assert status == 200
+            status, again = _request(
+                "POST",
+                f"{url}/jobs",
+                {"dataset": "3cluster", "strategy": "incremental", "tenant": "b"},
+            )
+            return done, (status, again)
+
+        done, (again_status, again) = asyncio.run(_with_server(tmp_path, client))
+        assert done["state"] == "done", done["error"]
+        assert done["executed_iterations"] > 0
+        assert done["result"]["converged"] is True
+        # The duplicate (from another tenant) is served synchronously
+        # from the store: HTTP 200 on POST, zero iterations executed.
+        assert again_status == 200
+        assert again["cached"] is True
+        assert again["executed_iterations"] == 0
+        assert again["result"] == done["result"]
+
+    def test_result_endpoint_serves_full_record(self, tmp_path):
+        def client(url):
+            _, job = _request("POST", f"{url}/jobs", {"dataset": "3cluster"})
+            _request("GET", f"{url}/jobs/{job['id']}?wait=120")
+            return _request("GET", f"{url}/jobs/{job['id']}/result")
+
+        status, payload = asyncio.run(_with_server(tmp_path, client))
+        assert status == 200
+        record = payload["record"]
+        assert record["key"] == payload["key"]
+        assert record["run"]["converged"] is True
+        assert record["request"]["dataset"] == "3cluster"
+
+    def test_trace_endpoint_tails_the_streamed_trace(self, tmp_path):
+        def client(url):
+            _, job = _request("POST", f"{url}/jobs", {"dataset": "3cluster"})
+            _request("GET", f"{url}/jobs/{job['id']}?wait=120")
+            return _request("GET", f"{url}/jobs/{job['id']}/trace")
+
+        status, payload = asyncio.run(_with_server(tmp_path, client))
+        assert status == 200
+        assert payload["truncated"] is False
+        assert payload["events"], "streamed trace should contain events"
+        kinds = {event["kind"] for event in payload["events"]}
+        assert "iteration" in kinds
+        assert payload["metrics"] is not None
+
+    def test_listing_jobs(self, tmp_path):
+        def client(url):
+            _, job = _request("POST", f"{url}/jobs", {"dataset": "3cluster"})
+            _request("GET", f"{url}/jobs/{job['id']}?wait=120")
+            return _request("GET", f"{url}/jobs")
+
+        status, payload = asyncio.run(_with_server(tmp_path, client))
+        assert status == 200
+        assert len(payload["jobs"]) == 1
+
+    def test_validation_errors_are_400(self, tmp_path):
+        def client(url):
+            return (
+                _request("POST", f"{url}/jobs", {"dataset": "not-a-dataset"}),
+                _request("POST", f"{url}/jobs", {"dataset": "3cluster", "x": 1}),
+                _request("GET", f"{url}/jobs/job-999999"),
+                _request("GET", f"{url}/jobs/job-999999/trace"),
+            )
+
+        results = asyncio.run(_with_server(tmp_path, client))
+        assert [status for status, _ in results] == [400, 400, 404, 404]
+        assert "unknown dataset" in results[0][1]["error"]
+        assert "unknown request fields" in results[1][1]["error"]
+
+    def test_result_of_unfinished_job_is_409(self, tmp_path):
+        # Queue never started: the job stays pending forever.
+        async def scenario():
+            queue = JobQueue(
+                RunStore(tmp_path / "store"),
+                max_workers=1,
+                cache_dir=str(tmp_path / "cache"),
+            )
+            server = ServiceServer(queue)
+            # Bind the socket without starting the dispatcher.
+            server._server = await asyncio.start_server(
+                server._handle, server.host, server.port
+            )
+            server.port = server._server.sockets[0].getsockname()[1]
+            try:
+                job = await queue.submit(SolveRequest(dataset="3cluster"))
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    None,
+                    _request,
+                    "GET",
+                    f"{server.url}/jobs/{job.id}/result",
+                )
+            finally:
+                server._server.close()
+                await server._server.wait_closed()
+
+        status, payload = asyncio.run(scenario())
+        assert status == 409
+        assert "not done" in payload["error"]
+
+
+class TestSweepEndpoints:
+    def test_sweep_submit_and_poll(self, tmp_path):
+        def client(url):
+            status, sweep = _request(
+                "POST",
+                f"{url}/sweeps",
+                {"dataset": "3cluster", "strategies": ["incremental"]},
+            )
+            assert status in (200, 202), sweep
+            import time
+
+            deadline = time.monotonic() + 120
+            while sweep["state"] not in ("done", "failed"):
+                assert time.monotonic() < deadline, "sweep did not finish"
+                time.sleep(0.1)
+                _, sweep = _request("GET", f"{url}/sweeps/{sweep['id']}")
+            return sweep
+
+        sweep = asyncio.run(_with_server(tmp_path, client, batch_size=4))
+        assert sweep["state"] == "done"
+        assert set(sweep["jobs"]) == {"truth", "incremental"}
+        assert len(sweep["rows"]) == 1
+        assert "Strategy sweep" in sweep["table"]
+
+    def test_sweep_validation_and_missing(self, tmp_path):
+        def client(url):
+            return (
+                _request(
+                    "POST",
+                    f"{url}/sweeps",
+                    {"dataset": "3cluster", "strategies": ["truth"]},
+                ),
+                _request("GET", f"{url}/sweeps/sweep-9999"),
+            )
+
+        (bad_status, bad), (missing_status, _) = asyncio.run(
+            _with_server(tmp_path, client)
+        )
+        assert bad_status == 400 and "implicit" in bad["error"]
+        assert missing_status == 404
+
+
+class TestProtocolRobustness:
+    def test_garbage_body_is_400_not_a_crash(self, tmp_path):
+        def client(url):
+            import http.client
+            from urllib.parse import urlsplit
+
+            host = urlsplit(url).netloc
+            conn = http.client.HTTPConnection(host, timeout=30)
+            conn.request(
+                "POST",
+                "/jobs",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            first = response.status, json.loads(response.read())
+            conn.close()
+            # Server is still alive afterwards.
+            second = _request("GET", f"{url}/healthz")
+            return first, second
+
+        (bad_status, bad), (ok_status, _) = asyncio.run(
+            _with_server(tmp_path, client)
+        )
+        assert bad_status == 400
+        assert "not JSON" in bad["error"]
+        assert ok_status == 200

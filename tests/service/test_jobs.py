@@ -1,0 +1,306 @@
+"""JobQueue behavior: caching, dedupe, fairness, coalescing, failure."""
+
+import asyncio
+
+import pytest
+
+from repro.experiments.runner import build_framework
+from repro.service.jobs import JobQueue
+from repro.service.requests import SolveRequest, SweepRequest
+from repro.service.store import RunStore
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+@pytest.fixture()
+def queue_kwargs(tmp_path):
+    # Serial pool: the worker runs in-process, which keeps these tests
+    # fast and makes monkeypatching visible inside the "worker".
+    return {"max_workers": 1, "cache_dir": str(tmp_path / "cache")}
+
+
+class TestComputeAndCache:
+    def test_fresh_compute_then_store_hit(self, store, queue_kwargs):
+        async def scenario():
+            async with JobQueue(store, **queue_kwargs) as queue:
+                first = await queue.submit(SolveRequest(dataset="3cluster"))
+                await first.wait()
+                assert first.state == "done", first.error
+                assert not first.cached
+                assert first.executed_iterations > 0
+
+                second = await queue.submit(SolveRequest(dataset="3cluster"))
+                await second.wait()
+                return first, second
+
+        first, second = run_async(scenario())
+        # The resubmitted identical request is served from the run
+        # store: zero solver iterations, bit-identical result.
+        assert second.cached
+        assert second.executed_iterations == 0
+        assert second.record.run == first.record.run
+        assert second.record.key == first.record.key
+
+    def test_store_hit_survives_queue_restart(self, store, queue_kwargs):
+        async def fill():
+            async with JobQueue(store, **queue_kwargs) as queue:
+                job = await queue.submit(SolveRequest(dataset="3cluster"))
+                await job.wait()
+                return job
+
+        async def reuse():
+            async with JobQueue(store, **queue_kwargs) as queue:
+                job = await queue.submit(SolveRequest(dataset="3cluster"))
+                await job.wait()
+                return job
+
+        first = run_async(fill())
+        second = run_async(reuse())  # fresh queue, same on-disk store
+        assert second.cached and second.executed_iterations == 0
+        assert second.record.run == first.record.run
+
+    def test_cached_result_matches_fresh_solo_oracle(
+        self, store, queue_kwargs, tmp_path
+    ):
+        async def scenario():
+            async with JobQueue(store, **queue_kwargs) as queue:
+                job = await queue.submit(
+                    SolveRequest(dataset="3cluster", strategy="incremental")
+                )
+                await job.wait()
+                return job
+
+        job = run_async(scenario())
+        assert job.state == "done", job.error
+        from repro.core.reporting import run_to_dict
+
+        framework, _ = build_framework(
+            "3cluster", cache_dir=str(tmp_path / "cache")
+        )
+        oracle = framework.run(strategy="incremental")
+        stored = dict(job.record.run)
+        fresh = run_to_dict(oracle)
+        stored.pop("trace_path"), fresh.pop("trace_path")
+        # Bit-identical state and float-equal energy ledger: serving
+        # from the store is indistinguishable from recomputing.
+        assert stored == fresh
+
+
+class TestDedupe:
+    def test_identical_inflight_requests_collapse(self, store, queue_kwargs):
+        async def scenario():
+            queue = JobQueue(store, **queue_kwargs)
+            # Submit twice before starting the dispatcher: the second
+            # must attach to the first, not schedule its own compute.
+            primary = await queue.submit(SolveRequest(dataset="3cluster"))
+            follower = await queue.submit(SolveRequest(dataset="3cluster"))
+            await queue.start()
+            await asyncio.gather(primary.wait(), follower.wait())
+            await queue.close()
+            return queue, primary, follower
+
+        queue, primary, follower = run_async(scenario())
+        assert follower.deduped and follower.cached
+        assert follower.executed_iterations == 0
+        assert not primary.deduped
+        assert follower.record is primary.record
+        assert queue.metrics.counters["service.deduped"] == 1
+        # Only one computation happened.
+        assert queue.metrics.counters["service.computed"] == 1
+
+
+class TestCoalescing:
+    def test_compatible_jobs_share_a_run_batch_shard(self, store, tmp_path):
+        async def scenario():
+            async with JobQueue(
+                store,
+                max_workers=1,
+                batch_size=4,
+                cache_dir=str(tmp_path / "cache"),
+            ) as queue:
+                # Different tenants, same engine config: one shard.
+                jobs = [
+                    await queue.submit(
+                        SolveRequest(
+                            dataset="3cluster", strategy=spec, tenant=tenant
+                        )
+                    )
+                    for spec, tenant in [
+                        ("incremental", "a"),
+                        ("adaptive", "b"),
+                    ]
+                ]
+                await asyncio.gather(*(job.wait() for job in jobs))
+                return jobs
+
+        jobs = run_async(scenario())
+        for job in jobs:
+            assert job.state == "done", job.error
+        # Both lanes share one shard trace, distinguished by lane index.
+        assert jobs[0].record.trace_path == jobs[1].record.trace_path
+        assert "shard-" in jobs[0].record.trace_path
+        assert {jobs[0].record.trace_lane, jobs[1].record.trace_lane} == {0, 1}
+
+    def test_batched_result_equals_stored_solo_result(self, store, tmp_path):
+        async def solo():
+            solo_store = RunStore(tmp_path / "solo-store")
+            async with JobQueue(
+                solo_store, max_workers=1, cache_dir=str(tmp_path / "cache")
+            ) as queue:
+                job = await queue.submit(
+                    SolveRequest(dataset="3cluster", strategy="incremental")
+                )
+                await job.wait()
+                return job
+
+        async def batched():
+            async with JobQueue(
+                store,
+                max_workers=1,
+                batch_size=4,
+                cache_dir=str(tmp_path / "cache"),
+            ) as queue:
+                jobs = [
+                    await queue.submit(
+                        SolveRequest(dataset="3cluster", strategy=spec)
+                    )
+                    for spec in ("incremental", "adaptive")
+                ]
+                await asyncio.gather(*(job.wait() for job in jobs))
+                return jobs[0]
+
+        solo_job = run_async(solo())
+        batched_job = run_async(batched())
+        assert solo_job.state == "done", solo_job.error
+        assert batched_job.state == "done", batched_job.error
+        solo_run = dict(solo_job.record.run)
+        batched_run = dict(batched_job.record.run)
+        solo_run.pop("trace_path"), batched_run.pop("trace_path")
+        # The exact-ledger contract holds through the service path:
+        # lane-parallel execution is bit-identical to the solo oracle.
+        assert solo_run == batched_run
+
+
+class TestFailures:
+    def test_worker_failure_fails_the_job_and_checkpoints(
+        self, store, queue_kwargs, monkeypatch
+    ):
+        import repro.service.jobs as jobs_mod
+
+        def explode(group):
+            return {"error": "RuntimeError: injected failure"}
+
+        monkeypatch.setattr(jobs_mod, "run_job_group", explode)
+
+        async def scenario():
+            async with JobQueue(store, **queue_kwargs) as queue:
+                job = await queue.submit(SolveRequest(dataset="3cluster"))
+                await job.wait()
+                return job
+
+        job = run_async(scenario())
+        assert job.state == "failed"
+        assert "injected failure" in job.error
+        # Checkpointed for postmortem, but never served as a hit.
+        assert (store.failures_dir / f"{job.key}.json").exists()
+        assert store.load(job.key) is None
+
+    def test_failed_key_recomputes_on_resubmit(
+        self, store, queue_kwargs, monkeypatch
+    ):
+        import repro.service.jobs as jobs_mod
+
+        real = jobs_mod.run_job_group
+        calls = {"n": 0}
+
+        def flaky(group):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return {"error": "RuntimeError: transient"}
+            return real(group)
+
+        monkeypatch.setattr(jobs_mod, "run_job_group", flaky)
+
+        async def scenario():
+            async with JobQueue(store, **queue_kwargs) as queue:
+                first = await queue.submit(SolveRequest(dataset="3cluster"))
+                await first.wait()
+                second = await queue.submit(SolveRequest(dataset="3cluster"))
+                await second.wait()
+                return first, second
+
+        first, second = run_async(scenario())
+        assert first.state == "failed"
+        assert second.state == "done", second.error
+        assert not second.cached
+
+    def test_submit_after_close_rejected(self, store, queue_kwargs):
+        async def scenario():
+            queue = JobQueue(store, **queue_kwargs)
+            await queue.start()
+            await queue.close()
+            with pytest.raises(RuntimeError, match="closing"):
+                await queue.submit(SolveRequest(dataset="3cluster"))
+
+        run_async(scenario())
+
+
+class TestSweeps:
+    def test_sweep_runs_truth_and_strategies(self, store, tmp_path):
+        async def scenario():
+            async with JobQueue(
+                store,
+                max_workers=1,
+                batch_size=4,
+                cache_dir=str(tmp_path / "cache"),
+            ) as queue:
+                sweep = await queue.submit_sweep(
+                    SweepRequest(
+                        dataset="3cluster",
+                        strategies=("incremental", "adaptive"),
+                    )
+                )
+                await sweep.wait()
+                return queue, sweep
+
+        queue, sweep = run_async(scenario())
+        assert sweep.state == "done"
+        assert set(sweep.jobs) == {"truth", "incremental", "adaptive"}
+        result = sweep.result()
+        assert [cell.strategy for cell in result.cells] == [
+            "incremental",
+            "adaptive",
+        ]
+        # Energy is Truth-normalized, so approximate lanes save energy.
+        assert all(0 < cell.energy < 1 for cell in result.cells)
+        assert "Strategy sweep" in sweep.to_dict()["table"]
+
+    def test_sweep_reuses_stored_lanes(self, store, tmp_path):
+        async def scenario():
+            async with JobQueue(
+                store, max_workers=1, cache_dir=str(tmp_path / "cache")
+            ) as queue:
+                solo = await queue.submit(
+                    SolveRequest(dataset="3cluster", strategy="incremental")
+                )
+                await solo.wait()
+                sweep = await queue.submit_sweep(
+                    SweepRequest(dataset="3cluster", strategies=("incremental",))
+                )
+                await sweep.wait()
+                return sweep
+
+        sweep = run_async(scenario())
+        assert sweep.state == "done"
+        # The incremental lane was already in the store: served with
+        # zero additional iterations.
+        assert sweep.jobs["incremental"].cached
+        assert sweep.jobs["incremental"].executed_iterations == 0
+        assert not sweep.jobs["truth"].cached

@@ -1,0 +1,104 @@
+"""Content addressing and wire format of service requests."""
+
+import pytest
+
+from repro.service.requests import DEFAULT_TENANT, SolveRequest, SweepRequest
+
+
+class TestSolveRequestKey:
+    def test_key_is_deterministic(self):
+        a = SolveRequest(dataset="3cluster", strategy="incremental")
+        b = SolveRequest(dataset="3cluster", strategy="incremental")
+        assert a.key() == b.key()
+        assert len(a.key()) == 64  # sha256 hex
+
+    def test_tenant_does_not_change_the_key(self):
+        # The computation is identical no matter who asked, so cache
+        # entries are shared across tenants by design.
+        a = SolveRequest(dataset="3cluster", tenant="alice")
+        b = SolveRequest(dataset="3cluster", tenant="bob")
+        assert a.key() == b.key()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"strategy": "adaptive"},
+            {"dataset": "hangseng"},
+            {"max_iter": 10},
+            {"program_capture": True},
+        ],
+    )
+    def test_every_engine_knob_changes_the_key(self, kwargs):
+        base = SolveRequest(dataset="3cluster")
+        other = SolveRequest(**{"dataset": "3cluster", **kwargs})
+        assert base.key() != other.key()
+
+    def test_engine_key_ignores_strategy_only(self):
+        a = SolveRequest(dataset="3cluster", strategy="incremental")
+        b = SolveRequest(dataset="3cluster", strategy="adaptive")
+        c = SolveRequest(dataset="3cluster", strategy="adaptive", max_iter=9)
+        assert a.engine_key() == b.engine_key()
+        assert a.engine_key() != c.engine_key()
+        assert a.key() != b.key()
+
+
+class TestSolveRequestValidation:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            SolveRequest(dataset="not-a-dataset")
+
+    def test_bad_max_iter_rejected(self):
+        with pytest.raises(ValueError, match="max_iter"):
+            SolveRequest(dataset="3cluster", max_iter=0)
+
+    def test_empty_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            SolveRequest(dataset="3cluster", strategy="")
+
+    def test_round_trips_through_dict(self):
+        request = SolveRequest(
+            dataset="hangseng", strategy="adaptive:f=3", tenant="t1", max_iter=7
+        )
+        assert SolveRequest.from_dict(request.to_dict()) == request
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            SolveRequest.from_dict({"dataset": "3cluster", "stragety": "x"})
+
+    def test_from_dict_requires_dataset(self):
+        with pytest.raises(ValueError, match="dataset"):
+            SolveRequest.from_dict({"strategy": "incremental"})
+
+    def test_from_dict_defaults(self):
+        request = SolveRequest.from_dict({"dataset": "3cluster"})
+        assert request.strategy == "incremental"
+        assert request.tenant == DEFAULT_TENANT
+
+
+class TestSweepRequest:
+    def test_decomposes_into_truth_plus_strategies(self):
+        sweep = SweepRequest(
+            dataset="3cluster", strategies=("incremental", "adaptive"), tenant="t"
+        )
+        lanes = sweep.solve_requests()
+        assert [r.strategy for r in lanes] == ["truth", "incremental", "adaptive"]
+        assert all(r.tenant == "t" for r in lanes)
+        # Lanes share the engine key (coalescable), not the run key.
+        assert len({r.engine_key() for r in lanes}) == 1
+        assert len({r.key() for r in lanes}) == 3
+
+    def test_explicit_truth_rejected(self):
+        with pytest.raises(ValueError, match="implicit"):
+            SweepRequest(dataset="3cluster", strategies=("truth", "adaptive"))
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SweepRequest(dataset="3cluster", strategies=())
+
+    def test_round_trips_through_dict(self):
+        sweep = SweepRequest(dataset="nasdaq", strategies=("adaptive",), max_iter=5)
+        assert SweepRequest.from_dict(sweep.to_dict()) == sweep
+
+    def test_from_dict_rejects_bare_string_strategies(self):
+        with pytest.raises(ValueError, match="list"):
+            SweepRequest.from_dict({"dataset": "3cluster", "strategies": "adaptive"})

@@ -1,0 +1,132 @@
+"""RunStore durability: every corruption mode degrades to a miss."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arith.modes import default_mode_bank
+from repro.core.framework import ApproxIt
+from repro.core.reporting import run_to_dict
+from repro.service.store import RUN_STORE_SCHEMA, RunRecord, RunStore
+from repro.solvers.functions import QuadraticFunction
+from repro.solvers.gradient_descent import GradientDescent
+
+
+@pytest.fixture(scope="module")
+def sample_run():
+    fn = QuadraticFunction.random_spd(dim=4, seed=31, condition=25.0)
+    method = GradientDescent(
+        fn, x0=np.full(4, 2.0), learning_rate=0.05, max_iter=200, tolerance=1e-10
+    )
+    framework = ApproxIt(method, default_mode_bank(), probe_iterations=2)
+    return framework.run(strategy="incremental", max_iter=12)
+
+
+def _record(run, key="k" * 64):
+    return RunRecord.for_run(
+        key,
+        {"dataset": "unit", "strategy": "incremental"},
+        run,
+        trace_path="traces/k.jsonl",
+        trace_lane=2,
+        executed_iterations=run.executed_iterations,
+        elapsed_s=0.5,
+    )
+
+
+class TestRunRecord:
+    def test_round_trips_bit_exactly(self, sample_run):
+        record = _record(sample_run)
+        rebuilt = RunRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert rebuilt.key == record.key
+        assert rebuilt.trace_lane == 2
+        # The stored run rebuilds into an equal RunResult: same floats
+        # bit for bit (shortest-round-trip serialization), same ints.
+        assert run_to_dict(rebuilt.result()) == run_to_dict(sample_run)
+
+    def test_schema_drift_rejected(self, sample_run):
+        payload = _record(sample_run).to_dict()
+        payload["schema"] = RUN_STORE_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            RunRecord.from_dict(payload)
+
+    def test_missing_field_rejected(self, sample_run):
+        payload = _record(sample_run).to_dict()
+        del payload["run"]
+        with pytest.raises((ValueError, KeyError)):
+            RunRecord.from_dict(payload)
+
+
+class TestRunStore:
+    def test_store_then_load(self, tmp_path, sample_run):
+        store = RunStore(tmp_path / "store")
+        record = _record(sample_run)
+        assert store.store(record)
+        loaded = store.load(record.key)
+        assert loaded is not None
+        assert run_to_dict(loaded.result()) == run_to_dict(sample_run)
+        assert store.stats() == {
+            "hits": 1,
+            "misses": 0,
+            "stores": 1,
+            "failures": 0,
+        }
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.load("0" * 64) is None
+        assert store.misses == 1
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path, sample_run):
+        store = RunStore(tmp_path / "store")
+        record = _record(sample_run)
+        store.store(record)
+        store.path_for(record.key).write_text('{"schema": 1, "trunca')
+        assert store.load(record.key) is None
+
+    def test_stale_schema_entry_is_a_miss(self, tmp_path, sample_run):
+        store = RunStore(tmp_path / "store")
+        record = _record(sample_run)
+        payload = record.to_dict()
+        payload["schema"] = RUN_STORE_SCHEMA - 1
+        store.path_for(record.key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(record.key).write_text(json.dumps(payload))
+        assert store.load(record.key) is None
+
+    def test_undeserializable_run_is_a_miss(self, tmp_path, sample_run):
+        store = RunStore(tmp_path / "store")
+        record = _record(sample_run)
+        payload = record.to_dict()
+        payload["run"] = {"not": "a run"}
+        store.path_for(record.key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(record.key).write_text(json.dumps(payload))
+        assert store.load(record.key) is None
+
+    def test_store_leaves_no_temp_litter(self, tmp_path, sample_run):
+        store = RunStore(tmp_path / "store")
+        store.store(_record(sample_run))
+        leftovers = [
+            p for p in store.runs_dir.iterdir() if p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_failures_are_checkpointed_but_never_served(
+        self, tmp_path, sample_run
+    ):
+        store = RunStore(tmp_path / "store")
+        key = "f" * 64
+        store.record_failure(key, {"dataset": "unit"}, "boom: division")
+        assert store.load(key) is None  # failures are not cache hits
+        checkpoint = json.loads((store.failures_dir / f"{key}.json").read_text())
+        assert checkpoint["error"] == "boom: division"
+        assert store.failures == 1
+
+    def test_keys_lists_stored_runs(self, tmp_path, sample_run):
+        store = RunStore(tmp_path / "store")
+        assert store.keys() == []
+        record = _record(sample_run)
+        store.store(record)
+        assert store.keys() == [record.key]
