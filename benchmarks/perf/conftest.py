@@ -25,6 +25,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.backends import get_backend, resolve_backend_name
+
 REPO_ROOT = Path(__file__).resolve().parents[2]
 BENCH_PATH = REPO_ROOT / "BENCH_perf.json"
 
@@ -46,7 +48,33 @@ class PerfRecorder:
             best = min(best, (time.perf_counter() - start) / number)
         return best
 
+    def time_pair(self, fn_a, fn_b, repeats: int = 5) -> tuple[float, float]:
+        """Best-of wall-clock for two competing implementations, taken
+        in strict alternation.  Two sequential ``time`` blocks skew the
+        a/b ratio whenever machine state (thermal throttle, background
+        load) drifts between them; alternating exposes both sides to
+        the same drift, so the *ratio* — which is what the speedup
+        gates check — stays stable even when absolute times move."""
+        fn_a()
+        fn_b()
+        best_a = best_b = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn_a()
+            best_a = min(best_a, time.perf_counter() - start)
+            start = time.perf_counter()
+            fn_b()
+            best_b = min(best_b, time.perf_counter() - start)
+        return best_a, best_b
+
     def record(self, name: str, **fields) -> None:
+        # Stamp every entry with the kernel backend that produced it
+        # (``$REPRO_BACKEND`` selects it for the whole suite), so
+        # ``check_bench.py`` can key its floors per backend and the CI
+        # backend-matrix artifacts stay distinguishable after download.
+        backend = get_backend(resolve_backend_name(None))
+        fields.setdefault("backend", backend.name)
+        fields.setdefault("backend_version", backend.version)
         self.entries[name] = fields
 
     def write(self) -> None:

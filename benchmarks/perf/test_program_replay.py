@@ -22,6 +22,21 @@ from repro.solvers import ConjugateGradient, LeastSquaresGD
 from repro.solvers.linear import JacobiSolver
 
 
+def _legacy(framework, strategy):
+    """A closure running one legacy-engine (pre-fast-path) solve; the
+    flag toggles per call so it can be interleaved with fast runs."""
+
+    def run():
+        saved = ApproxEngine.default_fast_path
+        ApproxEngine.default_fast_path = False
+        try:
+            framework.run(strategy=strategy, program_capture=False)
+        finally:
+            ApproxEngine.default_fast_path = saved
+
+    return run
+
+
 def _laplacian_jacobi(n=80, max_iter=150):
     """1D Laplacian: weak diagonal dominance, so Jacobi contracts
     slowly and the run spends ~``max_iter`` iterations in the loop
@@ -51,16 +66,16 @@ def test_replay_jacobi80(perf):
     try:
         ApproxEngine.default_fast_path = False
         legacy_run = framework.run(strategy="static:acc", program_capture=False)
-        t_legacy = perf.time(
-            lambda: framework.run(strategy="static:acc", program_capture=False),
-            repeats=7,
-        )
     finally:
         ApproxEngine.default_fast_path = saved
     _assert_exact_parity(replay_run, interp_run)
     _assert_exact_parity(replay_run, legacy_run)
 
-    t_replay = perf.time(lambda: framework.run(strategy="static:acc"), repeats=7)
+    t_replay, t_legacy = perf.time_pair(
+        lambda: framework.run(strategy="static:acc"),
+        _legacy(framework, "static:acc"),
+        repeats=7,
+    )
     t_interp = perf.time(
         lambda: framework.run(strategy="static:acc", program_capture=False),
         repeats=7,
@@ -68,6 +83,49 @@ def test_replay_jacobi80(perf):
     speedup = t_legacy / t_replay
     perf.record(
         "e2e/replay_jacobi80",
+        iterations=replay_run.iterations,
+        replay_s=round(t_replay, 4),
+        interpreted_s=round(t_interp, 4),
+        legacy_s=round(t_legacy, 4),
+        vs_interpreted=round(t_interp / t_replay, 2),
+        speedup=round(speedup, 2),
+    )
+    assert speedup > 1.0
+
+
+def test_replay_jacobi240(perf):
+    """The fused-replay headline (gated at >= 5.0x by check_bench): at
+    n=240 the O(n^2) matvec dominates, and the backend's in-range
+    product-encode-reduce fusion plus chain speculation collapse each
+    replayed iteration to a handful of C-level calls.  Parity against
+    both the interpreted executor and the legacy engine is asserted
+    before timing, so the floor can never be bought with drift."""
+    framework = _laplacian_jacobi(n=240)
+    framework.characterization()
+
+    replay_run = framework.run(strategy="static:acc")
+    interp_run = framework.run(strategy="static:acc", program_capture=False)
+    saved = ApproxEngine.default_fast_path
+    try:
+        ApproxEngine.default_fast_path = False
+        legacy_run = framework.run(strategy="static:acc", program_capture=False)
+    finally:
+        ApproxEngine.default_fast_path = saved
+    _assert_exact_parity(replay_run, interp_run)
+    _assert_exact_parity(replay_run, legacy_run)
+
+    t_replay, t_legacy = perf.time_pair(
+        lambda: framework.run(strategy="static:acc"),
+        _legacy(framework, "static:acc"),
+        repeats=7,
+    )
+    t_interp = perf.time(
+        lambda: framework.run(strategy="static:acc", program_capture=False),
+        repeats=5,
+    )
+    speedup = t_legacy / t_replay
+    perf.record(
+        "e2e/replay_jacobi240",
         iterations=replay_run.iterations,
         replay_s=round(t_replay, 4),
         interpreted_s=round(t_interp, 4),
@@ -96,8 +154,8 @@ def test_replay_cg64(perf):
     interp_run = framework.run(strategy="incremental", program_capture=False)
     _assert_exact_parity(replay_run, interp_run)
 
-    t_replay = perf.time(lambda: framework.run(strategy="incremental"), repeats=7)
-    t_interp = perf.time(
+    t_replay, t_interp = perf.time_pair(
+        lambda: framework.run(strategy="incremental"),
         lambda: framework.run(strategy="incremental", program_capture=False),
         repeats=7,
     )
@@ -134,8 +192,8 @@ def test_replay_lsq120(perf):
     interp_run = framework.run(strategy="static:acc", program_capture=False)
     _assert_exact_parity(replay_run, interp_run)
 
-    t_replay = perf.time(lambda: framework.run(strategy="static:acc"), repeats=7)
-    t_interp = perf.time(
+    t_replay, t_interp = perf.time_pair(
+        lambda: framework.run(strategy="static:acc"),
         lambda: framework.run(strategy="static:acc", program_capture=False),
         repeats=7,
     )
@@ -162,15 +220,15 @@ def test_adaptive_jacobi80(perf):
     try:
         ApproxEngine.default_fast_path = False
         legacy_run = framework.run(strategy="adaptive", program_capture=False)
-        t_legacy = perf.time(
-            lambda: framework.run(strategy="adaptive", program_capture=False),
-            repeats=5,
-        )
     finally:
         ApproxEngine.default_fast_path = saved
     _assert_exact_parity(fast_run, legacy_run)
 
-    t_fast = perf.time(lambda: framework.run(strategy="adaptive"), repeats=5)
+    t_fast, t_legacy = perf.time_pair(
+        lambda: framework.run(strategy="adaptive"),
+        _legacy(framework, "adaptive"),
+        repeats=5,
+    )
     speedup = t_legacy / t_fast
     perf.record(
         "e2e/jacobi80_adaptive",

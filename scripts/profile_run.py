@@ -5,7 +5,7 @@ Usage::
     PYTHONPATH=src python scripts/profile_run.py \
         [--solver jacobi] [--n 80] [--strategy incremental] \
         [--max-iter 150] [--repeats 3] [--top 20] [--out profile.pstats] \
-        [--no-capture] [--batch-size 0]
+        [--no-capture] [--batch-size 0] [--backend numpy]
 
 With ``--batch-size B`` (B >= 1) the profiled region is one
 ``run_batch`` call advancing B identical lanes lock-step — the region
@@ -24,10 +24,12 @@ import argparse
 import cProfile
 import pstats
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from repro.apps import GaussianMixtureEM
+from repro.backends import resolve_backend_name
 from repro.core.framework import ApproxIt
 from repro.solvers import (
     ConjugateGradient,
@@ -48,7 +50,9 @@ def _laplacian(n: int) -> tuple[np.ndarray, np.ndarray]:
     return matrix, rhs
 
 
-def build_framework(solver: str, n: int, max_iter: int) -> ApproxIt:
+def build_framework(
+    solver: str, n: int, max_iter: int, backend: str | None = None
+) -> ApproxIt:
     if solver in (
         "jacobi",
         "gauss-seidel",
@@ -64,7 +68,10 @@ def build_framework(solver: str, n: int, max_iter: int) -> ApproxIt:
             "gauss-seidel-rb": RedBlackGaussSeidelSolver,
             "sor-rb": RedBlackSorSolver,
         }[solver]
-        return ApproxIt(cls(matrix, rhs, max_iter=max_iter, tolerance=1e-9))
+        return ApproxIt(
+            cls(matrix, rhs, max_iter=max_iter, tolerance=1e-9),
+            backend=backend,
+        )
     if solver == "gmm":
         rng = np.random.default_rng(31)
         points = np.concatenate(
@@ -76,7 +83,8 @@ def build_framework(solver: str, n: int, max_iter: int) -> ApproxIt:
         return ApproxIt(
             GaussianMixtureEM(
                 points, n_clusters=3, max_iter=max_iter, tolerance=1e-300
-            )
+            ),
+            backend=backend,
         )
     if solver == "cg":
         rng = np.random.default_rng(5)
@@ -84,7 +92,8 @@ def build_framework(solver: str, n: int, max_iter: int) -> ApproxIt:
         matrix = matrix @ matrix.T + 2.0 * np.eye(n)
         rhs = rng.uniform(-3.0, 3.0, n)
         return ApproxIt(
-            ConjugateGradient(matrix, rhs, max_iter=max_iter, tolerance=1e-300)
+            ConjugateGradient(matrix, rhs, max_iter=max_iter, tolerance=1e-300),
+            backend=backend,
         )
     if solver == "lsq":
         rng = np.random.default_rng(21)
@@ -98,7 +107,8 @@ def build_framework(solver: str, n: int, max_iter: int) -> ApproxIt:
                 learning_rate=0.02,
                 max_iter=max_iter,
                 tolerance=1e-300,
-            )
+            ),
+            backend=backend,
         )
     raise SystemExit(f"unknown solver {solver!r}")
 
@@ -121,6 +131,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--n", type=int, default=80, help="problem size")
     parser.add_argument("--strategy", default="incremental")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend to profile (default: $REPRO_BACKEND or numpy)",
+    )
     parser.add_argument("--max-iter", type=int, default=150)
     parser.add_argument(
         "--repeats", type=int, default=3, help="profiled run count"
@@ -141,7 +156,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    framework = build_framework(args.solver, args.n, args.max_iter)
+    backend = resolve_backend_name(args.backend)
+    framework = build_framework(
+        args.solver, args.n, args.max_iter, backend=backend
+    )
     framework.characterization()
     capture = not args.no_capture
 
@@ -167,7 +185,8 @@ def main(argv: list[str] | None = None) -> int:
         run = profiled()
         region = "solo run"
     print(
-        f"{args.solver} n={args.n} strategy={args.strategy} {region} "
+        f"{args.solver} n={args.n} strategy={args.strategy} "
+        f"backend={backend} {region} "
         f"capture={'on' if capture else 'off'}: {run.iterations} iterations, "
         f"{run.rollbacks} rollbacks, energy {run.energy:.3g}"
     )
@@ -181,8 +200,13 @@ def main(argv: list[str] | None = None) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats("cumulative").print_stats(args.top)
     if args.out:
-        stats.dump_stats(args.out)
-        print(f"profile written to {args.out}")
+        # Label the artifact with the backend that produced it so the
+        # CI upload distinguishes per-backend dumps side by side.
+        out = Path(args.out)
+        if backend not in out.stem:
+            out = out.with_name(f"{out.stem}.{backend}{out.suffix}")
+        stats.dump_stats(out)
+        print(f"profile [{backend}] written to {out}")
     return 0
 
 

@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ApproxMode
+from repro.backends import KernelBackend, resolve_backend
 from repro.hardware import bitops
 
 
@@ -304,6 +305,7 @@ class ApproxEngine:
         ledger: EnergyLedger | None = None,
         approximate_multiplier: bool = False,
         fast_path: bool | None = None,
+        backend: "str | KernelBackend | None" = None,
     ):
         if mode.adder.width != fmt.width:
             raise ValueError(
@@ -311,6 +313,7 @@ class ApproxEngine:
             )
         self.mode = mode
         self.fmt = fmt
+        self.backend = resolve_backend(backend)
         self.ledger = ledger if ledger is not None else EnergyLedger()
         self.approximate_multiplier = bool(approximate_multiplier)
         self.fast_path = (
@@ -478,7 +481,7 @@ class ApproxEngine:
     ) -> np.ndarray:
         """Add fixed-point words through the mode's adder, with overflow
         handling and energy charging."""
-        out = self.mode.adder.add_signed(qa, qb)
+        out = self.backend.add_signed(self.mode.adder, qa, qb)
         if self.fmt.overflow == "saturate" and self._saturation_needed(
             qa, qb, bounds_a, bounds_b
         ):
@@ -1095,6 +1098,7 @@ class BatchedEngine:
         ledger: BatchedEnergyLedger | None = None,
         lanes: int | None = None,
         fast_path: bool | None = None,
+        backend: "str | KernelBackend | None" = None,
     ):
         if mode.adder.width != fmt.width:
             raise ValueError(
@@ -1102,6 +1106,7 @@ class BatchedEngine:
             )
         self.mode = mode
         self.fmt = fmt
+        self.backend = resolve_backend(backend)
         if ledger is None:
             ledger = BatchedEnergyLedger(lanes if lanes is not None else 1)
         self.ledger = ledger
@@ -1244,7 +1249,7 @@ class BatchedEngine:
         ``size // lanes`` adds to every selected lane."""
         if self.lane_ids is None:
             raise RuntimeError("call select_lanes() before issuing kernels")
-        out = self.mode.adder.add_signed(qa, qb)
+        out = self.backend.add_signed(self.mode.adder, qa, qb)
         if self.fmt.overflow == "saturate" and self._saturation_needed(
             qa, qb, bounds_a, bounds_b, lane_axis
         ):

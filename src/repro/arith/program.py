@@ -309,15 +309,15 @@ def _replay_add_words(engine, qa, qb, bounds_a, bounds_b, sat_recorded):
         if needed:
             if not sat_recorded:
                 raise ProgramBailout("saturation")
-            out = engine.mode.adder.add_signed(qa, qb)
+            out = engine.backend.add_signed(engine.mode.adder, qa, qb)
             true = qa.astype(np.int64) + qb.astype(np.int64)
             overflowed = (true < lo) | (true > hi)
             if np.any(overflowed):
                 out = np.where(overflowed, np.clip(true, lo, hi), out)
             return out
         if engine.mode.adder.is_exact:
-            return np.add(qa, qb)
-    return engine.mode.adder.add_signed(qa, qb)
+            return engine.backend.add_words_inrange(qa, qb)
+    return engine.backend.add_signed(engine.mode.adder, qa, qb)
 
 
 def _replay_reduce(engine, q, plan, sat_recorded):
@@ -344,10 +344,11 @@ def _replay_reduce(engine, q, plan, sat_recorded):
         m1 = int(q.max())
         n = q.shape[0]
         if n * min(m0, 0) >= lo_w and n * max(m1, 0) <= hi_w:
-            return np.add.reduce(q, axis=0)
+            return engine.backend.reduce_inrange(q)
         # Conservative proof failed; the tighter per-level walk below is
         # still interpreted-identical, just not fused.
     adder = engine.mode.adder
+    backend = engine.backend
     cur = q
     bounds = None
     if saturating and cur.size:
@@ -356,7 +357,7 @@ def _replay_reduce(engine, q, plan, sat_recorded):
     for i, (half, odd) in enumerate(plan.levels):
         qa = cur[:half]
         qb = cur[half : 2 * half]
-        out = adder.add_signed(qa, qb)
+        out = backend.add_signed(adder, qa, qb)
         if saturating:
             if qa.size == 0:
                 needed = False
@@ -430,10 +431,62 @@ class _AddStep:
         return engine._emit(out, self.resident)
 
 
+class _SubStep:
+    """``sub`` with a resident-captured subtrahend: the negate pass is
+    deferred until needed.
+
+    The generic ``sub`` compile folds negation into the b-resolver —
+    one ``handle_overflow(-words)`` pass (clip plus allocation) per
+    call.  When the subtrahend's cached word bounds prove the negation
+    clamp-free *and* the difference in range, the whole negate+add
+    collapses to one :meth:`KernelBackend.sub_words_inrange`; otherwise
+    the negation runs here, bit-identical to the folded resolver.
+    """
+
+    __slots__ = ("kind", "params", "charges", "sat", "res_a", "res_b", "resident")
+
+    def __init__(self, params, charges, sat, res_a, res_b):
+        self.kind = "sub"
+        self.params = params
+        self.charges = charges
+        self.sat = sat
+        self.res_a = res_a
+        self.res_b = res_b
+        self.resident = params["resident"]
+
+    def replay(self, engine, args):
+        a, b = args
+        qa, bounds_a = self.res_a(a)
+        qb, bounds_b = self.res_b(b)
+        lo, hi = engine._signed_lo, engine._signed_hi
+        if (
+            not self.sat
+            and bounds_b is not None
+            and bounds_b[0] > lo
+            and engine.mode.adder.is_exact
+            and engine.fmt.overflow == "saturate"
+            and qa.shape == qb.shape
+            and qa.size
+        ):
+            if bounds_a is None:
+                bounds_a = (int(qa.min()), int(qa.max()))
+            if bounds_a[0] - bounds_b[1] >= lo and bounds_a[1] - bounds_b[0] <= hi:
+                out = engine.backend.sub_words_inrange(qa, qb)
+                return engine._emit(out, self.resident)
+        # Negate exactly like the folded resolver would have.
+        nwords = engine.fmt.handle_overflow(-qb)
+        if bounds_b is not None and bounds_b[0] > lo:
+            nbounds = (-bounds_b[1], -bounds_b[0])
+        else:
+            nbounds = None
+        out = _replay_add_words(engine, qa, nwords, bounds_a, nbounds, self.sat)
+        return engine._emit(out, self.resident)
+
+
 class _ScaleAddStep:
     """``scale_add``: x + alpha*d with alpha live per call."""
 
-    __slots__ = ("kind", "params", "charges", "sat", "res_x", "res_d", "resident")
+    __slots__ = ("kind", "params", "charges", "sat", "res_x", "res_d", "resident", "bufs")
 
     def __init__(self, params, charges, sat, res_x, res_d):
         self.kind = "scale_add"
@@ -443,11 +496,51 @@ class _ScaleAddStep:
         self.res_x = res_x
         self.res_d = res_d
         self.resident = params["resident"]
+        self.bufs: dict = {}
 
     def replay(self, engine, args):
         x, alpha, d = args
         qa, bounds_a = self.res_x(x)
-        qb = engine.fmt.encode(alpha * self.res_d(d))
+        fd = self.res_d(d)
+        # Fused path: with alpha live the bound is one O(n) scan per
+        # call — |rint(fl(alpha*fd_i)*scale)| <= W := rint(fl(|alpha| *
+        # max|fd|)*scale) (fl and rint are monotone, the power-of-two
+        # scale multiply is exact), so W <= hi proves the encode clip
+        # (and finiteness scan — a non-finite operand lands peak at
+        # NaN/inf and falls through to the checked encode, which raises
+        # exactly like the interpreted call) a no-op, and the word-
+        # bounds check proves the add in range.  Python-int arithmetic
+        # throughout: a float compare could round past the boundary.
+        if (
+            not self.sat
+            and fd.size
+            and qa.size
+            and np.ndim(alpha) == 0
+            and engine.mode.adder.is_exact
+            and engine.fmt.overflow == "saturate"
+            and fd.shape == qa.shape
+        ):
+            if bounds_a is None:
+                # The add-range check below needs these words scanned
+                # anyway; computing them here just moves the scan ahead
+                # of (and shares it with) the fusion proof.
+                bounds_a = (int(qa.min()), int(qa.max()))
+            peak = abs(float(alpha)) * float(np.abs(fd).max()) * engine.fmt.scale
+            if np.isfinite(peak):
+                w = int(np.rint(peak))
+                lo, hi = engine._signed_lo, engine._signed_hi
+                if (
+                    w <= hi
+                    and -w >= lo
+                    and bounds_a[1] + w <= hi
+                    and bounds_a[0] - w >= lo
+                ):
+                    qb = engine.backend.scale_encode_inrange(
+                        fd, alpha, engine.fmt.scale, self.bufs
+                    )
+                    out = engine.backend.add_words_inrange(qa, qb)
+                    return engine._emit(out, self.resident)
+        qb = engine.fmt.encode(alpha * fd)
         out = _replay_add_words(engine, qa, qb, bounds_a, None, self.sat)
         return engine._emit(out, self.resident)
 
@@ -625,10 +718,49 @@ def _trusted_encode(engine, product, varying, abs_max, strict):
     return engine.fmt.encode(product)
 
 
+def _fused_product_ok(engine, step, abs_max, varying, n) -> bool:
+    """Whether a product-encode-reduce may run fully fused (clip-free
+    single-pass) through :meth:`KernelBackend.product_reduce_words`.
+
+    The proof is one O(len(varying)) scan:  with ``P = fl(abs_max *
+    max|varying|)`` every element of the float product is bounded by
+    ``P`` (real-product ordering survives rounding — ``fl`` is
+    monotone), multiplying by the power-of-two ``scale`` is exact, and
+    ``rint`` is monotone, so ``W = rint(P * scale)`` bounds every
+    encoded word's magnitude.  ``W <= hi`` proves the encode clip a
+    no-op; ``n * W <= hi`` (exact Python-int arithmetic — a float
+    product could round below the true value) bounds every partial sum
+    of the ``n``-term reduction, making the exact integer fold
+    associative and hence bit-identical to the reference clip + tree.
+    ``n * W < 2**53`` additionally keeps every partial sum (under any
+    association) in float64's integer-exact range, licensing the
+    backend to fold the integer-valued *float* buffer directly —
+    automatic for word widths up to 53 bits, checked so wider formats
+    fall back rather than round.
+    Any failure — including a non-finite ``varying``, where the
+    unfused path reproduces the interpreted raise/checked-encode
+    behavior exactly — falls back to the unfused replay.
+    """
+    if (
+        step.sat
+        or abs_max is None
+        or not varying.size
+        or not engine.mode.adder.is_exact
+        or engine.fmt.overflow != "saturate"
+    ):
+        return False
+    peak = abs_max * float(np.abs(varying).max()) * engine.fmt.scale
+    if not np.isfinite(peak):
+        return False
+    w = int(np.rint(peak))
+    hi = engine._signed_hi
+    return w <= hi and n * w <= hi and n * w < (1 << 53)
+
+
 class _MatvecStep:
     """``matvec``: exact row products, approximate row accumulation."""
 
-    __slots__ = ("kind", "params", "charges", "sat", "res_mat", "res_vec", "rows", "cols", "plan", "zero_words", "resident")
+    __slots__ = ("kind", "params", "charges", "sat", "res_mat", "res_vec", "rows", "cols", "plan", "zero_words", "resident", "bufs")
 
     def __init__(self, engine, op, slots):
         matrix, vector = op.args
@@ -645,6 +777,7 @@ class _MatvecStep:
         self.zero_words = (
             engine.fmt.encode(np.zeros(self.rows)) if self.cols == 0 else None
         )
+        self.bufs: dict = {}
 
     def replay(self, engine, args):
         matrix, vector = args
@@ -652,6 +785,11 @@ class _MatvecStep:
         vec = self.res_vec(vector).reshape(-1)
         if self.cols == 0:
             return engine._emit(self.zero_words, self.resident)
+        if _fused_product_ok(engine, self, abs_max, vec, self.cols):
+            reduced = engine.backend.product_reduce_words(
+                mat, vec[np.newaxis, :], engine.fmt.scale, 1, self.bufs
+            )
+            return engine._emit(reduced, self.resident)
         product = mat * vec[np.newaxis, :]
         q = _trusted_encode(engine, product, vec, abs_max, strict)
         reduced = _replay_reduce(engine, q.T, self.plan, self.sat)
@@ -661,7 +799,7 @@ class _MatvecStep:
 class _WeightedSumStep:
     """``weighted_sum``: exact scaling, approximate accumulation."""
 
-    __slots__ = ("kind", "params", "charges", "sat", "res_w", "res_pts", "n", "plan", "zero_words", "resident")
+    __slots__ = ("kind", "params", "charges", "sat", "res_w", "res_pts", "n", "plan", "zero_words", "resident", "bufs")
 
     def __init__(self, engine, op, slots):
         weights, points = op.args
@@ -678,6 +816,7 @@ class _WeightedSumStep:
         self.zero_words = (
             engine.fmt.encode(np.zeros(pts.shape[1:])) if self.n == 0 else None
         )
+        self.bufs: dict = {}
 
     def replay(self, engine, args):
         weights, points = args
@@ -685,6 +824,11 @@ class _WeightedSumStep:
         pts, abs_max, strict = self.res_pts(points)
         if self.n == 0:
             return engine._emit(self.zero_words, self.resident)
+        if _fused_product_ok(engine, self, abs_max, w, self.n):
+            reduced = engine.backend.product_reduce_words(
+                w[:, np.newaxis], pts, engine.fmt.scale, 0, self.bufs
+            )
+            return engine._emit(reduced, self.resident)
         product = w[:, np.newaxis] * pts
         q = _trusted_encode(engine, product, w, abs_max, strict)
         reduced = _replay_reduce(engine, q, self.plan, self.sat)
@@ -694,7 +838,7 @@ class _WeightedSumStep:
 class _RecordedOp:
     """One top-level engine call as seen while recording."""
 
-    __slots__ = ("kind", "args", "params", "charges", "sat")
+    __slots__ = ("kind", "args", "params", "charges", "sat", "out")
 
     def __init__(self, kind, args, params):
         self.kind = kind
@@ -702,6 +846,136 @@ class _RecordedOp:
         self.params = params
         self.charges: list[tuple[str, int, float]] = []
         self.sat: list[bool] = []
+        self.out = None
+
+
+class _ChainTail:
+    """A chained op: every arg is either an earlier op's output or an
+    identity-stable literal, so the whole call is predictable at the
+    chain head's dispatch.
+
+    ``srcs`` holds one ``(is_op, value)`` pair per arg position:
+    ``(True, k)`` reads op ``k``'s output this iteration, ``(False,
+    obj)`` predicts the capture-time operand object (pinned residents
+    and constant arrays are identity-stable by the engine's pin
+    convention; anything else — e.g. a live float ``alpha`` — makes the
+    op unchainable).
+    """
+
+    __slots__ = ("index", "srcs")
+
+    def __init__(self, index, srcs):
+        self.index = index
+        self.srcs = srcs
+
+
+class _Chain:
+    """One dataflow chain: a head op plus the tail ops it feeds.
+
+    ``fused`` is the backend's optional compiled form (see
+    :meth:`~repro.backends.base.KernelBackend.compile_chain`): a
+    callable ``fn(engine, results) -> [(tail_index, pred_args, out),
+    ...]`` replacing the generic stepwise speculation.  ``None`` runs
+    the tails through their compiled steps one by one — still a single
+    Python dispatch entry for the whole chain.
+    """
+
+    __slots__ = ("root", "tails", "fused")
+
+    def __init__(self, root):
+        self.root = root
+        self.tails: list[int] = []
+        self.fused = None
+
+
+_PREDICTABLE = (np.ndarray, ResidentVector, ResidentMatrix, LaneStack)
+
+
+def _link_chains(ops, steps, backend):
+    """Link recorded ops into dataflow chains by output identity.
+
+    An op whose args are all either (a) ``is``-identical to an earlier
+    op's recorded output or (b) identity-stable literals joins the
+    chain rooted at its latest op-source (transitively: a tail feeding
+    another tail keeps one root).  At replay the whole chain executes
+    speculatively inside the head's dispatch — one Python entry per
+    chain — and each tail's own dispatch merely verifies the predicted
+    operand identities and serves the memoized result; any mismatch
+    (changed dataflow) recomputes that op through its compiled step, so
+    chaining never changes results, only entry count.
+    """
+    out_index: dict[int, int] = {}
+    roots: dict[int, int] = {}
+    chains: dict[int, _Chain] = {}
+    tails: dict[int, _ChainTail] = {}
+    for i, op in enumerate(ops):
+        srcs = []
+        last_src = -1
+        predictable = True
+        for a in op.args:
+            j = out_index.get(id(a))
+            if j is not None and a is ops[j].out:
+                srcs.append((True, j))
+                if j > last_src:
+                    last_src = j
+            elif isinstance(a, _PREDICTABLE):
+                srcs.append((False, a))
+            else:
+                predictable = False
+                break
+        if predictable and last_src >= 0:
+            root = roots.get(last_src, last_src)
+            chain = chains.get(root)
+            if chain is None:
+                chain = chains[root] = _Chain(root)
+            chain.tails.append(i)
+            tails[i] = _ChainTail(i, tuple(srcs))
+            roots[i] = root
+        if isinstance(op.out, _PREDICTABLE):
+            out_index[id(op.out)] = i
+    for chain in chains.values():
+        chain.fused = backend.compile_chain(
+            tuple(steps[t] for t in (chain.root, *chain.tails))
+        )
+    return chains, tails
+
+
+def _speculate_chain(engine, executor, program, chain):
+    """Execute a chain's tails ahead of their dispatches (called from
+    the head's dispatch, right after the head step replayed).
+
+    Results land in the executor's memo keyed by program index,
+    together with the exact predicted-arg tuple the tail dispatch must
+    verify by identity.  Speculation is side-effect-free with respect
+    to the ledger — charges append only when the real dispatch serves
+    the memo — and aborts silently on *any* failure (bailout, raise,
+    missing source): the affected tails simply replay normally at their
+    own dispatches, where errors surface at the interpreted call site.
+    """
+    results = executor.results
+    memo = executor.memo
+    try:
+        if chain.fused is not None:
+            served = chain.fused(engine, results)
+            if served is not None:
+                for t, pred_args, out in served:
+                    memo[t] = (pred_args, out)
+                return
+        for t in chain.tails:
+            tail = program.tails[t]
+            args = []
+            for is_op, val in tail.srcs:
+                if is_op:
+                    hit = memo.get(val)
+                    val = hit[1] if hit is not None else results[val]
+                    if val is None:
+                        return
+                args.append(val)
+            args = tuple(args)
+            out = program.steps[t].replay(engine, args)
+            memo[t] = (args, out)
+    except Exception:
+        return
 
 
 def _compile_add(engine, op, slots):
@@ -718,6 +992,16 @@ def _compile_add(engine, op, slots):
 
 def _compile_sub(engine, op, slots):
     a, b = op.args
+    if isinstance(b, ResidentVector):
+        # Resident subtrahend: resolve positive words so the in-range
+        # proof can skip the negate pass entirely (see _SubStep).
+        return _SubStep(
+            op.params,
+            tuple(op.charges),
+            any(op.sat),
+            _word_operand(engine, a, slots),
+            _word_operand(engine, b, slots),
+        )
     return _AddStep(
         "sub",
         op.params,
@@ -768,12 +1052,15 @@ _COMPILERS = {
 
 
 class IterationProgram:
-    """The compiled op sequence of one iteration at one mode."""
+    """The compiled op sequence of one iteration at one mode, plus the
+    dataflow chains linked across it (see :func:`_link_chains`)."""
 
-    __slots__ = ("steps",)
+    __slots__ = ("steps", "chains", "tails")
 
-    def __init__(self, steps):
+    def __init__(self, steps, chains=None, tails=None):
         self.steps = tuple(steps)
+        self.chains = chains if chains is not None else {}
+        self.tails = tails if tails is not None else {}
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -789,10 +1076,11 @@ class ProgramRecorder:
     def open_op(self, kind, args, params) -> None:
         self._open = _RecordedOp(kind, args, params)
 
-    def close_op(self) -> None:
+    def close_op(self, out=None) -> None:
         op = self._open
         self._open = None
         if op is not None:
+            op.out = out
             self.ops.append(op)
 
     def on_charge(self, mode_name, n_adds, energy_per_add) -> None:
@@ -805,9 +1093,9 @@ class ProgramRecorder:
 
     def finalize(self, engine, slots) -> IterationProgram:
         """Compile the recorded ops against the end-of-iteration slots."""
-        return IterationProgram(
-            _COMPILERS[op.kind](engine, op, slots) for op in self.ops
-        )
+        steps = tuple(_COMPILERS[op.kind](engine, op, slots) for op in self.ops)
+        chains, tails = _link_chains(self.ops, steps, engine.backend)
+        return IterationProgram(steps, chains, tails)
 
 
 class ProgramExecutor:
@@ -822,13 +1110,17 @@ class ProgramExecutor:
     exactly.
     """
 
-    __slots__ = ("program", "cursor", "pending", "bailed_reason")
+    __slots__ = ("program", "cursor", "pending", "bailed_reason", "results", "memo")
 
     def __init__(self, program: IterationProgram):
         self.program = program
         self.cursor = 0
         self.pending: list[tuple[str, int, float]] = []
         self.bailed_reason: str | None = None
+        # Per-step outputs this iteration (chain sources) and the
+        # speculated-tail memo: index -> (predicted args, output).
+        self.results: list = [None] * len(program.steps)
+        self.memo: dict[int, tuple[tuple, object]] = {}
 
     def next_step(self, kind, params):
         """The next compiled step, or ``None`` on structure mismatch."""
@@ -990,13 +1282,26 @@ class ProgramEngine(ApproxEngine):
                 raise
             finally:
                 self._depth -= 1
-            recorder.close_op()
+            recorder.close_op(out)
             return out
         # _REPLAY
         executor = self._executor
         step = executor.next_step(kind, params)
         if step is None:
             return self._bail_and_run(kind, args, params, "structure")
+        idx = executor.cursor - 1
+        hit = executor.memo.pop(idx, None)
+        if hit is not None:
+            pred_args, out = hit
+            if len(pred_args) == len(args) and all(
+                p is a for p, a in zip(pred_args, args)
+            ):
+                # Chain hit: this op already ran speculatively at its
+                # chain head on these exact operands — serve the result
+                # and charge now, keeping the ledger order identical.
+                executor.results[idx] = out
+                executor.pending.extend(step.charges)
+                return out
         self._depth += 1
         try:
             out = step.replay(self, args)
@@ -1008,6 +1313,10 @@ class ProgramEngine(ApproxEngine):
             raise
         self._depth -= 1
         executor.pending.extend(step.charges)
+        executor.results[idx] = out
+        chain = self.program.chains.get(idx)
+        if chain is not None:
+            _speculate_chain(self, executor, self.program, chain)
         return out
 
     def _bail_and_run(self, kind, args, params, reason):
@@ -1389,7 +1698,7 @@ class _BSumStep:
 class _BMatvecStep:
     """Batched ``matvec``: shared matrix × ``(L, N)`` iterate stack."""
 
-    __slots__ = ("kind", "params", "charges", "sat", "res_mat", "res_vec", "rows", "cols", "resident")
+    __slots__ = ("kind", "params", "charges", "sat", "res_mat", "res_vec", "rows", "cols", "resident", "bufs")
 
     def __init__(self, engine, op, slots, lanes):
         matrix, vector = op.args
@@ -1402,6 +1711,7 @@ class _BMatvecStep:
         self.res_vec = _b_float_operand(engine, vector, slots, lanes)
         mat = np.asarray(matrix, dtype=np.float64)
         self.rows, self.cols = mat.shape
+        self.bufs: dict = {}
 
     def replay(self, engine, args):
         matrix, vector = args
@@ -1410,6 +1720,15 @@ class _BMatvecStep:
         if self.cols == 0:
             zeros = engine.fmt.encode(np.zeros((xs.shape[0], self.rows)))
             return engine._emit(zeros, self.resident)
+        if _fused_product_ok(engine, self, abs_max, xs, self.cols):
+            reduced = engine.backend.product_reduce_words(
+                mat[np.newaxis, :, :],
+                xs[:, np.newaxis, :],
+                engine.fmt.scale,
+                2,
+                self.bufs,
+            )
+            return engine._emit(reduced, self.resident)
         products = mat[np.newaxis, :, :] * xs[:, np.newaxis, :]
         q = _trusted_encode(engine, products, xs, abs_max, strict)
         slab = np.moveaxis(q, 2, 0)
@@ -1421,7 +1740,7 @@ class _BMatvecStep:
 class _BWeightedSumStep:
     """Batched ``weighted_sum``: per-lane weights × shared points."""
 
-    __slots__ = ("kind", "params", "charges", "sat", "res_w", "res_pts", "n", "resident")
+    __slots__ = ("kind", "params", "charges", "sat", "res_w", "res_pts", "n", "resident", "bufs")
 
     def __init__(self, engine, op, slots, lanes):
         weights, points = op.args
@@ -1434,6 +1753,7 @@ class _BWeightedSumStep:
         self.res_pts = _matrix_operand(engine, points, slots)
         pts = np.asarray(points, dtype=np.float64)
         self.n = pts.shape[0]
+        self.bufs: dict = {}
 
     def replay(self, engine, args):
         weights, points = args
@@ -1444,6 +1764,15 @@ class _BWeightedSumStep:
                 np.zeros((w.shape[0],) + pts.shape[1:])
             )
             return engine._emit(zeros, self.resident)
+        if _fused_product_ok(engine, self, abs_max, w, self.n):
+            reduced = engine.backend.product_reduce_words(
+                w[:, :, np.newaxis],
+                pts[np.newaxis, :, :],
+                engine.fmt.scale,
+                1,
+                self.bufs,
+            )
+            return engine._emit(reduced, self.resident)
         products = w[:, :, np.newaxis] * pts[np.newaxis, :, :]
         q = _trusted_encode(engine, products, w, abs_max, strict)
         slab = np.moveaxis(q, 1, 0)
@@ -1503,9 +1832,11 @@ _B_COMPILERS = {
 
 def _finalize_batched(recorder, engine, slots, lanes) -> IterationProgram:
     """Compile a batched recording against the end-of-iteration slots."""
-    return IterationProgram(
+    steps = tuple(
         _B_COMPILERS[op.kind](engine, op, slots, lanes) for op in recorder.ops
     )
+    chains, tails = _link_chains(recorder.ops, steps, engine.backend)
+    return IterationProgram(steps, chains, tails)
 
 
 class BatchedProgramEngine(BatchedEngine):
@@ -1675,13 +2006,23 @@ class BatchedProgramEngine(BatchedEngine):
                 raise
             finally:
                 self._depth -= 1
-            recorder.close_op()
+            recorder.close_op(out)
             return out
         # _REPLAY
         executor = self._executor
         step = executor.next_step(kind, params)
         if step is None:
             return self._bail_and_run(kind, args, params, "structure")
+        idx = executor.cursor - 1
+        hit = executor.memo.pop(idx, None)
+        if hit is not None:
+            pred_args, out = hit
+            if len(pred_args) == len(args) and all(
+                p is a for p, a in zip(pred_args, args)
+            ):
+                executor.results[idx] = out
+                executor.pending.extend(step.charges)
+                return out
         self._depth += 1
         try:
             out = step.replay(self, args)
@@ -1693,6 +2034,10 @@ class BatchedProgramEngine(BatchedEngine):
             raise
         self._depth -= 1
         executor.pending.extend(step.charges)
+        executor.results[idx] = out
+        chain = self.program.chains.get(idx)
+        if chain is not None:
+            _speculate_chain(self, executor, self.program, chain)
         return out
 
     def _bail_and_run(self, kind, args, params, reason):

@@ -1,0 +1,275 @@
+"""Kernel backend protocol and registry.
+
+A :class:`KernelBackend` is the pluggable execution substrate behind
+the engine's kernel interface: every elementary operation the datapath
+performs — adder dispatch, fixed-point encode/decode, and the fused
+in-range kernels the program-replay fast paths are built on — routes
+through the engine's backend object.  The NumPy reference backend
+(:mod:`repro.backends.numpy_backend`) is today's code refactored behind
+the interface with zero behavior change; alternative backends (the
+optional Numba backend, :mod:`repro.backends.numba_backend`) may swap
+in specialized kernels as long as they stay **bit-identical** to the
+reference — the bit-serial ``adders.reference`` suite is the
+cross-backend oracle (``tests/hardware/test_backend_equivalence.py``).
+
+Selection precedence (resolved once at engine construction):
+
+1. an explicit backend (``ApproxIt(backend=...)`` / CLI ``--backend``);
+2. the ``$REPRO_BACKEND`` environment variable;
+3. the ``"numpy"`` reference backend.
+
+The resolved backend's :attr:`~KernelBackend.name` rides in the solver
+service's content-address key (see
+:meth:`repro.service.requests.SolveRequest.payload`), so cached runs
+stay bit-identical per backend.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: The always-available reference backend.
+DEFAULT_BACKEND = "numpy"
+
+
+class KernelBackend:
+    """Execution substrate for the engine's elementary kernels.
+
+    The base class *is* the NumPy reference semantics: every method's
+    default implementation delegates to the adder model / fixed-point
+    format exactly as the pre-backend engine did, so a subclass only
+    overrides the kernels it specializes and inherits reference
+    behavior (and hence bit-exactness) everywhere else.
+
+    Two method groups:
+
+    * **primitive dispatch** (:meth:`add_signed`, :meth:`add_unsigned`,
+      :meth:`encode`, :meth:`decode`) — always-correct entry points the
+      interpreted path calls for every operation;
+    * **fused in-range kernels** (:meth:`add_words_inrange`,
+      :meth:`sub_words_inrange`, :meth:`reduce_inrange`,
+      :meth:`product_reduce_words`) — called only by program replay
+      *after* the caller has proved the operation cannot leave the
+      representable range (exact adder, saturating format, interval
+      proof), where the masked/clipped reference computation provably
+      collapses to plain integer arithmetic.  Implementations must be
+      bit-identical to the reference under those preconditions.
+
+    Attributes:
+        name: registry key (also the value carried in content-address
+            keys and ``BENCH_perf.json`` entries).
+        version: substrate version string for provenance (e.g. the
+            NumPy or Numba release).
+    """
+
+    name: str = "abstract"
+    version: str = "0"
+
+    # ------------------------------------------------------------------
+    # Primitive dispatch
+    # ------------------------------------------------------------------
+    def add_signed(self, adder, qa: np.ndarray, qb: np.ndarray) -> np.ndarray:
+        """One elementary addition through ``adder`` (two's-complement,
+        wraparound overflow) — the single adder entry point of
+        :meth:`repro.arith.engine.ApproxEngine._add_words`."""
+        return adder.add_signed(qa, qb)
+
+    def add_unsigned(self, adder, ua: np.ndarray, ub: np.ndarray) -> np.ndarray:
+        """Unsigned ``width``-bit addition through ``adder`` (the
+        surface the bit-serial equivalence oracle exercises)."""
+        return adder.add_unsigned(ua, ub)
+
+    def encode(
+        self, fmt, values: np.ndarray, *, assume_finite: bool = False
+    ) -> np.ndarray:
+        """Quantize floats to fixed-point words (``int64``)."""
+        return fmt.encode(values, assume_finite=assume_finite)
+
+    def decode(self, fmt, words: np.ndarray) -> np.ndarray:
+        """Fixed-point words back to floats."""
+        return fmt.decode(words)
+
+    # ------------------------------------------------------------------
+    # Fused in-range kernels (caller supplies the range proof)
+    # ------------------------------------------------------------------
+    def add_words_inrange(self, qa: np.ndarray, qb: np.ndarray) -> np.ndarray:
+        """Exact add of words whose sum provably stays in range: the
+        masked two's-complement add collapses to plain ``+``."""
+        return np.add(qa, qb)
+
+    def sub_words_inrange(self, qa: np.ndarray, qb: np.ndarray) -> np.ndarray:
+        """Exact subtract under an in-range (and no-negation-clamp)
+        proof: negation plus masked add collapses to plain ``-``."""
+        return np.subtract(qa, qb)
+
+    def reduce_inrange(self, q: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Tree-reduce along ``axis`` when every partial sum provably
+        stays in range: in-range exact integer addition is associative,
+        so a flat fold is bit-identical to the balanced tree."""
+        return np.add.reduce(q, axis=axis)
+
+    def product_reduce_words(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        scale: float,
+        axis: int,
+        bufs: dict,
+    ) -> np.ndarray:
+        """Fused product → encode → in-range reduce.
+
+        Computes ``reduce(rint((a * b) * scale), axis)`` as int64 words
+        with the encode clip *skipped* — callable only when the caller
+        proved every encoded word and every partial sum in range *and*
+        below ``2**53`` (see ``repro.arith.program._fused_product_ok``).
+        ``a * b``
+        broadcasts; ``bufs`` is per-call-site scratch storage keyed by
+        broadcast shape, reused across iterations so the hot loop
+        allocates only the reduced output.
+
+        Bit-exactness argument: the reference path computes
+        ``rint(product * scale).astype(int64)`` then clips then
+        tree-reduces; with the clip proven a no-op and the tree proven
+        in-range, the same float ops followed by a flat fold produce
+        the identical words.  The fold itself runs in the float buffer:
+        after ``rint`` every element is integer-valued, and the
+        caller's ``n*W < 2**53`` proof bounds every partial sum (under
+        *any* association, so NumPy's pairwise float summation is
+        covered) below the float64 integer-exact range — the float
+        reduce is therefore the exact integer sum, and the O(rows)
+        result is the only value cast, skipping the O(rows*cols)
+        ``int64`` conversion pass entirely.
+        """
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        fbuf = bufs.get(shape)
+        if fbuf is None:
+            fbuf = bufs[shape] = np.empty(shape, dtype=np.float64)
+        np.multiply(a, b, out=fbuf)
+        fbuf *= scale
+        np.rint(fbuf, out=fbuf)
+        return np.add.reduce(fbuf, axis=axis).astype(np.int64)
+
+    def scale_encode_inrange(
+        self,
+        arr: np.ndarray,
+        factor: float,
+        scale: float,
+        bufs: dict,
+    ) -> np.ndarray:
+        """Fused ``encode(factor * arr)`` with the clip *skipped*.
+
+        Computes ``rint((arr * factor) * scale)`` as int64 words —
+        callable only when the caller proved every encoded word in
+        range (the ``scale_add`` replay's peak-bound proof), where the
+        reference encode's finiteness scan and clip are both no-ops.
+        ``bufs`` is per-call-site scratch keyed by shape, reused across
+        iterations; the returned array is one of those buffers, so the
+        caller must consume it before the next call.
+        """
+        pair = bufs.get(arr.shape)
+        if pair is None:
+            pair = (
+                np.empty(arr.shape, dtype=np.float64),
+                np.empty(arr.shape, dtype=np.int64),
+            )
+            bufs[arr.shape] = pair
+        fbuf, qbuf = pair
+        np.multiply(arr, factor, out=fbuf)
+        fbuf *= scale
+        np.rint(fbuf, out=fbuf)
+        np.copyto(qbuf, fbuf, casting="unsafe")
+        return qbuf
+
+    # ------------------------------------------------------------------
+    # Chain compilation hook
+    # ------------------------------------------------------------------
+    def compile_chain(self, steps) -> object | None:
+        """Optionally fuse a dataflow chain of compiled steps into one
+        backend-specific callable ``fn(engine, head_args) -> [outputs]``.
+
+        ``None`` (the default) makes the replay executor run the chain
+        step-by-step through the generic speculative harness — still
+        one Python entry per chain head, with tail dispatches served
+        from memoized results.  A backend may return a fused callable
+        for patterns it recognizes; it must be bit-identical to the
+        stepwise execution.
+        """
+        return None
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{self.name} ({self.version})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, version={self.version!r})"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_BACKENDS: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend, *, replace: bool = False) -> KernelBackend:
+    """Register a backend instance under its :attr:`~KernelBackend.name`.
+
+    Raises:
+        ValueError: on a duplicate name unless ``replace=True``.
+    """
+    name = backend.name
+    if not name or name == "abstract":
+        raise ValueError(f"backend needs a concrete name, got {name!r}")
+    if name in _BACKENDS and not replace:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend named ``name``.
+
+    Raises:
+        ValueError: for an unknown name (lists what *is* available, so
+            a typo or a missing optional dependency fails loudly).
+    """
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{list(available_backends())}"
+        )
+    return backend
+
+
+def resolve_backend_name(spec: "str | KernelBackend | None" = None) -> str:
+    """The effective backend name for ``spec``.
+
+    Precedence: explicit ``spec`` > ``$REPRO_BACKEND`` >
+    :data:`DEFAULT_BACKEND`.  The name is validated against the
+    registry, so an env var naming an unavailable backend fails loudly
+    instead of silently running the default.
+    """
+    if isinstance(spec, KernelBackend):
+        return get_backend(spec.name).name if spec.name in _BACKENDS else spec.name
+    name = spec if spec is not None else os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    return get_backend(name).name
+
+
+def resolve_backend(spec: "str | KernelBackend | None" = None) -> KernelBackend:
+    """Resolve ``spec`` to a backend instance (see
+    :func:`resolve_backend_name` for the precedence)."""
+    if isinstance(spec, KernelBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    return get_backend(spec)

@@ -1,0 +1,143 @@
+"""Optional Numba backend (guarded import, auto-registered when present).
+
+Specializes the hottest replay kernels as JIT-compiled single-pass
+loops — the fused product → encode → reduce of ``matvec`` /
+``weighted_sum`` replay runs as one loop nest instead of five
+vectorized passes, and the exact adder's mask/unmask sandwich collapses
+to one expression per element.  Everything it does not specialize
+(approximate adder families, checked encodes) inherits the NumPy
+reference implementation, so bit-exactness against the
+``adders.reference`` oracle holds by construction for the inherited
+paths and is asserted by ``tests/hardware/test_backend_equivalence.py``
+for the specialized ones.
+
+Import is guarded: when Numba is not installed this module still
+imports cleanly, :data:`HAVE_NUMBA` is ``False`` and :func:`build`
+raises ``ImportError`` — the package registry simply skips the
+registration and ``--backend numba`` fails loudly with the list of
+backends that *are* available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import KernelBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common CI container case
+    numba = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _exact_add_signed(qa, qb, width):
+        """Masked two's-complement add, one pass: identical to
+        ``to_signed((to_unsigned(a) + to_unsigned(b)) & mask)``."""
+        mask = np.int64((np.int64(1) << np.int64(width)) - np.int64(1))
+        sign = np.int64(1) << np.int64(width - 1)
+        out = np.empty(qa.shape, dtype=np.int64)
+        flat_a = qa.ravel()
+        flat_b = qb.ravel()
+        flat_o = out.ravel()
+        for i in range(flat_a.size):
+            s = ((flat_a[i] & mask) + (flat_b[i] & mask)) & mask
+            flat_o[i] = (s ^ sign) - sign
+        return out
+
+    @numba.njit(cache=True)
+    def _matvec_words(mat, vec, scale):
+        """Fused rows of ``rint(mat[i, j] * vec[j] * scale)`` summed
+        exactly — valid only under the caller's no-clip/in-range proof."""
+        rows, cols = mat.shape
+        out = np.empty(rows, dtype=np.int64)
+        for i in range(rows):
+            acc = np.int64(0)
+            for j in range(cols):
+                acc += np.int64(np.rint(mat[i, j] * vec[j] * scale))
+            out[i] = acc
+        return out
+
+    @numba.njit(cache=True)
+    def _batched_matvec_words(mat, xs, scale):
+        """Per-lane fused matvec words: ``(L, rows)`` from a shared
+        ``(rows, cols)`` matrix and an ``(L, cols)`` iterate stack."""
+        lanes = xs.shape[0]
+        rows, cols = mat.shape
+        out = np.empty((lanes, rows), dtype=np.int64)
+        for la in range(lanes):
+            for i in range(rows):
+                acc = np.int64(0)
+                for j in range(cols):
+                    acc += np.int64(np.rint(mat[i, j] * xs[la, j] * scale))
+                out[la, i] = acc
+        return out
+
+    @numba.njit(cache=True)
+    def _weighted_words(w, pts, scale):
+        """Fused ``sum_i rint(w[i] * pts[i, :] * scale)`` (axis-0
+        reduce of the weighted-sum product)."""
+        n, d = pts.shape
+        out = np.zeros(d, dtype=np.int64)
+        for i in range(n):
+            wi = w[i]
+            for j in range(d):
+                out[j] += np.int64(np.rint(wi * pts[i, j] * scale))
+        return out
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-specialized backend; inherits reference semantics elsewhere."""
+
+    name = "numba"
+    version = numba.__version__ if HAVE_NUMBA else "unavailable"
+
+    def add_signed(self, adder, qa, qb):
+        if adder.is_exact and type(adder).__name__ == "ExactAdder":
+            qa = np.ascontiguousarray(qa, dtype=np.int64)
+            qb = np.ascontiguousarray(qb, dtype=np.int64)
+            if qa.shape == qb.shape:
+                return _exact_add_signed(qa, qb, adder.width)
+        return adder.add_signed(qa, qb)
+
+    def product_reduce_words(self, a, b, scale, axis, bufs):
+        # matvec: (rows, cols) x (1, cols) reduced along the last axis.
+        if a.ndim == 2 and b.ndim == 2 and b.shape[0] == 1 and axis == 1:
+            return _matvec_words(
+                np.ascontiguousarray(a), np.ascontiguousarray(b[0]), scale
+            )
+        # batched matvec: (1, rows, cols) x (L, 1, cols), axis=2.
+        if (
+            a.ndim == 3
+            and b.ndim == 3
+            and a.shape[0] == 1
+            and b.shape[1] == 1
+            and axis == 2
+        ):
+            return _batched_matvec_words(
+                np.ascontiguousarray(a[0]),
+                np.ascontiguousarray(b[:, 0, :]),
+                scale,
+            )
+        # weighted_sum: (n, 1) weights x (n, d) points, axis=0.
+        if a.ndim == 2 and a.shape[1] == 1 and b.ndim == 2 and axis == 0:
+            return _weighted_words(
+                np.ascontiguousarray(a[:, 0]), np.ascontiguousarray(b), scale
+            )
+        return super().product_reduce_words(a, b, scale, axis, bufs)
+
+
+def build() -> NumbaBackend:
+    """Factory used by the package registry.
+
+    Raises:
+        ImportError: when Numba is not installed.
+    """
+    if not HAVE_NUMBA:
+        raise ImportError("numba is not installed; the numba backend is unavailable")
+    return NumbaBackend()

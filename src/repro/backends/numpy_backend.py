@@ -1,0 +1,29 @@
+"""The NumPy reference backend.
+
+This is the engine's historical execution substrate refactored behind
+the :class:`~repro.backends.base.KernelBackend` interface with zero
+behavior change: every primitive delegates to the adder model's own
+vectorized SWAR kernels (:mod:`repro.hardware.bitops`) and to
+:class:`~repro.arith.fixed.FixedPointFormat`, and the fused in-range
+kernels are the ``np.add`` / ``np.add.reduce`` collapses the replay
+fast paths already used.  Every other backend is validated bit-for-bit
+against this one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import KernelBackend
+
+
+class NumpyBackend(KernelBackend):
+    """Reference backend: the base-class semantics, named and versioned."""
+
+    name = "numpy"
+    version = np.__version__
+
+
+def build() -> NumpyBackend:
+    """Factory used by the package registry."""
+    return NumpyBackend()

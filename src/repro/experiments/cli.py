@@ -41,7 +41,13 @@ The solver also runs as a long-lived service (see ``docs/service.md``)::
 identical request is served from disk with zero solver iterations.
 ``submit`` talks to a running server over HTTP (``--url``), waits for
 completion and prints the result (``--json`` for machine-readable
-output, e.g. in CI).
+output, e.g. in CI).  ``approxit store gc --max-bytes N --max-age 30d``
+prunes the oldest completed runs and their traces from that store
+(failure checkpoints are kept).
+
+``--backend NAME`` selects the kernel backend (NumPy reference, or the
+Numba JIT backend when installed) for whatever the command runs, and is
+carried on submitted service requests — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -74,8 +80,26 @@ def _build_parser() -> argparse.ArgumentParser:
             "run",
             "serve",
             "submit",
+            "store",
         ],
-        help="which artifact to regenerate (or service verb: serve/submit)",
+        help="which artifact to regenerate (or service verb: "
+        "serve/submit/store)",
+    )
+    parser.add_argument(
+        "verb",
+        nargs="?",
+        default=None,
+        help="sub-verb for the store artifact (currently: gc)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend for every engine this command builds "
+        "(numpy reference, or numba when installed); also exported as "
+        "$REPRO_BACKEND so --parallel workers inherit it, and carried "
+        "on submitted service requests (default: $REPRO_BACKEND or "
+        "numpy)",
     )
     parser.add_argument(
         "--dataset",
@@ -183,7 +207,43 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="submit: print the raw job/sweep JSON instead of a summary",
     )
+    store = parser.add_argument_group("store (store gc)")
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="store gc: evict oldest completed runs (and their traces) "
+        "until runs/ + traces/ fit in N bytes; failures are kept",
+    )
+    store.add_argument(
+        "--max-age",
+        default=None,
+        metavar="AGE",
+        help="store gc: additionally evict entries older than AGE — "
+        "seconds, or with an s/m/h/d suffix (e.g. 30d)",
+    )
     return parser
+
+
+#: Seconds per --max-age suffix unit.
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_age(text: str) -> float:
+    """``"90"``/``"90s"``/``"15m"``/``"6h"``/``"30d"`` -> seconds."""
+    text = text.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = float(text) * unit
+    except ValueError:
+        raise ValueError(f"invalid --max-age {text!r}") from None
+    if seconds < 0:
+        raise ValueError(f"--max-age must be >= 0, got {seconds}")
+    return seconds
 
 
 def resolve_cache_dir(
@@ -255,6 +315,36 @@ def _serve(args) -> int:
     return 0
 
 
+def _store(args) -> int:
+    """Run-store maintenance verbs (currently ``gc``)."""
+    if args.verb != "gc":
+        sys.stderr.write(
+            f"unknown store verb {args.verb!r}; supported: gc\n"
+        )
+        return 2
+    from repro.service import RunStore
+
+    if args.max_bytes is None and args.max_age is None:
+        sys.stderr.write("store gc needs --max-bytes and/or --max-age\n")
+        return 2
+    try:
+        max_age_s = None if args.max_age is None else parse_age(args.max_age)
+    except ValueError as exc:
+        sys.stderr.write(f"{exc}\n")
+        return 2
+    store_dir = resolve_store_dir(args.store_dir)
+    summary = RunStore(store_dir).gc(
+        max_bytes=args.max_bytes, max_age_s=max_age_s
+    )
+    print(
+        f"store gc ({store_dir}): evicted {summary['evicted_runs']} runs, "
+        f"{summary['evicted_traces']} traces "
+        f"({summary['freed_bytes']} bytes freed); "
+        f"{summary['kept_runs']} runs kept ({summary['kept_bytes']} bytes)"
+    )
+    return 0
+
+
 def _http_json(method: str, url: str, body: dict | None = None, timeout: float = 60.0):
     """One JSON request to a running service; returns (status, payload)."""
     import json
@@ -295,6 +385,7 @@ def _submit_inner(args) -> int:
             "strategies": [s.strip() for s in args.sweep.split(",") if s.strip()],
             "tenant": args.tenant,
             "max_iter": args.max_iter,
+            "backend": args.backend,
         }
         status, payload = _http_json("POST", f"{url}/sweeps", body)
         if status not in (200, 202):
@@ -322,6 +413,7 @@ def _submit_inner(args) -> int:
         "strategy": args.strategy,
         "tenant": args.tenant,
         "max_iter": args.max_iter,
+        "backend": args.backend,
     }
     status, payload = _http_json("POST", f"{url}/jobs", body)
     if status not in (200, 202):
@@ -565,6 +657,12 @@ def _run_report(
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.backend:
+        # Exported (not just passed) so --parallel prewarm workers and
+        # the serve dispatcher's pool inherit the same backend.
+        os.environ["REPRO_BACKEND"] = args.backend
+    if args.artifact == "store":
+        return _store(args)
     if args.artifact == "serve":
         return _serve(args)
     if args.artifact == "submit":

@@ -128,7 +128,9 @@ def set_default_cache_dir(cache_dir: str | Path | None) -> None:
 
 
 def build_framework(
-    dataset_key: str, cache_dir: str | None = None
+    dataset_key: str,
+    cache_dir: str | None = None,
+    backend: str | None = None,
 ) -> tuple[ApproxIt, object]:
     """Construct the framework (and its method) for one dataset.
 
@@ -149,7 +151,7 @@ def build_framework(
     else:
         method = AutoRegression.from_dataset(dataset)
     char_cache = CharacterizationCache(cache_dir) if cache_dir else None
-    return ApproxIt(method, char_cache=char_cache), method
+    return ApproxIt(method, char_cache=char_cache, backend=backend), method
 
 
 #: Backward-compatible alias (pre-service name).

@@ -94,7 +94,9 @@ def run_job_group(group: dict) -> list[dict] | dict:
     """
     try:
         framework, _ = build_framework(
-            group["dataset"], cache_dir=group.get("cache_dir")
+            group["dataset"],
+            cache_dir=group.get("cache_dir"),
+            backend=group.get("backend"),
         )
     except Exception as exc:  # noqa: BLE001 - errors travel as values
         return {"error": _error_text(exc)}

@@ -36,6 +36,7 @@ import hashlib
 import time
 from pathlib import Path
 
+from repro.backends import resolve_backend_name
 from repro.core.sweep import SweepResult, cells_from_runs
 from repro.experiments.parallel import SweepPool
 from repro.obs.metrics import MetricsRegistry
@@ -376,6 +377,7 @@ class JobQueue:
             "specs": [job.request.strategy for job in group],
             "max_iter": request.max_iter,
             "program_capture": request.program_capture,
+            "backend": resolve_backend_name(request.backend),
             "cache_dir": self.cache_dir,
             "shard_trace": self._shard_trace(group) if len(group) > 1 else None,
             "lane_traces": [self._lane_trace(job) for job in group],

@@ -24,12 +24,13 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.arith.modes import default_mode_bank
+from repro.backends import resolve_backend_name
 from repro.core.framework import DEFAULT_PROBES
 from repro.data.registry import DATASETS
 
 #: Bump whenever the solve algorithm or the payload shape changes;
 #: older run-store entries then miss instead of serving stale results.
-REQUEST_SCHEMA = 1
+REQUEST_SCHEMA = 2
 
 #: Default tenant for requests that do not name one.
 DEFAULT_TENANT = "default"
@@ -67,6 +68,11 @@ class SolveRequest:
             framework default; results are bit-identical either way,
             but the knob rides in the key so an operator pinning it
             gets a dedicated entry).
+        backend: optional kernel backend name (``None`` resolves
+            ``$REPRO_BACKEND`` / the NumPy reference).  The *effective*
+            name rides in the content address — runs stay bit-identical
+            per backend, and naming an unregistered backend fails at
+            construction rather than silently running the default.
     """
 
     dataset: str
@@ -74,6 +80,7 @@ class SolveRequest:
     tenant: str = DEFAULT_TENANT
     max_iter: int | None = None
     program_capture: bool | None = None
+    backend: str | None = None
 
     def __post_init__(self):
         if self.dataset not in DATASETS:
@@ -84,6 +91,7 @@ class SolveRequest:
             raise ValueError("strategy spec must be non-empty")
         if self.max_iter is not None and int(self.max_iter) < 1:
             raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
+        resolve_backend_name(self.backend)
 
     # ------------------------------------------------------------------
     # Content addressing
@@ -98,6 +106,7 @@ class SolveRequest:
             "strategy": self.strategy,
             "max_iter": None if self.max_iter is None else int(self.max_iter),
             "program_capture": self.program_capture,
+            "backend": resolve_backend_name(self.backend),
             "probes": DEFAULT_PROBES,
             "platform": json.loads(_platform_config()),
         }
@@ -131,6 +140,7 @@ class SolveRequest:
             "tenant": self.tenant,
             "max_iter": self.max_iter,
             "program_capture": self.program_capture,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -144,7 +154,14 @@ class SolveRequest:
         """
         if not isinstance(payload, dict):
             raise ValueError(f"request body must be an object, got {payload!r}")
-        known = {"dataset", "strategy", "tenant", "max_iter", "program_capture"}
+        known = {
+            "dataset",
+            "strategy",
+            "tenant",
+            "max_iter",
+            "program_capture",
+            "backend",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ValueError(
@@ -154,12 +171,14 @@ class SolveRequest:
             raise ValueError("request is missing required field 'dataset'")
         max_iter = payload.get("max_iter")
         capture = payload.get("program_capture")
+        backend = payload.get("backend")
         return cls(
             dataset=str(payload["dataset"]),
             strategy=str(payload.get("strategy", "incremental")),
             tenant=str(payload.get("tenant", DEFAULT_TENANT)),
             max_iter=None if max_iter is None else int(max_iter),
             program_capture=None if capture is None else bool(capture),
+            backend=None if backend is None else str(backend),
         )
 
 
@@ -177,6 +196,7 @@ class SweepRequest:
     strategies: tuple[str, ...] = ("incremental", "adaptive")
     tenant: str = DEFAULT_TENANT
     max_iter: int | None = None
+    backend: str | None = None
 
     def __post_init__(self):
         if not self.strategies:
@@ -195,6 +215,7 @@ class SweepRequest:
                 strategy=spec,
                 tenant=self.tenant,
                 max_iter=self.max_iter,
+                backend=self.backend,
             )
             for spec in ("truth", *self.strategies)
         ]
@@ -205,13 +226,14 @@ class SweepRequest:
             "strategies": list(self.strategies),
             "tenant": self.tenant,
             "max_iter": self.max_iter,
+            "backend": self.backend,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SweepRequest":
         if not isinstance(payload, dict):
             raise ValueError(f"request body must be an object, got {payload!r}")
-        known = {"dataset", "strategies", "tenant", "max_iter"}
+        known = {"dataset", "strategies", "tenant", "max_iter", "backend"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError(
@@ -223,9 +245,11 @@ class SweepRequest:
         if isinstance(strategies, str):
             raise ValueError("'strategies' must be a list of spec strings")
         max_iter = payload.get("max_iter")
+        backend = payload.get("backend")
         return cls(
             dataset=str(payload["dataset"]),
             strategies=tuple(str(s) for s in strategies),
             tenant=str(payload.get("tenant", DEFAULT_TENANT)),
             max_iter=None if max_iter is None else int(max_iter),
+            backend=None if backend is None else str(backend),
         )

@@ -225,6 +225,109 @@ class RunStore:
         except OSError:
             return []
 
+    # -- eviction ------------------------------------------------------
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+        now: float | None = None,
+    ) -> dict:
+        """Prune oldest completed runs (and their traces) to budget.
+
+        Eviction order is oldest-``created`` first (disk mtime as a
+        fallback for records whose timestamp cannot be read).  A run's
+        private trace file goes with it; shard traces shared by several
+        runs are removed only once no surviving run references them.
+        Failure checkpoints under ``failures/`` are *never* pruned —
+        they exist for postmortems, not caching.
+
+        Args:
+            max_bytes: total budget for ``runs/`` + ``traces/`` bytes;
+                oldest entries are evicted until the rest fits.
+            max_age_s: additionally evict anything older than this many
+                seconds, regardless of the byte budget.
+            now: reference timestamp for age checks (defaults to
+                ``time.time()``; injectable for tests).
+
+        Returns:
+            Summary dict: ``evicted_runs``, ``evicted_traces``,
+            ``freed_bytes``, ``kept_runs``, ``kept_bytes``.
+        """
+        if now is None:
+            now = time.time()
+        entries = []  # (created, run_path, run_bytes, trace_rel)
+        for path in sorted(self.runs_dir.glob("*.json")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            created = None
+            trace_rel = None
+            try:
+                payload = json.loads(path.read_text())
+                created = float(payload.get("created", 0.0))
+                trace_rel = payload.get("trace_path")
+            except (OSError, ValueError, TypeError):
+                pass
+            if not created:
+                try:
+                    created = path.stat().st_mtime
+                except OSError:
+                    created = 0.0
+            entries.append((created, path, size, trace_rel))
+        entries.sort(key=lambda e: e[0])
+
+        trace_sizes: dict[str, int] = {}
+        for tpath in self.traces_dir.glob("**/*"):
+            if tpath.is_file():
+                rel = str(tpath.relative_to(self.root))
+                try:
+                    trace_sizes[rel] = tpath.stat().st_size
+                except OSError:
+                    trace_sizes[rel] = 0
+
+        def total_bytes(kept):
+            refs = {e[3] for e in kept if e[3]}
+            return sum(e[2] for e in kept) + sum(
+                trace_sizes.get(rel, 0) for rel in refs
+            )
+
+        kept = list(entries)
+        evict: list[tuple] = []
+        if max_age_s is not None:
+            cutoff = now - float(max_age_s)
+            evict = [e for e in kept if e[0] < cutoff]
+            kept = [e for e in kept if e[0] >= cutoff]
+        if max_bytes is not None:
+            while kept and total_bytes(kept) > int(max_bytes):
+                evict.append(kept.pop(0))
+
+        freed = 0
+        evicted_traces = 0
+        surviving_refs = {e[3] for e in kept if e[3]}
+        for _created, path, size, trace_rel in evict:
+            try:
+                path.unlink()
+                freed += size
+            except OSError:
+                continue
+            if trace_rel and trace_rel not in surviving_refs:
+                tpath = self.root / trace_rel
+                try:
+                    freed += tpath.stat().st_size
+                    tpath.unlink()
+                    evicted_traces += 1
+                except OSError:
+                    pass
+                surviving_refs.add(trace_rel)  # unlink once per shard
+        return {
+            "evicted_runs": len(evict),
+            "evicted_traces": evicted_traces,
+            "freed_bytes": freed,
+            "kept_runs": len(kept),
+            "kept_bytes": total_bytes(kept),
+        }
+
     def stats(self) -> dict[str, int]:
         """Counters for metrics export."""
         return {

@@ -130,3 +130,114 @@ class TestRunStore:
         record = _record(sample_run)
         store.store(record)
         assert store.keys() == [record.key]
+
+
+class TestRunStoreGc:
+    """Eviction: oldest-first, byte/age budgets, shared shard traces."""
+
+    def _aged_record(self, sample_run, key, created, trace_path=None):
+        record = RunRecord.for_run(
+            key,
+            {"dataset": "unit", "strategy": "incremental"},
+            sample_run,
+            trace_path=trace_path,
+            created=created,
+        )
+        return record
+
+    def _store_with_runs(self, tmp_path, sample_run, n=4, traces=False):
+        store = RunStore(tmp_path / "store")
+        for i in range(n):
+            trace_rel = None
+            if traces:
+                trace_rel = f"traces/t{i}.jsonl"
+                tpath = store.root / trace_rel
+                tpath.parent.mkdir(parents=True, exist_ok=True)
+                tpath.write_text("x" * 100)
+            store.store(
+                self._aged_record(
+                    sample_run,
+                    key=f"{i:064d}",
+                    created=1000.0 + i,
+                    trace_path=trace_rel,
+                )
+            )
+        return store
+
+    def test_max_age_evicts_only_older_runs(self, tmp_path, sample_run):
+        store = self._store_with_runs(tmp_path, sample_run)
+        # now=1103.5: runs created at 1000 and 1001 are older than 103s.
+        summary = store.gc(max_age_s=102.0, now=1103.5)
+        assert summary["evicted_runs"] == 2
+        assert summary["kept_runs"] == 2
+        assert store.keys() == [f"{2:064d}", f"{3:064d}"]
+
+    def test_max_bytes_evicts_oldest_first_until_budget(
+        self, tmp_path, sample_run
+    ):
+        store = self._store_with_runs(tmp_path, sample_run)
+        sizes = [store.path_for(k).stat().st_size for k in store.keys()]
+        budget = sum(sizes[2:])  # room for exactly the two newest
+        summary = store.gc(max_bytes=budget)
+        assert summary["evicted_runs"] == 2
+        assert store.keys() == [f"{2:064d}", f"{3:064d}"]
+        assert summary["kept_bytes"] <= budget
+        assert summary["freed_bytes"] >= sum(sizes[:2])
+
+    def test_zero_budget_clears_the_store(self, tmp_path, sample_run):
+        store = self._store_with_runs(tmp_path, sample_run)
+        summary = store.gc(max_bytes=0)
+        assert summary["kept_runs"] == 0
+        assert store.keys() == []
+
+    def test_traces_go_with_their_runs(self, tmp_path, sample_run):
+        store = self._store_with_runs(tmp_path, sample_run, traces=True)
+        store.gc(max_age_s=102.0, now=1103.5)
+        remaining = sorted(p.name for p in store.traces_dir.iterdir())
+        assert remaining == ["t2.jsonl", "t3.jsonl"]
+
+    def test_shared_shard_trace_survives_surviving_runs(
+        self, tmp_path, sample_run
+    ):
+        store = RunStore(tmp_path / "store")
+        shard = "traces/shard.jsonl"
+        tpath = store.root / shard
+        tpath.parent.mkdir(parents=True, exist_ok=True)
+        tpath.write_text("x" * 100)
+        for i in range(3):
+            store.store(
+                self._aged_record(
+                    sample_run,
+                    key=f"{i:064d}",
+                    created=1000.0 + i,
+                    trace_path=shard,
+                )
+            )
+        # Evict the two oldest lanes; the shard is still referenced.
+        summary = store.gc(max_age_s=1.5, now=1003.0)
+        assert summary["evicted_runs"] == 2
+        assert summary["evicted_traces"] == 0
+        assert tpath.exists()
+        # Evict the last lane; now the shard goes, exactly once.
+        summary = store.gc(max_age_s=0.5, now=1003.0)
+        assert summary["evicted_runs"] == 1
+        assert summary["evicted_traces"] == 1
+        assert not tpath.exists()
+
+    def test_failures_are_never_pruned(self, tmp_path, sample_run):
+        store = self._store_with_runs(tmp_path, sample_run)
+        store.record_failure("f" * 64, {"dataset": "unit"}, "boom")
+        store.gc(max_bytes=0, max_age_s=0.0, now=2000.0)
+        assert store.keys() == []
+        assert (store.failures_dir / f"{'f' * 64}.json").exists()
+
+    def test_gc_on_empty_store_is_a_noop(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        summary = store.gc(max_bytes=10, max_age_s=1.0)
+        assert summary == {
+            "evicted_runs": 0,
+            "evicted_traces": 0,
+            "freed_bytes": 0,
+            "kept_runs": 0,
+            "kept_bytes": 0,
+        }
