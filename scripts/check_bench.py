@@ -38,6 +38,8 @@ REQUIRED_ENTRIES = (
     "e2e/replay_jacobi240",
     "e2e/replay_cg64",
     "e2e/replay_lsq120",
+    "sparse/jacobi240_vs_dense",
+    "sparse/replay_pagerank100k",
 )
 
 #: Per-entry floors overriding ``--min-speedup`` where an optimization
@@ -57,12 +59,21 @@ REQUIRED_ENTRIES = (
 #: (in-range product-encode-reduce plus chain speculation) must hold a
 #: >= 5x end-to-end win over the legacy engine on at least the NumPy
 #: reference backend at a size where the O(n^2) matvec dominates.
+#: The sparse headline carries the PR's tentpole promise: one replayed
+#: CSR-matvec iteration (fused ``csr_matvec_words``) must beat the
+#: dense-gather slow twin by >= 10x on the 100k-node web — measured on
+#: the datapath iteration itself, since both sides share the exact
+#: control loop by the parity contract.  The jacobi240 sparse/dense
+#: pair promises that routing the same system through CSR instead of
+#: the dense resident path is a strict win, not a wash.
 ENTRY_FLOORS = {
     "e2e/replay_jacobi80": 2.0,
     "e2e/replay_jacobi240": {"numpy": 5.0, "*": 5.0},
     "batched/replay_jacobi_b64": 7.0,
     "batched/replay_gs_rb32": 4.0,
     "batched/replay_gmm_b16": 1.6,
+    "sparse/jacobi240_vs_dense": 1.3,
+    "sparse/replay_pagerank100k": 10.0,
 }
 
 

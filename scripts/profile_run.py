@@ -5,7 +5,7 @@ Usage::
     PYTHONPATH=src python scripts/profile_run.py \
         [--solver jacobi] [--n 80] [--strategy incremental] \
         [--max-iter 150] [--repeats 3] [--top 20] [--out profile.pstats] \
-        [--no-capture] [--batch-size 0] [--backend numpy]
+        [--no-capture] [--batch-size 0] [--backend numpy] [--sparse]
 
 With ``--batch-size B`` (B >= 1) the profiled region is one
 ``run_batch`` call advancing B identical lanes lock-step — the region
@@ -29,6 +29,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.apps import GaussianMixtureEM
+from repro.apps.pagerank import PageRank
 from repro.backends import resolve_backend_name
 from repro.core.framework import ApproxIt
 from repro.solvers import (
@@ -48,6 +49,18 @@ def _laplacian(n: int) -> tuple[np.ndarray, np.ndarray]:
     matrix = 2.05 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
     rhs = np.random.default_rng(17).uniform(-2.0, 2.0, n)
     return matrix, rhs
+
+
+def build_sparse_framework(
+    n: int, max_iter: int, backend: str | None = None
+) -> ApproxIt:
+    """The sparse flagship: PageRank over a synthetic n-node web whose
+    CSR transition matrix rides the sparse resident-operand datapath
+    (the region the ``sparse/replay_pagerank100k`` benchmark gates)."""
+    app = PageRank.random_web_csr(
+        n_nodes=n, seed=11, out_degree=8.0, max_iter=max_iter, tolerance=1e-300
+    )
+    return ApproxIt(app, backend=backend)
 
 
 def build_framework(
@@ -154,12 +167,29 @@ def main(argv: list[str] | None = None) -> int:
         help="profile one run_batch over this many lock-step lanes "
         "instead of the solo loop (default: 0, solo)",
     )
+    parser.add_argument(
+        "--sparse",
+        action="store_true",
+        help="profile the sparse PageRank workload instead of --solver "
+        "(--n becomes the node count; the CSR operand goes through the "
+        "sparse resident datapath)",
+    )
     args = parser.parse_args(argv)
 
     backend = resolve_backend_name(args.backend)
-    framework = build_framework(
-        args.solver, args.n, args.max_iter, backend=backend
-    )
+    if args.sparse:
+        if args.batch_size > 0:
+            raise SystemExit(
+                "--sparse profiles the solo sparse loop; it cannot be "
+                "combined with --batch-size"
+            )
+        framework = build_sparse_framework(
+            args.n, args.max_iter, backend=backend
+        )
+    else:
+        framework = build_framework(
+            args.solver, args.n, args.max_iter, backend=backend
+        )
     framework.characterization()
     capture = not args.no_capture
 
@@ -184,8 +214,9 @@ def main(argv: list[str] | None = None) -> int:
 
         run = profiled()
         region = "solo run"
+    workload = "pagerank-csr" if args.sparse else args.solver
     print(
-        f"{args.solver} n={args.n} strategy={args.strategy} "
+        f"{workload} n={args.n} strategy={args.strategy} "
         f"backend={backend} {region} "
         f"capture={'on' if capture else 'off'}: {run.iterations} iterations, "
         f"{run.rollbacks} rollbacks, energy {run.energy:.3g}"
@@ -200,9 +231,12 @@ def main(argv: list[str] | None = None) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats("cumulative").print_stats(args.top)
     if args.out:
-        # Label the artifact with the backend that produced it so the
-        # CI upload distinguishes per-backend dumps side by side.
+        # Label the artifact with the backend (and the sparse workload)
+        # that produced it so the CI upload distinguishes per-backend
+        # and sparse/dense dumps side by side.
         out = Path(args.out)
+        if args.sparse and "sparse" not in out.stem:
+            out = out.with_name(f"{out.stem}.sparse{out.suffix}")
         if backend not in out.stem:
             out = out.with_name(f"{out.stem}.{backend}{out.suffix}")
         stats.dump_stats(out)

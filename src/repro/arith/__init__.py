@@ -13,6 +13,10 @@ methods in :mod:`repro.solvers` / :mod:`repro.apps`:
   chained engine kernels (pass ``resident=True`` to any kernel);
 * :class:`ResidentMatrix` — a pinned multiplicative constant whose
   products skip the per-call finiteness scan (``engine.pin_matrix``);
+* :class:`SparseResidentMatrix` / :class:`SparseReductionPlan` — the
+  CSR sparse operand and its per-row segment-reduce schedule: matvec /
+  weighted_sum accumulate each output row's own nnz products through
+  the approximate adder (``nnz_i - 1`` adds per row);
 * :class:`BatchedEngine` / :class:`LaneStack` /
   :class:`BatchedEnergyLedger` — the lock-step lane-parallel variant:
   one kernel call advances a whole stack of independent workloads with
@@ -36,6 +40,8 @@ from repro.arith.engine import (
     ReductionPlan,
     ResidentMatrix,
     ResidentVector,
+    SparseReductionPlan,
+    SparseResidentMatrix,
 )
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ApproxMode, ModeBank, default_mode_bank
@@ -62,5 +68,7 @@ __all__ = [
     "ReductionPlan",
     "ResidentMatrix",
     "ResidentVector",
+    "SparseReductionPlan",
+    "SparseResidentMatrix",
     "default_mode_bank",
 ]

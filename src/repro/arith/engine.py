@@ -55,6 +55,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+try:  # The engine treats scipy as optional (it is a declared project
+    # dependency, but every scipy-accelerated path keeps a pure-NumPy
+    # fallback); used only for the *exact* CSR helpers, never in the
+    # approximate datapath itself.
+    import scipy.sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_sparse = None
+
 from repro.arith.fixed import FixedPointFormat
 from repro.arith.modes import ApproxMode
 from repro.backends import KernelBackend, resolve_backend
@@ -168,6 +176,262 @@ class ResidentMatrix:
         return f"ResidentMatrix(shape={self.array.shape}, abs_max={self.abs_max:g})"
 
 
+class SparseReductionPlan:
+    """Per-row tree-reduce schedule over variable-length nnz segments.
+
+    Pure CSR geometry, engine-independent: rows are grouped by nnz
+    length, and each group carries a precomputed ``(g, L)`` gather-index
+    slab into the flat product array.  A sparse matvec then reduces one
+    contiguous ``(L, g)`` slab per group through the engine's ordinary
+    balanced-tree :meth:`~ApproxEngine._reduce_words` — incremental
+    saturation bounds, the dense plan cache, and the legacy concat twin
+    all apply unchanged, which is what makes the sparse fast path and
+    its slow twin bit-identical with float-equal ledgers by
+    construction.
+
+    Groups are visited in ascending segment length, rows within a group
+    in row order; this ordering is part of the ledger contract (both
+    engine paths and program replay follow it).
+
+    Attributes:
+        n_rows: number of matrix rows (empty rows included).
+        buckets: list of ``(length, rows, gather)`` with ``rows`` the
+            row indices of that nnz length and ``gather`` the ``(g, L)``
+            int64 indices of their products; zero-length rows are
+            omitted (their output word is the encoded zero).
+    """
+
+    __slots__ = ("n_rows", "buckets")
+
+    def __init__(self, indptr: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        self.n_rows = int(indptr.size - 1)
+        row_nnz = np.diff(indptr)
+        self.buckets: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for length in np.unique(row_nnz):
+            if length == 0:
+                continue
+            rows = np.nonzero(row_nnz == length)[0]
+            gather = indptr[rows][:, None] + np.arange(int(length), dtype=np.int64)
+            self.buckets.append((int(length), rows, gather))
+
+
+class SparseResidentMatrix:
+    """A constant CSR multiplicative operand validated and profiled once.
+
+    The sparse sibling of :class:`ResidentMatrix`: products stay exact
+    float over the stored entries only, and each output row accumulates
+    its own nnz products through the approximate adder — ``nnz_i - 1``
+    elementary additions per row, zero for empty or single-entry rows.
+    The per-row abs-max finiteness/bound proofs transfer directly from
+    the dense operand: ``abs_max`` is ``max(|data|)``, so the product
+    bound ``abs_max * max|x|`` covers every stored product, and replay's
+    fused-reduction proof specializes the dense ``n`` to ``nnz_max``.
+
+    The arrays are treated as immutable after construction (like a
+    pinned dense operand); the row plan and the transpose are built
+    lazily and cached on the instance.
+
+    Attributes:
+        data: nnz float64 values.
+        indices: nnz int64 column indices (ascending within each row).
+        indptr: ``rows + 1`` int64 row pointers.
+        shape: ``(rows, cols)``.
+        abs_max: ``max(|data|)`` (``0.0`` when empty).
+        nnz_max: largest per-row nnz (the replay fusion bound).
+    """
+
+    __slots__ = (
+        "data",
+        "indices",
+        "indptr",
+        "shape",
+        "abs_max",
+        "nnz_max",
+        "_plan",
+        "_transpose",
+        "_exact_geom",
+        "_row_ids",
+        "_scipy",
+        "_scipy_T",
+    )
+
+    ndim = 2
+
+    def __init__(self, data, indices, indptr, shape):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        rows, cols = (int(s) for s in shape)
+        self.shape = (rows, cols)
+        if self.indptr.shape != (rows + 1,):
+            raise ValueError("CSR indptr must have rows + 1 entries")
+        if self.data.shape != self.indices.shape or self.data.ndim != 1:
+            raise ValueError("CSR data and indices must be flat and equal-length")
+        if int(self.indptr[0]) != 0 or int(self.indptr[-1]) != self.data.size:
+            raise ValueError("CSR indptr must span the data array")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("CSR indptr must be non-decreasing")
+        if self.indices.size and (
+            int(self.indices.min()) < 0 or int(self.indices.max()) >= cols
+        ):
+            raise ValueError("CSR column index out of range")
+        if not np.all(np.isfinite(self.data)):
+            raise ValueError("cannot pin non-finite values")
+        self.abs_max = float(np.abs(self.data).max()) if self.data.size else 0.0
+        nnz = np.diff(self.indptr)
+        self.nnz_max = int(nnz.max()) if nnz.size else 0
+        self._plan = None
+        self._transpose = None
+        self._exact_geom = None
+        self._row_ids = None
+        self._scipy = None
+        self._scipy_T = None
+
+    @classmethod
+    def from_dense(cls, array) -> "SparseResidentMatrix":
+        """CSR of the nonzero entries of a dense 2-D array."""
+        arr = np.asarray(array, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError("from_dense needs a 2-D array")
+        rows, cols = np.nonzero(arr)
+        indptr = np.zeros(arr.shape[0] + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=arr.shape[0]), out=indptr[1:])
+        return cls(arr[rows, cols], cols, indptr, arr.shape)
+
+    @classmethod
+    def from_coo(cls, rows, cols, values, shape) -> "SparseResidentMatrix":
+        """CSR from unsorted COO triplets (duplicates are summed)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        n_rows, n_cols = (int(s) for s in shape)
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError("COO row index out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("COO column index out of range")
+        key = rows * n_cols + cols
+        uniq, inverse = np.unique(key, return_inverse=True)
+        data = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(data, inverse, values)
+        r = uniq // n_cols
+        c = uniq % n_cols
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(r, minlength=n_rows), out=indptr[1:])
+        return cls(data, c, indptr, (n_rows, n_cols))
+
+    @classmethod
+    def from_csr_like(cls, matrix) -> "SparseResidentMatrix":
+        """Adopt any scipy-style object exposing ``tocsr()`` (duck-typed
+        so scipy stays an optional dependency of the engine)."""
+        csr = matrix.tocsr()
+        return cls(csr.data, csr.indices, csr.indptr, csr.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def row_plan(self) -> SparseReductionPlan:
+        """The cached per-row reduce schedule (built on first use)."""
+        if self._plan is None:
+            self._plan = SparseReductionPlan(self.indptr)
+        return self._plan
+
+    def row_ids(self) -> np.ndarray:
+        """Cached COO row index of every stored entry (nnz int64)."""
+        if self._row_ids is None:
+            self._row_ids = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._row_ids
+
+    def transpose(self) -> "SparseResidentMatrix":
+        """The cached CSR transpose (``weighted_sum`` reduces through
+        it: ``sum_i w_i * S[i, :] == S.T @ w``)."""
+        if self._transpose is None:
+            self._transpose = SparseResidentMatrix.from_coo(
+                self.indices, self.row_ids(), self.data, (self.shape[1], self.shape[0])
+            )
+        return self._transpose
+
+    def _scipy_handle(self):
+        """Cached scipy CSR view of the pinned arrays (None w/o scipy)."""
+        if _scipy_sparse is not None and self._scipy is None:
+            self._scipy = _scipy_sparse.csr_matrix(
+                (self.data, self.indices, self.indptr), shape=self.shape
+            )
+        return self._scipy
+
+    def matvec_exact(self, x: np.ndarray) -> np.ndarray:
+        """Exact float64 ``A @ x`` (solver objectives/gradients; the
+        approximate datapath goes through the engine instead).
+
+        Control loops evaluate this every iteration, so the geometry is
+        cached on the instance: a scipy CSR handle when scipy is
+        available (C row loop, no temporaries), else the non-empty-row
+        reduceat partition — rebuilding either O(rows) structure per
+        call dominated the call at web scale."""
+        x = np.asarray(x, dtype=np.float64)
+        if not self.data.size:
+            return np.zeros(self.shape[0], dtype=np.float64)
+        handle = self._scipy_handle()
+        if handle is not None:
+            return handle @ x
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        if self._exact_geom is None:
+            nz = self.indptr[:-1] < self.indptr[1:]
+            self._exact_geom = (nz, np.ascontiguousarray(self.indptr[:-1][nz]))
+        nz, starts = self._exact_geom
+        out[nz] = np.add.reduceat(self.data * x[self.indices], starts)
+        return out
+
+    def rmatvec_exact(self, y: np.ndarray) -> np.ndarray:
+        """Exact float64 ``A.T @ y``.
+
+        Both branches accumulate each output in ascending source-row
+        order: the cached scipy CSC view walks a column's entries by
+        row, and ``bincount`` accumulates the flat (row-major) entry
+        order — the same sequential order ``np.add.at`` walks, minus
+        the scatter-add's per-element dispatch cost."""
+        y = np.asarray(y, dtype=np.float64)
+        if not self.data.size:
+            return np.zeros(self.shape[1], dtype=np.float64)
+        handle = self._scipy_handle()
+        if handle is not None:
+            if self._scipy_T is None:
+                self._scipy_T = handle.T.tocsr()
+            return self._scipy_T @ y
+        return np.bincount(
+            self.indices,
+            weights=self.data * y[self.row_ids()],
+            minlength=self.shape[1],
+        )
+
+    def diagonal(self) -> np.ndarray:
+        """The stored main diagonal (zeros where no entry is stored)."""
+        n = min(self.shape)
+        out = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+            j = np.searchsorted(self.indices[lo:hi], i)
+            if j < hi - lo and self.indices[lo + j] == i:
+                out[i] = self.data[lo + j]
+        return out
+
+    def toarray(self) -> np.ndarray:
+        """Densify (test/diagnostic helper; never used on the hot path)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr))
+        out[rows, self.indices] = self.data
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseResidentMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"nnz_max={self.nnz_max}, abs_max={self.abs_max:g})"
+        )
+
+
 @dataclass
 class EnergyLedger:
     """Accumulates elementary-addition counts and energy, per mode.
@@ -216,9 +480,38 @@ class EnergyLedger:
         through one call without perturbing the accumulation order the
         interpreted execution would have used, so ledgers stay equal as
         floats, not merely approximately.
+
+        The loop body is :meth:`charge` inlined with the counters held
+        in locals (replay flushes tens of thousands of scalar charges
+        per iteration at web scale, where per-tuple attribute traffic
+        was measurable); the accumulation order is untouched.
         """
-        for mode_name, n_adds, energy_per_add in charges:
-            self.charge(mode_name, n_adds, energy_per_add)
+        observer = self.observer
+        if observer is not None:
+            for mode_name, n_adds, energy_per_add in charges:
+                self.charge(mode_name, n_adds, energy_per_add)
+            return
+        adds = self.adds
+        energy = self.energy
+        adds_by_mode = self.adds_by_mode
+        energy_by_mode = self.energy_by_mode
+        get_adds = adds_by_mode.get
+        get_energy = energy_by_mode.get
+        try:
+            for mode_name, n_adds, energy_per_add in charges:
+                if n_adds < 0:
+                    raise ValueError(f"n_adds must be >= 0, got {n_adds}")
+                cost = n_adds * energy_per_add
+                adds += n_adds
+                energy += cost
+                adds_by_mode[mode_name] = get_adds(mode_name, 0) + n_adds
+                energy_by_mode[mode_name] = get_energy(mode_name, 0.0) + cost
+        finally:
+            # Write-back in a finally so a mid-list validation error
+            # leaves the totals consistent with the per-mode dicts,
+            # exactly as the per-call path would.
+            self.adds = adds
+            self.energy = energy
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -373,7 +666,25 @@ class ApproxEngine:
         :meth:`weighted_sum` skip the per-call product finiteness scan
         (see the class docstring).  Same keying and legacy semantics as
         :meth:`pin`.
+
+        A :class:`SparseResidentMatrix` passes through unchanged (it is
+        its own pin — validated and profiled at construction); a
+        scipy-style sparse object (anything with ``tocsr()``) is adopted
+        into one, cached under the same name/identity keying.
         """
+        if isinstance(matrix, SparseResidentMatrix):
+            return matrix
+        if hasattr(matrix, "tocsr"):
+            if self.fast_path:
+                entry = self._pinned_matrices.get(name)
+                if entry is not None and entry[0] is matrix:
+                    self.encode_cache_hits += 1
+                    return entry[1]
+            sp = SparseResidentMatrix.from_csr_like(matrix)
+            if self.fast_path:
+                self._pinned_matrices[name] = (matrix, sp)
+                self.encode_cache_misses += 1
+            return sp
         arr = np.asarray(matrix, dtype=np.float64)
         if self.fast_path:
             entry = self._pinned_matrices.get(name)
@@ -700,14 +1011,48 @@ class ApproxEngine:
         bound = constant.abs_max * float(np.abs(varying).max())
         return bool(np.isfinite(bound))
 
+    def _sparse_matvec_words(
+        self, sp: SparseResidentMatrix, vec: np.ndarray
+    ) -> np.ndarray:
+        """``sp @ vec`` as fixed-point words: exact nnz products, then
+        one approximate tree-reduce per row over its own segment.
+
+        Execution is bucket-ordered by the row plan (ascending nnz
+        length, rows in index order): each bucket gathers its products
+        into an ``(L, g)`` slab and reduces it through
+        :meth:`_reduce_words`, so per-level charge order, incremental
+        saturation bounds, and the legacy concat twin (``fast_path
+        =False``, which also rebuilds the plan per call — the literal
+        dense-gather oracle) are all inherited from the dense reduction.
+        Empty rows emit the encoded zero word without touching the
+        adder.
+        """
+        products = sp.data * vec[sp.indices]
+        trusted = self._trusted_product(sp, vec)
+        q = self.fmt.encode(products, assume_finite=trusted)
+        plan = sp.row_plan() if self.fast_path else SparseReductionPlan(sp.indptr)
+        out = np.zeros(sp.shape[0], dtype=np.int64)
+        for _length, rows, gather in plan.buckets:
+            out[rows] = self._reduce_words(q[gather].T)
+        return out
+
     def matvec(self, matrix, vector, *, resident: bool = False):
         """``matrix @ vector`` with approximate row accumulation.
 
         Pass a :class:`ResidentMatrix` (from :meth:`pin_matrix`) as
         ``matrix`` to skip the per-call product finiteness scan; results
-        are bit-identical either way.
+        are bit-identical either way.  A :class:`SparseResidentMatrix`
+        routes through the per-row segment reduction (``nnz_i - 1`` adds
+        per row) instead of the dense ``cols - 1``.
         """
         trusted = False
+        if isinstance(matrix, SparseResidentMatrix):
+            vec = self._to_float(vector).reshape(-1)
+            if matrix.shape[1] != vec.shape[0]:
+                raise ValueError(
+                    f"matvec shape mismatch: {matrix.shape} vs {vec.shape}"
+                )
+            return self._emit(self._sparse_matvec_words(matrix, vec), resident)
         if isinstance(matrix, ResidentMatrix):
             mat = matrix.array
             pinned = matrix
@@ -735,9 +1080,22 @@ class ApproxEngine:
         computation the paper marks as the adder-impact site ("Mean
         Value" in Table 2).  Pass a :class:`ResidentMatrix` (from
         :meth:`pin_matrix`) as ``points`` to skip the per-call product
-        finiteness scan; results are bit-identical either way.
+        finiteness scan; results are bit-identical either way.  A
+        :class:`SparseResidentMatrix` reduces through its cached
+        transpose (``sum_i w_i * S[i, :] == S.T @ w``), so each output
+        component accumulates only the rows with a stored entry in that
+        column.
         """
         trusted = False
+        if isinstance(points, SparseResidentMatrix):
+            w = self._to_float(weights).reshape(-1)
+            if points.shape[0] != w.shape[0]:
+                raise ValueError(
+                    f"weighted_sum shape mismatch: {w.shape} vs {points.shape}"
+                )
+            return self._emit(
+                self._sparse_matvec_words(points.transpose(), w), resident
+            )
         if isinstance(points, ResidentMatrix):
             pts = points.array
             pinned = points
@@ -1155,7 +1513,20 @@ class BatchedEngine:
 
     def pin_matrix(self, name: str, matrix: np.ndarray) -> ResidentMatrix:
         """Validate a lane-shared multiplicative constant once (see
-        :meth:`ApproxEngine.pin_matrix`)."""
+        :meth:`ApproxEngine.pin_matrix`).  Sparse operands pass through
+        (:class:`SparseResidentMatrix`) or are adopted (``tocsr()``
+        duck-types), exactly as in the solo engine."""
+        if isinstance(matrix, SparseResidentMatrix):
+            return matrix
+        if hasattr(matrix, "tocsr"):
+            entry = self._pinned_matrices.get(name)
+            if entry is not None and entry[0] is matrix:
+                self.encode_cache_hits += 1
+                return entry[1]
+            sp = SparseResidentMatrix.from_csr_like(matrix)
+            self._pinned_matrices[name] = (matrix, sp)
+            self.encode_cache_misses += 1
+            return sp
         arr = np.asarray(matrix, dtype=np.float64)
         entry = self._pinned_matrices.get(name)
         if entry is not None and entry[0] is arr:
@@ -1453,10 +1824,37 @@ class BatchedEngine:
         bound = constant.abs_max * float(np.abs(varying).max())
         return bool(np.isfinite(bound))
 
+    def _sparse_matvec_words(
+        self, sp: SparseResidentMatrix, xs: np.ndarray
+    ) -> np.ndarray:
+        """Lane-stacked ``sp @ xs[lane]`` as words: the batched twin of
+        :meth:`ApproxEngine._sparse_matvec_words`.  Each bucket's
+        ``(B, g, L)`` product gather is reduced as an ``(L, B, g)`` slab
+        through the lane-aware :meth:`_reduce_words` (``lane_axis=1``
+        inside), so every lane slice walks the identical tree — and
+        draws the identical charges — as a solo engine on that lane."""
+        products = sp.data[np.newaxis, :] * xs[:, sp.indices]
+        trusted = self._trusted_product(sp, xs)
+        q = self.fmt.encode(products, assume_finite=trusted)
+        plan = sp.row_plan() if self.fast_path else SparseReductionPlan(sp.indptr)
+        out = np.zeros((xs.shape[0], sp.shape[0]), dtype=np.int64)
+        for _length, rows, gather in plan.buckets:
+            out[:, rows] = self._reduce_words(np.moveaxis(q[:, gather], 2, 0))
+        return out
+
     def matvec(self, matrix, x, *, resident: bool = False):
         """Shared ``matrix @ x[lane]`` for every lane of a ``(L, N)``
-        stack, with approximate row accumulation."""
+        stack, with approximate row accumulation.  Sparse operands
+        route through the per-row segment reduction, as in the solo
+        engine."""
         trusted = False
+        if isinstance(matrix, SparseResidentMatrix):
+            xs = self._to_float(x)
+            if xs.ndim != 2 or matrix.shape[1] != xs.shape[1]:
+                raise ValueError(
+                    f"batched matvec shape mismatch: {matrix.shape} vs {xs.shape}"
+                )
+            return self._emit(self._sparse_matvec_words(matrix, xs), resident)
         if isinstance(matrix, ResidentMatrix):
             mat = matrix.array
             pinned = matrix
@@ -1475,8 +1873,18 @@ class BatchedEngine:
 
     def weighted_sum(self, weights, points, *, resident: bool = False):
         """Per-lane ``sum_i weights[lane, i] * points[i]`` over shared
-        rows of ``points``."""
+        rows of ``points``.  Sparse operands reduce through the cached
+        transpose, as in the solo engine."""
         trusted = False
+        if isinstance(points, SparseResidentMatrix):
+            w = self._to_float(weights)
+            if w.ndim != 2 or points.shape[0] != w.shape[1]:
+                raise ValueError(
+                    f"batched weighted_sum shape mismatch: {w.shape} vs {points.shape}"
+                )
+            return self._emit(
+                self._sparse_matvec_words(points.transpose(), w), resident
+            )
         if isinstance(points, ResidentMatrix):
             pts = points.array
             pinned = points

@@ -62,6 +62,7 @@ from repro.arith.engine import (
     ReductionPlan,
     ResidentMatrix,
     ResidentVector,
+    SparseResidentMatrix,
 )
 
 _IDLE = "idle"
@@ -835,6 +836,80 @@ class _WeightedSumStep:
         return engine._emit(reduced, self.resident)
 
 
+class _SparseMatvecStep:
+    """Sparse ``matvec`` / ``weighted_sum``: exact products over the
+    stored entries only, approximate per-row segment accumulation.
+
+    The sparse operand resolves by identity alone: the segment plan is
+    a function of the CSR ``indptr``, so — unlike the dense
+    ``_matrix_operand`` — substituting a different same-shape matrix
+    would silently change the reduction structure, and instead bails
+    out (``"operand"``) to re-record.  ``weighted_sum`` compiles to the
+    same step over the operand's cached transpose (the interpreted
+    kernel reduces through exactly that object, so geometry and charge
+    order match by construction).
+
+    The fused route specializes the dense in-range proof to the per-row
+    nnz bound: with ``W`` bounding every encoded product word,
+    ``nnz_max * W <= hi`` and ``nnz_max * W < 2**53`` bound every
+    partial sum of every row's segment, licensing the backend's
+    single-pass :meth:`~repro.backends.base.KernelBackend.csr_matvec_words`.
+    Otherwise each nnz-length bucket's ``(L, g)`` slab replays through
+    :func:`_replay_reduce` with the recorded aggregate saturation flag.
+    """
+
+    __slots__ = (
+        "kind",
+        "params",
+        "charges",
+        "sat",
+        "obj",
+        "sp",
+        "res_vec",
+        "plans",
+        "resident",
+        "bufs",
+    )
+
+    def __init__(self, engine, op, slots, kind, operand, vec_arg, sp):
+        self.kind = kind
+        self.params = op.params
+        self.charges = tuple(op.charges)
+        self.sat = any(op.sat)
+        self.resident = op.params["resident"]
+        self.obj = operand
+        self.sp = sp
+        self.res_vec = _float_operand(engine, vec_arg, slots)
+        self.plans = tuple(
+            (length, rows, gather, _get_plan(engine, (length, rows.shape[0])))
+            for length, rows, gather in sp.row_plan().buckets
+        )
+        self.bufs: dict = {}
+
+    def replay(self, engine, args):
+        if self.kind == "matvec":
+            operand, vec_arg = args
+        else:
+            vec_arg, operand = args
+        if operand is not self.obj:
+            raise ProgramBailout("operand")
+        sp = self.sp
+        vec = self.res_vec(vec_arg).reshape(-1)
+        if sp.nnz_max and _fused_product_ok(
+            engine, self, sp.abs_max, vec, sp.nnz_max
+        ):
+            out = engine.backend.csr_matvec_words(
+                sp.data, sp.indices, sp.indptr, vec, engine.fmt.scale, self.bufs
+            )
+            return engine._emit(out, self.resident)
+        products = sp.data * vec[sp.indices]
+        q = _trusted_encode(engine, products, vec, sp.abs_max, True)
+        out = np.zeros(sp.shape[0], dtype=np.int64)
+        for _length, rows, gather, plan in self.plans:
+            out[rows] = _replay_reduce(engine, q[gather].T, plan, self.sat)
+        return engine._emit(out, self.resident)
+
+
 class _RecordedOp:
     """One top-level engine call as seen while recording."""
 
@@ -888,7 +963,13 @@ class _Chain:
         self.fused = None
 
 
-_PREDICTABLE = (np.ndarray, ResidentVector, ResidentMatrix, LaneStack)
+_PREDICTABLE = (
+    np.ndarray,
+    ResidentVector,
+    ResidentMatrix,
+    SparseResidentMatrix,
+    LaneStack,
+)
 
 
 def _link_chains(ops, steps, backend):
@@ -1040,14 +1121,30 @@ def _compile_sum(engine, op, slots):
     return _SumStep(engine, op, slots)
 
 
+def _compile_matvec(engine, op, slots):
+    matrix, vector = op.args
+    if isinstance(matrix, SparseResidentMatrix):
+        return _SparseMatvecStep(engine, op, slots, "matvec", matrix, vector, matrix)
+    return _MatvecStep(engine, op, slots)
+
+
+def _compile_weighted_sum(engine, op, slots):
+    weights, points = op.args
+    if isinstance(points, SparseResidentMatrix):
+        return _SparseMatvecStep(
+            engine, op, slots, "weighted_sum", points, weights, points.transpose()
+        )
+    return _WeightedSumStep(engine, op, slots)
+
+
 _COMPILERS = {
     "add": _compile_add,
     "sub": _compile_sub,
     "scale_add": _compile_scale_add,
     "sum": _compile_sum,
     "dot": _DotStep,
-    "matvec": _MatvecStep,
-    "weighted_sum": _WeightedSumStep,
+    "matvec": _compile_matvec,
+    "weighted_sum": _compile_weighted_sum,
 }
 
 
@@ -1781,6 +1878,68 @@ class _BWeightedSumStep:
         return engine._emit(reduced, self.resident)
 
 
+class _BSparseMatvecStep:
+    """Batched sparse ``matvec`` / ``weighted_sum``: shared CSR operand
+    × ``(L, N)`` stack, per-row segment accumulation per lane.
+
+    Identity-only operand resolution, as in the solo
+    :class:`_SparseMatvecStep`.  The lane-count-dependent slab plans
+    are fetched per replay (the active lane group shrinks as lanes
+    finish), sharing the engine's dense plan cache; the fused route
+    runs the backend CSR kernel over the whole stack at once.
+    """
+
+    __slots__ = (
+        "kind",
+        "params",
+        "charges",
+        "sat",
+        "obj",
+        "sp",
+        "res_vec",
+        "buckets",
+        "resident",
+        "bufs",
+    )
+
+    def __init__(self, engine, op, slots, lanes, kind, operand, vec_arg, sp):
+        self.kind = kind
+        self.params = op.params
+        self.charges = tuple(op.charges)
+        self.sat = any(op.sat)
+        self.resident = op.params["resident"]
+        self.obj = operand
+        self.sp = sp
+        self.res_vec = _b_float_operand(engine, vec_arg, slots, lanes)
+        self.buckets = tuple(sp.row_plan().buckets)
+        self.bufs: dict = {}
+
+    def replay(self, engine, args):
+        if self.kind == "matvec":
+            operand, vec_arg = args
+        else:
+            vec_arg, operand = args
+        if operand is not self.obj:
+            raise ProgramBailout("operand")
+        sp = self.sp
+        xs = self.res_vec(vec_arg)
+        if sp.nnz_max and _fused_product_ok(
+            engine, self, sp.abs_max, xs, sp.nnz_max
+        ):
+            out = engine.backend.csr_matvec_words(
+                sp.data, sp.indices, sp.indptr, xs, engine.fmt.scale, self.bufs
+            )
+            return engine._emit(out, self.resident)
+        products = sp.data[np.newaxis, :] * xs[:, sp.indices]
+        q = _trusted_encode(engine, products, xs, sp.abs_max, True)
+        out = np.zeros((xs.shape[0], sp.shape[0]), dtype=np.int64)
+        for _length, rows, gather in self.buckets:
+            slab = np.moveaxis(q[:, gather], 2, 0)
+            plan = _get_plan(engine, slab.shape)
+            out[:, rows] = _replay_reduce(engine, slab, plan, self.sat)
+        return engine._emit(out, self.resident)
+
+
 def _b_compile_add(engine, op, slots, lanes):
     a, b = op.args
     return _AddStep(
@@ -1820,13 +1979,32 @@ def _b_compile_sum(engine, op, slots, lanes):
     return _BSumStep(op, lanes)
 
 
+def _b_compile_matvec(engine, op, slots, lanes):
+    matrix, vector = op.args
+    if isinstance(matrix, SparseResidentMatrix):
+        return _BSparseMatvecStep(
+            engine, op, slots, lanes, "matvec", matrix, vector, matrix
+        )
+    return _BMatvecStep(engine, op, slots, lanes)
+
+
+def _b_compile_weighted_sum(engine, op, slots, lanes):
+    weights, points = op.args
+    if isinstance(points, SparseResidentMatrix):
+        return _BSparseMatvecStep(
+            engine, op, slots, lanes, "weighted_sum", points, weights,
+            points.transpose(),
+        )
+    return _BWeightedSumStep(engine, op, slots, lanes)
+
+
 _B_COMPILERS = {
     "add": _b_compile_add,
     "sub": _b_compile_sub,
     "scale_add": _b_compile_scale_add,
     "sum": _b_compile_sum,
-    "matvec": _BMatvecStep,
-    "weighted_sum": _BWeightedSumStep,
+    "matvec": _b_compile_matvec,
+    "weighted_sum": _b_compile_weighted_sum,
 }
 
 

@@ -30,6 +30,12 @@ import os
 
 import numpy as np
 
+try:  # SciPy is a declared dependency, but the kernels keep a pure-
+    # NumPy fallback so a stripped environment still runs correctly.
+    import scipy.sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_sparse = None
+
 #: Environment variable consulted when no backend is named explicitly.
 BACKEND_ENV = "REPRO_BACKEND"
 
@@ -153,6 +159,84 @@ class KernelBackend:
         fbuf *= scale
         np.rint(fbuf, out=fbuf)
         return np.add.reduce(fbuf, axis=axis).astype(np.int64)
+
+    def csr_matvec_words(
+        self,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        x: np.ndarray,
+        scale: float,
+        bufs: dict,
+    ) -> np.ndarray:
+        """Fused sparse product → encode → per-row in-range reduce.
+
+        The CSR sibling of :meth:`product_reduce_words`: computes, per
+        matrix row, ``sum_k rint((data[k] * x[indices[k]]) * scale)``
+        as int64 words with the encode clip *skipped* — callable only
+        under the caller's ``nnz_max``-specialized proof (``W <= hi``,
+        ``nnz_max * W <= hi``, ``nnz_max * W < 2**53`` — see
+        ``repro.arith.program._fused_product_ok``), which bounds every
+        partial sum of every row's segment under *any* association.
+        The fold therefore runs in the float buffer (every element is
+        integer-valued after ``rint`` and every partial sum stays in
+        float64's integer-exact range) and only the O(rows) result is
+        cast.  ``x`` is ``(n,)`` for one lane or ``(B, n)``
+        lane-stacked; the result is ``(rows,)`` / ``(B, rows)`` with
+        empty rows emitting the zero word.  ``bufs`` is per-call-site
+        scratch (row-partition geometry plus the product buffer),
+        reused across iterations.
+        """
+        rows = indptr.shape[0] - 1
+        batched = x.ndim == 2
+        if data.size == 0:
+            shape = (x.shape[0], rows) if batched else (rows,)
+            return np.zeros(shape, dtype=np.int64)
+        shape = (x.shape[0], data.shape[0]) if batched else data.shape
+        fbuf = bufs.get(shape)
+        if fbuf is None:
+            fbuf = bufs[shape] = np.empty(shape, dtype=np.float64)
+        if batched:
+            np.multiply(data[np.newaxis, :], x[:, indices], out=fbuf)
+        else:
+            np.multiply(data, x[indices], out=fbuf)
+        fbuf *= scale
+        np.rint(fbuf, out=fbuf)
+        if _scipy_sparse is not None:
+            # Segment-sum as one C-level CSR matvec against a cached
+            # (rows, nnz) structure-only selector: row i's segment sums
+            # fbuf[indptr[i]:indptr[i+1]].  The in-range proof covers
+            # any association, so SciPy's sequential per-row fold is
+            # the exact integer sum, empty rows included.
+            sel = bufs.get("csr_segsum")
+            if sel is None:
+                sel = bufs["csr_segsum"] = _scipy_sparse.csr_matrix(
+                    (
+                        np.ones(data.shape[0], dtype=np.float64),
+                        np.arange(data.shape[0], dtype=np.int64),
+                        indptr,
+                    ),
+                    shape=(rows, data.shape[0]),
+                )
+            if batched:
+                return (sel @ fbuf.T).T.astype(np.int64)
+            return (sel @ fbuf).astype(np.int64)
+        geom = bufs.get("csr_geom")
+        if geom is None:
+            nz = indptr[:-1] < indptr[1:]
+            # Row starts of the non-empty rows partition the data array
+            # exactly (empty rows occupy no space), so one reduceat
+            # yields every non-empty row's segment sum.
+            starts = np.ascontiguousarray(indptr[:-1][nz])
+            geom = bufs["csr_geom"] = (nz, bool(nz.all()), starts)
+        nz, all_full, starts = geom
+        sums = np.add.reduceat(fbuf, starts, axis=-1).astype(np.int64)
+        if all_full:
+            return sums
+        shape = (x.shape[0], rows) if batched else (rows,)
+        out = np.zeros(shape, dtype=np.int64)
+        out[..., nz] = sums
+        return out
 
     def scale_encode_inrange(
         self,

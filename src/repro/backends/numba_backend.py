@@ -79,6 +79,35 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
         return out
 
     @numba.njit(cache=True)
+    def _csr_matvec_words(data, indices, indptr, x, scale):
+        """Fused CSR rows of ``rint(data[k] * x[indices[k]] * scale)``
+        summed exactly — valid only under the caller's nnz_max-bound
+        no-clip/in-range proof; empty rows emit the zero word."""
+        rows = indptr.shape[0] - 1
+        out = np.empty(rows, dtype=np.int64)
+        for i in range(rows):
+            acc = np.int64(0)
+            for k in range(indptr[i], indptr[i + 1]):
+                acc += np.int64(np.rint(data[k] * x[indices[k]] * scale))
+            out[i] = acc
+        return out
+
+    @numba.njit(cache=True)
+    def _batched_csr_matvec_words(data, indices, indptr, xs, scale):
+        """Per-lane fused CSR matvec words: ``(L, rows)`` from a shared
+        CSR matrix and an ``(L, cols)`` iterate stack."""
+        lanes = xs.shape[0]
+        rows = indptr.shape[0] - 1
+        out = np.empty((lanes, rows), dtype=np.int64)
+        for la in range(lanes):
+            for i in range(rows):
+                acc = np.int64(0)
+                for k in range(indptr[i], indptr[i + 1]):
+                    acc += np.int64(np.rint(data[k] * xs[la, indices[k]] * scale))
+                out[la, i] = acc
+        return out
+
+    @numba.njit(cache=True)
     def _weighted_words(w, pts, scale):
         """Fused ``sum_i rint(w[i] * pts[i, :] * scale)`` (axis-0
         reduce of the weighted-sum product)."""
@@ -130,6 +159,21 @@ class NumbaBackend(KernelBackend):
                 np.ascontiguousarray(a[:, 0]), np.ascontiguousarray(b), scale
             )
         return super().product_reduce_words(a, b, scale, axis, bufs)
+
+    def csr_matvec_words(self, data, indices, indptr, x, scale, bufs):
+        if data.size:
+            data = np.ascontiguousarray(data)
+            indices = np.ascontiguousarray(indices)
+            indptr = np.ascontiguousarray(indptr)
+            if x.ndim == 1:
+                return _csr_matvec_words(
+                    data, indices, indptr, np.ascontiguousarray(x), scale
+                )
+            if x.ndim == 2:
+                return _batched_csr_matvec_words(
+                    data, indices, indptr, np.ascontiguousarray(x), scale
+                )
+        return super().csr_matvec_words(data, indices, indptr, x, scale, bufs)
 
 
 def build() -> NumbaBackend:

@@ -376,7 +376,10 @@ class ApproxIt:
         mode = policy.start(self.bank, self.characterization())
         x = self.method.postprocess(self.method.initial_state())
         f_prev = self.method.objective(x)
-        grad_prev = self.method.gradient(x)
+        # The exact gradient is control-loop telemetry for angle-based
+        # policies; strategies that never read it opt out and skip an
+        # O(nnz) exact matvec per iteration (results are unaffected).
+        grad_prev = self.method.gradient(x) if policy.needs_gradient else None
 
         steps_by_mode = {m.name: 0 for m in self.bank}
         mode_trace: list[str] = []
@@ -476,7 +479,9 @@ class ApproxIt:
                                 {"reason": bail_reason},
                             )
                         )
-            grad_new = self.method.gradient(x_new)
+            grad_new = (
+                self.method.gradient(x_new) if policy.needs_gradient else None
+            )
             executed += 1
 
             tolerance_pass = self.method.converged(f_prev, f_new)
@@ -773,11 +778,16 @@ class ApproxIt:
         modes = [policy.start(self.bank, self.characterization()) for policy in policies]
         x0 = method.postprocess(method.initial_state())
         f0 = method.objective(x0)
-        g0 = method.gradient(x0)
+        # Per-lane gradient telemetry opt-out, mirroring the solo loop.
+        g0 = (
+            method.gradient(x0)
+            if any(policy.needs_gradient for policy in policies)
+            else None
+        )
 
         xs = [np.asarray(x0, dtype=np.float64).copy() for _ in range(lanes)]
         f_prev = [f0] * lanes
-        grad_prev = [g0] * lanes
+        grad_prev = [g0 if policy.needs_gradient else None for policy in policies]
         steps_by_mode = [{m.name: 0 for m in self.bank} for _ in range(lanes)]
         mode_trace: list[list[str]] = [[] for _ in range(lanes)]
         objective_trace: list[list[float]] = [[] for _ in range(lanes)]
@@ -917,7 +927,11 @@ class ApproxIt:
                     else:
                         with observer.metrics.time("objective"):
                             f_new = method.objective(x_new)
-                    grad_new = method.gradient(x_new)
+                    grad_new = (
+                        method.gradient(x_new)
+                        if policies[i].needs_gradient
+                        else None
+                    )
                     executed[i] += 1
 
                     tolerance_pass = method.converged(f_prev[i], f_new)

@@ -29,10 +29,15 @@ class Observation:
         iteration: 0-based index of the iteration just executed.
         x_prev / x_new: iterates before and after the update.
         f_prev / f_new: exact objective at those iterates.
-        grad_prev: exact gradient at ``x_prev``.
+        grad_prev: exact gradient at ``x_prev``, or ``None`` when the
+            policy declared :attr:`ReconfigurationStrategy.needs_gradient`
+            ``False`` (the framework then skips the per-iteration exact
+            gradient entirely — on large sparse systems it is the
+            dominant control-loop cost).
         grad_new: exact gradient at ``x_new`` (the framework computes it
             once and reuses it as the next iteration's ``grad_prev``, so
-            angle-based policies get it for free).
+            angle-based policies get it for free); ``None`` under
+            ``needs_gradient = False``.
         mode: the mode the iteration ran on.
         epsilon: that mode's offline-characterized quality error.
         converged: whether the method's tolerance test passed on
@@ -44,8 +49,8 @@ class Observation:
     x_new: np.ndarray
     f_prev: float
     f_new: float
-    grad_prev: np.ndarray
-    grad_new: np.ndarray
+    grad_prev: np.ndarray | None
+    grad_new: np.ndarray | None
     mode: ApproxMode
     epsilon: float
     converged: bool
@@ -78,10 +83,20 @@ class ReconfigurationStrategy(ABC):
             convergence guarantee of Section 3.2 into behaviour.  The
             static strategy sets it ``False``, reproducing the paper's
             falsely-converging single-mode runs.
+        needs_gradient: when ``True`` (default) the framework evaluates
+            the method's exact gradient after every iteration and hands
+            it to :meth:`decide` through the :class:`Observation`.
+            Policies that never read it (the static/truth pin) declare
+            ``False`` and the framework skips the evaluation — the
+            gradient is pure control-loop telemetry, so run results are
+            bit-identical either way, but on web-scale sparse systems
+            it is an O(nnz) exact matvec per iteration that the replay
+            fast path would otherwise pay for nothing.
     """
 
     name: str = "strategy"
     verify_convergence: bool = True
+    needs_gradient: bool = True
 
     @abstractmethod
     def start(

@@ -30,6 +30,9 @@ class StaticModeStrategy(ReconfigurationStrategy):
     """
 
     verify_convergence = False
+    #: ``decide`` never reads the gradient; skipping it drops an exact
+    #: O(nnz) matvec per iteration from static/truth runs.
+    needs_gradient = False
 
     def __init__(self, mode_name: str):
         self.mode_name = mode_name

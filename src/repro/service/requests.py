@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -30,7 +31,38 @@ from repro.data.registry import DATASETS
 
 #: Bump whenever the solve algorithm or the payload shape changes;
 #: older run-store entries then miss instead of serving stale results.
-REQUEST_SCHEMA = 2
+#: 3: the operand-format descriptor joined the payload (sparse resident
+#: operands route through a different datapath than dense ones).
+REQUEST_SCHEMA = 3
+
+#: Operand-format descriptor: ``"dense"`` or ``"csr:<nnz>:<12-hex>"``
+#: (nnz count plus a structure fingerprint of indptr+indices).
+_OPERANDS_RE = re.compile(r"^(dense|csr:[0-9]+:[0-9a-f]{12})$")
+
+
+def operand_descriptor(matrix=None) -> str:
+    """The canonical operand-format string for a system operand.
+
+    ``None`` or a dense array is ``"dense"``; a
+    :class:`~repro.arith.SparseResidentMatrix` (or any ``tocsr()``
+    object) yields ``"csr:<nnz>:<fp>"`` where the fingerprint hashes
+    the CSR *structure* (indptr + indices, not values — the dataset key
+    already pins the values).  Rides in the request content address so
+    a dataset re-registered with a different operand layout re-keys
+    every run instead of serving results off the other datapath.
+    """
+    if matrix is None:
+        return "dense"
+    from repro.arith.engine import SparseResidentMatrix
+
+    if hasattr(matrix, "tocsr") and not isinstance(matrix, SparseResidentMatrix):
+        matrix = SparseResidentMatrix.from_csr_like(matrix)
+    if isinstance(matrix, SparseResidentMatrix):
+        h = hashlib.sha256()
+        h.update(matrix.indptr.tobytes())
+        h.update(matrix.indices.tobytes())
+        return f"csr:{matrix.nnz}:{h.hexdigest()[:12]}"
+    return "dense"
 
 #: Default tenant for requests that do not name one.
 DEFAULT_TENANT = "default"
@@ -73,6 +105,14 @@ class SolveRequest:
             name rides in the content address — runs stay bit-identical
             per backend, and naming an unregistered backend fails at
             construction rather than silently running the default.
+        operands: operand-format descriptor (see
+            :func:`operand_descriptor`): ``"dense"`` for the classic
+            dense system operands, ``"csr:<nnz>:<fp>"`` when the
+            dataset's system matrix is a CSR resident operand.  Part of
+            the content address — the sparse and dense datapaths are
+            bit-identical only at exact modes, so their runs must never
+            share a cache entry.  Clients predating schema 3 omit it
+            and get the dense default.
     """
 
     dataset: str
@@ -81,6 +121,7 @@ class SolveRequest:
     max_iter: int | None = None
     program_capture: bool | None = None
     backend: str | None = None
+    operands: str = "dense"
 
     def __post_init__(self):
         if self.dataset not in DATASETS:
@@ -92,6 +133,11 @@ class SolveRequest:
         if self.max_iter is not None and int(self.max_iter) < 1:
             raise ValueError(f"max_iter must be >= 1, got {self.max_iter}")
         resolve_backend_name(self.backend)
+        if not _OPERANDS_RE.match(self.operands):
+            raise ValueError(
+                f"operands must be 'dense' or 'csr:<nnz>:<12-hex>', "
+                f"got {self.operands!r}"
+            )
 
     # ------------------------------------------------------------------
     # Content addressing
@@ -107,6 +153,7 @@ class SolveRequest:
             "max_iter": None if self.max_iter is None else int(self.max_iter),
             "program_capture": self.program_capture,
             "backend": resolve_backend_name(self.backend),
+            "operands": self.operands,
             "probes": DEFAULT_PROBES,
             "platform": json.loads(_platform_config()),
         }
@@ -141,6 +188,7 @@ class SolveRequest:
             "max_iter": self.max_iter,
             "program_capture": self.program_capture,
             "backend": self.backend,
+            "operands": self.operands,
         }
 
     @classmethod
@@ -161,6 +209,7 @@ class SolveRequest:
             "max_iter",
             "program_capture",
             "backend",
+            "operands",
         }
         unknown = set(payload) - known
         if unknown:
@@ -179,6 +228,8 @@ class SolveRequest:
             max_iter=None if max_iter is None else int(max_iter),
             program_capture=None if capture is None else bool(capture),
             backend=None if backend is None else str(backend),
+            # Schema-2 clients omit the field; dense is what they meant.
+            operands=str(payload.get("operands", "dense")),
         )
 
 
@@ -197,6 +248,7 @@ class SweepRequest:
     tenant: str = DEFAULT_TENANT
     max_iter: int | None = None
     backend: str | None = None
+    operands: str = "dense"
 
     def __post_init__(self):
         if not self.strategies:
@@ -216,6 +268,7 @@ class SweepRequest:
                 tenant=self.tenant,
                 max_iter=self.max_iter,
                 backend=self.backend,
+                operands=self.operands,
             )
             for spec in ("truth", *self.strategies)
         ]
@@ -227,13 +280,14 @@ class SweepRequest:
             "tenant": self.tenant,
             "max_iter": self.max_iter,
             "backend": self.backend,
+            "operands": self.operands,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SweepRequest":
         if not isinstance(payload, dict):
             raise ValueError(f"request body must be an object, got {payload!r}")
-        known = {"dataset", "strategies", "tenant", "max_iter", "backend"}
+        known = {"dataset", "strategies", "tenant", "max_iter", "backend", "operands"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError(
@@ -252,4 +306,5 @@ class SweepRequest:
             tenant=str(payload.get("tenant", DEFAULT_TENANT)),
             max_iter=None if max_iter is None else int(max_iter),
             backend=None if backend is None else str(backend),
+            operands=str(payload.get("operands", "dense")),
         )

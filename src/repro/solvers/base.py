@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.arith.engine import ApproxEngine
+from repro.arith.engine import ApproxEngine, SparseResidentMatrix
 
 _CONVERGENCE_KINDS = ("abs", "rel")
 
@@ -53,6 +53,15 @@ def _hash_into(h, value, depth: int = 0) -> None:
     elif isinstance(value, (np.bool_, np.integer, np.floating)):
         h.update(b"np-scalar")
         h.update(repr(value.item()).encode())
+    elif isinstance(value, SparseResidentMatrix):
+        # Slots-only (no __dict__) and carries lazily-built caches, so
+        # neither the __dict__ recursion nor the repr fallback below
+        # would hash its content: feed the CSR triplet explicitly.
+        h.update(b"csr")
+        h.update(repr(value.shape).encode())
+        h.update(value.indptr.tobytes())
+        h.update(value.indices.tobytes())
+        h.update(value.data.tobytes())
     elif isinstance(value, dict):
         h.update(b"dict" + str(len(value)).encode())
         for key in sorted(value, key=repr):

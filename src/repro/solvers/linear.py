@@ -16,12 +16,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arith.engine import ApproxEngine
+from repro.arith.engine import ApproxEngine, SparseResidentMatrix
 from repro.solvers.base import IterativeMethod
 
 
 class _SplittingSolver(IterativeMethod):
-    """Shared machinery for Jacobi / Gauss–Seidel / SOR."""
+    """Shared machinery for Jacobi / Gauss–Seidel / SOR.
+
+    ``matrix`` may be dense, a :class:`SparseResidentMatrix`, or any
+    scipy-style sparse object (``tocsr()``) — but only solvers that set
+    :attr:`supports_sparse` accept the sparse forms (Jacobi does; the
+    triangular-splitting solvers slice/factor the dense array).
+    """
+
+    #: Whether this splitting can run on a CSR system matrix.
+    supports_sparse = False
 
     def __init__(
         self,
@@ -31,17 +40,30 @@ class _SplittingSolver(IterativeMethod):
         **kwargs,
     ):
         super().__init__(**kwargs)
-        matrix = np.asarray(matrix, dtype=np.float64)
+        if isinstance(matrix, SparseResidentMatrix) or hasattr(matrix, "tocsr"):
+            if not self.supports_sparse:
+                raise TypeError(
+                    f"{type(self).__name__} needs a dense matrix; sparse "
+                    "systems are supported by JacobiSolver"
+                )
+            if not isinstance(matrix, SparseResidentMatrix):
+                matrix = SparseResidentMatrix.from_csr_like(matrix)
+            diag = matrix.diagonal()
+        else:
+            matrix = np.asarray(matrix, dtype=np.float64)
+            diag = None
         rhs = np.asarray(rhs, dtype=np.float64).reshape(-1)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError(f"matrix must be square, got {matrix.shape}")
         if matrix.shape[0] != rhs.shape[0]:
             raise ValueError(f"shape mismatch: {matrix.shape} vs {rhs.shape}")
-        if np.any(np.diag(matrix) == 0):
+        if diag is None:
+            diag = np.diag(matrix).copy()
+        if np.any(diag == 0):
             raise ValueError("splitting solvers need a zero-free diagonal")
         self.matrix = matrix
         self.rhs = rhs
-        self._diag = np.diag(matrix).copy()
+        self._diag = diag
         self._x0 = (
             np.zeros(rhs.shape[0])
             if x0 is None
@@ -51,13 +73,21 @@ class _SplittingSolver(IterativeMethod):
     def initial_state(self) -> np.ndarray:
         return self._x0.copy()
 
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        """Exact float ``A @ x`` for the objective/gradient hooks."""
+        if isinstance(self.matrix, SparseResidentMatrix):
+            return self.matrix.matvec_exact(x)
+        return self.matrix @ x
+
     def objective(self, x: np.ndarray) -> float:
-        r = self.rhs - self.matrix @ np.asarray(x, dtype=np.float64)
+        r = self.rhs - self._apply(np.asarray(x, dtype=np.float64))
         return float(r @ r)
 
     def gradient(self, x: np.ndarray) -> np.ndarray:
         # Gradient of ‖b − A x‖²: −2 Aᵀ r.
-        r = self.rhs - self.matrix @ np.asarray(x, dtype=np.float64)
+        r = self.rhs - self._apply(np.asarray(x, dtype=np.float64))
+        if isinstance(self.matrix, SparseResidentMatrix):
+            return -2.0 * self.matrix.rmatvec_exact(r)
         return -2.0 * self.matrix.T @ r
 
     def residual(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
@@ -73,17 +103,23 @@ class _SplittingSolver(IterativeMethod):
         return engine.sub(rhs, engine.matvec(matrix, x, resident=True))
 
     def solution(self) -> np.ndarray:
-        """Direct solution, for QEM references in tests."""
+        """Direct solution, for QEM references in tests (densifies a
+        sparse system; test-scale only)."""
+        if isinstance(self.matrix, SparseResidentMatrix):
+            return np.linalg.solve(self.matrix.toarray(), self.rhs)
         return np.linalg.solve(self.matrix, self.rhs)
 
 
 class JacobiSolver(_SplittingSolver):
     """Jacobi splitting: ``M = diag(A)``.
 
-    Converges when ``A`` is strictly diagonally dominant.
+    Converges when ``A`` is strictly diagonally dominant.  Accepts a
+    sparse system matrix (CSR): the residual matvec then accumulates
+    each row's own nnz products through the approximate adder.
     """
 
     name = "jacobi"
+    supports_sparse = True
 
     def direction(self, x: np.ndarray, engine: ApproxEngine) -> np.ndarray:
         return self.residual(x, engine) / self._diag

@@ -25,7 +25,7 @@ class TestConstruction:
             PageRank(g, damping=1.0)
 
     def test_google_matrix_is_stochastic(self, web):
-        cols = web._google.sum(axis=0)
+        cols = web.google_dense().sum(axis=0)
         assert np.allclose(cols, 1.0)
 
     def test_dangling_nodes_jump_uniformly(self):
@@ -33,8 +33,32 @@ class TestConstruction:
         g.add_edge(0, 1)
         g.add_node(2)  # dangling
         pr = PageRank(g)
-        col = pr._google[:, pr.nodes.index(2)]
+        col = pr.google_dense()[:, pr.nodes.index(2)]
         assert np.allclose(col, col[0])
+
+    def test_csr_construction_matches_graph(self, web):
+        """A prebuilt CSR transition matrix yields the same operator as
+        the graph build (dangling fix and teleport included)."""
+        nx_google = web.google_dense()
+        transition = (nx_google - (1 - web.damping) / len(web.nodes)) / web.damping
+        transition[:, web._dangling] = 0.0
+        pr = PageRank(transition, damping=web.damping)
+        assert pr.graph is None
+        assert np.allclose(pr.google_dense(), nx_google)
+        assert np.array_equal(pr._dangling, web._dangling)
+
+    def test_rejects_non_stochastic_columns(self):
+        bad = np.array([[0.0, 0.5], [0.7, 0.0]])
+        with pytest.raises(ValueError, match="columns must sum"):
+            PageRank(bad)
+
+    def test_random_web_csr_is_sparse_and_valid(self):
+        pr = PageRank.random_web_csr(n_nodes=300, seed=3)
+        assert pr.graph is None
+        assert pr._link.nnz < 300 * 300 // 4
+        ref = pr.exact_reference()
+        assert pr.objective(ref) < 1e-9
+        assert ref.sum() == pytest.approx(1.0)
 
 
 class TestIteration:

@@ -1,0 +1,268 @@
+"""Sparse-operand parity: CSR fast paths vs their slow-twin oracles.
+
+The sparse datapath (:class:`~repro.arith.SparseResidentMatrix` through
+``matvec`` / ``weighted_sum``) promises the repo's *exact* equivalence
+contract, not approximate: bit-identical iterates
+(``assert_array_equal``, no tolerance) and energy ledgers equal as
+floats against the ``fast_path=False`` dense-gather slow twin, through
+every fast layer — pinned operands, iteration-program capture/replay
+(including the fused ``csr_matvec_words`` backend route and its
+nnz-saturation bailout), and the batched lane engine.
+
+Three tiers of evidence:
+
+* full framework runs (sparse Jacobi, CSR-built PageRank, sparse
+  least-squares × incremental/adaptive) captured vs interpreted vs
+  legacy;
+* an exhaustive width-8 sweep: every one of the 65536 ``(a, b)`` word
+  pairs reduced as an nnz-2 CSR row must equal the elementwise
+  ``_add_words`` oracle, per adder mode;
+* targeted replay-fusion gating: the fused kernel must engage exactly
+  when the per-row in-range proof holds, and parity must survive
+  either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRank
+from repro.arith.engine import (
+    ApproxEngine,
+    BatchedEngine,
+    EnergyLedger,
+    SparseResidentMatrix,
+)
+from repro.arith.fixed import FixedPointFormat
+from repro.arith.modes import default_mode_bank
+from repro.arith.program import ProgramEngine
+from repro.core.framework import ApproxIt
+from repro.solvers import JacobiSolver, LeastSquaresGD
+
+ONLINE_STRATEGIES = ("incremental", "adaptive")
+
+
+def _tridiag(n: int) -> np.ndarray:
+    return 2.05 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+
+
+def _sparse_jacobi():
+    n = 40
+    matrix = SparseResidentMatrix.from_dense(_tridiag(n))
+    rhs = np.random.default_rng(17).uniform(-2.0, 2.0, n)
+    return ApproxIt(JacobiSolver(matrix, rhs, max_iter=120))
+
+
+def _sparse_pagerank():
+    return ApproxIt(PageRank.random_web_csr(n_nodes=250, seed=7, max_iter=60))
+
+
+def _sparse_lsq():
+    rng = np.random.default_rng(21)
+    n, p, per_row = 80, 6, 3
+    rows = np.repeat(np.arange(n), per_row)
+    cols = rng.integers(0, p, size=rows.size)
+    vals = rng.uniform(-1.0, 1.0, size=rows.size)
+    design = SparseResidentMatrix.from_coo(rows, cols, vals, (n, p))
+    w = rng.uniform(-2.0, 2.0, p)
+    y = design.matvec_exact(w) + rng.normal(0, 0.01, n)
+    return ApproxIt(LeastSquaresGD(design, y, max_iter=100))
+
+
+FACTORIES = {
+    "jacobi-csr": _sparse_jacobi,
+    "pagerank-csr": _sparse_pagerank,
+    "lsq-csr": _sparse_lsq,
+}
+
+
+def _assert_runs_equal(a, b):
+    np.testing.assert_array_equal(a.x, b.x)
+    assert a.objective == b.objective
+    assert a.iterations == b.iterations
+    assert a.converged == b.converged
+    assert a.steps_by_mode == b.steps_by_mode
+    assert a.mode_trace == b.mode_trace
+    # Energy is exact float equality, not approx — the ledger contract.
+    assert a.energy == b.energy
+    assert a.energy_by_mode == b.energy_by_mode
+
+
+@pytest.mark.parametrize("strategy", ONLINE_STRATEGIES)
+@pytest.mark.parametrize("workload", sorted(FACTORIES), ids=sorted(FACTORIES))
+def test_sparse_runs_match_slow_twin(workload, strategy):
+    """Captured fast runs == interpreted fast runs == the legacy
+    (pre-fast-path, dense-gather reduce) engine, bit for bit."""
+    framework = FACTORIES[workload]()
+    captured = framework.run(strategy=strategy)
+    interpreted = framework.run(strategy=strategy, program_capture=False)
+    saved = ApproxEngine.default_fast_path
+    try:
+        ApproxEngine.default_fast_path = False
+        legacy = framework.run(strategy=strategy, program_capture=False)
+    finally:
+        ApproxEngine.default_fast_path = saved
+    _assert_runs_equal(captured, interpreted)
+    _assert_runs_equal(captured, legacy)
+
+
+def test_sparse_jacobi_matches_dense_at_exact_mode():
+    """At the exact mode an in-range reduction is associative, so the
+    CSR solve reproduces the dense solve's iterates bit for bit while
+    charging only nnz-1 adds per row instead of n-1."""
+    n = 40
+    dense_mat = _tridiag(n)
+    rhs = np.random.default_rng(17).uniform(-2.0, 2.0, n)
+    dense_fw = ApproxIt(JacobiSolver(dense_mat, rhs, max_iter=120))
+    sparse_fw = ApproxIt(
+        JacobiSolver(SparseResidentMatrix.from_dense(dense_mat), rhs, max_iter=120)
+    )
+    dense_run = dense_fw.run(strategy="static:acc")
+    sparse_run = sparse_fw.run(strategy="static:acc")
+    np.testing.assert_array_equal(dense_run.x, sparse_run.x)
+    assert dense_run.iterations == sparse_run.iterations
+    assert sparse_run.energy < dense_run.energy
+
+
+def test_batched_sparse_lanes_match_solo_runs():
+    """The batched lane engine over a shared CSR operand: every lane
+    bit-identical and ledger-equal to its solo run (sparse capture and
+    replay included — the batch runs the lane-group program path)."""
+    specs = ["incremental", "truth", "static:level2", "adaptive"]
+    framework = _sparse_jacobi()
+    batch = framework.run_batch(list(specs))
+    for spec, batch_run in zip(specs, batch):
+        _assert_runs_equal(batch_run, framework.run(strategy=spec))
+
+
+class TestWidth8Exhaustive:
+    """Every (a, b) word pair at width 8, reduced as an nnz-2 CSR row,
+    must equal the elementwise ``_add_words`` oracle — the segment
+    reduce is *made of* adder calls, with no sparse-specific arithmetic
+    allowed to creep in."""
+
+    WIDTH = 8
+
+    def _engines(self, mode_name):
+        bank = default_mode_bank(self.WIDTH)
+        fmt = FixedPointFormat(self.WIDTH, 0)
+        mode = bank.by_name(mode_name)
+        return (
+            ApproxEngine(mode, fmt, EnergyLedger()),
+            ApproxEngine(mode, fmt, EnergyLedger()),
+        )
+
+    @pytest.mark.parametrize("mode_name", ["acc", "level1", "level3"])
+    def test_all_pairs_match_adder_oracle(self, mode_name):
+        lo, hi = -(1 << (self.WIDTH - 1)), (1 << (self.WIDTH - 1)) - 1
+        a, b = np.meshgrid(
+            np.arange(lo, hi + 1, dtype=np.int64),
+            np.arange(lo, hi + 1, dtype=np.int64),
+            indexing="ij",
+        )
+        a, b = a.ravel(), b.ravel()
+        g = a.size
+        data = np.empty(2 * g, dtype=np.float64)
+        data[0::2] = a
+        data[1::2] = b
+        indices = np.tile(np.array([0, 1], dtype=np.int64), g)
+        indptr = np.arange(0, 2 * g + 1, 2, dtype=np.int64)
+        sp = SparseResidentMatrix(data, indices, indptr, (g, 2))
+        vec = np.ones(2)
+
+        engine, oracle = self._engines(mode_name)
+        got = engine.matvec(sp, vec)
+        want = oracle.fmt.decode(oracle._add_words(a, b))
+        np.testing.assert_array_equal(got, want)
+        # One add per row, charged at the mode's energy.
+        assert engine.ledger.adds == oracle.ledger.adds
+        assert engine.ledger.energy == oracle.ledger.energy
+
+    @pytest.mark.parametrize("mode_name", ["acc", "level2"])
+    def test_random_segments_match_slow_twin(self, mode_name):
+        """Mixed nnz lengths 0..8: fast bucketed reduce vs the
+        ``fast_path=False`` dense-gather twin, words and charges."""
+        rng = np.random.default_rng(5)
+        n_rows = 200
+        lengths = rng.integers(0, 9, size=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        nnz = int(indptr[-1])
+        data = rng.integers(-100, 100, size=nnz).astype(np.float64)
+        indices = np.concatenate(
+            [rng.choice(16, size=k, replace=False) for k in lengths if k]
+        ).astype(np.int64)
+        sp = SparseResidentMatrix(data, indices, indptr, (n_rows, 16))
+        vec = np.ones(16)
+
+        bank = default_mode_bank(self.WIDTH)
+        fmt = FixedPointFormat(self.WIDTH, 0)
+        mode = bank.by_name(mode_name)
+        fast = ApproxEngine(mode, fmt, EnergyLedger())
+        slow = ApproxEngine(mode, fmt, EnergyLedger(), fast_path=False)
+        np.testing.assert_array_equal(fast.matvec(sp, vec), slow.matvec(sp, vec))
+        assert fast.ledger.adds == slow.ledger.adds
+        assert fast.ledger.energy == slow.ledger.energy
+        expected_adds = int(np.maximum(lengths - 1, 0).sum())
+        assert fast.ledger.adds_by_mode[mode.name] == expected_adds
+
+
+class TestReplayFusionGate:
+    """The fused CSR replay kernel engages exactly when the
+    ``nnz_max * W`` in-range proof holds; a matrix with one hot row
+    must fall back to the bucketed replay — and stay bit-identical."""
+
+    def _capture_and_replay(self, sp, make_vec, monkeypatch):
+        calls = {"n": 0}
+        fmt = FixedPointFormat(32, 16)
+        mode = default_mode_bank(32).by_name("acc")
+        engine = ProgramEngine(mode, fmt, EnergyLedger())
+        orig = type(engine.backend).csr_matvec_words
+
+        def spy(self, *args, **kwargs):
+            calls["n"] += 1
+            return orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(type(engine.backend), "csr_matvec_words", spy)
+
+        x0, x1 = make_vec(0), make_vec(1)
+        assert engine.begin_iteration({"x": x0}) == "record"
+        first = engine.matvec(sp, x0)
+        assert engine.end_iteration() == ("captured", None)
+        assert engine.begin_iteration({"x": x1}) == "replay"
+        replayed = engine.matvec(sp, x1)
+        execution, reason = engine.end_iteration()
+        assert execution == "replayed" and reason is None
+
+        oracle = ApproxEngine(mode, fmt, EnergyLedger())
+        np.testing.assert_array_equal(replayed, oracle.matvec(sp, x1))
+        np.testing.assert_array_equal(
+            first, ApproxEngine(mode, fmt, EnergyLedger()).matvec(sp, x0)
+        )
+        assert engine.ledger.energy == 2 * oracle.ledger.energy
+        return calls["n"]
+
+    def test_well_conditioned_rows_fuse(self, monkeypatch):
+        rng = np.random.default_rng(3)
+        sp = SparseResidentMatrix.from_dense(
+            np.where(rng.uniform(size=(50, 50)) < 0.1, rng.uniform(-1, 1, (50, 50)), 0.0)
+        )
+        fused = self._capture_and_replay(
+            sp, lambda s: np.random.default_rng(s).uniform(-1, 1, 50), monkeypatch
+        )
+        assert fused == 1  # the replayed iteration, not the recording
+
+    def test_hot_row_disables_fusion_but_keeps_parity(self, monkeypatch):
+        """One row whose nnz * W bound overflows the word: the proof
+        fails, the fused kernel must not run, and the bucketed replay
+        still matches the interpreted oracle exactly."""
+        dense = np.zeros((20, 20))
+        dense[3, :] = 2000.0  # hot row: nnz=20, 20*W overflows the word
+        for i in range(20):
+            dense[i, i] = 1.0
+        sp = SparseResidentMatrix.from_dense(dense)
+        w = int(np.rint(sp.abs_max * 1.0 * float(FixedPointFormat(32, 16).scale)))
+        assert sp.nnz_max * w > (1 << 31) - 1, "test matrix must break the proof"
+        fused = self._capture_and_replay(
+            sp, lambda s: np.random.default_rng(s).uniform(0.5, 1.0, 20), monkeypatch
+        )
+        assert fused == 0

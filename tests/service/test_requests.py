@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.service.requests import DEFAULT_TENANT, SolveRequest, SweepRequest
+from repro.service.requests import (
+    DEFAULT_TENANT,
+    SolveRequest,
+    SweepRequest,
+    operand_descriptor,
+)
 
 
 class TestSolveRequestKey:
@@ -26,6 +31,7 @@ class TestSolveRequestKey:
             {"dataset": "hangseng"},
             {"max_iter": 10},
             {"program_capture": True},
+            {"operands": "csr:1234:0123456789ab"},
         ],
     )
     def test_every_engine_knob_changes_the_key(self, kwargs):
@@ -68,6 +74,42 @@ class TestSolveRequestValidation:
     def test_from_dict_requires_dataset(self):
         with pytest.raises(ValueError, match="dataset"):
             SolveRequest.from_dict({"strategy": "incremental"})
+
+    def test_malformed_operands_rejected(self):
+        with pytest.raises(ValueError, match="operands"):
+            SolveRequest(dataset="3cluster", operands="csr:oops")
+
+    def test_schema2_body_without_operands_still_loads(self):
+        # Clients predating schema 3 never send the field; they mean
+        # the dense datapath.
+        request = SolveRequest.from_dict({"dataset": "3cluster"})
+        assert request.operands == "dense"
+        assert request.payload()["operands"] == "dense"
+
+
+class TestOperandDescriptor:
+    def test_dense_default(self):
+        import numpy as np
+
+        assert operand_descriptor() == "dense"
+        assert operand_descriptor(np.eye(3)) == "dense"
+
+    def test_csr_fingerprint_tracks_structure_not_values(self):
+        import numpy as np
+
+        from repro.arith.engine import SparseResidentMatrix
+
+        a = SparseResidentMatrix.from_dense(np.triu(np.ones((4, 4))))
+        b = SparseResidentMatrix(
+            2.0 * a.data, a.indices, a.indptr, a.shape
+        )
+        c = SparseResidentMatrix.from_dense(np.tril(np.ones((4, 4))))
+        da, db, dc = map(operand_descriptor, (a, b, c))
+        assert da.startswith(f"csr:{a.nnz}:")
+        assert da == db  # values don't re-key; the dataset key pins them
+        assert da != dc  # structure does
+        # Descriptor strings are valid request field values.
+        SolveRequest(dataset="3cluster", operands=da)
 
     def test_from_dict_defaults(self):
         request = SolveRequest.from_dict({"dataset": "3cluster"})
